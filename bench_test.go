@@ -1,0 +1,193 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per experiment of DESIGN.md's index), plus
+// micro-benchmarks of the algorithm's hot components.
+//
+// The figure benchmarks run reduced configurations (few repetitions,
+// small evaluation sets) so `go test -bench=.` completes in minutes; the
+// full 30-repetition curves are regenerated with `cmd/disq-bench`.
+// Each figure benchmark reports the final DisQ-family mean error as the
+// custom metric "err" so regressions in *quality*, not just speed, show
+// up in benchmark diffs.
+package disq_test
+
+import (
+	"math/rand"
+	"testing"
+
+	disq "repro"
+	"repro/internal/baselines"
+	"repro/internal/crowd"
+	"repro/internal/experiment"
+)
+
+// benchFigure runs a registry experiment once per iteration at reduced
+// scale.
+func benchFigure(b *testing.B, id string) {
+	fig, ok := experiment.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := fig.Run(experiment.RunOptions{Reps: 2, EvalObjects: 30, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPoint runs a single-budget experiment and reports the last
+// algorithm's (the DisQ variant's) mean error as a quality metric.
+func benchPoint(b *testing.B, spec experiment.Spec) {
+	spec.Reps = 2
+	spec.EvalObjects = 30
+	var lastErr float64
+	for i := 0; i < b.N; i++ {
+		spec.BaseSeed = int64(i)
+		res, err := experiment.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			if len(r.PerRep) > 0 {
+				lastErr = r.Mean
+			}
+		}
+	}
+	b.ReportMetric(lastErr, "err")
+}
+
+// --- Table benchmarks -----------------------------------------------------
+
+func BenchmarkTable4(b *testing.B) { benchFigure(b, "table4") }
+func BenchmarkTable5(b *testing.B) { benchFigure(b, "table5") }
+
+// --- Figure 1: proof of concept (one per panel) ----------------------------
+
+func BenchmarkFig1aBmiVaryBPrc(b *testing.B)     { benchFigure(b, "fig1a") }
+func BenchmarkFig1bProteinVaryBPrc(b *testing.B) { benchFigure(b, "fig1b") }
+func BenchmarkFig1cBmiAgeVaryBPrc(b *testing.B)  { benchFigure(b, "fig1c") }
+func BenchmarkFig1dBmiVaryBObj(b *testing.B)     { benchFigure(b, "fig1d") }
+func BenchmarkFig1eProteinVaryBObj(b *testing.B) { benchFigure(b, "fig1e") }
+func BenchmarkFig1fBmiAgeVaryBObj(b *testing.B)  { benchFigure(b, "fig1f") }
+
+// --- Figure 2: necessary budget --------------------------------------------
+
+func BenchmarkFig2RequiredBudget(b *testing.B) { benchFigure(b, "fig2") }
+
+// --- Figure 3: GetNextAttribute ablation ------------------------------------
+
+func BenchmarkFig3aOnlyQueryVaryBPrc(b *testing.B) { benchFigure(b, "fig3a") }
+func BenchmarkFig3bOnlyQueryVaryBObj(b *testing.B) { benchFigure(b, "fig3b") }
+
+// --- Figure 4: statistics-estimation variants --------------------------------
+
+func BenchmarkFig4aStatVariantsVaryBPrc(b *testing.B) { benchFigure(b, "fig4a") }
+func BenchmarkFig4bStatVariantsVaryBObj(b *testing.B) { benchFigure(b, "fig4b") }
+
+// --- Section 5.3.1 coverage and Section 5.4 ablations ------------------------
+
+func BenchmarkCoverage(b *testing.B)            { benchFigure(b, "coverage") }
+func BenchmarkAblationQuality(b *testing.B)     { benchFigure(b, "ablation-quality") }
+func BenchmarkAblationUnification(b *testing.B) { benchFigure(b, "ablation-unification") }
+func BenchmarkAblationRho(b *testing.B)         { benchFigure(b, "ablation-rho") }
+func BenchmarkAblationPricing(b *testing.B)     { benchFigure(b, "ablation-pricing") }
+func BenchmarkSyntheticDomain(b *testing.B)     { benchFigure(b, "synthetic") }
+
+// --- Headline quality points (error reported as the "err" metric) ------------
+
+func BenchmarkQualityProtein4c(b *testing.B) {
+	benchPoint(b, experiment.Spec{
+		Name:       "quality-protein",
+		Platform:   experiment.PlatformConfig{Domain: "recipes"},
+		Targets:    []string{"Protein"},
+		BObj:       crowd.Cents(4),
+		BPrc:       crowd.Dollars(30),
+		Algorithms: []baselines.Algorithm{baselines.DisQ{}},
+	})
+}
+
+func BenchmarkQualityBmi4c(b *testing.B) {
+	benchPoint(b, experiment.Spec{
+		Name:       "quality-bmi",
+		Platform:   experiment.PlatformConfig{Domain: "pictures"},
+		Targets:    []string{"Bmi"},
+		BObj:       crowd.Cents(4),
+		BPrc:       crowd.Dollars(30),
+		Algorithms: []baselines.Algorithm{baselines.DisQ{}},
+	})
+}
+
+func BenchmarkQualityBmiAge4c(b *testing.B) {
+	benchPoint(b, experiment.Spec{
+		Name:       "quality-bmi-age",
+		Platform:   experiment.PlatformConfig{Domain: "pictures"},
+		Targets:    []string{"Bmi", "Age"},
+		BObj:       crowd.Cents(4),
+		BPrc:       crowd.Dollars(30),
+		Algorithms: []baselines.Algorithm{baselines.DisQ{}},
+	})
+}
+
+// --- Component micro-benchmarks ----------------------------------------------
+
+// BenchmarkPreprocessSingleTarget measures one full offline phase.
+func BenchmarkPreprocessSingleTarget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, err := disq.NewSimPlatform(disq.Recipes(), disq.SimOptions{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := disq.Preprocess(p, disq.Query{Targets: []string{"Protein"}},
+			disq.Cents(4), disq.Dollars(25), disq.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPreprocessMultiTarget measures the Section 4 extension.
+func BenchmarkPreprocessMultiTarget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, err := disq.NewSimPlatform(disq.Pictures(), disq.SimOptions{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := disq.Preprocess(p, disq.Query{Targets: []string{"Bmi", "Age"}},
+			disq.Cents(4), disq.Dollars(30), disq.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOnlineEvaluation measures the per-object online phase.
+func BenchmarkOnlineEvaluation(b *testing.B) {
+	p, err := disq.NewSimPlatform(disq.Recipes(), disq.SimOptions{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := disq.Preprocess(p, disq.Query{Targets: []string{"Protein"}},
+		disq.Cents(4), disq.Dollars(25), disq.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	objs := p.Universe().NewObjects(rand.New(rand.NewSource(2)), 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.EstimateObject(p, objs[i%len(objs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimValueQuestion measures raw simulated crowd throughput.
+func BenchmarkSimValueQuestion(b *testing.B) {
+	p, err := disq.NewSimPlatform(disq.Recipes(), disq.SimOptions{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	objs := p.Universe().NewObjects(rand.New(rand.NewSource(3)), 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Value(objs[i%len(objs)], "Calories", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

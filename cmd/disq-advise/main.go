@@ -1,0 +1,83 @@
+// Command disq-advise answers the paper's Section 7 open question for a
+// concrete workload: given one total budget and the number of objects to
+// process, how should the money be split between the offline preprocessing
+// phase and the online per-object phase?
+//
+// Usage:
+//
+//	disq-advise -domain recipes -targets Protein -total 60 -objects 400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/domain"
+)
+
+func main() {
+	var (
+		domainName = flag.String("domain", "recipes", "domain: pictures, recipes, houses, laptops")
+		targets    = flag.String("targets", "Protein", "comma-separated query attributes")
+		total      = flag.Float64("total", 60, "total budget in dollars")
+		objects    = flag.Int("objects", 400, "objects the online phase will process")
+		seed       = flag.Int64("seed", 1, "base platform seed")
+		fractions  = flag.String("fractions", "0.2,0.35,0.5,0.65,0.8", "preprocessing shares to try")
+	)
+	flag.Parse()
+	if err := run(*domainName, *targets, *total, *objects, *seed, *fractions); err != nil {
+		fmt.Fprintln(os.Stderr, "disq-advise:", err)
+		os.Exit(1)
+	}
+}
+
+func run(domainName, targetList string, totalDollars float64, objects int, seed int64, fractionList string) error {
+	build, ok := domain.Registry()[domainName]
+	if !ok {
+		return fmt.Errorf("unknown domain %q", domainName)
+	}
+	var targets []string
+	for _, t := range strings.Split(targetList, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			targets = append(targets, t)
+		}
+	}
+	var fractions []float64
+	for _, f := range strings.Split(fractionList, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return fmt.Errorf("bad fraction %q: %w", f, err)
+		}
+		fractions = append(fractions, v)
+	}
+	trialSeed := seed
+	factory := func() (crowd.Platform, error) {
+		trialSeed++
+		return crowd.NewSim(build(), crowd.SimOptions{Seed: trialSeed})
+	}
+	total := crowd.Dollars(totalDollars)
+	fmt.Printf("splitting %v across preprocessing + %d objects (domain %s, targets %v)\n\n",
+		total, objects, domainName, targets)
+	splits, err := core.AdviseBudgetSplit(factory, core.Query{Targets: targets},
+		total, objects, fractions, core.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %-12s %-12s %14s %12s\n", "fraction", "B_prc", "B_obj", "pred. error", "attributes")
+	for _, s := range splits {
+		fmt.Printf("%-10.2f %-12s %-12s %14.4f %12d\n",
+			s.Fraction, s.Preprocess, s.PerObject, s.PredictedError, len(s.Discovered()))
+	}
+	best := splits[0]
+	fmt.Printf("\nrecommendation: spend %s on preprocessing (%.0f%%), %s per object\n",
+		best.Preprocess, 100*best.Fraction, best.PerObject)
+	for _, t := range best.Plan.Targets {
+		fmt.Printf("  %s\n", best.Plan.Formula(t))
+	}
+	return nil
+}

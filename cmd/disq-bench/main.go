@@ -1,0 +1,88 @@
+// Command disq-bench regenerates the tables and figures of the paper's
+// evaluation (Section 5). Each experiment is identified by the id used in
+// DESIGN.md's per-experiment index.
+//
+// Usage:
+//
+//	disq-bench -list                 # show all experiment ids
+//	disq-bench -experiment fig1a     # regenerate one figure
+//	disq-bench -all                  # regenerate everything (slow)
+//	disq-bench -experiment fig1e -reps 10 -csv out/   # fewer reps, CSV dump
+//
+// The paper uses 30 repetitions per configuration; -reps trades fidelity
+// for speed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		expID = flag.String("experiment", "", "experiment id to regenerate")
+		all   = flag.Bool("all", false, "regenerate every experiment")
+		reps  = flag.Int("reps", 0, "repetitions per configuration (0 = paper default of 30)")
+		evalN = flag.Int("objects", 0, "evaluation objects per repetition (0 = default of 100)")
+		seed  = flag.Int64("seed", 0, "seed offset for all platforms")
+		out   = flag.String("out", "", "directory to also write each result as <id>.txt")
+	)
+	flag.Parse()
+	if err := run(*list, *expID, *all, *reps, *evalN, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "disq-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(list bool, expID string, all bool, reps, evalN int, seed int64, out string) error {
+	if list {
+		fmt.Print(experimentList())
+		return nil
+	}
+	var ids []string
+	switch {
+	case all:
+		ids = allIDs()
+	case expID != "":
+		ids = []string{expID}
+	default:
+		return fmt.Errorf("pass -list, -experiment <id> or -all")
+	}
+	if out != "" {
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, id := range ids {
+		text, title, err := runOne(id, reps, evalN, seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Printf("== %s: %s\n%s\n", id, title, text)
+		if out != "" {
+			path := filepath.Join(out, id+".txt")
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func runOne(id string, reps, evalN int, seed int64) (text, title string, err error) {
+	fig, ok := lookup(id)
+	if !ok {
+		return "", "", fmt.Errorf("unknown experiment (use -list)")
+	}
+	start := time.Now()
+	text, err = fig.run(reps, evalN, seed)
+	if err != nil {
+		return "", "", err
+	}
+	text += fmt.Sprintf("(regenerated in %s)\n", time.Since(start).Round(time.Millisecond))
+	return text, fig.title, nil
+}

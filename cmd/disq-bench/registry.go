@@ -1,0 +1,28 @@
+package main
+
+import "repro/internal/experiment"
+
+// figureRef adapts the experiment registry to the CLI.
+type figureRef struct {
+	id    string
+	title string
+	run   func(reps, evalN int, seed int64) (string, error)
+}
+
+func lookup(id string) (figureRef, bool) {
+	f, ok := experiment.Lookup(id)
+	if !ok {
+		return figureRef{}, false
+	}
+	return figureRef{
+		id:    f.ID,
+		title: f.Title,
+		run: func(reps, evalN int, seed int64) (string, error) {
+			return f.Run(experiment.RunOptions{Reps: reps, EvalObjects: evalN, Seed: seed})
+		},
+	}, true
+}
+
+func allIDs() []string { return experiment.IDs() }
+
+func experimentList() string { return experiment.Describe() }

@@ -1,0 +1,146 @@
+// Command disq-gen inspects and exports the object domains: it reproduces
+// the paper's Table 4 (dismantling answers and frequencies) and Table 5
+// (attribute statistics), dumps domain definitions, generates synthetic
+// universes, and exports collected answer tables as CSV/JSON.
+//
+// Usage:
+//
+//	disq-gen -table4                        # dismantling answer tables
+//	disq-gen -table5                        # statistics tables
+//	disq-gen -domain recipes -describe      # list a domain's attributes
+//	disq-gen -domain pictures -sample 5     # sample objects with truths
+//	disq-gen -synthetic -attrs 12 -factors 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/domain"
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		table4     = flag.Bool("table4", false, "reproduce Table 4")
+		table5     = flag.Bool("table5", false, "reproduce Table 5")
+		domainName = flag.String("domain", "recipes", "domain to inspect")
+		describe   = flag.Bool("describe", false, "list the domain's attributes")
+		sample     = flag.Int("sample", 0, "sample N objects and print their true values")
+		synthetic  = flag.Bool("synthetic", false, "generate a synthetic universe and describe it")
+		attrs      = flag.Int("attrs", 12, "synthetic: attribute count")
+		factors    = flag.Int("factors", 3, "synthetic: latent factor count")
+		binFrac    = flag.Float64("binary", 0.5, "synthetic: fraction of binary attributes")
+		junk       = flag.Int("junk", 2, "synthetic: junk attribute count")
+		seed       = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+	if err := run(*table4, *table5, *domainName, *describe, *sample, *synthetic,
+		*attrs, *factors, *binFrac, *junk, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "disq-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table4, table5 bool, domainName string, describe bool, sample int,
+	synthetic bool, attrs, factors int, binFrac float64, junk int, seed int64) error {
+	did := false
+	if table4 {
+		did = true
+		f, _ := experiment.Lookup("table4")
+		out, err := f.Run(experiment.RunOptions{Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+	}
+	if table5 {
+		did = true
+		f, _ := experiment.Lookup("table5")
+		out, err := f.Run(experiment.RunOptions{Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+	}
+	if synthetic {
+		did = true
+		u, err := domain.Synthetic(rand.New(rand.NewSource(seed)), domain.SyntheticConfig{
+			Attributes:     attrs,
+			Factors:        factors,
+			BinaryFraction: binFrac,
+			JunkAttributes: junk,
+		})
+		if err != nil {
+			return err
+		}
+		describeUniverse(u)
+	}
+	if describe || sample > 0 {
+		did = true
+		build, ok := domain.Registry()[domainName]
+		if !ok {
+			return fmt.Errorf("unknown domain %q", domainName)
+		}
+		u := build()
+		if describe {
+			describeUniverse(u)
+		}
+		if sample > 0 {
+			if err := sampleObjects(u, sample, seed); err != nil {
+				return err
+			}
+		}
+	}
+	if !did {
+		return fmt.Errorf("nothing to do: pass -table4, -table5, -describe, -sample or -synthetic")
+	}
+	return nil
+}
+
+func describeUniverse(u *domain.Universe) {
+	names := u.Attributes()
+	fmt.Printf("universe %q: %d attributes\n", u.Name, len(names))
+	fmt.Printf("  %-24s %-7s %10s %10s %10s %10s  %s\n",
+		"attribute", "kind", "mean", "sigma", "noise", "distort", "synonyms")
+	for _, n := range names {
+		a, _ := u.Attribute(n)
+		kind := "numeric"
+		if a.Binary {
+			kind = "binary"
+		}
+		fmt.Printf("  %-24s %-7s %10.4g %10.4g %10.4g %10.4g  %s\n",
+			a.Name, kind, a.Mean, a.Sigma, a.Noise, a.Distortion, strings.Join(a.Synonyms, ", "))
+	}
+	for _, t := range u.GoldTargets() {
+		fmt.Printf("  gold[%s] = %s\n", t, strings.Join(u.GoldStandard(t), ", "))
+	}
+}
+
+func sampleObjects(u *domain.Universe, n int, seed int64) error {
+	objs := u.NewObjects(rand.New(rand.NewSource(seed)), n)
+	names := u.Attributes()
+	if len(names) > 8 {
+		names = names[:8]
+	}
+	header := "  object"
+	for _, a := range names {
+		header += fmt.Sprintf(" %14s", strings.ReplaceAll(a, " ", ""))
+	}
+	fmt.Println(header)
+	for _, o := range objs {
+		row := fmt.Sprintf("  %6d", o.ID)
+		for _, a := range names {
+			v, err := u.Truth(o, a)
+			if err != nil {
+				return err
+			}
+			row += fmt.Sprintf(" %14.3f", v)
+		}
+		fmt.Println(row)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+// Command disq-serve runs a simulated crowd platform as a standalone HTTP
+// service, so the DisQ pipeline (cmd/disq, or any crowdhttp.Client) can
+// run against it from another process — the deployment topology of a real
+// crowdsourcing integration.
+//
+// Usage:
+//
+//	disq-serve -domain recipes -addr :8080 -seed 42
+//	# elsewhere: client := disq.NewCrowdClient("http://host:8080", nil)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/crowd"
+	"repro/internal/crowdhttp"
+	"repro/internal/domain"
+)
+
+func main() {
+	var (
+		domainName = flag.String("domain", "recipes", "domain: pictures, recipes, houses, laptops")
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		seed       = flag.Int64("seed", 1, "platform seed")
+		spam       = flag.Float64("spam", 0, "spam worker rate")
+		filterEff  = flag.Float64("filter", 0.9, "spam filter efficiency")
+		register   = flag.Int("register", 100, "database objects to pre-register for online evaluation")
+	)
+	flag.Parse()
+	if err := run(*domainName, *addr, *seed, *spam, *filterEff, *register); err != nil {
+		fmt.Fprintln(os.Stderr, "disq-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(domainName, addr string, seed int64, spam, filterEff float64, register int) error {
+	build, ok := domain.Registry()[domainName]
+	if !ok {
+		return fmt.Errorf("unknown domain %q", domainName)
+	}
+	u := build()
+	sim, err := crowd.NewSim(u, crowd.SimOptions{
+		Seed:             seed,
+		SpamRate:         spam,
+		FilterEfficiency: filterEff,
+	})
+	if err != nil {
+		return err
+	}
+	server := crowdhttp.NewServer(sim)
+	// Pre-register a batch of "database" objects so clients can evaluate
+	// them by id (ids are printed for convenience).
+	objs := u.NewObjects(rand.New(rand.NewSource(seed^0xdb)), register)
+	for _, o := range objs {
+		server.RegisterObject(o)
+	}
+	listener, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %q crowd platform on http://%s\n", domainName, listener.Addr())
+	if register > 0 {
+		fmt.Printf("registered database objects: ids %d..%d\n", objs[0].ID, objs[len(objs)-1].ID)
+	}
+	return http.Serve(listener, server.Handler())
+}

@@ -1,0 +1,204 @@
+// Command disq runs the DisQ pipeline end to end on a simulated crowd
+// platform: preprocessing (attribute dismantling, statistics, budget
+// distribution, regression learning) followed by online evaluation of a
+// batch of objects, reporting the derived formulas, the spend and the
+// achieved error.
+//
+// Usage:
+//
+//	disq -domain recipes -targets Protein -bobj 4 -bprc 25 -objects 50
+//	disq -domain pictures -targets Bmi,Age -seed 7 -verbose
+//	disq -domain recipes -query "SELECT Calories WHERE Dessert > 0.5"
+//	disq -domain recipes -targets Protein -save-plan plan.json
+//	disq -domain recipes -load-plan plan.json -objects 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/domain"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+type config struct {
+	domainName string
+	targets    string
+	queryText  string
+	bObjCents  float64
+	bPrcDollar float64
+	objects    int
+	seed       int64
+	simple     bool
+	verbose    bool
+	trace      bool
+	savePlan   string
+	loadPlan   string
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.domainName, "domain", "recipes", "domain: pictures, recipes, houses, laptops")
+	flag.StringVar(&cfg.targets, "targets", "Protein", "comma-separated query attributes")
+	flag.StringVar(&cfg.queryText, "query", "", "SQL-style statement (overrides -targets), e.g. \"SELECT Calories WHERE Dessert > 0.5\"")
+	flag.Float64Var(&cfg.bObjCents, "bobj", 4, "per-object online budget in cents")
+	flag.Float64Var(&cfg.bPrcDollar, "bprc", 25, "offline preprocessing budget in dollars")
+	flag.IntVar(&cfg.objects, "objects", 30, "objects to evaluate online")
+	flag.Int64Var(&cfg.seed, "seed", 1, "platform seed")
+	flag.BoolVar(&cfg.simple, "simple", false, "disable dismantling (SimpleDisQ)")
+	flag.BoolVar(&cfg.verbose, "verbose", false, "print per-object estimates")
+	flag.BoolVar(&cfg.trace, "trace", false, "print every preprocessing decision")
+	flag.StringVar(&cfg.savePlan, "save-plan", "", "write the derived plan to this JSON file")
+	flag.StringVar(&cfg.loadPlan, "load-plan", "", "skip preprocessing and load a saved plan")
+	flag.Parse()
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "disq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg config) error {
+	build, ok := domain.Registry()[cfg.domainName]
+	if !ok {
+		return fmt.Errorf("unknown domain %q (have: pictures, recipes, houses, laptops)", cfg.domainName)
+	}
+	u := build()
+	p, err := crowd.NewSim(u, crowd.SimOptions{Seed: cfg.seed})
+	if err != nil {
+		return err
+	}
+
+	var statement *query.Statement
+	var targets []string
+	if cfg.queryText != "" {
+		statement, err = query.Parse(cfg.queryText)
+		if err != nil {
+			return err
+		}
+		targets = statement.Attributes()
+	} else {
+		for _, t := range strings.Split(cfg.targets, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				targets = append(targets, t)
+			}
+		}
+	}
+	bObj := crowd.Cents(cfg.bObjCents)
+	bPrc := crowd.Dollars(cfg.bPrcDollar)
+	fmt.Printf("domain=%s targets=%v B_obj=%v B_prc=%v\n\n", cfg.domainName, targets, bObj, bPrc)
+
+	plan, err := obtainPlan(cfg, p, targets, bObj, bPrc)
+	if err != nil {
+		return err
+	}
+	if cfg.savePlan != "" {
+		if err := plan.Save(cfg.savePlan); err != nil {
+			return err
+		}
+		fmt.Printf("plan saved to %s\n", cfg.savePlan)
+	}
+
+	fmt.Println("\n== online phase ==")
+	objs := u.NewObjects(rand.New(rand.NewSource(cfg.seed^0x0b9ec7)), cfg.objects)
+	online := crowd.NewLedger(0)
+	p.SetLedger(online)
+	if statement != nil {
+		if err := runQuery(p, plan, statement, objs); err != nil {
+			return err
+		}
+	} else if err := runEstimation(cfg, p, u, plan, objs); err != nil {
+		return err
+	}
+	fmt.Printf("\nevaluated %d objects for %v (%v per object)\n",
+		len(objs), online.Spent(), online.Spent()/crowd.Cost(len(objs)))
+	return nil
+}
+
+func obtainPlan(cfg config, p crowd.Platform, targets []string, bObj, bPrc crowd.Cost) (*core.Plan, error) {
+	if cfg.loadPlan != "" {
+		plan, err := core.LoadPlan(cfg.loadPlan)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("== plan loaded from %s ==\n", cfg.loadPlan)
+		for _, t := range plan.Targets {
+			fmt.Printf("formula: %s\n", plan.Formula(t))
+		}
+		return plan, nil
+	}
+	fmt.Println("== preprocessing (offline phase) ==")
+	opts := core.Options{DisableDismantling: cfg.simple}
+	if cfg.trace {
+		opts.Trace = func(e core.TraceEvent) { fmt.Println("  " + e.String()) }
+	}
+	plan, err := core.Preprocess(p, core.Query{Targets: targets}, bObj, bPrc, opts)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("spent:               %v of %v\n", plan.PreprocessCost, bPrc)
+	fmt.Printf("dismantling asked:   %d questions\n", plan.Dismantles)
+	fmt.Printf("attributes found:    %s\n", strings.Join(plan.Discovered, ", "))
+	fmt.Printf("budget distribution: %v (per-object cost %v)\n", plan.Budget.Counts, plan.PerObjectCost())
+	for _, t := range plan.Targets {
+		fmt.Printf("formula:             %s   (N2=%d examples)\n", plan.Formula(t), plan.TrainingExamples[t])
+	}
+	return plan, nil
+}
+
+func runQuery(p crowd.Platform, plan *core.Plan, statement *query.Statement, objs []*domain.Object) error {
+	engine, err := query.NewEngine(p, plan, statement)
+	if err != nil {
+		return err
+	}
+	rows, err := engine.Execute(statement, objs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query: %s\n%d of %d objects match:\n", statement, len(rows), len(objs))
+	for _, r := range rows {
+		fmt.Printf("  object %4d:", r.Object.ID)
+		for _, a := range statement.Select {
+			fmt.Printf("  %s=%.2f", a, r.Values[a])
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runEstimation(cfg config, p crowd.Platform, u *domain.Universe, plan *core.Plan, objs []*domain.Object) error {
+	preds := make(map[string][]float64)
+	truths := make(map[string][]float64)
+	for _, o := range objs {
+		est, err := plan.EstimateObject(p, o)
+		if err != nil {
+			return err
+		}
+		for _, t := range plan.Targets {
+			truth, err := u.Truth(o, t)
+			if err != nil {
+				return err
+			}
+			preds[t] = append(preds[t], est[t])
+			truths[t] = append(truths[t], truth)
+			if cfg.verbose {
+				fmt.Printf("  object %4d  %-12s est %10.2f  truth %10.2f\n", o.ID, t, est[t], truth)
+			}
+		}
+	}
+	for _, t := range plan.Targets {
+		mse, err := stats.MeanSquaredError(preds[t], truths[t])
+		if err != nil {
+			return err
+		}
+		sd, _ := stats.StdDev(truths[t])
+		fmt.Printf("  %-14s RMSE %10.3f   (truth σ %.3f)\n", t, math.Sqrt(mse), sd)
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package disq_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	disq "repro"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	platform, err := disq.NewSimPlatform(disq.Recipes(), disq.SimOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := disq.Preprocess(platform,
+		disq.Query{Targets: []string{"Protein"}},
+		disq.Cents(4), disq.Dollars(20), disq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PerObjectCost() > disq.Cents(4) {
+		t.Fatalf("per-object cost %v over budget", plan.PerObjectCost())
+	}
+	if !strings.Contains(plan.Formula("Protein"), "Protein* =") {
+		t.Fatalf("formula: %q", plan.Formula("Protein"))
+	}
+	objs := platform.Universe().NewObjects(rand.New(rand.NewSource(2)), 3)
+	ests, err := disq.EvaluateObjects(platform, plan, objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 3 {
+		t.Fatalf("got %d estimates", len(ests))
+	}
+	for _, e := range ests {
+		if _, ok := e["Protein"]; !ok {
+			t.Fatal("missing Protein estimate")
+		}
+	}
+}
+
+func TestFacadeMoneyHelpers(t *testing.T) {
+	if disq.Cents(1.5) != 15*disq.Mill {
+		t.Fatal("Cents wrong")
+	}
+	if disq.Dollars(2) != 2*disq.Dollar {
+		t.Fatal("Dollars wrong")
+	}
+	if disq.DefaultPricing().Dismantling != disq.Cents(1.5) {
+		t.Fatal("DefaultPricing wrong")
+	}
+	l := disq.NewLedger(disq.Cents(1))
+	if l.Limit() != disq.Cent {
+		t.Fatal("NewLedger wrong")
+	}
+}
+
+func TestFacadeUniverses(t *testing.T) {
+	for _, u := range []*disq.Universe{disq.Pictures(), disq.Recipes(), disq.Houses(), disq.Laptops()} {
+		if len(u.Attributes()) == 0 {
+			t.Fatalf("universe %s empty", u.Name)
+		}
+	}
+	u, err := disq.Synthetic(rand.New(rand.NewSource(1)), disq.SyntheticConfig{Attributes: 5, Factors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Name != "synthetic" {
+		t.Fatal("synthetic universe wrong")
+	}
+	// Custom universe through the facade.
+	custom, err := disq.NewUniverse(disq.UniverseConfig{
+		Name: "custom",
+		Attributes: []disq.Attribute{
+			{Name: "X", Sigma: 1, Noise: 0.5, Loadings: map[string]float64{"f": 0.8}},
+			{Name: "Y", Sigma: 2, Noise: 0.5, Loadings: map[string]float64{"f": 0.6}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho, err := custom.Correlation("X", "Y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho != 0.48 {
+		t.Fatalf("custom correlation %v", rho)
+	}
+}
+
+func TestFacadePolicyConstants(t *testing.T) {
+	opts := disq.Options{Collection: disq.CollectFull, Estimation: disq.EstimateAverage}
+	if opts.Collection.String() != "full" || opts.Estimation.String() != "average" {
+		t.Fatal("policy constants not wired")
+	}
+	if disq.CollectSelective.String() != "selective" || disq.CollectOneConnection.String() != "one-connection" {
+		t.Fatal("collection constants wrong")
+	}
+	if disq.EstimateGraph.String() != "graph" {
+		t.Fatal("estimation constant wrong")
+	}
+}

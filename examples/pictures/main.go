@@ -1,0 +1,66 @@
+// Pictures: the Bmi estimation scenario of Section 5.2, comparing DisQ's
+// plan against the naive strategy of spending the same online budget on
+// direct questions — live, on the same simulated crowd (the paper's
+// recorded-answer reuse makes the comparison apples-to-apples).
+//
+//	go run ./examples/pictures
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	disq "repro"
+)
+
+func main() {
+	platform, err := disq.NewSimPlatform(disq.Pictures(), disq.SimOptions{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	universe := platform.Universe()
+	bObj := disq.Cents(4)
+
+	plan, err := disq.Preprocess(platform,
+		disq.Query{Targets: []string{"Bmi"}}, bObj, disq.Dollars(30), disq.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("DisQ plan:", plan.Formula("Bmi"))
+
+	// NaiveAverage with the same per-object budget: 4¢ buys 10 direct
+	// numeric Bmi questions.
+	pricing := platform.Pricing()
+	naiveN := int(bObj / pricing.NumericValue)
+	fmt.Printf("NaiveAverage: mean of %d direct Bmi answers\n\n", naiveN)
+
+	people := universe.NewObjects(rand.New(rand.NewSource(11)), 60)
+	var disqSE, naiveSE float64
+	for _, person := range people {
+		truth, _ := universe.Truth(person, "Bmi")
+		est, err := plan.EstimateObject(platform, person)
+		if err != nil {
+			log.Fatal(err)
+		}
+		answers, err := platform.Value(person, "Bmi", naiveN)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var naive float64
+		for _, a := range answers {
+			naive += a
+		}
+		naive /= float64(len(answers))
+
+		d := est["Bmi"] - truth
+		disqSE += d * d
+		d = naive - truth
+		naiveSE += d * d
+	}
+	n := float64(len(people))
+	fmt.Printf("over %d people at %v per object:\n", len(people), bObj)
+	fmt.Printf("  DisQ         RMSE %.2f Bmi units\n", math.Sqrt(disqSE/n))
+	fmt.Printf("  NaiveAverage RMSE %.2f Bmi units\n", math.Sqrt(naiveSE/n))
+}

@@ -1,0 +1,64 @@
+// Remote platform: runs the full DisQ pipeline against a crowd platform
+// served over HTTP in the same process — the deployment shape of a real
+// crowdsourcing integration, where the crowd service lives behind an API
+// and the query processor budgets itself locally.
+//
+//	go run ./examples/remote
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+
+	disq "repro"
+)
+
+func main() {
+	// The "crowd service": a simulated platform behind the HTTP adapter.
+	backend, err := disq.NewSimPlatform(disq.Recipes(), disq.SimOptions{Seed: 2718})
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := disq.NewCrowdServer(backend)
+	listener, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpServer := &http.Server{Handler: server.Handler()}
+	go httpServer.Serve(listener)
+	defer httpServer.Close()
+	baseURL := "http://" + listener.Addr().String()
+	fmt.Println("crowd service listening at", baseURL)
+
+	// The "query processor": a client that only speaks the HTTP API.
+	client := disq.NewCrowdClient(baseURL, nil)
+	plan, err := disq.Preprocess(client,
+		disq.Query{Targets: []string{"Protein"}},
+		disq.Cents(4), disq.Dollars(20), disq.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nderived over HTTP:", plan.Formula("Protein"))
+	fmt.Printf("preprocessing spent %v (budget enforced client-side)\n", plan.PreprocessCost)
+
+	// Online phase: the database owner registers its objects with the
+	// crowd service, the query processor references them by id.
+	objects := backend.Universe().NewObjects(newRand(), 3)
+	for _, o := range objects {
+		server.RegisterObject(o)
+	}
+	fmt.Println("\nobject   estimate   truth")
+	for _, o := range objects {
+		est, err := plan.EstimateObject(client, disq.RefObject(o.ID))
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth, _ := backend.Universe().Truth(o, "Protein")
+		fmt.Printf("%6d %10.1f %7.1f\n", o.ID, est["Protein"], truth)
+	}
+}
+
+func newRand() *rand.Rand { return rand.New(rand.NewSource(99)) }

@@ -1,0 +1,72 @@
+// SQL-style query evaluation: the paper's introduction imagines upgrading
+// a recipe site's search to "dessert recipes that are easy to make, have
+// less than X calories and contain a certain amount of proteins" — this
+// example runs exactly that as a SELECT/WHERE statement whose attributes
+// are all estimated by the crowd, and also demonstrates plan persistence
+// (preprocess once, save, reload, query).
+//
+//	go run ./examples/sqlquery
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	disq "repro"
+)
+
+func main() {
+	platform, err := disq.NewSimPlatform(disq.Recipes(), disq.SimOptions{Seed: 314})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	statement, err := disq.ParseQuery(
+		"SELECT Calories, Protein, Dessert WHERE Dessert > 0.5 AND Calories < 450 AND Easy To Make > 0.5")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("query:", statement)
+	fmt.Println("crowd-estimated attributes needed:", statement.Attributes())
+
+	// Preprocess once for all referenced attributes, then persist the plan.
+	plan, err := disq.Preprocess(platform, statement.Query(),
+		disq.Cents(6), disq.Dollars(40), disq.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "disq-plan")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	planPath := filepath.Join(dir, "plan.json")
+	if err := plan.Save(planPath); err != nil {
+		log.Fatal(err)
+	}
+	reloaded, err := disq.LoadPlan(planPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan saved and reloaded from %s (preprocessing cost %v)\n\n",
+		planPath, plan.PreprocessCost)
+
+	engine, err := disq.NewQueryEngine(platform, reloaded, statement)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recipes := platform.Universe().NewObjects(rand.New(rand.NewSource(27)), 60)
+	rows, err := engine.Execute(statement, recipes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d of %d recipes match:\n", len(rows), len(recipes))
+	for _, r := range rows {
+		fmt.Printf("  recipe %3d: %4.0f kcal, %4.1fg protein, dessert-score %.2f\n",
+			r.Object.ID, r.Values["Calories"], r.Values["Protein"], r.Values["Dessert"])
+	}
+	fmt.Printf("\nonline cost: %v per recipe\n", reloaded.PerObjectCost())
+}

@@ -1,0 +1,199 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/domain"
+	"repro/internal/stats"
+)
+
+func sim(t *testing.T, u *domain.Universe, seed int64) *crowd.SimPlatform {
+	t.Helper()
+	p, err := crowd.NewSim(u, crowd.SimOptions{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNames(t *testing.T) {
+	cases := map[string]Algorithm{
+		"NaiveAverage":        NaiveAverage{},
+		"DisQ":                DisQ{},
+		"SimpleDisQ":          SimpleDisQ(),
+		"OnlyQueryAttributes": OnlyQueryAttributes(),
+		"Full":                Full(),
+		"OneConnection":       OneConnection(),
+		"NaiveEstimations":    NaiveEstimations(),
+		"TotallySeparated":    TotallySeparated{},
+	}
+	for want, a := range cases {
+		if a.Name() != want {
+			t.Errorf("Name = %q, want %q", a.Name(), want)
+		}
+	}
+	if (DisQ{Label: "custom"}).Name() != "custom" {
+		t.Fatal("label override broken")
+	}
+}
+
+func TestNaiveAverageSingleTarget(t *testing.T) {
+	p := sim(t, domain.Recipes(), 1)
+	ev, err := NaiveAverage{}.Prepare(p, core.Query{Targets: []string{"Protein"}}, crowd.Cents(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4¢ buys exactly 10 numeric questions.
+	if ev.PerObjectCost() != crowd.Cents(4) {
+		t.Fatalf("cost %v, want 4¢", ev.PerObjectCost())
+	}
+	o := p.Universe().NewObjects(rand.New(rand.NewSource(2)), 1)[0]
+	est, err := ev.Estimate(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The estimate equals the mean of the first 10 answers.
+	ans, _ := p.Value(o, "Protein", 10)
+	if est["Protein"] != stats.Mean(ans) {
+		t.Fatalf("estimate %v != mean %v", est["Protein"], stats.Mean(ans))
+	}
+}
+
+func TestNaiveAverageBudgetSplit(t *testing.T) {
+	p := sim(t, domain.Pictures(), 2)
+	q := core.Query{
+		Targets: []string{"Bmi", "Age"},
+		Weights: map[string]float64{"Bmi": 3, "Age": 1},
+	}
+	ev, err := NaiveAverage{}.Prepare(p, q, crowd.Cents(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne := ev.(*naiveEvaluator)
+	if ne.counts["Bmi"] <= ne.counts["Age"] {
+		t.Fatalf("weighted split wrong: %v", ne.counts)
+	}
+	if ev.PerObjectCost() > crowd.Cents(4) {
+		t.Fatal("budget exceeded")
+	}
+}
+
+func TestNaiveAverageValidation(t *testing.T) {
+	p := sim(t, domain.Recipes(), 3)
+	if _, err := (NaiveAverage{}).Prepare(p, core.Query{}, crowd.Cents(4), 0); err == nil {
+		t.Fatal("empty query should error")
+	}
+	if _, err := (NaiveAverage{}).Prepare(p, core.Query{Targets: []string{"Protein"}}, 0, 0); err == nil {
+		t.Fatal("zero budget should error")
+	}
+	// Budget below one numeric question.
+	if _, err := (NaiveAverage{}).Prepare(p, core.Query{Targets: []string{"Protein"}}, 2, 0); err == nil {
+		t.Fatal("unaffordable budget should error")
+	}
+}
+
+func TestDisQVariantsPrepare(t *testing.T) {
+	p := sim(t, domain.Recipes(), 4)
+	q := core.Query{Targets: []string{"Protein"}}
+	for _, alg := range []Algorithm{DisQ{}, SimpleDisQ(), OnlyQueryAttributes()} {
+		ev, err := alg.Prepare(p, q, crowd.Cents(4), crowd.Dollars(20))
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if ev.PerObjectCost() > crowd.Cents(4) {
+			t.Fatalf("%s: per-object cost exceeded", alg.Name())
+		}
+		// Plan accessible for inspection.
+		if ev.(*planEvaluator).Plan() == nil {
+			t.Fatalf("%s: nil plan", alg.Name())
+		}
+	}
+}
+
+func TestStatVariantOptionsWired(t *testing.T) {
+	if Full().Options.Collection != core.CollectFull {
+		t.Fatal("Full not wired")
+	}
+	if OneConnection().Options.Collection != core.CollectOneConnection {
+		t.Fatal("OneConnection not wired")
+	}
+	if NaiveEstimations().Options.Estimation != core.EstimateAverage {
+		t.Fatal("NaiveEstimations not wired")
+	}
+	if SimpleDisQ().Options.DisableDismantling != true {
+		t.Fatal("SimpleDisQ not wired")
+	}
+	if OnlyQueryAttributes().Options.OnlyQueryAttributes != true {
+		t.Fatal("OnlyQueryAttributes not wired")
+	}
+}
+
+func TestTotallySeparated(t *testing.T) {
+	p := sim(t, domain.Pictures(), 5)
+	q := core.Query{Targets: []string{"Bmi", "Age"}}
+	ev, err := TotallySeparated{}.Prepare(p, q, crowd.Cents(4), crowd.Dollars(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each target got its own plan; combined per-object cost within budget.
+	if ev.PerObjectCost() > crowd.Cents(4) {
+		t.Fatalf("combined cost %v exceeds budget", ev.PerObjectCost())
+	}
+	o := p.Universe().NewObjects(rand.New(rand.NewSource(6)), 1)[0]
+	est, err := ev.Estimate(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := est["Bmi"]; !ok {
+		t.Fatal("missing Bmi estimate")
+	}
+	if _, ok := est["Age"]; !ok {
+		t.Fatal("missing Age estimate")
+	}
+	if _, err := (TotallySeparated{}).Prepare(p, core.Query{}, crowd.Cents(4), crowd.Dollars(24)); err == nil {
+		t.Fatal("empty query should error")
+	}
+}
+
+// TestDisQBeatsSimpleDisQBeatsNaive reproduces the Section 5.2 ordering
+// on the hard Protein attribute under a shared answer cache.
+func TestDisQBeatsSimpleDisQBeatsNaive(t *testing.T) {
+	p := sim(t, domain.Recipes(), 6)
+	q := core.Query{Targets: []string{"Protein"}}
+	bObj := crowd.Cents(4)
+	bPrc := crowd.Dollars(30)
+
+	errOf := func(alg Algorithm) float64 {
+		ev, err := alg.Prepare(p, q, bObj, bPrc)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		u := p.Universe()
+		objs := u.NewObjects(rand.New(rand.NewSource(7)), 60)
+		var preds, truths []float64
+		for _, o := range objs {
+			est, err := ev.Estimate(p, o)
+			if err != nil {
+				t.Fatalf("%s: %v", alg.Name(), err)
+			}
+			truth, _ := u.Truth(o, "Protein")
+			preds = append(preds, est["Protein"])
+			truths = append(truths, truth)
+		}
+		mse, _ := stats.MeanSquaredError(preds, truths)
+		return mse
+	}
+
+	naive := errOf(NaiveAverage{})
+	simple := errOf(SimpleDisQ())
+	disq := errOf(DisQ{})
+	if disq >= naive {
+		t.Fatalf("DisQ %v should beat NaiveAverage %v", disq, naive)
+	}
+	if disq >= simple {
+		t.Fatalf("DisQ %v should beat SimpleDisQ %v", disq, simple)
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/crowd"
+)
+
+// PredictedError returns the plan's own estimate of the weighted query
+// error it will achieve online. The primary estimator is the regressions'
+// *measured* training error inflated by Akaike's final prediction error
+// factor (n+p+1)/(n−p−1) — a direct measurement of the whole pipeline
+// that, unlike the Eq. 10 objective, does not inherit the optimism of the
+// absolute-covariance statistics (which grows with the attribute count and
+// would make plans with many attributes look better than they are). When
+// a target's regression carries no usable training record, the Eq. 10
+// residual is used as a fallback.
+func (pl *Plan) PredictedError() (float64, error) {
+	if pl.Stats == nil {
+		return 0, errors.New("core: plan has no statistics snapshot")
+	}
+	var total float64
+	for _, t := range pl.Targets {
+		w := pl.Weights[t]
+		if w == 0 {
+			w = 1
+		}
+		reg := pl.Regressions[t]
+		if reg != nil && reg.Examples > 0 {
+			p := len(reg.Coefficients) + len(reg.SquareCoefficients)
+			n := reg.Examples
+			factor := 1.0
+			if n > p+1 {
+				factor = float64(n+p+1) / float64(n-p-1)
+			}
+			total += w * reg.TrainingError * factor
+			continue
+		}
+		// Fallback: Eq. 10 residual for this target alone. objectiveValue
+		// treats missing weights as 1, so the other targets are explicitly
+		// zeroed out (with an epsilon, since 0 means "default").
+		sd, err := pl.Stats.SigmaTruth(t)
+		if err != nil {
+			return 0, err
+		}
+		only := make(map[string]float64, len(pl.Targets))
+		for _, other := range pl.Targets {
+			only[other] = 1e-12
+		}
+		only[t] = 1
+		explained, err := objectiveValue(pl.Stats, only, pl.Budget.Counts)
+		if err != nil {
+			return 0, err
+		}
+		resid := sd*sd - explained
+		if resid < 0 {
+			resid = 0
+		}
+		total += w * resid
+	}
+	return total, nil
+}
+
+// SplitOption is one explored division of a total budget between the
+// offline preprocessing phase and the online per-object phase.
+type SplitOption struct {
+	// Fraction is the share of the total given to preprocessing.
+	Fraction float64
+	// Preprocess and PerObject are the resulting budgets.
+	Preprocess crowd.Cost
+	PerObject  crowd.Cost
+	// PredictedError is the plan's own error estimate (lower is better).
+	PredictedError float64
+	// Plan is the preprocessing result for this split.
+	Plan *Plan
+}
+
+// Discovered returns the attributes the split's plan discovered.
+func (s SplitOption) Discovered() []string { return s.Plan.Discovered }
+
+// AdviseBudgetSplit addresses the open question of the paper's Section 7:
+// "Determining automatically what these budgets should be and the ideal
+// ratio between them". Given a total budget and the number of objects the
+// online phase will process, it tries several preprocessing shares, runs
+// the full offline phase for each (on a fresh platform from the factory,
+// so trials do not subsidize each other through shared answer caches) and
+// ranks the splits by the plan's predicted error.
+//
+// The factory abstraction matters: on a simulator the trials are free
+// rehearsals; against a real crowd each trial costs money, so a deployment
+// would pass a factory producing *simulated* stand-ins calibrated on pilot
+// data.
+func AdviseBudgetSplit(
+	factory func() (crowd.Platform, error),
+	q Query,
+	total crowd.Cost,
+	objects int,
+	fractions []float64,
+	opts Options,
+) ([]SplitOption, error) {
+	if factory == nil {
+		return nil, errors.New("core: nil platform factory")
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("core: non-positive total budget %v", total)
+	}
+	if objects <= 0 {
+		return nil, fmt.Errorf("core: non-positive object count %d", objects)
+	}
+	if len(fractions) == 0 {
+		fractions = []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+	}
+	var out []SplitOption
+	for _, f := range fractions {
+		if f <= 0 || f >= 1 {
+			return nil, fmt.Errorf("core: preprocessing fraction %v out of (0,1)", f)
+		}
+		bPrc := crowd.Cost(float64(total) * f)
+		bObj := (total - bPrc) / crowd.Cost(objects)
+		if bPrc <= 0 || bObj <= 0 {
+			continue // split leaves one phase with nothing
+		}
+		p, err := factory()
+		if err != nil {
+			return nil, err
+		}
+		plan, err := Preprocess(p, q, bObj, bPrc, opts)
+		if err != nil {
+			// An infeasible split (e.g. preprocessing share too small to
+			// collect examples) is not an advisor failure; skip it.
+			continue
+		}
+		pred, err := plan.PredictedError()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SplitOption{
+			Fraction:       f,
+			Preprocess:     bPrc,
+			PerObject:      bObj,
+			PredictedError: pred,
+			Plan:           plan,
+		})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("core: no feasible budget split found")
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PredictedError < out[j].PredictedError })
+	return out, nil
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/crowd"
+	"repro/internal/domain"
+	"repro/internal/stats"
+)
+
+func TestPredictedError(t *testing.T) {
+	p := simPlatform(t, domain.Recipes(), 61)
+	plan, err := Preprocess(p, Query{Targets: []string{"Protein"}},
+		crowd.Cents(4), crowd.Dollars(25), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := plan.PredictedError()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weighted error: with ω = 1/Var the total weighted variance is 1, so
+	// the predicted residual must be a meaningful fraction of it.
+	if pred <= 0 || pred >= 1 {
+		t.Fatalf("predicted error %v, want in (0,1)", pred)
+	}
+	// No statistics snapshot → error.
+	plan.Stats = nil
+	if _, err := plan.PredictedError(); err == nil {
+		t.Fatal("expected error without statistics")
+	}
+}
+
+func TestAdviseBudgetSplitValidation(t *testing.T) {
+	factory := func() (crowd.Platform, error) {
+		return crowd.NewSim(domain.Recipes(), crowd.SimOptions{Seed: 62})
+	}
+	q := Query{Targets: []string{"Protein"}}
+	if _, err := AdviseBudgetSplit(nil, q, crowd.Dollars(40), 100, nil, Options{}); err == nil {
+		t.Fatal("nil factory should error")
+	}
+	if _, err := AdviseBudgetSplit(factory, q, 0, 100, nil, Options{}); err == nil {
+		t.Fatal("zero total should error")
+	}
+	if _, err := AdviseBudgetSplit(factory, q, crowd.Dollars(40), 0, nil, Options{}); err == nil {
+		t.Fatal("zero objects should error")
+	}
+	if _, err := AdviseBudgetSplit(factory, q, crowd.Dollars(40), 100, []float64{1.5}, Options{}); err == nil {
+		t.Fatal("bad fraction should error")
+	}
+}
+
+func TestAdviseBudgetSplitRanksSplits(t *testing.T) {
+	seed := int64(63)
+	factory := func() (crowd.Platform, error) {
+		seed++
+		return crowd.NewSim(domain.Recipes(), crowd.SimOptions{Seed: seed})
+	}
+	q := Query{Targets: []string{"Protein"}}
+	total := crowd.Dollars(60)
+	const objects = 500
+	opts, err := AdviseBudgetSplit(factory, q, total, objects,
+		[]float64{0.3, 0.5, 0.7}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) == 0 {
+		t.Fatal("no options returned")
+	}
+	for i, o := range opts {
+		// Budget arithmetic holds.
+		if o.Preprocess+o.PerObject*objects > total {
+			t.Fatalf("split %d overspends: %v + %v×%d > %v",
+				i, o.Preprocess, o.PerObject, objects, total)
+		}
+		if o.Plan == nil {
+			t.Fatalf("split %d has nil plan", i)
+		}
+		if o.PredictedError < 0 {
+			t.Fatalf("split %d predicted error %v", i, o.PredictedError)
+		}
+		// Sorted ascending by predicted error.
+		if i > 0 && opts[i-1].PredictedError > o.PredictedError {
+			t.Fatal("options not sorted by predicted error")
+		}
+	}
+}
+
+// TestPredictedErrorCalibration validates the Eq. 2 machinery end to end:
+// across seeds, the plan's self-predicted error must rank-correlate with
+// the error it actually achieves online. (Absolute calibration is not
+// expected — the statistics are shrunk and the |cov| transform is
+// optimistic — but a plan that predicts better must tend to do better.)
+func TestPredictedErrorCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several preprocessing phases")
+	}
+	var predicted, actual []float64
+	// Budgets far apart so plan quality genuinely differs; per-seed
+	// evaluation noise would otherwise drown the signal.
+	budgets := []crowd.Cost{crowd.Cents(0.5), crowd.Cents(2), crowd.Cents(10)}
+	for seed := int64(400); seed < 409; seed++ {
+		p := simPlatform(t, domain.Recipes(), seed)
+		plan, err := Preprocess(p, Query{Targets: []string{"Protein"}},
+			budgets[seed%3], crowd.Dollars(25), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := plan.PredictedError()
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := p.Universe()
+		objs := u.NewObjects(rand.New(rand.NewSource(seed^0xabc)), 150)
+		var preds, truths []float64
+		for _, o := range objs {
+			est, err := plan.EstimateObject(p, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth, _ := u.Truth(o, "Protein")
+			preds = append(preds, est["Protein"])
+			truths = append(truths, truth)
+		}
+		mse, err := stats.MeanSquaredError(preds, truths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		predicted = append(predicted, pred)
+		actual = append(actual, plan.Weights["Protein"]*mse)
+	}
+	rho, err := stats.Correlation(predicted, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho < 0.3 {
+		t.Fatalf("predicted/actual error correlation %v — the objective is not calibrated", rho)
+	}
+}

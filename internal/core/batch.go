@@ -1,0 +1,46 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/crowd"
+	"repro/internal/domain"
+)
+
+// EvaluateBatch runs the online phase for many objects with bounded
+// concurrency. Platforms are safe for concurrent use (the simulator and
+// the HTTP client both synchronize internally), and a real crowd platform
+// is dominated by question latency, so issuing objects in parallel is how
+// a deployment achieves throughput. Results are returned in input order;
+// the first error aborts the batch.
+func EvaluateBatch(p crowd.Platform, plan *Plan, objects []*domain.Object, parallelism int) ([]map[string]float64, error) {
+	if plan == nil {
+		return nil, errors.New("core: nil plan")
+	}
+	if parallelism <= 0 {
+		parallelism = 4
+	}
+	out := make([]map[string]float64, len(objects))
+	errs := make([]error, len(objects))
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i, o := range objects {
+		wg.Add(1)
+		go func(i int, o *domain.Object) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			est, err := plan.EstimateObject(p, o)
+			out[i], errs[i] = est, err
+		}(i, o)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: object %d: %w", i, err)
+		}
+	}
+	return out, nil
+}

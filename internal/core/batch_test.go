@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/crowd"
+	"repro/internal/domain"
+)
+
+func TestEvaluateBatchMatchesSequential(t *testing.T) {
+	p := simPlatform(t, domain.Recipes(), 81)
+	plan, err := Preprocess(p, Query{Targets: []string{"Protein"}},
+		crowd.Cents(4), crowd.Dollars(20), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := p.Universe().NewObjects(rand.New(rand.NewSource(82)), 24)
+
+	batch, err := EvaluateBatch(p, plan, objs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(objs) {
+		t.Fatalf("got %d results", len(batch))
+	}
+	// The answer cache makes concurrent evaluation deterministic: the
+	// sequential pass over the same objects returns identical estimates.
+	for i, o := range objs {
+		seq, err := plan.EstimateObject(p, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i]["Protein"] != seq["Protein"] {
+			t.Fatalf("object %d: batch %v vs sequential %v", i, batch[i], seq)
+		}
+	}
+}
+
+func TestEvaluateBatchValidation(t *testing.T) {
+	p := simPlatform(t, domain.Recipes(), 83)
+	if _, err := EvaluateBatch(p, nil, nil, 4); err == nil {
+		t.Fatal("nil plan should error")
+	}
+	plan, err := Preprocess(p, Query{Targets: []string{"Protein"}},
+		crowd.Cents(2), crowd.Dollars(15), Options{DisableDismantling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty input is fine.
+	out, err := EvaluateBatch(p, plan, nil, 0)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v %v", out, err)
+	}
+	// A nil object aborts with a positioned error.
+	objs := p.Universe().NewObjects(rand.New(rand.NewSource(84)), 2)
+	objs = append(objs, nil)
+	if _, err := EvaluateBatch(p, plan, objs, 2); err == nil {
+		t.Fatal("nil object should error")
+	}
+}

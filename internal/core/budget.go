@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/crowd"
+	"repro/internal/linalg"
+)
+
+// Assignment is a budget distribution b: how many value questions to ask
+// per attribute in the online phase, with Σ_a b(a)·price(a) ≤ B_obj.
+type Assignment struct {
+	Counts map[string]int
+	Cost   crowd.Cost
+}
+
+// Support returns the attributes with b(a) > 0 in a stable (sorted) order.
+func (a Assignment) Support() []string {
+	out := make([]string, 0, len(a.Counts))
+	for attr, n := range a.Counts {
+		if n > 0 {
+			out = append(out, attr)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PriceFunc returns the cost of one value question about an attribute.
+type PriceFunc func(attr string) crowd.Cost
+
+// priceOf builds a PriceFunc from a platform.
+func priceOf(p crowd.Platform) PriceFunc {
+	return func(attr string) crowd.Cost {
+		if p.IsBinary(attr) {
+			return p.Pricing().BinaryValue
+		}
+		return p.Pricing().NumericValue
+	}
+}
+
+// objectiveValue evaluates the Eq. 10 objective
+//
+//	Σ_t ω_t · S_o(t)ᵀ (S_a + Diag(S_c/b))⁻¹ S_o(t)
+//
+// restricted to the support of b (attributes with b(a)=0 are excluded,
+// which is the limit S_c/0 → ∞ of the diagonal term). Larger is better:
+// the value is the amount of target variance the plan explains.
+func objectiveValue(s *Statistics, weights map[string]float64, counts map[string]int) (float64, error) {
+	var support []int
+	for i, a := range s.attrs {
+		if counts[a] > 0 {
+			support = append(support, i)
+		}
+	}
+	if len(support) == 0 {
+		return 0, nil
+	}
+	m := linalg.NewMatrix(len(support), len(support))
+	for si, i := range support {
+		for sj, j := range support {
+			v := s.sa.At(i, j)
+			if si == sj {
+				v += s.sc[i] / float64(counts[s.attrs[i]])
+			}
+			m.Set(si, sj, v)
+		}
+	}
+	spd, err := linalg.NearestSPD(m)
+	if err != nil {
+		return 0, fmt.Errorf("core: objective matrix: %w", err)
+	}
+	var total float64
+	for _, t := range s.trgets {
+		w := weights[t]
+		if w == 0 {
+			w = 1
+		}
+		so := make([]float64, len(support))
+		for si, i := range support {
+			so[si] = s.so[t][i]
+		}
+		x, err := linalg.SolveSPD(spd, so)
+		if err != nil {
+			return 0, fmt.Errorf("core: objective solve: %w", err)
+		}
+		total += w * linalg.Dot(so, x)
+	}
+	return total, nil
+}
+
+// FindBudgetDistribution approximates the NP-hard Eq. 2/10 maximization
+// with greedy forward selection (the algorithm of [27]): repeatedly grant
+// one more value question to the attribute with the best marginal gain per
+// unit cost, until the budget runs out or no question helps.
+//
+// Different question prices (binary 0.1¢ vs numeric 0.4¢) are handled by
+// dividing each attribute's contribution by its cost, as prescribed in
+// Section 3.2.3.
+func FindBudgetDistribution(s *Statistics, weights map[string]float64, price PriceFunc, budget crowd.Cost) (Assignment, error) {
+	asg, _, err := runGreedy(s, weights, price, budget)
+	return asg, err
+}
+
+// bestObjective runs the greedy and returns only the achieved objective
+// value; used by the loss term L of Eq. 8.
+func bestObjective(s *Statistics, weights map[string]float64, price PriceFunc, budget crowd.Cost) (float64, error) {
+	if budget <= 0 {
+		return 0, nil
+	}
+	_, val, err := runGreedy(s, weights, price, budget)
+	return val, err
+}
+
+// lossOfSmallerBudget computes L(A, B_obj, v) of Eq. 8: the objective
+// achieved with the full per-object budget minus the objective with v less
+// — the cost of diverting budget from the current attributes to a
+// hypothetical new one. It is independent of which attribute is
+// dismantled, so callers compute it once per iteration.
+func lossOfSmallerBudget(s *Statistics, weights map[string]float64, price PriceFunc, budget, v crowd.Cost) (float64, error) {
+	full, err := bestObjective(s, weights, price, budget)
+	if err != nil {
+		return 0, err
+	}
+	reduced, err := bestObjective(s, weights, price, budget-v)
+	if err != nil {
+		return 0, err
+	}
+	l := full - reduced
+	if l < 0 {
+		// Greedy is not perfectly monotone in the budget; clamp.
+		l = 0
+	}
+	return l, nil
+}
+
+// minValuePrice returns the cheapest value-question price over the known
+// attributes (the optimistic cost of one question about a new attribute).
+func minValuePrice(s *Statistics, price PriceFunc) crowd.Cost {
+	min := crowd.Cost(math.MaxInt64)
+	for _, a := range s.attrs {
+		if c := price(a); c > 0 && c < min {
+			min = c
+		}
+	}
+	if min == math.MaxInt64 {
+		return 1
+	}
+	return min
+}

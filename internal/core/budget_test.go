@@ -1,0 +1,410 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crowd"
+	"repro/internal/linalg"
+)
+
+// makeStats hand-assembles a Statistics value for optimizer tests.
+func makeStats(attrs, targets []string, so map[string][]float64, sa [][]float64, sc []float64) *Statistics {
+	n := len(attrs)
+	s := &Statistics{
+		attrs:       attrs,
+		index:       make(map[string]int, n),
+		trgets:      targets,
+		so:          so,
+		soMeasured:  make(map[string][]bool),
+		sa:          linalg.NewMatrix(n, n),
+		sc:          sc,
+		sigmaAnswer: make([]float64, n),
+		sigmaTruth:  make(map[string]float64),
+		k:           2,
+	}
+	for i, a := range attrs {
+		s.index[a] = i
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s.sa.Set(i, j, sa[i][j])
+		}
+		s.sigmaAnswer[i] = math.Sqrt(sa[i][i])
+	}
+	for _, t := range targets {
+		measured := make([]bool, n)
+		for i := range measured {
+			measured[i] = true
+		}
+		s.soMeasured[t] = measured
+		s.sigmaTruth[t] = 1
+	}
+	return s
+}
+
+// twoAttrStats: target T (noisy) and a cheap informative proxy A.
+func twoAttrStats() *Statistics {
+	return makeStats(
+		[]string{"T", "A"},
+		[]string{"T"},
+		map[string][]float64{"T": {4.0, 3.0}}, // S_o: T explains itself best
+		[][]float64{
+			{4.0, 3.0},
+			{3.0, 4.0},
+		},
+		[]float64{8.0, 0.5}, // T is hard for the crowd, A is easy
+	)
+}
+
+func flatPrice(c crowd.Cost) PriceFunc {
+	return func(string) crowd.Cost { return c }
+}
+
+func TestObjectiveValueKnown(t *testing.T) {
+	s := twoAttrStats()
+	w := map[string]float64{"T": 1}
+	// Only T, b=1: V = So[T]² / (Sa[T,T]+Sc[T]) = 16/12.
+	v, err := objectiveValue(s, w, map[string]int{"T": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-16.0/12.0) > 1e-9 {
+		t.Fatalf("V = %v, want %v", v, 16.0/12.0)
+	}
+	// Empty support: 0.
+	v, err = objectiveValue(s, w, map[string]int{})
+	if err != nil || v != 0 {
+		t.Fatalf("empty V = %v, %v", v, err)
+	}
+	// More questions never hurt.
+	v1, _ := objectiveValue(s, w, map[string]int{"T": 1})
+	v2, _ := objectiveValue(s, w, map[string]int{"T": 5})
+	if v2 < v1 {
+		t.Fatalf("V(b=5)=%v < V(b=1)=%v", v2, v1)
+	}
+}
+
+func TestFindBudgetDistributionPrefersEasyProxy(t *testing.T) {
+	s := twoAttrStats()
+	w := map[string]float64{"T": 1}
+	asg, err := FindBudgetDistribution(s, w, flatPrice(1), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Cost > 10 {
+		t.Fatalf("cost %v exceeds budget", asg.Cost)
+	}
+	// The easy correlated proxy A should receive generous budget: its Sc
+	// is 16x smaller.
+	if asg.Counts["A"] == 0 {
+		t.Fatalf("proxy A got no budget: %v", asg.Counts)
+	}
+	// Support helper.
+	sup := asg.Support()
+	if len(sup) == 0 {
+		t.Fatal("empty support")
+	}
+}
+
+func TestFindBudgetDistributionRespectsPrices(t *testing.T) {
+	s := twoAttrStats()
+	w := map[string]float64{"T": 1}
+	// T numeric (4), A binary (1).
+	price := func(a string) crowd.Cost {
+		if a == "A" {
+			return 1
+		}
+		return 4
+	}
+	asg, err := FindBudgetDistribution(s, w, price, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spent crowd.Cost
+	for a, n := range asg.Counts {
+		spent += price(a) * crowd.Cost(n)
+	}
+	if spent != asg.Cost || spent > 8 {
+		t.Fatalf("cost accounting wrong: %v vs %v", spent, asg.Cost)
+	}
+	// With contribution-per-cost selection, the cheap attribute dominates.
+	if asg.Counts["A"] < asg.Counts["T"] {
+		t.Fatalf("cheap informative A should get ≥ budget than expensive T: %v", asg.Counts)
+	}
+}
+
+func TestFindBudgetDistributionZeroBudget(t *testing.T) {
+	s := twoAttrStats()
+	asg, err := FindBudgetDistribution(s, map[string]float64{"T": 1}, flatPrice(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asg.Counts) != 0 || asg.Cost != 0 {
+		t.Fatalf("zero budget should give empty assignment: %+v", asg)
+	}
+}
+
+func TestFindBudgetDistributionBadPrice(t *testing.T) {
+	s := twoAttrStats()
+	if _, err := FindBudgetDistribution(s, nil, flatPrice(0), 5); err == nil {
+		t.Fatal("expected error for non-positive price")
+	}
+}
+
+// randomStats builds a random PSD S_a with consistent S_o and S_c.
+func randomStats(rng *rand.Rand, nAttrs, nTargets int) (*Statistics, map[string]float64) {
+	attrs := make([]string, nAttrs)
+	for i := range attrs {
+		attrs[i] = string(rune('A' + i))
+	}
+	targets := attrs[:nTargets]
+	// S_a = LLᵀ + small diag.
+	l := linalg.NewMatrix(nAttrs, nAttrs)
+	for i := 0; i < nAttrs; i++ {
+		for j := 0; j <= i; j++ {
+			l.Set(i, j, rng.NormFloat64())
+		}
+	}
+	saM, _ := l.Mul(l.Transpose())
+	sa := make([][]float64, nAttrs)
+	for i := range sa {
+		sa[i] = make([]float64, nAttrs)
+		for j := range sa[i] {
+			v := saM.At(i, j)
+			if i == j {
+				v += 0.5
+			}
+			sa[i][j] = math.Abs(v)
+		}
+		sa[i][i] = saM.At(i, i) + 0.5 // keep the diagonal exact
+	}
+	so := make(map[string][]float64, nTargets)
+	for _, t := range targets {
+		col := make([]float64, nAttrs)
+		for i := range col {
+			// Bounded by sqrt(sa_ii)·sigmaTruth to stay consistent.
+			col[i] = rng.Float64() * math.Sqrt(sa[i][i]) * 0.9
+		}
+		so[t] = col
+	}
+	sc := make([]float64, nAttrs)
+	for i := range sc {
+		sc[i] = 0.1 + 3*rng.Float64()
+	}
+	weights := map[string]float64{}
+	for _, t := range targets {
+		weights[t] = 0.5 + rng.Float64()
+	}
+	return makeStats(attrs, targets, so, sa, sc), weights
+}
+
+// bruteGreedy is a slow reference implementation of greedy forward
+// selection using from-scratch objective evaluation.
+func bruteGreedy(s *Statistics, w map[string]float64, price PriceFunc, budget crowd.Cost) (map[string]int, float64) {
+	counts := map[string]int{}
+	var spent crowd.Cost
+	cur := 0.0
+	for {
+		bestAttr := ""
+		bestScore := 0.0
+		bestVal := 0.0
+		var bestPrice crowd.Cost
+		for _, a := range s.attrs {
+			c := price(a)
+			if spent+c > budget {
+				continue
+			}
+			counts[a]++
+			v, err := objectiveValue(s, w, counts)
+			counts[a]--
+			if err != nil {
+				continue
+			}
+			score := (v - cur) / float64(c)
+			if score > bestScore {
+				bestScore, bestAttr, bestVal, bestPrice = score, a, v, c
+			}
+		}
+		if bestAttr == "" || bestScore <= 1e-15 {
+			break
+		}
+		counts[bestAttr]++
+		spent += bestPrice
+		cur = bestVal
+	}
+	return counts, cur
+}
+
+// Property: the incremental optimizer reaches the same objective value as
+// the brute-force greedy (tie-breaking may differ, values must agree), and
+// its reported value matches a from-scratch evaluation of its counts.
+func TestRunGreedyMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nAttrs := 2 + rng.Intn(5)
+		nTargets := 1 + rng.Intn(minInt(2, nAttrs))
+		s, w := randomStats(rng, nAttrs, nTargets)
+		budget := crowd.Cost(1 + rng.Intn(20))
+		price := flatPrice(1)
+
+		asg, fastVal, err := runGreedy(s, w, price, budget)
+		if err != nil {
+			return false
+		}
+		recomputed, err := objectiveValue(s, w, asg.Counts)
+		if err != nil {
+			return false
+		}
+		if math.Abs(fastVal-recomputed) > 1e-6*(1+math.Abs(recomputed)) {
+			t.Logf("seed %d: incremental %v vs recomputed %v", seed, fastVal, recomputed)
+			return false
+		}
+		_, bruteVal := bruteGreedy(s, w, price, budget)
+		if math.Abs(fastVal-bruteVal) > 1e-6*(1+math.Abs(bruteVal)) {
+			t.Logf("seed %d: fast %v vs brute %v", seed, fastVal, bruteVal)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestPrNewAnswer(t *testing.T) {
+	// Eq. 4 closed form and its 1/(n+2) simplification.
+	for n := 0; n < 20; n++ {
+		want := 1.0 / float64(n+2)
+		if got := PrNewAnswer(n); math.Abs(got-want) > 1e-15 {
+			t.Fatalf("PrNewAnswer(%d) = %v, want %v", n, got, want)
+		}
+	}
+	if PrNewAnswer(-3) != 0.5 {
+		t.Fatal("negative n should behave like 0")
+	}
+	// Monotone decreasing.
+	for n := 1; n < 50; n++ {
+		if PrNewAnswer(n) >= PrNewAnswer(n-1) {
+			t.Fatal("PrNewAnswer should decrease")
+		}
+	}
+}
+
+func TestLossOfSmallerBudget(t *testing.T) {
+	s := twoAttrStats()
+	w := map[string]float64{"T": 1}
+	l, err := lossOfSmallerBudget(s, w, flatPrice(1), 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l < 0 {
+		t.Fatalf("loss %v negative", l)
+	}
+	// Removing the whole budget loses everything gained.
+	full, _ := bestObjective(s, w, flatPrice(1), 5)
+	l, _ = lossOfSmallerBudget(s, w, flatPrice(1), 5, 5)
+	if math.Abs(l-full) > 1e-9 {
+		t.Fatalf("loss of full budget = %v, want %v", l, full)
+	}
+}
+
+func TestNextAttributePrefersInformativeUnasked(t *testing.T) {
+	s := twoAttrStats()
+	w := map[string]float64{"T": 1}
+	res, err := NextAttribute(s, w, flatPrice(1), 6, map[string]int{}, nil, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attribute == "" {
+		t.Fatal("no attribute chosen")
+	}
+	// After asking T many times, Pr(new|T) shrinks and A wins.
+	res2, err := NextAttribute(s, w, flatPrice(1), 6, map[string]int{"T": 50}, nil, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Attribute != "A" {
+		t.Fatalf("with T exhausted, expected A, got %q", res2.Attribute)
+	}
+	// Candidate restriction.
+	res3, err := NextAttribute(s, w, flatPrice(1), 6, map[string]int{"T": 50}, []string{"T"}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Attribute != "T" {
+		t.Fatalf("restricted candidates ignored: %q", res3.Attribute)
+	}
+	// Unknown candidates are skipped silently.
+	res4, err := NextAttribute(s, w, flatPrice(1), 6, nil, []string{"ghost"}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res4.Attribute != "" {
+		t.Fatal("only unknown candidates should yield empty result")
+	}
+}
+
+func TestGainOfDismantlingScalesWithSo(t *testing.T) {
+	s := twoAttrStats()
+	gT := gainOfDismantling(s, "T", "T", 0.5)
+	gA := gainOfDismantling(s, "T", "A", 0.5)
+	if gT <= gA {
+		t.Fatalf("G(T)=%v should beat G(A)=%v (larger S_o)", gT, gA)
+	}
+	// Closed form: (0.5·4/2)² = 1.
+	if math.Abs(gT-1) > 1e-12 {
+		t.Fatalf("G(T) = %v, want 1", gT)
+	}
+	if gainOfDismantling(s, "T", "ghost", 0.5) != 0 {
+		t.Fatal("unknown attribute should have zero gain")
+	}
+}
+
+func TestMinValuePrice(t *testing.T) {
+	s := twoAttrStats()
+	price := func(a string) crowd.Cost {
+		if a == "A" {
+			return 1
+		}
+		return 4
+	}
+	if got := minValuePrice(s, price); got != 1 {
+		t.Fatalf("minValuePrice = %v", got)
+	}
+}
+
+// Property: the achieved objective is (weakly) monotone in the budget —
+// more money can only explain more variance.
+func TestGreedyMonotoneInBudgetProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, w := randomStats(rng, 2+rng.Intn(5), 1)
+		price := flatPrice(1)
+		var prev float64
+		for budget := crowd.Cost(1); budget <= 12; budget++ {
+			_, v, err := runGreedy(s, w, price, budget)
+			if err != nil {
+				return false
+			}
+			if v < prev-1e-9 {
+				t.Logf("seed %d: objective fell from %v to %v at budget %v", seed, prev, v, budget)
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

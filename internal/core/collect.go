@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/crowd"
+	"repro/internal/stats"
+)
+
+// collector owns the example streams and the raw crowd samples the
+// statistics are computed from (the data of Tables 1a and 3 in the paper).
+type collector struct {
+	p       crowd.Platform
+	opts    Options
+	targets []string // canonical, targets[0]'s stream is the base stream
+	n1      int      // effective N1 (may be reduced under tight budgets)
+
+	truth     map[string][]float64              // per target: true values of its first n1 examples
+	streams   map[string][]crowd.Example        // per target: examples fetched so far
+	base      map[string]*rawSamples            // attr → base-stream samples
+	perTarget map[string]map[string]*rawSamples // target → attr → samples on its stream
+
+	attrs   []string
+	attrSet map[string]struct{}
+}
+
+// newCollector sizes the example streams for the available budget: the
+// paper's N1 = 200 costs $10·|Q| in example questions alone, so for small
+// preprocessing budgets we shrink N1 to keep at most ~40% of the budget in
+// example questions (documented deviation; without it the algorithm cannot
+// function at the low end of the paper's B_prc range).
+func newCollector(p crowd.Platform, opts Options, targets []string, bPrc crowd.Cost) *collector {
+	n1 := opts.N1
+	exPrice := p.Pricing().Example
+	if bPrc > 0 {
+		maxExamples := int(float64(bPrc) * 0.4 / float64(exPrice) / float64(len(targets)))
+		if maxExamples < n1 {
+			n1 = maxExamples
+		}
+		if n1 < 30 {
+			n1 = 30
+		}
+	}
+	return &collector{
+		p:         p,
+		opts:      opts,
+		targets:   append([]string(nil), targets...),
+		n1:        n1,
+		truth:     make(map[string][]float64),
+		streams:   make(map[string][]crowd.Example),
+		base:      make(map[string]*rawSamples),
+		perTarget: make(map[string]map[string]*rawSamples),
+		attrSet:   make(map[string]struct{}),
+	}
+}
+
+// init fetches the N1 example objects per target (line 1 of Algorithm 1)
+// and records their true target values.
+func (c *collector) init() error {
+	for _, t := range c.targets {
+		ex, err := c.p.Examples([]string{t}, c.n1)
+		if err != nil {
+			return fmt.Errorf("core: collecting examples for %q: %w", t, err)
+		}
+		c.streams[t] = ex
+		tv := make([]float64, len(ex))
+		for i, e := range ex {
+			tv[i] = e.Values[t]
+		}
+		c.truth[t] = tv
+		c.perTarget[t] = make(map[string]*rawSamples)
+	}
+	return nil
+}
+
+// has reports whether the attribute was already added.
+func (c *collector) has(attr string) bool {
+	_, ok := c.attrSet[attr]
+	return ok
+}
+
+// attributes returns the discovery-ordered attribute list (borrowed).
+func (c *collector) attributes() []string { return c.attrs }
+
+// costOfSamples is the price of k value questions per example on nStreams
+// streams for the attribute.
+func (c *collector) costOfSamples(attr string, nStreams int) crowd.Cost {
+	price := c.p.Pricing().NumericValue
+	if c.p.IsBinary(attr) {
+		price = c.p.Pricing().BinaryValue
+	}
+	return crowd.Cost(c.opts.K*c.n1*nStreams) * price
+}
+
+// addAttribute samples the attribute on the base stream (always, for
+// S_a/S_c and the base target's S_o) and on each of the extra target
+// streams in pairs (for their S_o entries). This is the UpdateStatistics
+// crowd work of Algorithm 1 / the Table 3 collection of Section 4.
+func (c *collector) addAttribute(attr string, pairs []string) error {
+	if c.has(attr) {
+		return fmt.Errorf("core: attribute %q already collected", attr)
+	}
+	baseSamples, err := c.sampleOnStream(attr, c.targets[0])
+	if err != nil {
+		return err
+	}
+	collected := make(map[string]*rawSamples, len(pairs))
+	for _, t := range pairs {
+		if t == c.targets[0] {
+			continue // the base stream already covers the base target
+		}
+		rs, err := c.sampleOnStream(attr, t)
+		if err != nil {
+			return err
+		}
+		collected[t] = rs
+	}
+	// Commit only after every stream succeeded, so a budget failure
+	// mid-collection does not leave a half-measured attribute behind.
+	c.base[attr] = baseSamples
+	for t, rs := range collected {
+		c.perTarget[t][attr] = rs
+	}
+	c.attrs = append(c.attrs, attr)
+	c.attrSet[attr] = struct{}{}
+	return nil
+}
+
+func (c *collector) sampleOnStream(attr, target string) (*rawSamples, error) {
+	stream := c.streams[target][:c.n1]
+	rs := &rawSamples{answers: make([][]float64, len(stream))}
+	for i, e := range stream {
+		ans, err := c.p.Value(e.Object, attr, c.opts.K)
+		if err != nil {
+			return nil, fmt.Errorf("core: sampling %q on %q stream: %w", attr, target, err)
+		}
+		rs.answers[i] = ans
+	}
+	return rs, nil
+}
+
+// compute derives the Statistics trio from everything collected so far.
+func (c *collector) compute() (*Statistics, error) {
+	return computeStatistics(c.attrs, c.targets, c.base, c.perTarget, c.truth, c.opts.K, c.opts.Estimation)
+}
+
+// defaultWeights returns the paper's ω_t = 1/Var(O.a_t), estimated from
+// the example streams' true values, "so that no query attribute will be
+// negligible".
+func (c *collector) defaultWeights() map[string]float64 {
+	w := make(map[string]float64, len(c.targets))
+	for _, t := range c.targets {
+		v, err := stats.Variance(c.truth[t])
+		if err != nil || v <= 0 {
+			w[t] = 1
+			continue
+		}
+		w[t] = 1 / v
+	}
+	return w
+}
+
+// choosePairs implements the Section 4 collection rule: when dismantling
+// parent yields newAttr, pair newAttr with target a_t iff the estimated
+// correlation ρ̂(a_t, newAttr) = RhoPrior·ρ̂(a_t, parent) is at least half
+// the maximum over targets — which reduces to comparing ρ̂(a_t, parent)
+// across targets. The base target is never returned (its stream is always
+// sampled). CollectFull pairs all targets, CollectOneConnection only the
+// best one.
+func choosePairs(s *Statistics, parent string, targets []string, policy CollectionPolicy) []string {
+	if len(targets) <= 1 {
+		return nil
+	}
+	rest := targets[1:]
+	switch policy {
+	case CollectFull:
+		return append([]string(nil), rest...)
+	case CollectOneConnection:
+		bestT := ""
+		bestRho := -1.0
+		for _, t := range targets {
+			rho, err := s.EstimatedCorrelation(t, parent)
+			if err != nil {
+				continue
+			}
+			if rho > bestRho {
+				bestRho, bestT = rho, t
+			}
+		}
+		if bestT == "" || bestT == targets[0] {
+			return nil
+		}
+		return []string{bestT}
+	default: // CollectSelective
+		rhos := make(map[string]float64, len(targets))
+		maxRho := 0.0
+		for _, t := range targets {
+			rho, err := s.EstimatedCorrelation(t, parent)
+			if err != nil {
+				continue
+			}
+			rhos[t] = rho
+			if rho > maxRho {
+				maxRho = rho
+			}
+		}
+		var out []string
+		for _, t := range rest {
+			if rhos[t] >= 0.5*maxRho {
+				out = append(out, t)
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/crowd"
+	"repro/internal/domain"
+)
+
+func testCollector(t *testing.T, bPrc crowd.Cost, targets ...string) (*collector, *crowd.SimPlatform) {
+	t.Helper()
+	p, err := crowd.NewSim(domain.Recipes(), crowd.SimOptions{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{}.Defaults()
+	c := newCollector(p, opts, targets, bPrc)
+	return c, p
+}
+
+func TestCollectorShrinksN1UnderTightBudget(t *testing.T) {
+	// $30 single target: full N1 = 200 (examples cost $10 < 40% of $30).
+	c, _ := testCollector(t, crowd.Dollars(30), "Protein")
+	if c.n1 != 200 {
+		t.Fatalf("n1 = %d, want 200", c.n1)
+	}
+	// $10 single target: 40%·$10 / 5¢ = 80 examples.
+	c, _ = testCollector(t, crowd.Dollars(10), "Protein")
+	if c.n1 != 80 {
+		t.Fatalf("n1 = %d, want 80", c.n1)
+	}
+	// Two targets halve the per-stream allowance.
+	c, _ = testCollector(t, crowd.Dollars(10), "Protein", "Calories")
+	if c.n1 != 40 {
+		t.Fatalf("n1 = %d, want 40", c.n1)
+	}
+	// Floor of 30.
+	c, _ = testCollector(t, crowd.Dollars(2), "Protein")
+	if c.n1 != 30 {
+		t.Fatalf("n1 = %d, want floor 30", c.n1)
+	}
+	// Unlimited budget keeps the configured N1.
+	c, _ = testCollector(t, 0, "Protein")
+	if c.n1 != 200 {
+		t.Fatalf("n1 = %d, want 200", c.n1)
+	}
+}
+
+func TestCollectorInitAndAddAttribute(t *testing.T) {
+	c, p := testCollector(t, crowd.Dollars(30), "Protein")
+	if err := c.init(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.streams["Protein"]) != c.n1 || len(c.truth["Protein"]) != c.n1 {
+		t.Fatal("stream/truth sizes wrong")
+	}
+	if err := c.addAttribute("Protein", []string{"Protein"}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.has("Protein") || c.has("Has Meat") {
+		t.Fatal("has() wrong")
+	}
+	if err := c.addAttribute("Protein", nil); err == nil {
+		t.Fatal("duplicate addAttribute should error")
+	}
+	if err := c.addAttribute("Has Meat", nil); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Attributes()) != 2 {
+		t.Fatalf("attrs = %v", st.Attributes())
+	}
+	// Statistics from real crowd data: Has Meat informative for Protein.
+	rho, err := st.EstimatedCorrelation("Protein", "Has Meat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho < 0.3 {
+		t.Fatalf("estimated corr %v too low", rho)
+	}
+	_ = p
+}
+
+func TestCollectorBudgetFailureLeavesNoPartialAttribute(t *testing.T) {
+	c, p := testCollector(t, crowd.Dollars(30), "Protein")
+	if err := c.init(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.addAttribute("Protein", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Replace the ledger with an exhausted one; collecting a *numeric*
+	// attribute must fail and leave the collector unchanged.
+	old := p.SetLedger(crowd.NewLedger(1 * crowd.Mill))
+	err := c.addAttribute("Calories", nil)
+	p.SetLedger(old)
+	if !errors.Is(err, crowd.ErrBudgetExhausted) {
+		t.Fatalf("expected budget error, got %v", err)
+	}
+	if c.has("Calories") {
+		t.Fatal("failed attribute must not be committed")
+	}
+	if _, err := c.compute(); err != nil {
+		t.Fatalf("collector unusable after failed add: %v", err)
+	}
+}
+
+func TestCollectorCostOfSamples(t *testing.T) {
+	c, _ := testCollector(t, crowd.Dollars(30), "Protein")
+	// k·n1·price·streams: numeric 2·200·4·1 = 1600 mills.
+	if got := c.costOfSamples("Calories", 1); got != crowd.Cost(2*200*4) {
+		t.Fatalf("numeric cost = %v", got)
+	}
+	// Binary: 2·200·1·2 = 800 mills.
+	if got := c.costOfSamples("Has Meat", 2); got != crowd.Cost(2*200*2) {
+		t.Fatalf("binary cost = %v", got)
+	}
+}
+
+func TestCollectorDefaultWeights(t *testing.T) {
+	c, _ := testCollector(t, crowd.Dollars(30), "Protein", "Calories")
+	if err := c.init(); err != nil {
+		t.Fatal(err)
+	}
+	w := c.defaultWeights()
+	// ω = 1/Var: Calories (σ 250) gets a much smaller weight than
+	// Protein (σ 14).
+	if w["Calories"] >= w["Protein"] {
+		t.Fatalf("weights %v", w)
+	}
+	if math.Abs(w["Protein"]*14*14-1) > 0.5 {
+		t.Fatalf("Protein weight %v, want ≈ 1/196", w["Protein"])
+	}
+}
+
+func TestTrainingReserveGrowsWithAttributesAndBudget(t *testing.T) {
+	c, p := testCollector(t, crowd.Dollars(30), "Protein")
+	r1 := trainingReserve(p, c, []string{"Protein"}, crowd.Cents(4), 2)
+	r2 := trainingReserve(p, c, []string{"Protein"}, crowd.Cents(4), 10)
+	r3 := trainingReserve(p, c, []string{"Protein"}, crowd.Cents(10), 2)
+	if r2 <= r1 {
+		t.Fatal("reserve should grow with attribute count")
+	}
+	if r3 <= r1 {
+		t.Fatal("reserve should grow with per-object budget")
+	}
+	// Two targets double it.
+	r4 := trainingReserve(p, c, []string{"Protein", "Calories"}, crowd.Cents(4), 2)
+	if r4 != 2*r1 {
+		t.Fatalf("two-target reserve %v, want %v", r4, 2*r1)
+	}
+}
+
+func TestCanContinueDismantlingUnlimited(t *testing.T) {
+	c, p := testCollector(t, 0, "Protein")
+	p.SetLedger(crowd.NewLedger(0))
+	if !canContinueDismantling(p, p.Ledger(), c, []string{"Protein"}, crowd.Cents(4)) {
+		t.Fatal("unlimited ledger should always continue")
+	}
+	// Nearly exhausted ledger must stop.
+	tight := crowd.NewLedger(10 * crowd.Mill)
+	if canContinueDismantling(p, tight, c, []string{"Protein"}, crowd.Cents(4)) {
+		t.Fatal("tight ledger should stop dismantling")
+	}
+}
+
+// newTestRand returns a fixed-seed generator for tests needing objects.
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(1234)) }

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/crowd"
+)
+
+// planJSON is the serialized form of a Plan. The statistics snapshot is
+// summarized (attribute list only): the plan is self-contained for online
+// evaluation, and re-deriving a plan requires a fresh preprocessing run
+// anyway.
+type planJSON struct {
+	Version          int                    `json:"version"`
+	Targets          []string               `json:"targets"`
+	Weights          map[string]float64     `json:"weights,omitempty"`
+	BudgetCounts     map[string]int         `json:"budget_counts"`
+	BudgetCost       crowd.Cost             `json:"budget_cost_mills"`
+	Regressions      map[string]*Regression `json:"regressions"`
+	Discovered       []string               `json:"discovered,omitempty"`
+	Dismantles       int                    `json:"dismantles"`
+	PreprocessCost   crowd.Cost             `json:"preprocess_cost_mills"`
+	TrainingExamples map[string]int         `json:"training_examples,omitempty"`
+}
+
+const planFormatVersion = 1
+
+// MarshalJSON implements json.Marshaler so a preprocessing result can be
+// stored and reused across sessions — preprocessing is the expensive
+// phase, and the paper's whole point is to amortize it over many objects.
+func (pl *Plan) MarshalJSON() ([]byte, error) {
+	return json.Marshal(planJSON{
+		Version:          planFormatVersion,
+		Targets:          pl.Targets,
+		Weights:          pl.Weights,
+		BudgetCounts:     pl.Budget.Counts,
+		BudgetCost:       pl.Budget.Cost,
+		Regressions:      pl.Regressions,
+		Discovered:       pl.Discovered,
+		Dismantles:       pl.Dismantles,
+		PreprocessCost:   pl.PreprocessCost,
+		TrainingExamples: pl.TrainingExamples,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (pl *Plan) UnmarshalJSON(data []byte) error {
+	var pj planJSON
+	if err := json.Unmarshal(data, &pj); err != nil {
+		return err
+	}
+	if pj.Version != planFormatVersion {
+		return fmt.Errorf("core: unsupported plan format version %d", pj.Version)
+	}
+	if len(pj.Targets) == 0 {
+		return errors.New("core: plan has no targets")
+	}
+	for _, t := range pj.Targets {
+		if pj.Regressions[t] == nil {
+			return fmt.Errorf("core: plan missing regression for target %q", t)
+		}
+	}
+	if pj.BudgetCounts == nil {
+		pj.BudgetCounts = map[string]int{}
+	}
+	*pl = Plan{
+		Targets:          pj.Targets,
+		Weights:          pj.Weights,
+		Budget:           Assignment{Counts: pj.BudgetCounts, Cost: pj.BudgetCost},
+		Regressions:      pj.Regressions,
+		Discovered:       pj.Discovered,
+		Dismantles:       pj.Dismantles,
+		PreprocessCost:   pj.PreprocessCost,
+		TrainingExamples: pj.TrainingExamples,
+	}
+	return nil
+}
+
+// Save writes the plan as JSON to a file.
+func (pl *Plan) Save(path string) error {
+	data, err := json.MarshalIndent(pl, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadPlan reads a plan saved with Save.
+func LoadPlan(path string) (*Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	pl := new(Plan)
+	if err := json.Unmarshal(data, pl); err != nil {
+		return nil, err
+	}
+	return pl, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/crowd"
+	"repro/internal/domain"
+)
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	pl := demoPlan()
+	pl.Weights = map[string]float64{"Bmi": 0.04}
+	pl.Discovered = []string{"Bmi", "Heavy", "Attractive"}
+	pl.Dismantles = 42
+	pl.PreprocessCost = crowd.Dollars(21)
+	pl.TrainingExamples = map[string]int{"Bmi": 90}
+
+	data, err := json.Marshal(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Plan
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Targets[0] != "Bmi" || got.Dismantles != 42 || got.PreprocessCost != crowd.Dollars(21) {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	if got.Budget.Counts["Heavy"] != 10 || got.Budget.Cost != crowd.Cents(4) {
+		t.Fatalf("budget lost: %+v", got.Budget)
+	}
+	if got.Formula("Bmi") != pl.Formula("Bmi") {
+		t.Fatalf("formula changed:\n%s\n%s", got.Formula("Bmi"), pl.Formula("Bmi"))
+	}
+	if got.Weights["Bmi"] != 0.04 || got.TrainingExamples["Bmi"] != 90 {
+		t.Fatal("weights/examples lost")
+	}
+}
+
+func TestPlanUnmarshalValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"bad json", "{nope"},
+		{"wrong version", `{"version":99,"targets":["X"],"regressions":{"X":{}}}`},
+		{"no targets", `{"version":1,"targets":[]}`},
+		{"missing regression", `{"version":1,"targets":["X"],"regressions":{}}`},
+	}
+	for _, tc := range cases {
+		var pl Plan
+		if err := json.Unmarshal([]byte(tc.data), &pl); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestPlanSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plan.json")
+	pl := demoPlan()
+	if err := pl.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPlan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Formula("Bmi") != pl.Formula("Bmi") {
+		t.Fatal("Save/Load changed the plan")
+	}
+	if _, err := LoadPlan(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+// TestSavedPlanEvaluates verifies a real preprocessing result survives the
+// round trip and still evaluates objects (the amortization workflow:
+// preprocess once, reuse the plan across sessions).
+func TestSavedPlanEvaluates(t *testing.T) {
+	p, err := crowd.NewSim(domain.Recipes(), crowd.SimOptions{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Preprocess(p, Query{Targets: []string{"Protein"}},
+		crowd.Cents(4), crowd.Dollars(20), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := plan.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPlan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := p.Universe().NewObjects(newTestRand(), 1)[0]
+	orig, err := plan.EstimateObject(p, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.EstimateObject(p, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig["Protein"] != got["Protein"] {
+		t.Fatalf("loaded plan estimates differently: %v vs %v", orig, got)
+	}
+	// The human-readable rendering is stable too.
+	if !strings.Contains(loaded.Formula("Protein"), "Protein* =") {
+		t.Fatal("formula broken after load")
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"repro/internal/crowd"
+)
+
+// PrNewAnswer is Eq. 4: the Bernoulli–Bayes probability that the next
+// dismantling answer about an attribute is a first-seen one, given that
+// n questions were already asked about it:
+//
+//	Pr(new | a_j) = (n+1)/(n²+3n+2)
+//
+// which simplifies to 1/(n+2) since n²+3n+2 = (n+1)(n+2).
+func PrNewAnswer(n int) float64 {
+	if n < 0 {
+		n = 0
+	}
+	return float64(n+1) / float64(n*n+3*n+2)
+}
+
+// gainOfDismantling is G(a_t, a_j) of Eq. 8/9: the optimistic objective
+// gain from the hypothetical answer of dismantling a_j, for target a_t.
+// Per Eqs. 5–7 the answer has correlation ρ̂ (RhoPrior) with a_j, no crowd
+// noise (S_c ≈ 0) and no correlation with existing attributes, so its
+// standalone contribution is (ρ̂ · S_o[t][a_j] / σ(a_j))².
+func gainOfDismantling(s *Statistics, target, attr string, rhoPrior float64) float64 {
+	i, ok := s.index[attr]
+	if !ok {
+		return 0
+	}
+	sigma := s.sigmaAnswer[i]
+	if sigma == 0 {
+		return 0
+	}
+	g := rhoPrior * s.so[target][i] / sigma
+	return g * g
+}
+
+// NextAttributeResult reports the chosen dismantling question.
+type NextAttributeResult struct {
+	// Attribute is the best attribute to dismantle next ("" when no
+	// candidate has a positive expected score).
+	Attribute string
+	// Score is the expected objective improvement (Eq. 8/9) of asking one
+	// dismantling question about Attribute.
+	Score float64
+	// Loss is the budget-diversion loss term L shared by all candidates.
+	Loss float64
+}
+
+// NextAttribute solves Eq. 8 (single target) / Eq. 9 (multiple targets):
+// pick the attribute a_j maximizing
+//
+//	Σ_t ω_t · Pr(new | a_j) · [G(a_t, a_j) − L(a_t, A, B_obj, c_min)]
+//
+// over the candidate set. counts[a] is the number of dismantling questions
+// already asked about a (driving Pr(new)); candidates restricts the pool
+// (nil means all known attributes; the OnlyQueryAttributes baseline passes
+// the query attributes).
+func NextAttribute(
+	s *Statistics,
+	weights map[string]float64,
+	price PriceFunc,
+	budget crowd.Cost,
+	counts map[string]int,
+	candidates []string,
+	rhoPrior float64,
+) (NextAttributeResult, error) {
+	if candidates == nil {
+		candidates = s.attrs
+	}
+	// L is candidate-independent: compute once. The diverted budget is one
+	// question of the cheapest kind (optimism in the face of uncertainty:
+	// the hypothetical noise-free answer needs only a single question).
+	loss, err := lossOfSmallerBudget(s, weights, price, budget, minValuePrice(s, price))
+	if err != nil {
+		return NextAttributeResult{}, err
+	}
+	best := NextAttributeResult{Loss: loss}
+	for _, a := range candidates {
+		if !s.Has(a) {
+			continue
+		}
+		var sum float64
+		for _, t := range s.trgets {
+			w := weights[t]
+			if w == 0 {
+				w = 1
+			}
+			sum += w * (gainOfDismantling(s, t, a, rhoPrior) - loss)
+		}
+		score := PrNewAnswer(counts[a]) * sum
+		if best.Attribute == "" || score > best.Score {
+			best.Attribute = a
+			best.Score = score
+		}
+	}
+	// The caller owns the stopping rule; we always report the argmax and
+	// its (possibly non-positive) score.
+	return best, nil
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/crowd"
+	"repro/internal/domain"
+	"repro/internal/stats"
+)
+
+// TestPrNewAnswerTracksEmpiricalStream validates the Eq. 4 Bernoulli-Bayes
+// model against the simulated crowd: over many independent dismantling
+// streams, the empirical probability that the (n+1)-th answer is
+// first-seen must decrease in n and rank-correlate strongly with the
+// model's 1/(n+2). (Exact agreement is not expected — Eq. 4 is a prior
+// chosen for tractability, as the paper acknowledges.)
+func TestPrNewAnswerTracksEmpiricalStream(t *testing.T) {
+	const streams = 120
+	const horizon = 12
+	newCount := make([]float64, horizon)
+	for s := 0; s < streams; s++ {
+		p, err := crowd.NewSim(domain.Recipes(), crowd.SimOptions{Seed: int64(9000 + s)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[string]bool)
+		for n := 0; n < horizon; n++ {
+			ans, err := p.Dismantle("Protein")
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := p.Canonical(ans)
+			if !seen[c] {
+				newCount[n]++
+				seen[c] = true
+			}
+		}
+	}
+	empirical := make([]float64, horizon)
+	model := make([]float64, horizon)
+	for n := 0; n < horizon; n++ {
+		empirical[n] = newCount[n] / streams
+		model[n] = PrNewAnswer(n)
+	}
+	// Broad decrease: the late average must be well below the early one.
+	early := stats.Mean(empirical[:4])
+	late := stats.Mean(empirical[horizon-4:])
+	if late >= 0.8*early {
+		t.Fatalf("empirical P(new) not decreasing: early %v late %v", early, late)
+	}
+	rho, err := stats.Correlation(model, empirical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho < 0.7 {
+		t.Fatalf("Eq. 4 model correlates only %v with the empirical curve", rho)
+	}
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/crowd"
+	"repro/internal/linalg"
+)
+
+// budgetOptimizer incrementally evaluates the Eq. 10 objective during
+// greedy forward selection. It maintains the inverse of the support
+// matrix M = S_a[S,S] + Diag(S_c/b) and the solved vectors u_t = M⁻¹·S_o(t),
+// so that
+//
+//   - granting one more question to a support attribute is a diagonal
+//     rank-one perturbation evaluated in O(1) via Sherman–Morrison, and
+//   - admitting a new attribute into the support is a bordered-inverse
+//     update evaluated in O(|S|²).
+//
+// This turns the greedy from O(steps·n·n³) into O(steps·n·n²), which is
+// what makes 30-repetition experiment sweeps practical.
+type budgetOptimizer struct {
+	s       *Statistics
+	weights []float64 // per target, aligned with s.trgets
+
+	support []int       // statistic indexes in the support, in admission order
+	pos     map[int]int // statistic index → position in support
+	counts  []int       // b(a) per support position
+
+	minv *linalg.Matrix // inverse of M over the support
+	u    [][]float64    // per target: M⁻¹·so restricted to support
+	val  float64        // current objective value
+}
+
+func newBudgetOptimizer(s *Statistics, weights map[string]float64) *budgetOptimizer {
+	w := make([]float64, len(s.trgets))
+	for i, t := range s.trgets {
+		w[i] = weights[t]
+		if w[i] == 0 {
+			w[i] = 1
+		}
+	}
+	return &budgetOptimizer{
+		s:       s,
+		weights: w,
+		pos:     make(map[int]int),
+		minv:    linalg.NewMatrix(0, 0),
+		u:       make([][]float64, len(s.trgets)),
+	}
+}
+
+// Value returns the current objective value.
+func (o *budgetOptimizer) Value() float64 { return o.val }
+
+// Counts materializes the current b as attribute-name counts.
+func (o *budgetOptimizer) Counts() map[string]int {
+	out := make(map[string]int, len(o.support))
+	for p, idx := range o.support {
+		out[o.s.attrs[idx]] = o.counts[p]
+	}
+	return out
+}
+
+// so returns S_o[t][idx] for target position ti.
+func (o *budgetOptimizer) so(ti, idx int) float64 {
+	return o.s.so[o.s.trgets[ti]][idx]
+}
+
+// gainIncrement returns the objective gain of granting one more question
+// to the support attribute at position p, in O(#targets).
+func (o *budgetOptimizer) gainIncrement(p int) float64 {
+	idx := o.support[p]
+	b := float64(o.counts[p])
+	delta := o.s.sc[idx]/(b+1) - o.s.sc[idx]/b // ≤ 0: diagonal shrinks
+	if delta == 0 {
+		return 0
+	}
+	den := 1 + delta*o.minv.At(p, p)
+	if den <= 1e-12 {
+		return 0 // numerically unsafe; report no gain
+	}
+	var gain float64
+	for ti := range o.u {
+		ut := o.u[ti][p]
+		gain += o.weights[ti] * (-delta) * ut * ut / den
+	}
+	return gain
+}
+
+// gainAdmit returns the objective gain of admitting statistic index idx
+// into the support with b=1, plus the intermediate quantities needed to
+// apply the update, in O(|S|²).
+func (o *budgetOptimizer) gainAdmit(idx int) (gain float64, minvC []float64, schur float64) {
+	n := len(o.support)
+	c := make([]float64, n)
+	for p, sIdx := range o.support {
+		c[p] = o.s.sa.At(sIdx, idx)
+	}
+	// minvC = M⁻¹·c.
+	minvC = make([]float64, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += o.minv.At(i, j) * c[j]
+		}
+		minvC[i] = sum
+	}
+	d := o.s.sa.At(idx, idx) + o.s.sc[idx] // b=1 → + S_c/1
+	schur = d - linalg.Dot(c, minvC)
+	if schur <= 1e-12 {
+		return 0, nil, 0 // candidate is (numerically) redundant
+	}
+	for ti := range o.u {
+		r := o.so(ti, idx)
+		for p, sIdx := range o.support {
+			_ = sIdx
+			r -= c[p] * o.u[ti][p]
+		}
+		gain += o.weights[ti] * r * r / schur
+	}
+	return gain, minvC, schur
+}
+
+// applyIncrement grants one more question to support position p,
+// updating M⁻¹, the u vectors and the objective via Sherman–Morrison.
+func (o *budgetOptimizer) applyIncrement(p int) {
+	idx := o.support[p]
+	b := float64(o.counts[p])
+	delta := o.s.sc[idx]/(b+1) - o.s.sc[idx]/b
+	o.counts[p]++
+	if delta == 0 {
+		return
+	}
+	den := 1 + delta*o.minv.At(p, p)
+	n := len(o.support)
+	// row = M⁻¹ e_p (the p-th column of the symmetric M⁻¹).
+	row := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row[i] = o.minv.At(i, p)
+	}
+	// M'⁻¹ = M⁻¹ − (δ/den)·row·rowᵀ.
+	f := delta / den
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			o.minv.Set(i, j, o.minv.At(i, j)-f*row[i]*row[j])
+		}
+	}
+	// u'_t = u_t − (δ·u_t[p]/den)·row ; objective gains (−δ)·u[p]²/den.
+	for ti := range o.u {
+		up := o.u[ti][p]
+		g := delta * up / den
+		for i := 0; i < n; i++ {
+			o.u[ti][i] -= g * row[i]
+		}
+		o.val += o.weights[ti] * (-delta) * up * up / den
+	}
+}
+
+// applyAdmit admits statistic index idx with b=1, growing M⁻¹ by one
+// row/column via the bordered-inverse formula.
+func (o *budgetOptimizer) applyAdmit(idx int, minvC []float64, schur float64) {
+	n := len(o.support)
+	grown := linalg.NewMatrix(n+1, n+1)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			grown.Set(i, j, o.minv.At(i, j)+minvC[i]*minvC[j]/schur)
+		}
+		grown.Set(i, n, -minvC[i]/schur)
+		grown.Set(n, i, -minvC[i]/schur)
+	}
+	grown.Set(n, n, 1/schur)
+	o.minv = grown
+
+	for ti := range o.u {
+		r := o.so(ti, idx)
+		for p := range o.support {
+			r -= o.s.sa.At(o.support[p], idx) * o.u[ti][p]
+		}
+		nu := make([]float64, n+1)
+		for i := 0; i < n; i++ {
+			nu[i] = o.u[ti][i] - minvC[i]*r/schur
+		}
+		nu[n] = r / schur
+		o.u[ti] = nu
+		o.val += o.weights[ti] * r * r / schur
+	}
+	o.pos[idx] = n
+	o.support = append(o.support, idx)
+	o.counts = append(o.counts, 1)
+}
+
+// runGreedy performs greedy forward selection under the budget, returning
+// the assignment. Each step picks the affordable move (increment or admit)
+// with the largest marginal gain per unit cost.
+func runGreedy(s *Statistics, weights map[string]float64, price PriceFunc, budget crowd.Cost) (Assignment, float64, error) {
+	o := newBudgetOptimizer(s, weights)
+	prices := make([]crowd.Cost, len(s.attrs))
+	for i, a := range s.attrs {
+		prices[i] = price(a)
+		if prices[i] <= 0 {
+			return Assignment{}, 0, fmt.Errorf("core: non-positive price for %q", a)
+		}
+	}
+	var spent crowd.Cost
+	type move struct {
+		admit bool
+		idx   int // statistic index (admit) or support position (increment)
+		gain  float64
+		cost  crowd.Cost
+		minvC []float64
+		schur float64
+	}
+	for {
+		var best *move
+		consider := func(m move) {
+			if m.gain <= 1e-15 {
+				return
+			}
+			if best == nil || m.gain/float64(m.cost) > best.gain/float64(best.cost) {
+				mm := m
+				best = &mm
+			}
+		}
+		for p := range o.support {
+			c := prices[o.support[p]]
+			if spent+c > budget {
+				continue
+			}
+			consider(move{idx: p, gain: o.gainIncrement(p), cost: c})
+		}
+		for idx := range s.attrs {
+			if _, in := o.pos[idx]; in {
+				continue
+			}
+			c := prices[idx]
+			if spent+c > budget {
+				continue
+			}
+			g, minvC, schur := o.gainAdmit(idx)
+			consider(move{admit: true, idx: idx, gain: g, cost: c, minvC: minvC, schur: schur})
+		}
+		if best == nil {
+			break
+		}
+		if best.admit {
+			o.applyAdmit(best.idx, best.minvC, best.schur)
+		} else {
+			o.applyIncrement(best.idx)
+		}
+		spent += best.cost
+	}
+	return Assignment{Counts: o.Counts(), Cost: spent}, o.Value(), nil
+}

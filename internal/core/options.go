@@ -1,0 +1,197 @@
+// Package core implements DisQ, the paper's crowd-based attribute
+// dismantling algorithm (Algorithm 1 and its Section 4 multi-target
+// extension). Given an offline preprocessing budget B_prc and an online
+// per-object budget B_obj, Preprocess spends B_prc on dismantling,
+// verification, example and value questions to derive a Plan: a budget
+// distribution b over discovered attributes and one linear regression per
+// query attribute, such that evaluating the plan on an object costs at
+// most B_obj and minimizes the expected weighted squared error.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sprt"
+)
+
+// CollectionPolicy selects which (target, attribute) statistic pairs are
+// paid for with crowd value questions in the multi-target case
+// (Section 4, "Collection").
+type CollectionPolicy int
+
+const (
+	// CollectSelective is DisQ's heuristic: a new attribute is paired with
+	// target a_t only when its estimated correlation is at least half the
+	// maximum over all targets.
+	CollectSelective CollectionPolicy = iota
+	// CollectFull pairs every attribute with every target (the Full
+	// baseline of Section 5.3.2).
+	CollectFull
+	// CollectOneConnection pairs every attribute with exactly one target,
+	// the most related one (the OneConnection baseline).
+	CollectOneConnection
+)
+
+// String names the policy.
+func (c CollectionPolicy) String() string {
+	switch c {
+	case CollectSelective:
+		return "selective"
+	case CollectFull:
+		return "full"
+	case CollectOneConnection:
+		return "one-connection"
+	default:
+		return fmt.Sprintf("CollectionPolicy(%d)", int(c))
+	}
+}
+
+// EstimationPolicy selects how missing S_o entries are filled
+// (Section 4, "Estimation").
+type EstimationPolicy int
+
+const (
+	// EstimateGraph uses the angular-distance graph of Eq. 11.
+	EstimateGraph EstimationPolicy = iota
+	// EstimateAverage assigns the per-target average S_o value (the
+	// NaiveEstimations baseline of Section 5.3.2).
+	EstimateAverage
+)
+
+// String names the policy.
+func (e EstimationPolicy) String() string {
+	switch e {
+	case EstimateGraph:
+		return "graph"
+	case EstimateAverage:
+		return "average"
+	default:
+		return fmt.Sprintf("EstimationPolicy(%d)", int(e))
+	}
+}
+
+// Query names the attributes a user asked about, with optional error
+// weights (nil weights mean the paper's default ω_t = 1/Var(O.a_t),
+// estimated from example true values).
+type Query struct {
+	Targets []string
+	Weights map[string]float64
+}
+
+// Validate rejects empty or duplicated target lists.
+func (q Query) Validate() error {
+	if len(q.Targets) == 0 {
+		return errors.New("core: query needs at least one target attribute")
+	}
+	seen := make(map[string]bool, len(q.Targets))
+	for _, t := range q.Targets {
+		if t == "" {
+			return errors.New("core: empty target attribute name")
+		}
+		if seen[t] {
+			return fmt.Errorf("core: duplicate target %q", t)
+		}
+		seen[t] = true
+	}
+	for t, w := range q.Weights {
+		if !seen[t] {
+			return fmt.Errorf("core: weight for non-target %q", t)
+		}
+		if w <= 0 {
+			return fmt.Errorf("core: non-positive weight for %q", t)
+		}
+	}
+	return nil
+}
+
+// Options tunes the algorithm; the zero value is completed by Defaults.
+type Options struct {
+	// K is the number of value samples per (example, attribute) used for
+	// statistics estimation (paper: 2, "the recommended number for the
+	// corresponding black-box" [27]).
+	K int
+	// N1 is the number of examples used for statistics (paper: 200).
+	N1 int
+	// RhoPrior is the assumed expected correlation between an attribute
+	// and its dismantling answers, E[ρ(a_j, ans_j)] (paper: 0.5; the
+	// Section 5.4 ablation varies it).
+	RhoPrior float64
+	// Collection picks the pairing policy in the multi-target case.
+	Collection CollectionPolicy
+	// Estimation picks how missing S_o entries are filled.
+	Estimation EstimationPolicy
+	// DisableDismantling skips attribute discovery entirely, yielding the
+	// SimpleDisQ baseline ("runs similar to DisQ, but without the
+	// attribute dismantling phase").
+	DisableDismantling bool
+	// OnlyQueryAttributes restricts dismantling questions to the query
+	// attributes themselves (the OnlyQueryAttributes baseline of
+	// Section 5.3.1).
+	OnlyQueryAttributes bool
+	// MaxAttributes caps |A_final| (safety bound; default 30).
+	MaxAttributes int
+	// MaxDismantles caps the number of dismantling questions (default 400).
+	MaxDismantles int
+	// RegressionRtol is the SVD truncation tolerance (default 1e-9).
+	RegressionRtol float64
+	// Quadratic enables degree-2 formulas (each predictor also contributes
+	// its square) — the "more general rules" the paper's Section 7 leaves
+	// as future work.
+	Quadratic bool
+	// Trace, when set, receives one event per preprocessing decision
+	// (dismantling answers, verification outcomes, attribute admissions,
+	// the stop reason, the derived budget and regressions).
+	Trace func(TraceEvent)
+	// Verify configures the sequential verification test. Zero means the
+	// default (P1 0.5, P0 0.15, α=β 0.1, cap 10): junk like is_black
+	// (yes-rate ≈ 0.12) is rejected, genuinely related attributes
+	// (yes-rate ≥ 0.4) are accepted within a handful of questions.
+	Verify sprt.Config
+}
+
+// Defaults returns a copy of o with unset fields filled in.
+func (o Options) Defaults() Options {
+	if o.K == 0 {
+		o.K = 2
+	}
+	if o.N1 == 0 {
+		o.N1 = 200
+	}
+	if o.RhoPrior == 0 {
+		o.RhoPrior = 0.5
+	}
+	if o.MaxAttributes == 0 {
+		o.MaxAttributes = 30
+	}
+	if o.MaxDismantles == 0 {
+		o.MaxDismantles = 400
+	}
+	if o.RegressionRtol == 0 {
+		o.RegressionRtol = 1e-9
+	}
+	if o.Verify == (sprt.Config{}) {
+		o.Verify = sprt.Config{P1: 0.5, P0: 0.15, Alpha: 0.1, Beta: 0.1, MaxQuestions: 10}
+	}
+	return o
+}
+
+// Validate rejects unusable option combinations (after Defaults).
+func (o Options) Validate() error {
+	if o.K < 2 {
+		return fmt.Errorf("core: K=%d, need ≥ 2 for the variance estimator", o.K)
+	}
+	if o.N1 < 10 {
+		return fmt.Errorf("core: N1=%d, need ≥ 10 examples", o.N1)
+	}
+	if o.RhoPrior <= 0 || o.RhoPrior > 1 {
+		return fmt.Errorf("core: RhoPrior=%v out of (0,1]", o.RhoPrior)
+	}
+	if o.MaxAttributes < 1 {
+		return fmt.Errorf("core: MaxAttributes=%d", o.MaxAttributes)
+	}
+	if _, err := sprt.New(o.Verify); err != nil {
+		return fmt.Errorf("core: verify config: %w", err)
+	}
+	return nil
+}

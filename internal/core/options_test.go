@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestQueryValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		q    Query
+		ok   bool
+	}{
+		{"empty", Query{}, false},
+		{"empty name", Query{Targets: []string{""}}, false},
+		{"dup", Query{Targets: []string{"A", "A"}}, false},
+		{"weight for non-target", Query{Targets: []string{"A"}, Weights: map[string]float64{"B": 1}}, false},
+		{"non-positive weight", Query{Targets: []string{"A"}, Weights: map[string]float64{"A": 0}}, false},
+		{"good single", Query{Targets: []string{"A"}}, true},
+		{"good weighted", Query{Targets: []string{"A", "B"}, Weights: map[string]float64{"A": 2}}, true},
+	}
+	for _, tc := range cases {
+		err := tc.q.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.Defaults()
+	if o.K != 2 || o.N1 != 200 || o.RhoPrior != 0.5 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	if o.MaxAttributes != 30 || o.MaxDismantles != 400 {
+		t.Fatalf("caps wrong: %+v", o)
+	}
+	if o.Verify.P1 == 0 {
+		t.Fatal("verify config not defaulted")
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatalf("defaults should validate: %v", err)
+	}
+	// Explicit values survive.
+	o2 := Options{K: 5, N1: 100, RhoPrior: 0.7}.Defaults()
+	if o2.K != 5 || o2.N1 != 100 || o2.RhoPrior != 0.7 {
+		t.Fatal("explicit values overwritten")
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	bad := []Options{
+		{K: 1},
+		{N1: 5},
+		{RhoPrior: 1.5},
+		{RhoPrior: -0.1},
+		{MaxAttributes: -1},
+	}
+	for i, o := range bad {
+		full := o.Defaults()
+		// Re-apply the bad field: Defaults fills zeros, so set explicitly.
+		switch i {
+		case 0:
+			full.K = 1
+		case 1:
+			full.N1 = 5
+		case 2:
+			full.RhoPrior = 1.5
+		case 3:
+			full.RhoPrior = -0.1
+		case 4:
+			full.MaxAttributes = -1
+		}
+		if err := full.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if CollectSelective.String() != "selective" || CollectFull.String() != "full" ||
+		CollectOneConnection.String() != "one-connection" {
+		t.Fatal("CollectionPolicy.String wrong")
+	}
+	if EstimateGraph.String() != "graph" || EstimateAverage.String() != "average" {
+		t.Fatal("EstimationPolicy.String wrong")
+	}
+	if CollectionPolicy(9).String() == "" || EstimationPolicy(9).String() == "" {
+		t.Fatal("unknown policies should render")
+	}
+}

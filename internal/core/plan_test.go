@@ -1,0 +1,102 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/crowd"
+)
+
+func demoPlan() *Plan {
+	return &Plan{
+		Targets: []string{"Bmi"},
+		Budget: Assignment{
+			Counts: map[string]int{"Bmi": 5, "Heavy": 10, "Attractive": 3},
+			Cost:   crowd.Cents(4),
+		},
+		Regressions: map[string]*Regression{
+			"Bmi": {
+				Attributes:   []string{"Bmi", "Heavy", "Attractive"},
+				Coefficients: []float64{0.6, 11.9, -2.7},
+				Intercept:    10.6,
+			},
+		},
+	}
+}
+
+func TestFormulaRendersPaperStyle(t *testing.T) {
+	f := demoPlan().Formula("Bmi")
+	// Terms ordered by question count, signs rendered, intercept last —
+	// mirroring the paper's example
+	// "0.6Bmi^(5) + 11.9Heavy^(10) ... − 2.7Attractive^(3) ... + 10.6".
+	if !strings.HasPrefix(f, "Bmi* = ") {
+		t.Fatalf("formula prefix: %q", f)
+	}
+	heavyIdx := strings.Index(f, "Heavy^(10)")
+	bmiIdx := strings.Index(f, "Bmi^(5)")
+	attrIdx := strings.Index(f, "Attractive^(3)")
+	if heavyIdx == -1 || bmiIdx == -1 || attrIdx == -1 {
+		t.Fatalf("missing terms: %q", f)
+	}
+	if !(heavyIdx < bmiIdx && bmiIdx < attrIdx) {
+		t.Fatalf("terms not ordered by question count: %q", f)
+	}
+	if !strings.Contains(f, "−") {
+		t.Fatalf("negative coefficient not rendered: %q", f)
+	}
+	if !strings.HasSuffix(f, "+ 10.6") {
+		t.Fatalf("intercept not last: %q", f)
+	}
+}
+
+func TestFormulaEdgeCases(t *testing.T) {
+	pl := demoPlan()
+	// Unknown target.
+	if got := pl.Formula("ghost"); !strings.Contains(got, "no regression") {
+		t.Fatalf("ghost formula: %q", got)
+	}
+	// Attribute with zero budget is dropped from the rendering.
+	pl.Budget.Counts["Heavy"] = 0
+	if f := pl.Formula("Bmi"); strings.Contains(f, "Heavy") {
+		t.Fatalf("zero-budget attribute rendered: %q", f)
+	}
+	// Negative intercept.
+	pl.Regressions["Bmi"].Intercept = -3
+	if f := pl.Formula("Bmi"); !strings.Contains(f, "− 3") {
+		t.Fatalf("negative intercept: %q", f)
+	}
+	// Intercept-only plan.
+	empty := &Plan{
+		Targets:     []string{"X"},
+		Budget:      Assignment{Counts: map[string]int{}},
+		Regressions: map[string]*Regression{"X": {Intercept: 2.5}},
+	}
+	if f := empty.Formula("X"); !strings.Contains(f, "2.5") {
+		t.Fatalf("intercept-only formula: %q", f)
+	}
+}
+
+func TestPerObjectCost(t *testing.T) {
+	if demoPlan().PerObjectCost() != crowd.Cents(4) {
+		t.Fatal("PerObjectCost wrong")
+	}
+}
+
+func TestEstimateObjectMissingRegression(t *testing.T) {
+	pl := demoPlan()
+	pl.Regressions = map[string]*Regression{}
+	pl.Budget.Counts = map[string]int{}
+	// Platform is not needed when no questions are asked, but the missing
+	// regression must be reported.
+	if _, err := pl.EstimateObject(nil, nil); err == nil {
+		t.Fatal("nil object should error first")
+	}
+}
+
+func TestAssignmentSupportSorted(t *testing.T) {
+	a := Assignment{Counts: map[string]int{"z": 1, "a": 2, "m": 0}}
+	sup := a.Support()
+	if len(sup) != 2 || sup[0] != "a" || sup[1] != "z" {
+		t.Fatalf("Support = %v", sup)
+	}
+}

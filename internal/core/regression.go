@@ -1,0 +1,190 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/stats"
+)
+
+// Regression is one learned linear formula l of the paper:
+//
+//	o.a_t* = Σ_i Coefficients[i]·o.Attributes[i]^(b(attr)) + Intercept
+//
+// where o.a^(n) denotes the mean of n worker answers.
+type Regression struct {
+	// Attributes are the predictor attribute names, aligned with
+	// Coefficients.
+	Attributes []string
+	// Coefficients are the learned linear weights.
+	Coefficients []float64
+	// SquareAttributes and SquareCoefficients hold the optional degree-2
+	// terms (the "more general rules" of the paper's future work,
+	// Section 7): Σ SquareCoefficients[i]·means[SquareAttributes[i]]².
+	SquareAttributes   []string  `json:",omitempty"`
+	SquareCoefficients []float64 `json:",omitempty"`
+	// Intercept is the learned constant term.
+	Intercept float64
+	// TrainingError is the mean squared error over the training set.
+	TrainingError float64
+	// Examples is the number of training examples used.
+	Examples int
+}
+
+// Predict applies the formula to per-attribute answer means. Attributes
+// missing from means contribute zero (their information is folded into the
+// intercept only to the extent the training data allowed).
+func (r *Regression) Predict(means map[string]float64) float64 {
+	y := r.Intercept
+	for i, a := range r.Attributes {
+		if v, ok := means[a]; ok {
+			y += r.Coefficients[i] * v
+		}
+	}
+	for i, a := range r.SquareAttributes {
+		if v, ok := means[a]; ok {
+			y += r.SquareCoefficients[i] * v * v
+		}
+	}
+	return y
+}
+
+// learnRegression fits a linear model with intercept via the SVD solver
+// (the FindRegression black box of Section 3.1), with a light adaptive
+// ridge penalty λ_j = (p/n)·Σ(x_j−x̄_j)². The penalty shrinks coefficients
+// by ~p/n, cutting the estimation variance that otherwise dominates when
+// many correlated noisy predictors are fit on N_2 = 50+8p examples; the
+// paper treats the regression learner as a pluggable black box, and this
+// is the plugged-in implementation. rows[i] holds the predictor values
+// (answer means under b) for training example i, aligned with attrs;
+// y holds the true target values.
+func learnRegression(attrs []string, rows [][]float64, y []float64, rtol float64) (*Regression, error) {
+	n := len(rows)
+	if n == 0 || n != len(y) {
+		return nil, errors.New("core: regression needs aligned non-empty training data")
+	}
+	p := len(attrs)
+	for i, r := range rows {
+		if len(r) != p {
+			return nil, fmt.Errorf("core: training row %d has %d values, want %d", i, len(r), p)
+		}
+	}
+	// Center predictors and response so the ridge penalty leaves the
+	// intercept untouched.
+	xMean := make([]float64, p)
+	for _, r := range rows {
+		for j, v := range r {
+			xMean[j] += v
+		}
+	}
+	for j := range xMean {
+		xMean[j] /= float64(n)
+	}
+	yMean := stats.Mean(y)
+	colSS := make([]float64, p)
+	for _, r := range rows {
+		for j, v := range r {
+			d := v - xMean[j]
+			colSS[j] += d * d
+		}
+	}
+	alpha := float64(p) / float64(n)
+	// Augmented least squares: n data rows plus p ridge rows with
+	// sqrt(λ_j) on the diagonal.
+	design := linalg.NewMatrix(n+p, p)
+	rhs := make([]float64, n+p)
+	for i, r := range rows {
+		for j, v := range r {
+			design.Set(i, j, v-xMean[j])
+		}
+		rhs[i] = y[i] - yMean
+	}
+	for j := 0; j < p; j++ {
+		design.Set(n+j, j, math.Sqrt(alpha*colSS[j]))
+	}
+	var coef []float64
+	if p > 0 {
+		var err error
+		coef, err = linalg.LeastSquares(design, rhs, rtol)
+		if err != nil {
+			return nil, fmt.Errorf("core: regression solve: %w", err)
+		}
+	}
+	intercept := yMean
+	for j := 0; j < p; j++ {
+		intercept -= coef[j] * xMean[j]
+	}
+	reg := &Regression{
+		Attributes:   append([]string(nil), attrs...),
+		Coefficients: coef,
+		Intercept:    intercept,
+		Examples:     n,
+	}
+	pred := make([]float64, n)
+	for i, r := range rows {
+		v := reg.Intercept
+		for j := range r {
+			v += reg.Coefficients[j] * r[j]
+		}
+		pred[i] = v
+	}
+	mse, err := stats.MeanSquaredError(pred, y)
+	if err != nil {
+		return nil, err
+	}
+	reg.TrainingError = mse
+	return reg, nil
+}
+
+// trainingSetSize is the paper's N_2 = 50 + 8·#attributes rule of thumb
+// for how many examples a regression with that many predictors needs [16].
+func trainingSetSize(nAttributes int) int {
+	return 50 + 8*nAttributes
+}
+
+// learnRegressionPoly fits either the paper's linear formula or the
+// degree-2 extension of Section 7: each predictor also contributes its
+// square as a feature, letting the formula bend around the saturating
+// relationship between binary answer frequencies and numeric targets.
+// Cross terms are deliberately omitted — they would square the feature
+// count while N_2 grows only linearly with it.
+func learnRegressionPoly(attrs []string, rows [][]float64, y []float64, rtol float64, quadratic bool) (*Regression, error) {
+	if !quadratic || len(attrs) == 0 {
+		return learnRegression(attrs, rows, y, rtol)
+	}
+	p := len(attrs)
+	expanded := make([][]float64, len(rows))
+	for i, r := range rows {
+		if len(r) != p {
+			return nil, fmt.Errorf("core: training row %d has %d values, want %d", i, len(r), p)
+		}
+		e := make([]float64, 2*p)
+		copy(e, r)
+		for j, v := range r {
+			e[p+j] = v * v
+		}
+		expanded[i] = e
+	}
+	// Names only matter for the Regression output; fit on synthetic names
+	// and split the coefficient vector afterwards.
+	names := make([]string, 2*p)
+	copy(names, attrs)
+	for j, a := range attrs {
+		names[p+j] = a + "²"
+	}
+	fit, err := learnRegression(names, expanded, y, rtol)
+	if err != nil {
+		return nil, err
+	}
+	return &Regression{
+		Attributes:         append([]string(nil), attrs...),
+		Coefficients:       fit.Coefficients[:p],
+		SquareAttributes:   append([]string(nil), attrs...),
+		SquareCoefficients: fit.Coefficients[p:],
+		Intercept:          fit.Intercept,
+		TrainingError:      fit.TrainingError,
+		Examples:           fit.Examples,
+	}, nil
+}

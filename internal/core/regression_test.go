@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLearnRegressionValidation(t *testing.T) {
+	if _, err := learnRegression(nil, nil, nil, 1e-9); err == nil {
+		t.Fatal("empty training data should error")
+	}
+	if _, err := learnRegression([]string{"a"}, [][]float64{{1}}, []float64{1, 2}, 1e-9); err == nil {
+		t.Fatal("misaligned y should error")
+	}
+	if _, err := learnRegression([]string{"a", "b"}, [][]float64{{1}}, []float64{1}, 1e-9); err == nil {
+		t.Fatal("short row should error")
+	}
+}
+
+func TestLearnRegressionRecoversLinearModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 400
+	rows := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range rows {
+		x1 := rng.NormFloat64() * 3
+		x2 := rng.NormFloat64()
+		rows[i] = []float64{x1, x2}
+		y[i] = 2*x1 - 5*x2 + 7 + 0.01*rng.NormFloat64()
+	}
+	reg, err := learnRegression([]string{"x1", "x2"}, rows, y, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ridge shrinks slightly (α = 2/400 = 0.5%), so allow 2% tolerance.
+	if math.Abs(reg.Coefficients[0]-2) > 0.05 || math.Abs(reg.Coefficients[1]+5) > 0.1 {
+		t.Fatalf("coefficients %v, want ≈ [2 -5]", reg.Coefficients)
+	}
+	if math.Abs(reg.Intercept-7) > 0.1 {
+		t.Fatalf("intercept %v, want ≈ 7", reg.Intercept)
+	}
+	if reg.TrainingError > 0.01 {
+		t.Fatalf("training error %v too high", reg.TrainingError)
+	}
+	if reg.Examples != n {
+		t.Fatalf("Examples = %d", reg.Examples)
+	}
+}
+
+func TestLearnRegressionInterceptOnly(t *testing.T) {
+	// Zero predictors: the regression is the mean of y.
+	reg, err := learnRegression(nil, [][]float64{{}, {}, {}}, []float64{2, 4, 6}, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Intercept != 4 {
+		t.Fatalf("intercept %v, want mean 4", reg.Intercept)
+	}
+	if reg.Predict(nil) != 4 {
+		t.Fatal("intercept-only prediction wrong")
+	}
+}
+
+func TestLearnRegressionRidgeShrinksNoiseFit(t *testing.T) {
+	// With p close to n and pure-noise predictors, ridge keeps the
+	// coefficients small instead of memorizing the noise.
+	rng := rand.New(rand.NewSource(2))
+	n, p := 30, 12
+	rows := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, p)
+		for j := range rows[i] {
+			rows[i][j] = rng.NormFloat64()
+		}
+		y[i] = rng.NormFloat64() // independent of all predictors
+	}
+	attrs := make([]string, p)
+	for j := range attrs {
+		attrs[j] = string(rune('a' + j))
+	}
+	reg, err := learnRegression(attrs, rows, y, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var norm float64
+	for _, c := range reg.Coefficients {
+		norm += c * c
+	}
+	// Pure OLS with p=12, n=30 would fit substantially; ridge keeps the
+	// coefficient norm clearly below 1.
+	if norm > 1.5 {
+		t.Fatalf("coefficient norm² %v, ridge too weak", norm)
+	}
+}
+
+func TestPredictIgnoresMissingAttributes(t *testing.T) {
+	reg := &Regression{
+		Attributes:   []string{"a", "b"},
+		Coefficients: []float64{2, 3},
+		Intercept:    1,
+	}
+	if got := reg.Predict(map[string]float64{"a": 10}); got != 21 {
+		t.Fatalf("Predict = %v, want 21", got)
+	}
+	if got := reg.Predict(map[string]float64{"a": 10, "b": 1}); got != 24 {
+		t.Fatalf("Predict = %v, want 24", got)
+	}
+	if got := reg.Predict(nil); got != 1 {
+		t.Fatalf("Predict(nil) = %v, want intercept", got)
+	}
+}
+
+func TestTrainingSetSize(t *testing.T) {
+	// N2 = 50 + 8·#attributes (Section 5.1).
+	if trainingSetSize(0) != 50 || trainingSetSize(6) != 98 || trainingSetSize(30) != 290 {
+		t.Fatal("trainingSetSize wrong")
+	}
+}
+
+// Property: the regression's training predictions have no worse MSE than
+// the intercept-only model (up to the small ridge bias).
+func TestRegressionNoWorseThanMeanProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(60)
+		rows := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range rows {
+			x := rng.NormFloat64()
+			rows[i] = []float64{x}
+			y[i] = 0.5*x + rng.NormFloat64()
+		}
+		reg, err := learnRegression([]string{"x"}, rows, y, 1e-9)
+		if err != nil {
+			return false
+		}
+		var mean float64
+		for _, v := range y {
+			mean += v
+		}
+		mean /= float64(n)
+		var meanMSE float64
+		for _, v := range y {
+			meanMSE += (v - mean) * (v - mean)
+		}
+		meanMSE /= float64(n)
+		return reg.TrainingError <= meanMSE*1.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLearnRegressionPolyQuadratic(t *testing.T) {
+	// y = x² exactly: the quadratic fit nails it, the linear fit cannot.
+	rng := rand.New(rand.NewSource(4))
+	n := 300
+	rows := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range rows {
+		x := rng.NormFloat64() * 2
+		rows[i] = []float64{x}
+		y[i] = x * x
+	}
+	lin, err := learnRegressionPoly([]string{"x"}, rows, y, 1e-9, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := learnRegressionPoly([]string{"x"}, rows, y, 1e-9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quad.TrainingError > 0.05 {
+		t.Fatalf("quadratic training error %v, want ≈ 0", quad.TrainingError)
+	}
+	if quad.TrainingError >= lin.TrainingError {
+		t.Fatalf("quadratic (%v) should beat linear (%v) on y=x²",
+			quad.TrainingError, lin.TrainingError)
+	}
+	if len(quad.SquareAttributes) != 1 || quad.SquareAttributes[0] != "x" {
+		t.Fatalf("square attrs %v", quad.SquareAttributes)
+	}
+	if math.Abs(quad.SquareCoefficients[0]-1) > 0.05 {
+		t.Fatalf("square coefficient %v, want ≈ 1", quad.SquareCoefficients[0])
+	}
+	// Predict uses the square term.
+	got := quad.Predict(map[string]float64{"x": 3})
+	if math.Abs(got-9) > 0.5 {
+		t.Fatalf("Predict(3) = %v, want ≈ 9", got)
+	}
+	// Degenerate: no attributes falls back to linear.
+	fallback, err := learnRegressionPoly(nil, [][]float64{{}, {}}, []float64{1, 3}, 1e-9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fallback.Intercept != 2 || len(fallback.SquareAttributes) != 0 {
+		t.Fatalf("fallback %+v", fallback)
+	}
+}

@@ -1,0 +1,409 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+	"repro/internal/stats"
+)
+
+// Statistics is the estimated trio (S_o, S_a, S_c) of Section 3.2.2 over
+// the currently known attribute set, for all query attributes.
+//
+//   - Sc[a]      = E_O[Var(o.a^(1))]       (crowd disagreement, "difficulty")
+//   - So[t][a]   = |Cov_O(o.a^(1), o.t)|   (informativeness for target t)
+//   - Sa[a_i,a_j]= |Cov_O(o.a_i^(1), o.a_j^(1))| ("distinctiveness")
+//
+// The S_a diagonal is corrected by subtracting Sc[a]/k, removing the
+// worker-noise inflation from averaging k samples, so Eq. 2's
+// Diag(S_c/b) term carries all of the noise (see DESIGN.md).
+type Statistics struct {
+	attrs  []string
+	index  map[string]int
+	trgets []string
+
+	// so[t][i] is the (possibly estimated) S_o entry for target t and
+	// attribute i; soMeasured marks which entries were bought with crowd
+	// value questions rather than inferred.
+	so         map[string][]float64
+	soMeasured map[string][]bool
+
+	sa *linalg.Matrix
+	sc []float64
+
+	// sigmaAnswer[i] is the estimated standard deviation of the de-noised
+	// answer signal for attribute i (sqrt of the corrected S_a diagonal).
+	sigmaAnswer []float64
+	// sigmaTruth[t] is the sample standard deviation of the target's true
+	// values over its example stream.
+	sigmaTruth map[string]float64
+
+	k int
+}
+
+// Attributes returns the attribute names in discovery order.
+func (s *Statistics) Attributes() []string {
+	return append([]string(nil), s.attrs...)
+}
+
+// Targets returns the query attribute names.
+func (s *Statistics) Targets() []string {
+	return append([]string(nil), s.trgets...)
+}
+
+// Has reports whether the attribute is tracked.
+func (s *Statistics) Has(attr string) bool {
+	_, ok := s.index[attr]
+	return ok
+}
+
+// Sc returns the crowd-disagreement statistic for an attribute.
+func (s *Statistics) Sc(attr string) (float64, error) {
+	i, ok := s.index[attr]
+	if !ok {
+		return 0, fmt.Errorf("core: Sc of unknown attribute %q", attr)
+	}
+	return s.sc[i], nil
+}
+
+// So returns the informativeness statistic for (target, attribute) and
+// whether the entry was measured (vs estimated).
+func (s *Statistics) So(target, attr string) (value float64, measured bool, err error) {
+	col, ok := s.so[target]
+	if !ok {
+		return 0, false, fmt.Errorf("core: So of unknown target %q", target)
+	}
+	i, ok := s.index[attr]
+	if !ok {
+		return 0, false, fmt.Errorf("core: So of unknown attribute %q", attr)
+	}
+	return col[i], s.soMeasured[target][i], nil
+}
+
+// Sa returns the distinctiveness statistic for an attribute pair.
+func (s *Statistics) Sa(a, b string) (float64, error) {
+	i, ok := s.index[a]
+	if !ok {
+		return 0, fmt.Errorf("core: Sa of unknown attribute %q", a)
+	}
+	j, ok := s.index[b]
+	if !ok {
+		return 0, fmt.Errorf("core: Sa of unknown attribute %q", b)
+	}
+	return s.sa.At(i, j), nil
+}
+
+// SigmaAnswer returns the de-noised answer-signal standard deviation.
+func (s *Statistics) SigmaAnswer(attr string) (float64, error) {
+	i, ok := s.index[attr]
+	if !ok {
+		return 0, fmt.Errorf("core: sigma of unknown attribute %q", attr)
+	}
+	return s.sigmaAnswer[i], nil
+}
+
+// SigmaTruth returns the target's true-value standard deviation estimate.
+func (s *Statistics) SigmaTruth(target string) (float64, error) {
+	v, ok := s.sigmaTruth[target]
+	if !ok {
+		return 0, fmt.Errorf("core: sigma of unknown target %q", target)
+	}
+	return v, nil
+}
+
+// rawSamples is the collected crowd data for one attribute on one example
+// stream: per example, the k single-worker answers.
+type rawSamples struct {
+	answers [][]float64 // len == stream length, each len k
+}
+
+// computeStatistics derives the Statistics trio from raw collected data.
+//
+//   - attrs: discovery-ordered attribute names.
+//   - targets: query attributes; targets[0]'s stream is the base stream on
+//     which every attribute was sampled (used for S_a and S_c).
+//   - base[attr]: samples of attr on the base stream.
+//   - perTarget[t][attr]: samples of attr on t's stream (present only for
+//     paired (t, attr)); for t == targets[0] the base samples are used.
+//   - truth[t]: the true target values of t's stream, aligned with its
+//     samples.
+//
+// Missing S_o entries are filled per the estimation policy.
+func computeStatistics(
+	attrs, targets []string,
+	base map[string]*rawSamples,
+	perTarget map[string]map[string]*rawSamples,
+	truth map[string][]float64,
+	k int,
+	policy EstimationPolicy,
+) (*Statistics, error) {
+	n := len(attrs)
+	if n == 0 {
+		return nil, fmt.Errorf("core: no attributes to compute statistics over")
+	}
+	s := &Statistics{
+		attrs:       append([]string(nil), attrs...),
+		index:       make(map[string]int, n),
+		trgets:      append([]string(nil), targets...),
+		so:          make(map[string][]float64, len(targets)),
+		soMeasured:  make(map[string][]bool, len(targets)),
+		sa:          linalg.NewMatrix(n, n),
+		sc:          make([]float64, n),
+		sigmaAnswer: make([]float64, n),
+		sigmaTruth:  make(map[string]float64, len(targets)),
+		k:           k,
+	}
+	for i, a := range attrs {
+		s.index[a] = i
+	}
+
+	// Mean answers per attribute on the base stream.
+	baseMeans := make([][]float64, n)
+	rawVar := make([]float64, n) // uncorrected Var of answer means
+	for i, a := range attrs {
+		rs, ok := base[a]
+		if !ok {
+			return nil, fmt.Errorf("core: attribute %q missing from base stream", a)
+		}
+		means := make([]float64, len(rs.answers))
+		var scAcc stats.Welford
+		for j, ans := range rs.answers {
+			means[j] = stats.Mean(ans)
+			if v, err := stats.VarEstK(ans); err == nil {
+				scAcc.Add(v)
+			}
+		}
+		baseMeans[i] = means
+		s.sc[i] = scAcc.Mean()
+		rv, err := stats.Variance(means)
+		if err != nil {
+			return nil, fmt.Errorf("core: variance of %q: %w", a, err)
+		}
+		rawVar[i] = rv
+	}
+	nEx := float64(len(baseMeans[0]))
+
+	// S_a: absolute covariances of base-stream answer means. Off-diagonal
+	// entries are soft-thresholded by the covariance estimator's standard
+	// error (≈ sqrt(Var_i·Var_j/n)); taking |cov| of a near-zero noisy
+	// estimate is biased upward, and without shrinkage the budget
+	// optimizer chases those phantom relationships. The diagonal is
+	// corrected for worker noise instead.
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			cov, err := stats.Covariance(baseMeans[i], baseMeans[j])
+			if err != nil {
+				return nil, fmt.Errorf("core: S_a[%s,%s]: %w", attrs[i], attrs[j], err)
+			}
+			var v float64
+			if i == j {
+				// Remove the Sc/k noise term; keep a small positive floor
+				// so the attribute is never reported as exactly constant.
+				v = cov - s.sc[i]/float64(k)
+				floor := math.Max(1e-3*cov, 1e-12)
+				if v < floor {
+					v = floor
+				}
+			} else {
+				se := math.Sqrt(rawVar[i] * rawVar[j] / nEx)
+				v = math.Abs(cov) - se
+				if v < 0 {
+					v = 0
+				}
+			}
+			s.sa.Set(i, j, v)
+			s.sa.Set(j, i, v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		s.sigmaAnswer[i] = math.Sqrt(s.sa.At(i, i))
+	}
+
+	// Target truth sigmas.
+	for _, t := range targets {
+		tv, ok := truth[t]
+		if !ok || len(tv) < 2 {
+			return nil, fmt.Errorf("core: missing true values for target %q", t)
+		}
+		sd, err := stats.StdDev(tv)
+		if err != nil {
+			return nil, err
+		}
+		if sd == 0 {
+			sd = 1e-9 // constant target: avoid division by zero downstream
+		}
+		s.sigmaTruth[t] = sd
+	}
+
+	// Measured S_o entries, soft-thresholded like the S_a off-diagonals
+	// (spurious |cov| of an irrelevant attribute would otherwise earn it
+	// online budget).
+	for ti, t := range targets {
+		col := make([]float64, n)
+		measured := make([]bool, n)
+		tv := truth[t]
+		tVar := stats.PopulationVariance(tv)
+		for i, a := range attrs {
+			var rs *rawSamples
+			if ti == 0 {
+				rs = base[a]
+			} else if m := perTarget[t]; m != nil {
+				rs = m[a]
+			}
+			if rs == nil {
+				continue
+			}
+			if len(rs.answers) != len(tv) {
+				return nil, fmt.Errorf("core: S_o[%s][%s]: %d samples vs %d truths",
+					t, a, len(rs.answers), len(tv))
+			}
+			means := make([]float64, len(rs.answers))
+			for j, ans := range rs.answers {
+				means[j] = stats.Mean(ans)
+			}
+			cov, err := stats.Covariance(means, tv)
+			if err != nil {
+				return nil, fmt.Errorf("core: S_o[%s][%s]: %w", t, a, err)
+			}
+			aVar, err := stats.Variance(means)
+			if err != nil {
+				return nil, err
+			}
+			se := math.Sqrt(aVar * tVar / float64(len(tv)))
+			v := math.Abs(cov) - se
+			if v < 0 {
+				v = 0
+			}
+			col[i] = v
+			measured[i] = true
+		}
+		s.so[t] = col
+		s.soMeasured[t] = measured
+	}
+
+	s.fillMissingSo(policy)
+	return s, nil
+}
+
+// fillMissingSo estimates the S_o entries that were not bought with crowd
+// questions, per the estimation policy.
+func (s *Statistics) fillMissingSo(policy EstimationPolicy) {
+	switch policy {
+	case EstimateAverage:
+		// NaiveEstimations: the per-target average of measured values
+		// (falling back to the global average when a target measured
+		// nothing beyond itself).
+		var globalAcc stats.Welford
+		for _, t := range s.trgets {
+			for i := range s.attrs {
+				if s.soMeasured[t][i] {
+					globalAcc.Add(s.so[t][i])
+				}
+			}
+		}
+		for _, t := range s.trgets {
+			var acc stats.Welford
+			for i := range s.attrs {
+				if s.soMeasured[t][i] {
+					acc.Add(s.so[t][i])
+				}
+			}
+			def := acc.Mean()
+			if acc.N() == 0 {
+				def = globalAcc.Mean()
+			}
+			for i := range s.attrs {
+				if !s.soMeasured[t][i] {
+					s.so[t][i] = def
+				}
+			}
+		}
+	default: // EstimateGraph, Eq. 11
+		g := graph.NewAngularGraph()
+		// Target–attribute edges from measured S_o entries.
+		for _, t := range s.trgets {
+			tNode := "t:" + t
+			g.AddNode(tNode)
+			for i, a := range s.attrs {
+				if !s.soMeasured[t][i] || a == t {
+					continue
+				}
+				rho := s.correlationSoTruth(t, i)
+				if rho > 0 {
+					_ = g.Connect(tNode, "a:"+a, rho)
+				}
+			}
+		}
+		// Attribute–attribute edges from S_a (all measured on the base
+		// stream, so they cost nothing extra); these let evidence flow
+		// between targets through shared related attributes.
+		for i := range s.attrs {
+			for j := i + 1; j < len(s.attrs); j++ {
+				den := s.sigmaAnswer[i] * s.sigmaAnswer[j]
+				if den == 0 {
+					continue
+				}
+				rho := s.sa.At(i, j) / den
+				if rho > 0.05 {
+					_ = g.Connect("a:"+s.attrs[i], "a:"+s.attrs[j], rho)
+				}
+			}
+		}
+		// Each target is itself an attribute node when it appears in the
+		// attribute set; link the two representations with its answer-truth
+		// correlation so paths can pass through the target's own answers.
+		for _, t := range s.trgets {
+			if i, ok := s.index[t]; ok && s.soMeasured[t][i] {
+				rho := s.correlationSoTruth(t, i)
+				if rho > 0 {
+					_ = g.Connect("t:"+t, "a:"+t, rho)
+				}
+			}
+		}
+		for _, t := range s.trgets {
+			for i, a := range s.attrs {
+				if s.soMeasured[t][i] {
+					continue
+				}
+				est, err := g.EstimateCovariance("t:"+t, "a:"+a, s.sigmaTruth[t], s.sigmaAnswer[i])
+				if err != nil || est < 0 {
+					est = 0
+				}
+				s.so[t][i] = est
+			}
+		}
+	}
+}
+
+// correlationSoTruth converts a measured S_o entry to an answer-truth
+// correlation estimate, clamped to [0, 1].
+func (s *Statistics) correlationSoTruth(target string, i int) float64 {
+	den := s.sigmaAnswer[i] * s.sigmaTruth[target]
+	if den == 0 {
+		return 0
+	}
+	rho := s.so[target][i] / den
+	if rho > 1 {
+		rho = 1
+	}
+	if rho < 0 {
+		rho = 0
+	}
+	return rho
+}
+
+// EstimatedCorrelation returns the estimated |correlation| between a
+// target's truth and an attribute's answers, derived from S_o (measured or
+// estimated).
+func (s *Statistics) EstimatedCorrelation(target, attr string) (float64, error) {
+	i, ok := s.index[attr]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown attribute %q", attr)
+	}
+	if _, ok := s.so[target]; !ok {
+		return 0, fmt.Errorf("core: unknown target %q", target)
+	}
+	return s.correlationSoTruth(target, i), nil
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthRaw builds raw samples for one attribute: per example, k answers
+// equal to signal[i] + noise·N(0,1).
+func synthRaw(rng *rand.Rand, signal []float64, noise float64, k int) *rawSamples {
+	rs := &rawSamples{answers: make([][]float64, len(signal))}
+	for i, s := range signal {
+		ans := make([]float64, k)
+		for j := range ans {
+			ans[j] = s + noise*rng.NormFloat64()
+		}
+		rs.answers[i] = ans
+	}
+	return rs
+}
+
+// buildTestStats constructs Statistics from a controlled generative setup:
+// target T with truth tv; attribute A with signal = 0.8·tv + independent
+// part; attribute J uncorrelated junk. Returns stats plus the raw signals.
+func buildTestStats(t *testing.T, n, k int, policy EstimationPolicy) (*Statistics, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	tv := make([]float64, n)
+	aSig := make([]float64, n)
+	jSig := make([]float64, n)
+	for i := range tv {
+		tv[i] = 10 + 3*rng.NormFloat64()
+		aSig[i] = 0.8*tv[i] + 1.5*rng.NormFloat64()
+		jSig[i] = 5 + 2*rng.NormFloat64()
+	}
+	base := map[string]*rawSamples{
+		"T": synthRaw(rng, tv, 1.0, k),
+		"A": synthRaw(rng, aSig, 0.5, k),
+		"J": synthRaw(rng, jSig, 0.5, k),
+	}
+	st, err := computeStatistics(
+		[]string{"T", "A", "J"},
+		[]string{"T"},
+		base,
+		map[string]map[string]*rawSamples{},
+		map[string][]float64{"T": tv},
+		k, policy,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, tv
+}
+
+func TestComputeStatisticsBasics(t *testing.T) {
+	st, _ := buildTestStats(t, 4000, 2, EstimateGraph)
+
+	// S_c recovers the injected worker-noise variances.
+	sc, err := st.Sc("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sc-1.0) > 0.1 {
+		t.Fatalf("Sc(T) = %v, want ≈ 1", sc)
+	}
+	sc, _ = st.Sc("A")
+	if math.Abs(sc-0.25) > 0.03 {
+		t.Fatalf("Sc(A) = %v, want ≈ 0.25", sc)
+	}
+
+	// S_o(T, T) ≈ Var(T) = 9; S_o(T, A) ≈ 0.8·Var(T) = 7.2.
+	so, measured, err := st.So("T", "T")
+	if err != nil || !measured {
+		t.Fatalf("So(T,T): %v measured=%v", err, measured)
+	}
+	if math.Abs(so-9) > 0.8 {
+		t.Fatalf("So(T,T) = %v, want ≈ 9", so)
+	}
+	so, _, _ = st.So("T", "A")
+	if math.Abs(so-7.2) > 0.8 {
+		t.Fatalf("So(T,A) = %v, want ≈ 7.2", so)
+	}
+	// Junk is uninformative.
+	so, _, _ = st.So("T", "J")
+	if so > 0.5 {
+		t.Fatalf("So(T,J) = %v, want ≈ 0", so)
+	}
+
+	// S_a diagonal is noise-corrected: Sa(T,T) ≈ Var(signal) = 9, not
+	// 9 + Sc/k = 9.5.
+	sa, err := st.Sa("T", "T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sa-9) > 0.8 {
+		t.Fatalf("Sa(T,T) = %v, want ≈ 9 (noise removed)", sa)
+	}
+	// Off-diagonal ≈ |cov(T, A)| = 7.2.
+	sa, _ = st.Sa("T", "A")
+	if math.Abs(sa-7.2) > 0.8 {
+		t.Fatalf("Sa(T,A) = %v, want ≈ 7.2", sa)
+	}
+
+	// Sigma estimates.
+	sg, err := st.SigmaAnswer("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sg-3) > 0.2 {
+		t.Fatalf("SigmaAnswer(T) = %v, want ≈ 3", sg)
+	}
+	tsg, err := st.SigmaTruth("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tsg-3) > 0.2 {
+		t.Fatalf("SigmaTruth(T) = %v, want ≈ 3", tsg)
+	}
+}
+
+func TestStatisticsAccessorsErrors(t *testing.T) {
+	st, _ := buildTestStats(t, 100, 2, EstimateGraph)
+	if _, err := st.Sc("ghost"); err == nil {
+		t.Fatal("Sc(ghost) should error")
+	}
+	if _, _, err := st.So("ghost", "T"); err == nil {
+		t.Fatal("So with unknown target should error")
+	}
+	if _, _, err := st.So("T", "ghost"); err == nil {
+		t.Fatal("So with unknown attribute should error")
+	}
+	if _, err := st.Sa("ghost", "T"); err == nil {
+		t.Fatal("Sa should error")
+	}
+	if _, err := st.Sa("T", "ghost"); err == nil {
+		t.Fatal("Sa should error on second arg")
+	}
+	if _, err := st.SigmaAnswer("ghost"); err == nil {
+		t.Fatal("SigmaAnswer should error")
+	}
+	if _, err := st.SigmaTruth("ghost"); err == nil {
+		t.Fatal("SigmaTruth should error")
+	}
+	if !st.Has("T") || st.Has("ghost") {
+		t.Fatal("Has wrong")
+	}
+	if len(st.Attributes()) != 3 || len(st.Targets()) != 1 {
+		t.Fatal("Attributes/Targets wrong")
+	}
+}
+
+func TestComputeStatisticsValidation(t *testing.T) {
+	if _, err := computeStatistics(nil, nil, nil, nil, nil, 2, EstimateGraph); err == nil {
+		t.Fatal("empty attrs should error")
+	}
+	// Missing base samples.
+	_, err := computeStatistics([]string{"T"}, []string{"T"},
+		map[string]*rawSamples{}, nil, map[string][]float64{"T": {1, 2}}, 2, EstimateGraph)
+	if err == nil {
+		t.Fatal("missing base samples should error")
+	}
+	// Missing truth.
+	rng := rand.New(rand.NewSource(1))
+	base := map[string]*rawSamples{"T": synthRaw(rng, []float64{1, 2, 3}, 0.1, 2)}
+	_, err = computeStatistics([]string{"T"}, []string{"T"}, base, nil,
+		map[string][]float64{}, 2, EstimateGraph)
+	if err == nil {
+		t.Fatal("missing truth should error")
+	}
+	// Misaligned truth length.
+	_, err = computeStatistics([]string{"T"}, []string{"T"}, base, nil,
+		map[string][]float64{"T": {1, 2}}, 2, EstimateGraph)
+	if err == nil {
+		t.Fatal("misaligned truth should error")
+	}
+}
+
+// multiTargetStats builds a 2-target setup where attribute A was paired
+// only with T1 (measured), leaving S_o(T2, A) to be estimated.
+func multiTargetStats(t *testing.T, policy EstimationPolicy) *Statistics {
+	t.Helper()
+	rng := rand.New(rand.NewSource(88))
+	n, k := 3000, 2
+	// Shared latent drives both targets and A.
+	t1 := make([]float64, n)
+	a1 := make([]float64, n) // A's signal on T1's stream
+	for i := range t1 {
+		z := rng.NormFloat64()
+		t1[i] = 10 + 3*z
+		a1[i] = 2*z + 0.5*rng.NormFloat64()
+	}
+	// T2's stream: separate examples, same generative law.
+	t2 := make([]float64, n)
+	t2onT2 := make([]float64, n)
+	for i := range t2 {
+		z := rng.NormFloat64()
+		t2[i] = -5 + 2*z
+		t2onT2[i] = t2[i]
+	}
+	// Base stream (T1's): T1, T2 and A all sampled there.
+	t2onBase := make([]float64, n)
+	for i := range t2onBase {
+		// T2 correlates 0.6 with T1's latent on the base stream.
+		t2onBase[i] = -5 + 2*(0.6*(t1[i]-10)/3+0.8*rng.NormFloat64())
+	}
+	base := map[string]*rawSamples{
+		"T1": synthRaw(rng, t1, 0.5, k),
+		"T2": synthRaw(rng, t2onBase, 0.5, k),
+		"A":  synthRaw(rng, a1, 0.3, k),
+	}
+	perTarget := map[string]map[string]*rawSamples{
+		"T2": {"T2": synthRaw(rng, t2onT2, 0.5, k)},
+	}
+	st, err := computeStatistics(
+		[]string{"T1", "T2", "A"},
+		[]string{"T1", "T2"},
+		base, perTarget,
+		map[string][]float64{"T1": t1, "T2": t2},
+		k, policy,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestGraphEstimationFillsMissingSo(t *testing.T) {
+	st := multiTargetStats(t, EstimateGraph)
+	// S_o(T2, A) was never measured...
+	v, measured, err := st.So("T2", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if measured {
+		t.Fatal("So(T2,A) should be estimated, not measured")
+	}
+	// ...but the graph path T2 → (T2 answers) → A (S_a edge) gives a
+	// positive estimate: T2 and A share the base-stream correlation.
+	if v <= 0 {
+		t.Fatalf("graph estimate So(T2,A) = %v, want > 0", v)
+	}
+	// And it should not exceed the trivial bound σ(T2)·σ(A).
+	sT2, _ := st.SigmaTruth("T2")
+	sA, _ := st.SigmaAnswer("A")
+	if v > sT2*sA*1.01 {
+		t.Fatalf("estimate %v exceeds σσ bound %v", v, sT2*sA)
+	}
+}
+
+func TestAverageEstimationFillsMissingSo(t *testing.T) {
+	st := multiTargetStats(t, EstimateAverage)
+	v, measured, err := st.So("T2", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if measured {
+		t.Fatal("should be estimated")
+	}
+	// NaiveEstimations: the average of T2's measured entries.
+	m1, _, _ := st.So("T2", "T1") // not measured either (only T2 on its own stream)
+	_ = m1
+	self, measuredSelf, _ := st.So("T2", "T2")
+	if !measuredSelf {
+		t.Fatal("So(T2,T2) should be measured")
+	}
+	if math.Abs(v-self) > 1e-9 {
+		t.Fatalf("average estimate %v should equal the single measured value %v", v, self)
+	}
+}
+
+func TestEstimatedCorrelationBounds(t *testing.T) {
+	st, _ := buildTestStats(t, 2000, 2, EstimateGraph)
+	rho, err := st.EstimatedCorrelation("T", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho < 0.5 || rho > 1 {
+		t.Fatalf("EstimatedCorrelation(T,A) = %v, want strong", rho)
+	}
+	rho, _ = st.EstimatedCorrelation("T", "J")
+	if rho > 0.2 {
+		t.Fatalf("EstimatedCorrelation(T,J) = %v, want ≈ 0", rho)
+	}
+	if _, err := st.EstimatedCorrelation("T", "ghost"); err == nil {
+		t.Fatal("unknown attribute should error")
+	}
+	if _, err := st.EstimatedCorrelation("ghost", "A"); err == nil {
+		t.Fatal("unknown target should error")
+	}
+}
+
+// TestSaMatrixUsableInObjective guards the NearestSPD pathway: the
+// absolute-value S_a of a realistic setup must be regularizable.
+func TestSaMatrixUsableInObjective(t *testing.T) {
+	st, _ := buildTestStats(t, 500, 2, EstimateGraph)
+	counts := map[string]int{"T": 2, "A": 3, "J": 1}
+	v, err := objectiveValue(st, map[string]float64{"T": 1}, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 {
+		t.Fatalf("objective = %v, want > 0", v)
+	}
+	// Objective is bounded by the weighted target variance.
+	if v > 9*1.5 {
+		t.Fatalf("objective = %v exceeds plausible bound", v)
+	}
+}

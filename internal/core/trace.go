@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/crowd"
+)
+
+// TraceEvent describes one decision of the preprocessing phase, for
+// observability: which attribute was dismantled, what the crowd answered,
+// what verification decided, when and why discovery stopped, and what the
+// budget distribution and regressions came out as.
+type TraceEvent struct {
+	// Kind classifies the event; see the Trace* constants.
+	Kind string
+	// Attribute is the attribute the event concerns (when applicable).
+	Attribute string
+	// Detail is a human-readable description.
+	Detail string
+	// Spent is the preprocessing spend when the event fired.
+	Spent crowd.Cost
+}
+
+// Trace event kinds.
+const (
+	TraceExamples   = "examples"   // example streams collected
+	TraceDismantle  = "dismantle"  // a dismantling question was asked
+	TraceVerify     = "verify"     // a verification test concluded
+	TraceAttribute  = "attribute"  // a new attribute entered the set
+	TraceStop       = "stop"       // discovery stopped
+	TraceBudget     = "budget"     // the budget distribution was derived
+	TraceRegression = "regression" // a regression was learned
+)
+
+// String renders the event for logs.
+func (e TraceEvent) String() string {
+	if e.Attribute != "" {
+		return fmt.Sprintf("[%s] %s: %s (spent %v)", e.Kind, e.Attribute, e.Detail, e.Spent)
+	}
+	return fmt.Sprintf("[%s] %s (spent %v)", e.Kind, e.Detail, e.Spent)
+}
+
+// tracer wraps the optional user callback.
+type tracer struct {
+	fn     func(TraceEvent)
+	ledger *crowd.Ledger
+}
+
+func (t tracer) emit(kind, attribute, format string, args ...interface{}) {
+	if t.fn == nil {
+		return
+	}
+	var spent crowd.Cost
+	if t.ledger != nil {
+		spent = t.ledger.Spent()
+	}
+	t.fn(TraceEvent{
+		Kind:      kind,
+		Attribute: attribute,
+		Detail:    fmt.Sprintf(format, args...),
+		Spent:     spent,
+	})
+}

@@ -1,0 +1,240 @@
+// Package crowd provides the crowdsourcing substrate DisQ runs on: the
+// four question types of Section 2 (value, dismantling, verification,
+// example), a pricing model and budget ledger matching Section 5.1, and a
+// simulated platform that stands in for CrowdFlower (see DESIGN.md for the
+// substitution argument). All crowd answers are deterministic functions of
+// the platform seed and the question identity, which reproduces the
+// paper's methodology of recording answers in a database and reusing them
+// "so that results of multiple runs/algorithms may be compared in
+// equivalent settings".
+package crowd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Cost is a monetary amount in mills (tenths of a cent), the smallest
+// price in the paper's scheme (binary value questions cost 0.1¢).
+// Integer arithmetic keeps budget accounting exact.
+type Cost int64
+
+// Common denominations.
+const (
+	// Mill is a tenth of a cent.
+	Mill Cost = 1
+	// Cent is one US cent.
+	Cent Cost = 10
+	// Dollar is one US dollar.
+	Dollar Cost = 1000
+)
+
+// String renders a cost in dollars/cents for humans.
+func (c Cost) String() string {
+	if c < 0 {
+		return "-" + (-c).String()
+	}
+	if c >= Dollar {
+		return fmt.Sprintf("$%d.%03d", c/Dollar, c%Dollar)
+	}
+	return fmt.Sprintf("%d.%d¢", c/Cent, c%Cent)
+}
+
+// Cents builds a Cost from a (possibly fractional) number of cents.
+func Cents(c float64) Cost { return Cost(c*float64(Cent) + 0.5) }
+
+// Dollars builds a Cost from a number of dollars.
+func Dollars(d float64) Cost { return Cost(d*float64(Dollar) + 0.5) }
+
+// QuestionKind identifies one of the paper's four crowd question types.
+type QuestionKind int
+
+const (
+	// BinaryValue is a value question about a boolean attribute.
+	BinaryValue QuestionKind = iota
+	// NumericValue is a value question about a numeric attribute.
+	NumericValue
+	// Dismantling asks for a related attribute name.
+	Dismantling
+	// Verification asks whether a candidate attribute helps a target.
+	Verification
+	// ExampleQuestion asks for an example object with attribute values.
+	ExampleQuestion
+	numKinds
+)
+
+// String names the question kind.
+func (k QuestionKind) String() string {
+	switch k {
+	case BinaryValue:
+		return "binary-value"
+	case NumericValue:
+		return "numeric-value"
+	case Dismantling:
+		return "dismantling"
+	case Verification:
+		return "verification"
+	case ExampleQuestion:
+		return "example"
+	default:
+		return fmt.Sprintf("QuestionKind(%d)", int(k))
+	}
+}
+
+// Pricing maps question kinds to their price. The zero value is not
+// useful; start from DefaultPricing.
+type Pricing struct {
+	// BinaryValue is the price of a boolean value question (paper: 0.1¢).
+	BinaryValue Cost
+	// NumericValue is the price of a numeric value question (paper: 0.4¢).
+	NumericValue Cost
+	// Dismantling is the price of a dismantling question (paper: 1.5¢).
+	Dismantling Cost
+	// Verification is the price of one verification answer; the paper
+	// folds verification into the dismantling step, and a verification is
+	// a binary judgement, so it is priced like a binary value question.
+	Verification Cost
+	// Example is the price of an example question (paper: 5¢).
+	Example Cost
+}
+
+// DefaultPricing is the payment scheme of Section 5.1.
+func DefaultPricing() Pricing {
+	return Pricing{
+		BinaryValue:  1 * Mill,  // 0.1¢
+		NumericValue: 4 * Mill,  // 0.4¢
+		Dismantling:  15 * Mill, // 1.5¢
+		Verification: 1 * Mill,  // 0.1¢
+		Example:      50 * Mill, // 5¢
+	}
+}
+
+// Validate rejects non-positive prices.
+func (p Pricing) Validate() error {
+	for _, c := range []struct {
+		name string
+		cost Cost
+	}{
+		{"BinaryValue", p.BinaryValue},
+		{"NumericValue", p.NumericValue},
+		{"Dismantling", p.Dismantling},
+		{"Verification", p.Verification},
+		{"Example", p.Example},
+	} {
+		if c.cost <= 0 {
+			return fmt.Errorf("crowd: non-positive price for %s", c.name)
+		}
+	}
+	return nil
+}
+
+// Of returns the price of a question kind.
+func (p Pricing) Of(k QuestionKind) Cost {
+	switch k {
+	case BinaryValue:
+		return p.BinaryValue
+	case NumericValue:
+		return p.NumericValue
+	case Dismantling:
+		return p.Dismantling
+	case Verification:
+		return p.Verification
+	case ExampleQuestion:
+		return p.Example
+	default:
+		return 0
+	}
+}
+
+// ErrBudgetExhausted is returned when a charge would exceed the ledger
+// limit.
+var ErrBudgetExhausted = errors.New("crowd: budget exhausted")
+
+// Ledger tracks crowd spending against an optional limit. It is safe for
+// concurrent use.
+type Ledger struct {
+	mu     sync.Mutex
+	limit  Cost // 0 means unlimited
+	spent  Cost
+	byKind [numKinds]Cost
+	nAsked [numKinds]int
+}
+
+// NewLedger returns a ledger with the given limit; limit 0 disables
+// enforcement (spending is still tracked).
+func NewLedger(limit Cost) *Ledger {
+	return &Ledger{limit: limit}
+}
+
+// Charge records a question of kind k at price c. It fails with
+// ErrBudgetExhausted (charging nothing) when the ledger would exceed its
+// limit.
+func (l *Ledger) Charge(k QuestionKind, c Cost) error {
+	if c < 0 {
+		return fmt.Errorf("crowd: negative charge %v", c)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.limit > 0 && l.spent+c > l.limit {
+		return fmt.Errorf("%w: spent %v + %v exceeds %v", ErrBudgetExhausted, l.spent, c, l.limit)
+	}
+	l.spent += c
+	if k >= 0 && k < numKinds {
+		l.byKind[k] += c
+		l.nAsked[k]++
+	}
+	return nil
+}
+
+// Spent returns the total amount charged.
+func (l *Ledger) Spent() Cost {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.spent
+}
+
+// Remaining returns the budget left, or a negative value meaning
+// "unlimited" when no limit is set.
+func (l *Ledger) Remaining() Cost {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.limit == 0 {
+		return -1
+	}
+	return l.limit - l.spent
+}
+
+// Limit returns the configured limit (0 = unlimited).
+func (l *Ledger) Limit() Cost {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.limit
+}
+
+// SpentOn returns the amount charged for a question kind.
+func (l *Ledger) SpentOn(k QuestionKind) Cost {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if k < 0 || k >= numKinds {
+		return 0
+	}
+	return l.byKind[k]
+}
+
+// Asked returns how many questions of a kind were charged.
+func (l *Ledger) Asked(k QuestionKind) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if k < 0 || k >= numKinds {
+		return 0
+	}
+	return l.nAsked[k]
+}
+
+// CanAfford reports whether a further charge of c fits in the limit.
+func (l *Ledger) CanAfford(c Cost) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.limit == 0 || l.spent+c <= l.limit
+}

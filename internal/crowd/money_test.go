@@ -1,0 +1,196 @@
+package crowd
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestCostString(t *testing.T) {
+	cases := []struct {
+		c    Cost
+		want string
+	}{
+		{1 * Mill, "0.1¢"},
+		{4 * Mill, "0.4¢"},
+		{15 * Mill, "1.5¢"},
+		{50 * Mill, "5.0¢"},
+		{Dollar, "$1.000"},
+		{30 * Dollar, "$30.000"},
+		{-15 * Mill, "-1.5¢"},
+	}
+	for _, tc := range cases {
+		if got := tc.c.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", int64(tc.c), got, tc.want)
+		}
+	}
+}
+
+func TestCentsAndDollars(t *testing.T) {
+	if Cents(0.4) != 4*Mill {
+		t.Fatalf("Cents(0.4) = %v", Cents(0.4))
+	}
+	if Cents(1.5) != 15*Mill {
+		t.Fatalf("Cents(1.5) = %v", Cents(1.5))
+	}
+	if Dollars(30) != 30*Dollar {
+		t.Fatalf("Dollars(30) = %v", Dollars(30))
+	}
+}
+
+func TestQuestionKindString(t *testing.T) {
+	kinds := map[QuestionKind]string{
+		BinaryValue:     "binary-value",
+		NumericValue:    "numeric-value",
+		Dismantling:     "dismantling",
+		Verification:    "verification",
+		ExampleQuestion: "example",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if QuestionKind(99).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}
+
+func TestDefaultPricingMatchesPaper(t *testing.T) {
+	p := DefaultPricing()
+	if p.BinaryValue != Cents(0.1) || p.NumericValue != Cents(0.4) ||
+		p.Dismantling != Cents(1.5) || p.Example != Cents(5) {
+		t.Fatalf("DefaultPricing = %+v does not match Section 5.1", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPricingValidate(t *testing.T) {
+	p := DefaultPricing()
+	p.Example = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected error for zero price")
+	}
+}
+
+func TestPricingOf(t *testing.T) {
+	p := DefaultPricing()
+	if p.Of(BinaryValue) != p.BinaryValue || p.Of(NumericValue) != p.NumericValue ||
+		p.Of(Dismantling) != p.Dismantling || p.Of(Verification) != p.Verification ||
+		p.Of(ExampleQuestion) != p.Example {
+		t.Fatal("Of mapping wrong")
+	}
+	if p.Of(QuestionKind(99)) != 0 {
+		t.Fatal("unknown kind should cost 0")
+	}
+}
+
+func TestLedgerChargeAndLimits(t *testing.T) {
+	l := NewLedger(10 * Mill)
+	if err := l.Charge(NumericValue, 4*Mill); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Charge(NumericValue, 4*Mill); err != nil {
+		t.Fatal(err)
+	}
+	if l.Spent() != 8*Mill {
+		t.Fatalf("Spent = %v", l.Spent())
+	}
+	if l.Remaining() != 2*Mill {
+		t.Fatalf("Remaining = %v", l.Remaining())
+	}
+	// Next charge would exceed: rejected, nothing charged.
+	if err := l.Charge(NumericValue, 4*Mill); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("expected ErrBudgetExhausted, got %v", err)
+	}
+	if l.Spent() != 8*Mill {
+		t.Fatal("failed charge should not change Spent")
+	}
+	// Exactly filling the budget is allowed.
+	if err := l.Charge(BinaryValue, 2*Mill); err != nil {
+		t.Fatal(err)
+	}
+	if !l.CanAfford(0) || l.CanAfford(1) {
+		t.Fatal("CanAfford wrong at the boundary")
+	}
+}
+
+func TestLedgerUnlimited(t *testing.T) {
+	l := NewLedger(0)
+	if err := l.Charge(ExampleQuestion, Dollars(1000)); err != nil {
+		t.Fatal(err)
+	}
+	if l.Remaining() >= 0 {
+		t.Fatal("unlimited ledger should report negative Remaining")
+	}
+	if !l.CanAfford(Dollars(1e6)) {
+		t.Fatal("unlimited ledger can afford anything")
+	}
+	if l.Limit() != 0 {
+		t.Fatal("Limit should be 0")
+	}
+}
+
+func TestLedgerNegativeCharge(t *testing.T) {
+	l := NewLedger(0)
+	if err := l.Charge(BinaryValue, -1); err == nil {
+		t.Fatal("expected error for negative charge")
+	}
+}
+
+func TestLedgerByKindAccounting(t *testing.T) {
+	l := NewLedger(0)
+	l.Charge(BinaryValue, 1*Mill)
+	l.Charge(BinaryValue, 1*Mill)
+	l.Charge(Dismantling, 15*Mill)
+	if l.SpentOn(BinaryValue) != 2*Mill || l.Asked(BinaryValue) != 2 {
+		t.Fatalf("binary accounting: %v / %d", l.SpentOn(BinaryValue), l.Asked(BinaryValue))
+	}
+	if l.SpentOn(Dismantling) != 15*Mill || l.Asked(Dismantling) != 1 {
+		t.Fatal("dismantling accounting wrong")
+	}
+	if l.SpentOn(QuestionKind(99)) != 0 || l.Asked(QuestionKind(99)) != 0 {
+		t.Fatal("unknown kind accounting should be zero")
+	}
+}
+
+func TestLedgerConcurrency(t *testing.T) {
+	l := NewLedger(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Charge(BinaryValue, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Spent() != 5000 {
+		t.Fatalf("concurrent Spent = %v, want 5000", l.Spent())
+	}
+	if l.Asked(BinaryValue) != 5000 {
+		t.Fatalf("concurrent Asked = %v, want 5000", l.Asked(BinaryValue))
+	}
+}
+
+func TestLedgerEnforcesUnderConcurrency(t *testing.T) {
+	l := NewLedger(1000)
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				l.Charge(BinaryValue, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Spent() != 1000 {
+		t.Fatalf("Spent = %v, want exactly the limit", l.Spent())
+	}
+}

@@ -1,0 +1,69 @@
+package crowd
+
+import (
+	"repro/internal/domain"
+)
+
+// Example is the result of one example question: an object together with
+// its true values for the attributes that were asked about (the paper
+// assumes example values are correct; Section 2, "Example Questions").
+type Example struct {
+	Object *domain.Object
+	// Values holds the true value per requested attribute name.
+	Values map[string]float64
+}
+
+// Platform is the crowd access layer the algorithms run against. A real
+// deployment would implement it on top of CrowdFlower/Mechanical Turk;
+// this repository ships SimPlatform.
+//
+// Value answers and example streams are *memoized per question identity*:
+// asking for the first n answers twice charges only once, and asking for
+// n+m answers after n charges only the m new ones. This gives the
+// algorithms the answer-reuse behaviour the paper relies on (skipping the
+// first N_1 example questions when collecting the regression training set,
+// asking only b(a)−k additional value questions, and reusing recorded
+// answers across algorithm comparisons).
+type Platform interface {
+	// Value returns the first n single-worker answers for o.attr,
+	// generating (and charging for) only the ones not yet asked.
+	Value(o *domain.Object, attr string, n int) ([]float64, error)
+
+	// Dismantle asks one dismantling question about attr and returns the
+	// (possibly non-canonical) attribute name a worker replied with.
+	Dismantle(attr string) (string, error)
+
+	// Verify asks one verification question: does knowing candidate help
+	// estimating target?
+	Verify(candidate, target string) (bool, error)
+
+	// Examples returns the first n examples of the stream associated with
+	// the given target attributes, charging only for new ones. Each
+	// example carries true values for exactly those targets.
+	Examples(targets []string, n int) ([]Example, error)
+
+	// Canonical normalizes an attribute name workers may have used to the
+	// platform's canonical form. With the unification mechanism disabled
+	// (Section 5.4's "Normalization Mechanism" ablation) it returns the
+	// name unchanged.
+	Canonical(name string) string
+
+	// Sigma returns the platform's prior estimate of the standard
+	// deviation of true values for an attribute (used for scaling
+	// heuristics; a real platform would expose coarse metadata).
+	Sigma(attr string) float64
+
+	// IsBinary reports whether the attribute is boolean, which determines
+	// the value-question price.
+	IsBinary(attr string) bool
+
+	// Pricing returns the payment scheme in force.
+	Pricing() Pricing
+
+	// Ledger returns the active budget ledger.
+	Ledger() *Ledger
+
+	// SetLedger swaps the active ledger (e.g. between the preprocessing
+	// and online phases) and returns the previous one. Caches survive.
+	SetLedger(l *Ledger) *Ledger
+}

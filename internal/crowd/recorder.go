@@ -1,0 +1,89 @@
+package crowd
+
+import (
+	"sync"
+
+	"repro/internal/domain"
+	"repro/internal/store"
+)
+
+// Recorder wraps a Platform and records every value answer and example
+// truth it sees into a store.Table — the paper's methodology of keeping
+// all crowd answers "in a database and reused in following experiments, so
+// that results of multiple runs/algorithms may be compared in equivalent
+// settings". The recorded table can be saved, inspected as CSV, or used to
+// audit exactly what the crowd was asked.
+type Recorder struct {
+	inner Platform
+
+	mu    sync.Mutex
+	table *store.Table
+}
+
+// NewRecorder wraps a platform with recording.
+func NewRecorder(inner Platform) *Recorder {
+	return &Recorder{inner: inner, table: store.NewTable()}
+}
+
+// Table returns the recorded data (live reference; callers should not
+// mutate it while the platform is in use).
+func (r *Recorder) Table() *store.Table {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.table
+}
+
+// Value implements Platform, recording the full answer multiset.
+func (r *Recorder) Value(o *domain.Object, attr string, n int) ([]float64, error) {
+	answers, err := r.inner.Value(o, attr, n)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.table.SetAnswers(o.ID, r.inner.Canonical(attr), answers)
+	r.mu.Unlock()
+	return answers, nil
+}
+
+// Dismantle implements Platform (dismantling answers are not object-bound
+// and are not recorded in the table).
+func (r *Recorder) Dismantle(attr string) (string, error) { return r.inner.Dismantle(attr) }
+
+// Verify implements Platform.
+func (r *Recorder) Verify(candidate, target string) (bool, error) {
+	return r.inner.Verify(candidate, target)
+}
+
+// Examples implements Platform, recording the true target values.
+func (r *Recorder) Examples(targets []string, n int) ([]Example, error) {
+	examples, err := r.inner.Examples(targets, n)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	for _, ex := range examples {
+		for attr, v := range ex.Values {
+			r.table.SetTrue(ex.Object.ID, attr, v)
+		}
+	}
+	r.mu.Unlock()
+	return examples, nil
+}
+
+// Canonical implements Platform.
+func (r *Recorder) Canonical(name string) string { return r.inner.Canonical(name) }
+
+// Sigma implements Platform.
+func (r *Recorder) Sigma(attr string) float64 { return r.inner.Sigma(attr) }
+
+// IsBinary implements Platform.
+func (r *Recorder) IsBinary(attr string) bool { return r.inner.IsBinary(attr) }
+
+// Pricing implements Platform.
+func (r *Recorder) Pricing() Pricing { return r.inner.Pricing() }
+
+// Ledger implements Platform.
+func (r *Recorder) Ledger() *Ledger { return r.inner.Ledger() }
+
+// SetLedger implements Platform.
+func (r *Recorder) SetLedger(l *Ledger) *Ledger { return r.inner.SetLedger(l) }

@@ -1,0 +1,448 @@
+package crowd
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/domain"
+	"repro/internal/stats"
+)
+
+// ErrUnknownAttribute is returned when a value question targets a name the
+// simulated universe cannot resolve (a real crowd would answer anything; a
+// simulator needs ground truth to answer from).
+var ErrUnknownAttribute = errors.New("crowd: unknown attribute")
+
+// SimOptions configures the simulated platform.
+type SimOptions struct {
+	// Seed drives all randomness; equal seeds give byte-identical answer
+	// streams regardless of the order questions are asked in.
+	Seed int64
+	// Pricing is the payment scheme; zero value means DefaultPricing.
+	Pricing Pricing
+	// PoolSize is the number of distinct simulated workers (default 500).
+	PoolSize int
+	// SpamRate is the fraction of workers who answer randomly before
+	// filtering (Section 2 assumes "spam filters are employed"; default 0).
+	SpamRate float64
+	// FilterEfficiency is the probability the spam filter catches a spam
+	// worker; 0 means no filtering.
+	FilterEfficiency float64
+	// DisableUnification turns off synonym merging (the Section 5.4
+	// "Normalization Mechanism" ablation): Canonical becomes the identity
+	// and distinct synonyms are reported as distinct attributes.
+	DisableUnification bool
+	// IrrelevantRate mixes extra junk into dismantling answers (the
+	// Section 5.4 "Attributes Quality" ablation): with this probability a
+	// dismantling answer is replaced by a uniformly random attribute.
+	IrrelevantRate float64
+	// BudgetLimit initializes the ledger (0 = unlimited).
+	BudgetLimit Cost
+}
+
+// SimPlatform is a deterministic simulated crowd over a domain.Universe.
+// It implements Platform. See the package comment for the fidelity
+// argument.
+type SimPlatform struct {
+	u    *domain.Universe
+	opts SimOptions
+
+	mu       sync.Mutex
+	ledger   *Ledger
+	values   map[valueKey][]float64
+	workers  map[valueKey][]int // worker id per cached answer
+	examples map[string][]Example
+	nextAsk  map[string]int // per-attribute dismantling answer index
+	nVerify  map[string]int // per (candidate,target) verification index
+	dist     map[string]*dismantleDist
+}
+
+type valueKey struct {
+	objID int
+	attr  string // canonical
+}
+
+type dismantleDist struct {
+	names []string
+	cat   *stats.Categorical
+}
+
+// NewSim builds a simulated platform over the universe.
+func NewSim(u *domain.Universe, opts SimOptions) (*SimPlatform, error) {
+	if u == nil {
+		return nil, errors.New("crowd: nil universe")
+	}
+	if opts.Pricing == (Pricing{}) {
+		opts.Pricing = DefaultPricing()
+	}
+	if err := opts.Pricing.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.PoolSize == 0 {
+		opts.PoolSize = 500
+	}
+	if opts.PoolSize < 1 {
+		return nil, fmt.Errorf("crowd: pool size %d", opts.PoolSize)
+	}
+	if opts.SpamRate < 0 || opts.SpamRate > 1 {
+		return nil, fmt.Errorf("crowd: spam rate %v out of [0,1]", opts.SpamRate)
+	}
+	if opts.FilterEfficiency < 0 || opts.FilterEfficiency > 1 {
+		return nil, fmt.Errorf("crowd: filter efficiency %v out of [0,1]", opts.FilterEfficiency)
+	}
+	if opts.IrrelevantRate < 0 || opts.IrrelevantRate > 1 {
+		return nil, fmt.Errorf("crowd: irrelevant rate %v out of [0,1]", opts.IrrelevantRate)
+	}
+	return &SimPlatform{
+		u:        u,
+		opts:     opts,
+		ledger:   NewLedger(opts.BudgetLimit),
+		values:   make(map[valueKey][]float64),
+		workers:  make(map[valueKey][]int),
+		examples: make(map[string][]Example),
+		nextAsk:  make(map[string]int),
+		nVerify:  make(map[string]int),
+		dist:     make(map[string]*dismantleDist),
+	}, nil
+}
+
+// Universe exposes the underlying universe (used by experiment harnesses to
+// compute true errors; algorithms must not peek).
+func (p *SimPlatform) Universe() *domain.Universe { return p.u }
+
+// subRand derives an independent deterministic generator from the platform
+// seed and a question identity, making answers order-independent.
+func (p *SimPlatform) subRand(parts ...string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", p.opts.Seed)
+	for _, s := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(s))
+	}
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// worker models one crowd member's quality, derived deterministically from
+// a worker id.
+type worker struct {
+	noiseScale float64
+	bias       float64
+	spam       bool
+}
+
+func (p *SimPlatform) worker(id int) worker {
+	r := p.subRand("worker", fmt.Sprint(id))
+	w := worker{
+		noiseScale: 0.6 + 0.9*r.Float64(),
+		bias:       0.3 * r.NormFloat64(),
+	}
+	if p.opts.SpamRate > 0 {
+		// A worker is an *unfiltered* spammer when they spam AND the
+		// filter misses them.
+		w.spam = r.Float64() < p.opts.SpamRate*(1-p.opts.FilterEfficiency)
+	}
+	return w
+}
+
+// Value implements Platform. Answers are cached per (object, attribute);
+// only newly generated answers are charged.
+func (p *SimPlatform) Value(o *domain.Object, attr string, n int) ([]float64, error) {
+	if o == nil {
+		return nil, errors.New("crowd: nil object")
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("crowd: negative answer count %d", n)
+	}
+	canon, err := p.u.Canonical(attr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAttribute, attr)
+	}
+	meta, err := p.u.Attribute(canon)
+	if err != nil {
+		return nil, err
+	}
+	// Workers answer around the crowd consensus, which carries the
+	// attribute's systematic per-object distortion away from the truth.
+	consensus, err := p.u.Consensus(o, canon)
+	if err != nil {
+		return nil, err
+	}
+	price := p.opts.Pricing.NumericValue
+	kind := NumericValue
+	if meta.Binary {
+		price = p.opts.Pricing.BinaryValue
+		kind = BinaryValue
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := valueKey{objID: o.ID, attr: canon}
+	answers := p.values[key]
+	for len(answers) < n {
+		if err := p.ledger.Charge(kind, price); err != nil {
+			p.values[key] = answers
+			return nil, err
+		}
+		idx := len(answers)
+		r := p.subRand("value", fmt.Sprint(o.ID), canon, fmt.Sprint(idx))
+		workerID := r.Intn(p.opts.PoolSize)
+		w := p.worker(workerID)
+		answers = append(answers, p.generateAnswer(r, w, meta, consensus))
+		p.workers[key] = append(p.workers[key], workerID)
+	}
+	p.values[key] = answers
+	out := make([]float64, n)
+	copy(out, answers[:n])
+	return out, nil
+}
+
+// DetailedAnswer is one worker answer with its (simulated) worker identity
+// — what a real platform reports and what quality management [19] needs.
+type DetailedAnswer struct {
+	Worker int
+	Value  float64
+}
+
+// ValueDetailed is Value plus worker identities. It is a SimPlatform
+// capability (not part of the Platform interface): the DisQ algorithm
+// itself never needs worker identities, but a deployment's quality layer
+// does.
+func (p *SimPlatform) ValueDetailed(o *domain.Object, attr string, n int) ([]DetailedAnswer, error) {
+	values, err := p.Value(o, attr, n)
+	if err != nil {
+		return nil, err
+	}
+	canon, err := p.u.Canonical(attr)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ids := p.workers[valueKey{objID: o.ID, attr: canon}]
+	out := make([]DetailedAnswer, n)
+	for i := range out {
+		out[i] = DetailedAnswer{Worker: ids[i], Value: values[i]}
+	}
+	return out, nil
+}
+
+// generateAnswer draws one worker answer for an attribute with the given
+// crowd-consensus value. Numeric answers are consensus + worker-scaled
+// Gaussian noise; binary answers are a Bernoulli draw of the
+// noise-perturbed consensus probability. Spam workers answer
+// uninformatively.
+func (p *SimPlatform) generateAnswer(r *rand.Rand, w worker, meta domain.Attribute, consensus float64) float64 {
+	if meta.Binary {
+		if w.spam {
+			return float64(r.Intn(2))
+		}
+		prob := consensus + meta.Noise*w.noiseScale*r.NormFloat64() + 0.1*w.bias
+		if prob < 0 {
+			prob = 0
+		} else if prob > 1 {
+			prob = 1
+		}
+		if r.Float64() < prob {
+			return 1
+		}
+		return 0
+	}
+	if w.spam {
+		return meta.Mean + meta.Sigma*(6*r.Float64()-3)
+	}
+	return consensus + meta.Noise*(w.noiseScale*r.NormFloat64()+0.3*w.bias)
+}
+
+// Dismantle implements Platform: one worker's answer to "which attribute
+// may help estimate attr?", drawn from the universe's dismantling-answer
+// distribution (optionally polluted by IrrelevantRate).
+func (p *SimPlatform) Dismantle(attr string) (string, error) {
+	canon, err := p.u.Canonical(attr)
+	if err != nil {
+		return "", fmt.Errorf("%w: %q", ErrUnknownAttribute, attr)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.ledger.Charge(Dismantling, p.opts.Pricing.Dismantling); err != nil {
+		return "", err
+	}
+	d, err := p.distribution(canon)
+	if err != nil {
+		return "", err
+	}
+	idx := p.nextAsk[canon]
+	p.nextAsk[canon]++
+	r := p.subRand("dismantle", canon, fmt.Sprint(idx))
+	if p.opts.IrrelevantRate > 0 && r.Float64() < p.opts.IrrelevantRate {
+		all := p.u.Attributes()
+		return all[r.Intn(len(all))], nil
+	}
+	if d == nil {
+		// Attribute with no related answers at all: workers shrug and name
+		// a random attribute.
+		all := p.u.Attributes()
+		return all[r.Intn(len(all))], nil
+	}
+	return d.names[d.cat.Sample(r)], nil
+}
+
+func (p *SimPlatform) distribution(canon string) (*dismantleDist, error) {
+	if d, ok := p.dist[canon]; ok {
+		return d, nil
+	}
+	table, err := p.u.DismantleDistribution(canon)
+	if err != nil {
+		return nil, err
+	}
+	if len(table) == 0 {
+		p.dist[canon] = nil
+		return nil, nil
+	}
+	names := make([]string, len(table))
+	weights := make([]float64, len(table))
+	for i, a := range table {
+		names[i] = a.Name
+		weights[i] = a.Weight
+	}
+	cat, err := stats.NewCategorical(weights)
+	if err != nil {
+		return nil, err
+	}
+	d := &dismantleDist{names: names, cat: cat}
+	p.dist[canon] = d
+	return d, nil
+}
+
+// Verify implements Platform: one worker's yes/no on whether knowing
+// candidate helps estimate target. The yes-probability grows with the
+// domain's relatedness measure — p = clamp(0.12 + 0.8·r, 0.05, 0.95) —
+// which floors the marginal correlation by shared-mechanism strength, so
+// a human's "of course height helps BMI" is modeled even where the
+// marginal correlation vanishes, while junk like "is_black" is rejected.
+func (p *SimPlatform) Verify(candidate, target string) (bool, error) {
+	tCanon, err := p.u.Canonical(target)
+	if err != nil {
+		return false, fmt.Errorf("%w: target %q", ErrUnknownAttribute, target)
+	}
+	var rho float64
+	if cCanon, err := p.u.Canonical(candidate); err == nil {
+		rho, _ = p.u.Relatedness(cCanon, tCanon)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.ledger.Charge(Verification, p.opts.Pricing.Verification); err != nil {
+		return false, err
+	}
+	key := candidate + "\x00" + tCanon
+	idx := p.nVerify[key]
+	p.nVerify[key]++
+	r := p.subRand("verify", candidate, tCanon, fmt.Sprint(idx))
+	pYes := 0.12 + 0.8*rho
+	if pYes < 0.05 {
+		pYes = 0.05
+	} else if pYes > 0.95 {
+		pYes = 0.95
+	}
+	return r.Float64() < pYes, nil
+}
+
+// Examples implements Platform: the first n examples of the stream for the
+// given targets, charging only newly generated ones. Values are the true
+// ones (lab-member gold standard, Section 5.1).
+func (p *SimPlatform) Examples(targets []string, n int) ([]Example, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("crowd: negative example count %d", n)
+	}
+	if len(targets) == 0 {
+		return nil, errors.New("crowd: example question needs target attributes")
+	}
+	canon := make([]string, len(targets))
+	for i, t := range targets {
+		c, err := p.u.Canonical(t)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownAttribute, t)
+		}
+		canon[i] = c
+	}
+	sorted := append([]string(nil), canon...)
+	sort.Strings(sorted)
+	streamKey := strings.Join(sorted, "\x00")
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	stream := p.examples[streamKey]
+	for len(stream) < n {
+		if err := p.ledger.Charge(ExampleQuestion, p.opts.Pricing.Example); err != nil {
+			p.examples[streamKey] = stream
+			return nil, err
+		}
+		// Each stream position gets its own deterministic generator, so
+		// the example sequence for a target set is independent of when
+		// other streams were consumed.
+		r := p.subRand("example", streamKey, fmt.Sprint(len(stream)))
+		obj := p.u.NewObjects(r, 1)[0]
+		values := make(map[string]float64, len(canon))
+		for _, c := range canon {
+			v, err := p.u.Truth(obj, c)
+			if err != nil {
+				return nil, err
+			}
+			values[c] = v
+		}
+		stream = append(stream, Example{Object: obj, Values: values})
+	}
+	p.examples[streamKey] = stream
+	out := make([]Example, n)
+	copy(out, stream[:n])
+	return out, nil
+}
+
+// Canonical implements Platform.
+func (p *SimPlatform) Canonical(name string) string {
+	if p.opts.DisableUnification {
+		return strings.TrimSpace(name)
+	}
+	if c, err := p.u.Canonical(name); err == nil {
+		return c
+	}
+	return strings.TrimSpace(name)
+}
+
+// Sigma implements Platform; unknown names get a neutral 1.
+func (p *SimPlatform) Sigma(attr string) float64 {
+	if s, err := p.u.TrueSigma(attr); err == nil {
+		return s
+	}
+	return 1
+}
+
+// IsBinary implements Platform; unknown names are treated as numeric (the
+// conservative, more expensive assumption).
+func (p *SimPlatform) IsBinary(attr string) bool {
+	a, err := p.u.Attribute(attr)
+	return err == nil && a.Binary
+}
+
+// Pricing implements Platform.
+func (p *SimPlatform) Pricing() Pricing { return p.opts.Pricing }
+
+// Ledger implements Platform.
+func (p *SimPlatform) Ledger() *Ledger {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ledger
+}
+
+// SetLedger implements Platform.
+func (p *SimPlatform) SetLedger(l *Ledger) *Ledger {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	old := p.ledger
+	p.ledger = l
+	return old
+}

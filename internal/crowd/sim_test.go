@@ -1,0 +1,477 @@
+package crowd
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/domain"
+	"repro/internal/stats"
+)
+
+func newTestSim(t *testing.T, opts SimOptions) *SimPlatform {
+	t.Helper()
+	p, err := NewSim(domain.Recipes(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewSimValidation(t *testing.T) {
+	u := domain.Recipes()
+	if _, err := NewSim(nil, SimOptions{}); err == nil {
+		t.Fatal("expected error for nil universe")
+	}
+	bad := []SimOptions{
+		{PoolSize: -1},
+		{SpamRate: 1.5},
+		{SpamRate: 0.1, FilterEfficiency: 2},
+		{IrrelevantRate: -0.1},
+		{Pricing: Pricing{BinaryValue: 1}}, // other prices zero
+	}
+	for i, o := range bad {
+		if _, err := NewSim(u, o); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, o)
+		}
+	}
+	if _, err := NewSim(u, SimOptions{}); err != nil {
+		t.Fatalf("default options rejected: %v", err)
+	}
+}
+
+func TestValueAnswersCachedAndChargedOnce(t *testing.T) {
+	p := newTestSim(t, SimOptions{Seed: 1})
+	obj := p.Universe().NewObjects(rand.New(rand.NewSource(9)), 1)[0]
+
+	a1, err := p.Value(obj, "Calories", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spentAfterFirst := p.Ledger().Spent()
+	if spentAfterFirst != 3*Cents(0.4) {
+		t.Fatalf("3 numeric answers cost %v, want 1.2¢", spentAfterFirst)
+	}
+	// Re-asking the same 3 answers charges nothing and returns the same data.
+	a2, err := p.Value(obj, "Calories", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ledger().Spent() != spentAfterFirst {
+		t.Fatal("re-asking cached answers should be free")
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("cached answers differ")
+		}
+	}
+	// Asking for 5 charges only the 2 new ones.
+	if _, err := p.Value(obj, "Calories", 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Ledger().Spent(); got != 5*Cents(0.4) {
+		t.Fatalf("after 5 answers spent %v, want 2.0¢", got)
+	}
+}
+
+func TestValueBinaryPriceAndRange(t *testing.T) {
+	p := newTestSim(t, SimOptions{Seed: 2})
+	obj := p.Universe().NewObjects(rand.New(rand.NewSource(9)), 1)[0]
+	ans, err := p.Value(obj, "Dessert", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ledger().Spent() != 10*Cents(0.1) {
+		t.Fatalf("10 binary answers cost %v, want 1¢", p.Ledger().Spent())
+	}
+	for _, a := range ans {
+		if a != 0 && a != 1 {
+			t.Fatalf("binary answer %v not in {0,1}", a)
+		}
+	}
+}
+
+func TestValueResolvesSynonyms(t *testing.T) {
+	p := newTestSim(t, SimOptions{Seed: 3})
+	obj := p.Universe().NewObjects(rand.New(rand.NewSource(9)), 1)[0]
+	a1, err := p.Value(obj, "Is Dessert", 2) // synonym of Dessert
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := p.Value(obj, "Dessert", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1[0] != a2[0] || a1[1] != a2[1] {
+		t.Fatal("synonym should share the canonical answer cache")
+	}
+}
+
+func TestValueErrors(t *testing.T) {
+	p := newTestSim(t, SimOptions{Seed: 4})
+	obj := p.Universe().NewObjects(rand.New(rand.NewSource(9)), 1)[0]
+	if _, err := p.Value(nil, "Calories", 1); err == nil {
+		t.Fatal("expected error for nil object")
+	}
+	if _, err := p.Value(obj, "Calories", -1); err == nil {
+		t.Fatal("expected error for negative n")
+	}
+	if _, err := p.Value(obj, "No Such Attr", 1); !errors.Is(err, ErrUnknownAttribute) {
+		t.Fatal("expected ErrUnknownAttribute")
+	}
+}
+
+func TestValueBudgetEnforced(t *testing.T) {
+	p := newTestSim(t, SimOptions{Seed: 5, BudgetLimit: Cents(0.8)})
+	obj := p.Universe().NewObjects(rand.New(rand.NewSource(9)), 1)[0]
+	// Two numeric answers fit (0.8¢), the third does not.
+	if _, err := p.Value(obj, "Calories", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Value(obj, "Calories", 3); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatal("expected ErrBudgetExhausted")
+	}
+	// The two generated answers survive the failed charge.
+	a, err := p.Value(obj, "Calories", 2)
+	if err != nil || len(a) != 2 {
+		t.Fatalf("cache lost after budget failure: %v %v", a, err)
+	}
+}
+
+func TestValueAnswersCenterOnConsensus(t *testing.T) {
+	p := newTestSim(t, SimOptions{Seed: 6})
+	obj := p.Universe().NewObjects(rand.New(rand.NewSource(10)), 1)[0]
+	consensus, _ := p.Universe().Consensus(obj, "Calories")
+	ans, err := p.Value(obj, "Calories", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, _ := p.Universe().Attribute("Calories")
+	m := stats.Mean(ans)
+	// Averaging converges to the crowd consensus (worker-level noise and
+	// bias average out), NOT necessarily to the truth.
+	if math.Abs(m-consensus) > 0.25*meta.Noise {
+		t.Fatalf("answer mean %v too far from consensus %v", m, consensus)
+	}
+	// Per-object answer variance is on the order of Noise².
+	v, _ := stats.Variance(ans)
+	if v < 0.3*meta.Noise*meta.Noise || v > 3*meta.Noise*meta.Noise {
+		t.Fatalf("answer variance %v, want on the order of %v", v, meta.Noise*meta.Noise)
+	}
+}
+
+func TestSystematicDistortionSurvivesAveraging(t *testing.T) {
+	// For a heavily distorted attribute (Calories, Distortion 190), the
+	// RMS gap between many-worker answer means and the truth must stay on
+	// the order of the distortion — this is the paper's premise that some
+	// attributes are "so difficult or un-intuitive for the crowd" that
+	// more answers do not converge to the right value.
+	p := newTestSim(t, SimOptions{Seed: 60})
+	u := p.Universe()
+	objs := u.NewObjects(rand.New(rand.NewSource(61)), 50)
+	var sqGap float64
+	for _, o := range objs {
+		ans, err := p.Value(o, "Calories", 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth, _ := u.Truth(o, "Calories")
+		gap := stats.Mean(ans) - truth
+		sqGap += gap * gap
+	}
+	rms := math.Sqrt(sqGap / float64(len(objs)))
+	meta, _ := u.Attribute("Calories")
+	if rms < 0.5*meta.Distortion || rms > 2*meta.Distortion {
+		t.Fatalf("RMS truth gap %v, want on the order of Distortion %v", rms, meta.Distortion)
+	}
+}
+
+func TestBinaryAnswerProbabilityTracksTruth(t *testing.T) {
+	p := newTestSim(t, SimOptions{Seed: 7})
+	rng := rand.New(rand.NewSource(11))
+	objs := p.Universe().NewObjects(rng, 60)
+	// Correlation between truth and answer frequency should be strong.
+	var truths, freqs []float64
+	for _, o := range objs {
+		truth, _ := p.Universe().Truth(o, "Has Meat")
+		ans, err := p.Value(o, "Has Meat", 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truths = append(truths, truth)
+		freqs = append(freqs, stats.Mean(ans))
+	}
+	rho, err := stats.Correlation(truths, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho < 0.7 {
+		t.Fatalf("truth/answer correlation %v, want ≥ 0.7", rho)
+	}
+}
+
+func TestSameSeedSameAnswersRegardlessOfOrder(t *testing.T) {
+	p1 := newTestSim(t, SimOptions{Seed: 42})
+	p2 := newTestSim(t, SimOptions{Seed: 42})
+	rng := rand.New(rand.NewSource(12))
+	objs := p1.Universe().NewObjects(rng, 2)
+	// Recreate the same objects in p2's universe (same latent draw).
+	rng2 := rand.New(rand.NewSource(12))
+	objs2 := p2.Universe().NewObjects(rng2, 2)
+
+	// p1 asks obj0 first; p2 asks obj1 first.
+	a0, _ := p1.Value(objs[0], "Calories", 3)
+	a1, _ := p1.Value(objs[1], "Calories", 3)
+	b1, _ := p2.Value(objs2[1], "Calories", 3)
+	b0, _ := p2.Value(objs2[0], "Calories", 3)
+	for i := range a0 {
+		if a0[i] != b0[i] || a1[i] != b1[i] {
+			t.Fatal("answers depend on ask order despite equal seed")
+		}
+	}
+	// Different seed → different answers.
+	p3 := newTestSim(t, SimOptions{Seed: 43})
+	objs3 := p3.Universe().NewObjects(rand.New(rand.NewSource(12)), 2)
+	c0, _ := p3.Value(objs3[0], "Calories", 3)
+	same := true
+	for i := range a0 {
+		if a0[i] != c0[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical answers")
+	}
+}
+
+func TestDismantleFollowsTable(t *testing.T) {
+	p := newTestSim(t, SimOptions{Seed: 8})
+	counts := make(map[string]int)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		ans, err := p.Dismantle("Protein")
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[p.Canonical(ans)]++
+	}
+	if p.Ledger().Spent() != n*Cents(1.5) {
+		t.Fatalf("dismantle cost %v, want %v", p.Ledger().Spent(), n*Cents(1.5))
+	}
+	// Has Meat is the most frequent answer (13% + 3% synonym per Table 4b).
+	if counts["Has Meat"] < counts["Vegetarian"] {
+		t.Fatalf("Has Meat (%d) should beat Vegetarian (%d)", counts["Has Meat"], counts["Vegetarian"])
+	}
+	// Frequencies roughly match the table ratio Has Meat(16) : Number Of Eggs(4).
+	ratio := float64(counts["Has Meat"]) / float64(counts["Number Of Eggs"])
+	if ratio < 2 || ratio > 8 {
+		t.Fatalf("Has Meat / Number Of Eggs ratio %v, want ≈ 4", ratio)
+	}
+	if _, err := p.Dismantle("ghost"); !errors.Is(err, ErrUnknownAttribute) {
+		t.Fatal("expected ErrUnknownAttribute")
+	}
+}
+
+func TestDismantleIrrelevantRate(t *testing.T) {
+	// With IrrelevantRate 1, answers are uniform over all attributes, so
+	// junk like Is Black appears with frequency ≈ 1/|A|.
+	p, err := NewSim(domain.Recipes(), SimOptions{Seed: 9, IrrelevantRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawJunk := false
+	for i := 0; i < 300; i++ {
+		ans, err := p.Dismantle("Protein")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ans == "Is Black" || ans == "Is Brown" || ans == "Is Soup" {
+			sawJunk = true
+		}
+	}
+	if !sawJunk {
+		t.Fatal("IrrelevantRate=1 should surface junk answers")
+	}
+}
+
+func TestVerifyTracksCorrelation(t *testing.T) {
+	p := newTestSim(t, SimOptions{Seed: 10})
+	yesRate := func(candidate string) float64 {
+		yes := 0
+		const n = 400
+		for i := 0; i < n; i++ {
+			ok, err := p.Verify(candidate, "Protein")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				yes++
+			}
+		}
+		return float64(yes) / n
+	}
+	strong := yesRate("Has Meat") // |ρ| ≈ 0.7
+	junk := yesRate("Is Black")   // ρ = 0
+	if strong < 0.55 {
+		t.Fatalf("strong candidate yes-rate %v, want high", strong)
+	}
+	if junk > 0.25 {
+		t.Fatalf("junk candidate yes-rate %v, want ≈ 0.12", junk)
+	}
+	// Unknown candidate behaves like junk, not an error (real workers can
+	// be asked about anything).
+	if _, err := p.Verify("Completely Made Up", "Protein"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Verify("Has Meat", "ghost"); !errors.Is(err, ErrUnknownAttribute) {
+		t.Fatal("unknown target should error")
+	}
+}
+
+func TestExamplesStreamReuse(t *testing.T) {
+	p := newTestSim(t, SimOptions{Seed: 11})
+	ex1, err := p.Examples([]string{"Protein"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex1) != 5 {
+		t.Fatalf("got %d examples", len(ex1))
+	}
+	spent := p.Ledger().Spent()
+	if spent != 5*Cents(5) {
+		t.Fatalf("5 examples cost %v, want 25¢", spent)
+	}
+	// Prefix reuse is free and identical.
+	ex2, err := p.Examples([]string{"Protein"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ledger().Spent() != spent {
+		t.Fatal("prefix reuse should be free")
+	}
+	for i := range ex2 {
+		if ex2[i].Object.ID != ex1[i].Object.ID {
+			t.Fatal("stream prefix changed")
+		}
+	}
+	// Extension charges only the extra.
+	if _, err := p.Examples([]string{"Protein"}, 7); err != nil {
+		t.Fatal(err)
+	}
+	if p.Ledger().Spent() != 7*Cents(5) {
+		t.Fatalf("after 7 examples spent %v", p.Ledger().Spent())
+	}
+	// Values are the true ones.
+	truth, _ := p.Universe().Truth(ex1[0].Object, "Protein")
+	if ex1[0].Values["Protein"] != truth {
+		t.Fatal("example values should be ground truth")
+	}
+}
+
+func TestExamplesTargetSetOrderInsensitive(t *testing.T) {
+	p := newTestSim(t, SimOptions{Seed: 12})
+	e1, err := p.Examples([]string{"Protein", "Calories"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := p.Examples([]string{"Calories", "Protein"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ledger().Asked(ExampleQuestion) != 2 {
+		t.Fatal("reordered target set should reuse the stream")
+	}
+	if e1[0].Object.ID != e2[0].Object.ID {
+		t.Fatal("streams differ for reordered targets")
+	}
+}
+
+func TestExamplesErrors(t *testing.T) {
+	p := newTestSim(t, SimOptions{Seed: 13})
+	if _, err := p.Examples(nil, 1); err == nil {
+		t.Fatal("expected error for empty targets")
+	}
+	if _, err := p.Examples([]string{"Protein"}, -1); err == nil {
+		t.Fatal("expected error for negative n")
+	}
+	if _, err := p.Examples([]string{"ghost"}, 1); !errors.Is(err, ErrUnknownAttribute) {
+		t.Fatal("expected ErrUnknownAttribute")
+	}
+}
+
+func TestCanonicalUnificationToggle(t *testing.T) {
+	p := newTestSim(t, SimOptions{Seed: 14})
+	if got := p.Canonical("Is Dietetic"); got != "Low Calories" {
+		t.Fatalf("Canonical = %q, want Low Calories", got)
+	}
+	if got := p.Canonical("totally new"); got != "totally new" {
+		t.Fatal("unknown names pass through")
+	}
+	p2, err := NewSim(domain.Recipes(), SimOptions{Seed: 14, DisableUnification: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.Canonical("Is Dietetic"); got != "Is Dietetic" {
+		t.Fatalf("unification disabled but Canonical = %q", got)
+	}
+}
+
+func TestSigmaAndIsBinary(t *testing.T) {
+	p := newTestSim(t, SimOptions{Seed: 15})
+	if s := p.Sigma("Calories"); s != 250 {
+		t.Fatalf("Sigma(Calories) = %v", s)
+	}
+	if s := p.Sigma("ghost"); s != 1 {
+		t.Fatalf("Sigma(ghost) = %v, want neutral 1", s)
+	}
+	if !p.IsBinary("Dessert") || p.IsBinary("Calories") || p.IsBinary("ghost") {
+		t.Fatal("IsBinary wrong")
+	}
+}
+
+func TestSetLedgerSwapsPhases(t *testing.T) {
+	p := newTestSim(t, SimOptions{Seed: 16})
+	obj := p.Universe().NewObjects(rand.New(rand.NewSource(9)), 1)[0]
+	p.Value(obj, "Calories", 1)
+	old := p.SetLedger(NewLedger(0))
+	if old.Spent() != Cents(0.4) {
+		t.Fatalf("old ledger spent %v", old.Spent())
+	}
+	p.Value(obj, "Calories", 2) // 1 new answer on the new ledger
+	if p.Ledger().Spent() != Cents(0.4) {
+		t.Fatalf("new ledger spent %v, want 0.4¢", p.Ledger().Spent())
+	}
+	if old.Spent() != Cents(0.4) {
+		t.Fatal("old ledger should be untouched")
+	}
+}
+
+func TestSpamWorkersDegradeAnswers(t *testing.T) {
+	// With heavy unfiltered spam, answer variance grows markedly.
+	clean := newTestSim(t, SimOptions{Seed: 17})
+	dirty, err := NewSim(domain.Recipes(), SimOptions{Seed: 17, SpamRate: 0.5, FilterEfficiency: 0.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj1 := clean.Universe().NewObjects(rand.New(rand.NewSource(20)), 1)[0]
+	obj2 := dirty.Universe().NewObjects(rand.New(rand.NewSource(20)), 1)[0]
+	a1, _ := clean.Value(obj1, "Protein", 300)
+	a2, _ := dirty.Value(obj2, "Protein", 300)
+	v1, _ := stats.Variance(a1)
+	v2, _ := stats.Variance(a2)
+	if v2 < 1.3*v1 {
+		t.Fatalf("spam should inflate variance: clean %v dirty %v", v1, v2)
+	}
+	// A good filter restores most of the quality.
+	filtered, err := NewSim(domain.Recipes(), SimOptions{Seed: 17, SpamRate: 0.5, FilterEfficiency: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj3 := filtered.Universe().NewObjects(rand.New(rand.NewSource(20)), 1)[0]
+	a3, _ := filtered.Value(obj3, "Protein", 300)
+	v3, _ := stats.Variance(a3)
+	if v3 > 1.3*v1 {
+		t.Fatalf("filter should restore quality: clean %v filtered %v", v1, v3)
+	}
+}

@@ -1,0 +1,332 @@
+package crowdhttp
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/crowd"
+	"repro/internal/domain"
+)
+
+// Client implements crowd.Platform over the crowdhttp API. It owns the
+// budget: every question is charged to the local ledger *before* the
+// request is sent, using the server's advertised pricing, and the local
+// answer/example caches guarantee nothing is paid for twice (the same
+// reuse semantics as crowd.SimPlatform).
+type Client struct {
+	base string
+	http *http.Client
+
+	pricingOnce sync.Once
+	pricing     crowd.Pricing
+	pricingErr  error
+
+	mu       sync.Mutex
+	ledger   *crowd.Ledger
+	values   map[valueKey][]float64
+	examples map[string][]crowd.Example
+	meta     map[string]metaResponse
+	canon    map[string]string
+}
+
+type valueKey struct {
+	objID int
+	attr  string
+}
+
+// NewClient returns a platform speaking to the server at baseURL. The
+// httpClient may be nil (http.DefaultClient is used). The initial ledger
+// is unlimited; callers install budget limits with SetLedger.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{
+		base:     strings.TrimRight(baseURL, "/"),
+		http:     httpClient,
+		ledger:   crowd.NewLedger(0),
+		values:   make(map[valueKey][]float64),
+		examples: make(map[string][]crowd.Example),
+		meta:     make(map[string]metaResponse),
+		canon:    make(map[string]string),
+	}
+}
+
+// post sends a JSON request and decodes the JSON response, surfacing
+// server-side errors.
+func (c *Client) post(path string, req, resp interface{}) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("crowdhttp: %s: %w", path, err)
+	}
+	defer r.Body.Close()
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		return fmt.Errorf("crowdhttp: %s: reading response: %w", path, err)
+	}
+	if r.StatusCode != http.StatusOK {
+		var er errorResponse
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			return fmt.Errorf("crowdhttp: %s: %s", path, er.Error)
+		}
+		return fmt.Errorf("crowdhttp: %s: status %d", path, r.StatusCode)
+	}
+	return json.Unmarshal(data, resp)
+}
+
+// fetchPricing loads and caches the server's payment scheme.
+func (c *Client) fetchPricing() (crowd.Pricing, error) {
+	c.pricingOnce.Do(func() {
+		r, err := c.http.Get(c.base + PathPricing)
+		if err != nil {
+			c.pricingErr = err
+			return
+		}
+		defer r.Body.Close()
+		var pr pricingResponse
+		if err := json.NewDecoder(r.Body).Decode(&pr); err != nil {
+			c.pricingErr = err
+			return
+		}
+		c.pricing = crowd.Pricing{
+			BinaryValue:  pr.BinaryValue,
+			NumericValue: pr.NumericValue,
+			Dismantling:  pr.Dismantling,
+			Verification: pr.Verification,
+			Example:      pr.Example,
+		}
+	})
+	return c.pricing, c.pricingErr
+}
+
+// metaOf fetches (and caches) attribute metadata.
+func (c *Client) metaOf(attr string) (metaResponse, error) {
+	c.mu.Lock()
+	if m, ok := c.meta[attr]; ok {
+		c.mu.Unlock()
+		return m, nil
+	}
+	c.mu.Unlock()
+	var m metaResponse
+	if err := c.post(PathMeta, metaRequest{Attribute: attr}, &m); err != nil {
+		return metaResponse{}, err
+	}
+	c.mu.Lock()
+	c.meta[attr] = m
+	c.mu.Unlock()
+	return m, nil
+}
+
+// Value implements crowd.Platform: local cache first, then charge the
+// ledger for the missing answers and fetch the full prefix remotely.
+func (c *Client) Value(o *domain.Object, attr string, n int) ([]float64, error) {
+	if o == nil {
+		return nil, errors.New("crowdhttp: nil object")
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("crowdhttp: negative answer count %d", n)
+	}
+	canon := c.Canonical(attr)
+	key := valueKey{objID: o.ID, attr: canon}
+
+	c.mu.Lock()
+	cached := len(c.values[key])
+	c.mu.Unlock()
+	if cached < n {
+		pricing, err := c.fetchPricing()
+		if err != nil {
+			return nil, err
+		}
+		m, err := c.metaOf(canon)
+		if err != nil {
+			return nil, err
+		}
+		price := pricing.NumericValue
+		kind := crowd.NumericValue
+		if m.Binary {
+			price = pricing.BinaryValue
+			kind = crowd.BinaryValue
+		}
+		// Charge for exactly the new answers before asking.
+		for i := cached; i < n; i++ {
+			if err := c.ledgerRef().Charge(kind, price); err != nil {
+				return nil, err
+			}
+		}
+		var resp valueResponse
+		if err := c.post(PathValue, valueRequest{ObjectID: o.ID, Attribute: canon, N: n}, &resp); err != nil {
+			return nil, err
+		}
+		if len(resp.Answers) < n {
+			return nil, fmt.Errorf("crowdhttp: server returned %d answers, want %d", len(resp.Answers), n)
+		}
+		c.mu.Lock()
+		c.values[key] = resp.Answers[:n]
+		c.mu.Unlock()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]float64, n)
+	copy(out, c.values[key][:n])
+	return out, nil
+}
+
+// Dismantle implements crowd.Platform.
+func (c *Client) Dismantle(attr string) (string, error) {
+	pricing, err := c.fetchPricing()
+	if err != nil {
+		return "", err
+	}
+	if err := c.ledgerRef().Charge(crowd.Dismantling, pricing.Dismantling); err != nil {
+		return "", err
+	}
+	var resp dismantleResponse
+	if err := c.post(PathDismantle, dismantleRequest{Attribute: attr}, &resp); err != nil {
+		return "", err
+	}
+	return resp.Answer, nil
+}
+
+// Verify implements crowd.Platform.
+func (c *Client) Verify(candidate, target string) (bool, error) {
+	pricing, err := c.fetchPricing()
+	if err != nil {
+		return false, err
+	}
+	if err := c.ledgerRef().Charge(crowd.Verification, pricing.Verification); err != nil {
+		return false, err
+	}
+	var resp verifyResponse
+	if err := c.post(PathVerify, verifyRequest{Candidate: candidate, Target: target}, &resp); err != nil {
+		return false, err
+	}
+	return resp.Yes, nil
+}
+
+// Examples implements crowd.Platform with the same stream-prefix reuse as
+// the simulator: only examples beyond the locally cached prefix are
+// charged and fetched.
+func (c *Client) Examples(targets []string, n int) ([]crowd.Example, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("crowdhttp: negative example count %d", n)
+	}
+	if len(targets) == 0 {
+		return nil, errors.New("crowdhttp: example question needs targets")
+	}
+	canon := make([]string, len(targets))
+	for i, t := range targets {
+		canon[i] = c.Canonical(t)
+	}
+	sorted := append([]string(nil), canon...)
+	sort.Strings(sorted)
+	streamKey := strings.Join(sorted, "\x00")
+
+	c.mu.Lock()
+	cached := len(c.examples[streamKey])
+	c.mu.Unlock()
+	if cached < n {
+		pricing, err := c.fetchPricing()
+		if err != nil {
+			return nil, err
+		}
+		for i := cached; i < n; i++ {
+			if err := c.ledgerRef().Charge(crowd.ExampleQuestion, pricing.Example); err != nil {
+				return nil, err
+			}
+		}
+		var resp examplesResponse
+		if err := c.post(PathExamples, examplesRequest{Targets: canon, N: n}, &resp); err != nil {
+			return nil, err
+		}
+		if len(resp.Examples) < n {
+			return nil, fmt.Errorf("crowdhttp: server returned %d examples, want %d", len(resp.Examples), n)
+		}
+		stream := make([]crowd.Example, n)
+		for i, ex := range resp.Examples[:n] {
+			stream[i] = crowd.Example{Object: domain.RefObject(ex.ObjectID), Values: ex.Values}
+		}
+		c.mu.Lock()
+		c.examples[streamKey] = stream
+		c.mu.Unlock()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]crowd.Example, n)
+	copy(out, c.examples[streamKey][:n])
+	return out, nil
+}
+
+// Canonical implements crowd.Platform (cached).
+func (c *Client) Canonical(name string) string {
+	c.mu.Lock()
+	if canon, ok := c.canon[name]; ok {
+		c.mu.Unlock()
+		return canon
+	}
+	c.mu.Unlock()
+	var resp canonicalResponse
+	if err := c.post(PathCanonical, canonicalRequest{Name: name}, &resp); err != nil {
+		// A canonicalization failure must not break the pipeline; the raw
+		// name is always an acceptable fallback.
+		return name
+	}
+	c.mu.Lock()
+	c.canon[name] = resp.Canonical
+	c.mu.Unlock()
+	return resp.Canonical
+}
+
+// Sigma implements crowd.Platform.
+func (c *Client) Sigma(attr string) float64 {
+	m, err := c.metaOf(c.Canonical(attr))
+	if err != nil {
+		return 1
+	}
+	return m.Sigma
+}
+
+// IsBinary implements crowd.Platform.
+func (c *Client) IsBinary(attr string) bool {
+	m, err := c.metaOf(c.Canonical(attr))
+	return err == nil && m.Binary
+}
+
+// Pricing implements crowd.Platform. It returns the zero value until the
+// first successful fetch; the pipeline always issues a charging call (which
+// fetches) before consulting Pricing.
+func (c *Client) Pricing() crowd.Pricing {
+	p, err := c.fetchPricing()
+	if err != nil {
+		return crowd.Pricing{}
+	}
+	return p
+}
+
+// Ledger implements crowd.Platform.
+func (c *Client) Ledger() *crowd.Ledger { return c.ledgerRef() }
+
+func (c *Client) ledgerRef() *crowd.Ledger {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ledger
+}
+
+// SetLedger implements crowd.Platform.
+func (c *Client) SetLedger(l *crowd.Ledger) *crowd.Ledger {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.ledger
+	c.ledger = l
+	return old
+}

@@ -1,0 +1,15 @@
+package crowdhttp
+
+import (
+	"math/rand"
+
+	"repro/internal/crowd"
+)
+
+// srvPlatform exposes the server's wrapped platform for test setup.
+func srvPlatform(s *Server) *crowd.SimPlatform {
+	return s.platform.(*crowd.SimPlatform)
+}
+
+// testRand returns a fixed-seed generator.
+func testRand() *rand.Rand { return rand.New(rand.NewSource(4321)) }

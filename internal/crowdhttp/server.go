@@ -1,0 +1,260 @@
+// Package crowdhttp exposes a crowd.Platform over HTTP and implements a
+// crowd.Platform client on top of that API, so the DisQ pipeline can run
+// against a crowd service living in another process (the deployment shape
+// of a real CrowdFlower/MTurk integration).
+//
+// Division of responsibilities:
+//
+//   - The server executes questions against its wrapped platform and owns
+//     the objects (a client can only ask value questions about objects the
+//     server has handed out through example questions).
+//   - The client owns budgeting: it knows the pricing, keeps a local
+//     answer cache mirroring its own asks, charges its ledger *before*
+//     each request, and therefore enforces B_prc/B_obj without trusting
+//     the server.
+//
+// The wire format is JSON over POST; see the endpoint constants.
+package crowdhttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/crowd"
+	"repro/internal/domain"
+)
+
+// API endpoints (all POST except /v1/pricing).
+const (
+	PathValue     = "/v1/value"
+	PathDismantle = "/v1/dismantle"
+	PathVerify    = "/v1/verify"
+	PathExamples  = "/v1/examples"
+	PathCanonical = "/v1/canonical"
+	PathMeta      = "/v1/meta"
+	PathPricing   = "/v1/pricing"
+)
+
+// Wire types.
+type (
+	valueRequest struct {
+		ObjectID  int    `json:"object_id"`
+		Attribute string `json:"attribute"`
+		N         int    `json:"n"`
+	}
+	valueResponse struct {
+		Answers []float64 `json:"answers"`
+	}
+	dismantleRequest struct {
+		Attribute string `json:"attribute"`
+	}
+	dismantleResponse struct {
+		Answer string `json:"answer"`
+	}
+	verifyRequest struct {
+		Candidate string `json:"candidate"`
+		Target    string `json:"target"`
+	}
+	verifyResponse struct {
+		Yes bool `json:"yes"`
+	}
+	examplesRequest struct {
+		Targets []string `json:"targets"`
+		N       int      `json:"n"`
+	}
+	exampleWire struct {
+		ObjectID int                `json:"object_id"`
+		Values   map[string]float64 `json:"values"`
+	}
+	examplesResponse struct {
+		Examples []exampleWire `json:"examples"`
+	}
+	canonicalRequest struct {
+		Name string `json:"name"`
+	}
+	canonicalResponse struct {
+		Canonical string `json:"canonical"`
+	}
+	metaRequest struct {
+		Attribute string `json:"attribute"`
+	}
+	metaResponse struct {
+		Sigma  float64 `json:"sigma"`
+		Binary bool    `json:"binary"`
+	}
+	pricingResponse struct {
+		BinaryValue  crowd.Cost `json:"binary_value"`
+		NumericValue crowd.Cost `json:"numeric_value"`
+		Dismantling  crowd.Cost `json:"dismantling"`
+		Verification crowd.Cost `json:"verification"`
+		Example      crowd.Cost `json:"example"`
+	}
+	errorResponse struct {
+		Error string `json:"error"`
+	}
+)
+
+// Server adapts a crowd.Platform to the HTTP API. It neutralizes the
+// wrapped platform's budget enforcement (clients budget themselves) and
+// keeps a registry of the objects it has handed out so value questions can
+// reference them by id.
+type Server struct {
+	platform crowd.Platform
+
+	mu      sync.Mutex
+	objects map[int]*domain.Object
+}
+
+// NewServer wraps a platform. The platform's ledger is replaced with an
+// unlimited one; budget enforcement is the client's job.
+func NewServer(p crowd.Platform) *Server {
+	p.SetLedger(crowd.NewLedger(0))
+	return &Server{platform: p, objects: make(map[int]*domain.Object)}
+}
+
+// Handler returns the API's http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathValue, s.handleValue)
+	mux.HandleFunc(PathDismantle, s.handleDismantle)
+	mux.HandleFunc(PathVerify, s.handleVerify)
+	mux.HandleFunc(PathExamples, s.handleExamples)
+	mux.HandleFunc(PathCanonical, s.handleCanonical)
+	mux.HandleFunc(PathMeta, s.handleMeta)
+	mux.HandleFunc(PathPricing, s.handlePricing)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("crowdhttp: %s requires POST", r.URL.Path))
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("crowdhttp: bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) lookupObject(id int) (*domain.Object, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[id]
+	return o, ok
+}
+
+func (s *Server) handleValue(w http.ResponseWriter, r *http.Request) {
+	var req valueRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	obj, ok := s.lookupObject(req.ObjectID)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("crowdhttp: unknown object %d", req.ObjectID))
+		return
+	}
+	answers, err := s.platform.Value(obj, req.Attribute, req.N)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, valueResponse{Answers: answers})
+}
+
+func (s *Server) handleDismantle(w http.ResponseWriter, r *http.Request) {
+	var req dismantleRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	ans, err := s.platform.Dismantle(req.Attribute)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, dismantleResponse{Answer: ans})
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req verifyRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	yes, err := s.platform.Verify(req.Candidate, req.Target)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, verifyResponse{Yes: yes})
+}
+
+func (s *Server) handleExamples(w http.ResponseWriter, r *http.Request) {
+	var req examplesRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	examples, err := s.platform.Examples(req.Targets, req.N)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := examplesResponse{Examples: make([]exampleWire, len(examples))}
+	s.mu.Lock()
+	for i, ex := range examples {
+		s.objects[ex.Object.ID] = ex.Object
+		out.Examples[i] = exampleWire{ObjectID: ex.Object.ID, Values: ex.Values}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCanonical(w http.ResponseWriter, r *http.Request) {
+	var req canonicalRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	writeJSON(w, http.StatusOK, canonicalResponse{Canonical: s.platform.Canonical(req.Name)})
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	var req metaRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	writeJSON(w, http.StatusOK, metaResponse{
+		Sigma:  s.platform.Sigma(req.Attribute),
+		Binary: s.platform.IsBinary(req.Attribute),
+	})
+}
+
+func (s *Server) handlePricing(w http.ResponseWriter, r *http.Request) {
+	p := s.platform.Pricing()
+	writeJSON(w, http.StatusOK, pricingResponse{
+		BinaryValue:  p.BinaryValue,
+		NumericValue: p.NumericValue,
+		Dismantling:  p.Dismantling,
+		Verification: p.Verification,
+		Example:      p.Example,
+	})
+}
+
+// RegisterObject makes an object the server already owns addressable by
+// id (for online-phase evaluation of database objects that did not come
+// from example questions).
+func (s *Server) RegisterObject(o *domain.Object) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objects[o.ID] = o
+}

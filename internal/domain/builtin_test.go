@@ -1,0 +1,191 @@
+package domain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestBuiltinUniversesAssemble ensures every built-in domain passes New's
+// validation (the constructors panic otherwise) and has basic integrity.
+func TestBuiltinUniversesAssemble(t *testing.T) {
+	for name, build := range Registry() {
+		u := build()
+		if u.Name != name {
+			t.Errorf("universe %q reports name %q", name, u.Name)
+		}
+		if len(u.Attributes()) < 5 {
+			t.Errorf("%s: suspiciously few attributes (%d)", name, len(u.Attributes()))
+		}
+	}
+}
+
+// TestDismantleTablesResolve checks every dismantling answer in every
+// built-in universe resolves to a real attribute (possibly via synonym),
+// since the crowd simulator must be able to answer value questions about it.
+func TestDismantleTablesResolve(t *testing.T) {
+	for name, build := range Registry() {
+		u := build()
+		for _, attr := range u.Attributes() {
+			d, err := u.DismantleDistribution(attr)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, attr, err)
+			}
+			for _, ans := range d {
+				if _, err := u.Canonical(ans.Name); err != nil {
+					t.Errorf("%s: dismantle %s → %q does not resolve", name, attr, ans.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestGoldSetsResolve checks gold-standard sets reference real attributes.
+func TestGoldSetsResolve(t *testing.T) {
+	for name, build := range Registry() {
+		u := build()
+		for _, target := range u.GoldTargets() {
+			for _, g := range u.GoldStandard(target) {
+				if _, err := u.Canonical(g); err != nil {
+					t.Errorf("%s: gold %s → %q does not resolve", name, target, g)
+				}
+			}
+		}
+	}
+}
+
+// TestPicturesCalibration spot-checks the pictures universe against
+// Table 5(a): strong Bmi–Weight and Bmi–Heavy correlations, moderate
+// Bmi–Attractive, weak WorksOut–Wrinkles, and the S_c ordering
+// (Weight noisiest, binary attributes ≈ 0.1–0.2).
+func TestPicturesCalibration(t *testing.T) {
+	u := Pictures()
+	type pair struct {
+		a, b     string
+		min, max float64
+	}
+	for _, p := range []pair{
+		{"Bmi", "Weight", 0.75, 1},
+		{"Bmi", "Heavy", 0.75, 1},
+		{"Bmi", "Attractive", 0.35, 0.65},
+		{"Bmi", "Wrinkles", 0.15, 0.5},
+		{"Works Out", "Wrinkles", 0.0, 0.35},
+		{"Bmi", "Age", 0.25, 0.6},
+	} {
+		rho, err := u.Correlation(p.a, p.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a := math.Abs(rho); a < p.min || a > p.max {
+			t.Errorf("|corr(%s,%s)| = %v, want in [%v,%v]", p.a, p.b, a, p.min, p.max)
+		}
+	}
+	w, _ := u.Attribute("Weight")
+	b, _ := u.Attribute("Bmi")
+	if w.Noise <= b.Noise {
+		t.Error("Weight should be noisier than Bmi in absolute terms (Table 5a)")
+	}
+}
+
+// TestRecipesCalibration spot-checks the recipes universe against
+// Table 5(b): Calories answers are extremely noisy, Protein is strongly
+// (anti-)correlated with Vegetarian and Has Meat, Dessert matters for
+// Protein, Is Black carries no information.
+func TestRecipesCalibration(t *testing.T) {
+	u := Recipes()
+	cal, _ := u.Attribute("Calories")
+	if cal.Noise < cal.Sigma {
+		t.Error("Calories single-worker noise should exceed its true sigma (S_c = 80707)")
+	}
+	rho, _ := u.Correlation("Protein", "Vegetarian")
+	if math.Abs(rho) < 0.4 {
+		t.Errorf("|corr(Protein,Vegetarian)| = %v, want ≥ 0.4", math.Abs(rho))
+	}
+	rho, _ = u.Correlation("Protein", "Has Meat")
+	if math.Abs(rho) < 0.5 {
+		t.Errorf("|corr(Protein,Has Meat)| = %v, want ≥ 0.5", math.Abs(rho))
+	}
+	rho, _ = u.Correlation("Protein", "Dessert")
+	if math.Abs(rho) < 0.25 {
+		t.Errorf("|corr(Protein,Dessert)| = %v, want ≥ 0.25", math.Abs(rho))
+	}
+	for _, other := range u.Attributes() {
+		if other == "Is Black" {
+			continue
+		}
+		rho, _ := u.Correlation("Is Black", other)
+		if math.Abs(rho) > 1e-9 {
+			t.Errorf("Is Black should be uninformative, corr with %s = %v", other, rho)
+		}
+	}
+}
+
+func TestSyntheticGenerator(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	u, err := Synthetic(rng, SyntheticConfig{
+		Attributes: 10, Factors: 3, BinaryFraction: 0.4, JunkAttributes: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := u.Attributes()
+	if len(names) != 12 {
+		t.Fatalf("got %d attributes, want 12", len(names))
+	}
+	if names[0] != "Target" {
+		t.Fatalf("first attribute = %q, want Target", names[0])
+	}
+	// Target is numeric.
+	tgt, _ := u.Attribute("Target")
+	if tgt.Binary {
+		t.Fatal("Target should be numeric")
+	}
+	// Junk attributes are uncorrelated with everything.
+	rho, _ := u.Correlation("Junk0", "Target")
+	if rho != 0 {
+		t.Fatalf("junk correlation = %v", rho)
+	}
+	// Objects sample fine.
+	objs := u.NewObjects(rng, 10)
+	if len(objs) != 10 {
+		t.Fatal("NewObjects failed")
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	cfg := SyntheticConfig{Attributes: 6, Factors: 2, BinaryFraction: 0.5}
+	u1, err := Synthetic(rand.New(rand.NewSource(42)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := Synthetic(rand.New(rand.NewSource(42)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, n2 := u1.Attributes(), u2.Attributes()
+	for i := range n1 {
+		if n1[i] != n2[i] {
+			t.Fatal("attribute names differ between same-seed runs")
+		}
+		r1, _ := u1.Correlation(n1[i], n1[0])
+		r2, _ := u2.Correlation(n2[i], n2[0])
+		if r1 != r2 {
+			t.Fatal("correlations differ between same-seed runs")
+		}
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []SyntheticConfig{
+		{Attributes: 1, Factors: 1},
+		{Attributes: 5, Factors: 0},
+		{Attributes: 5, Factors: 1, BinaryFraction: 2},
+		{Attributes: 5, Factors: 1, MaxNoise: 0.1},
+	}
+	for i, cfg := range cases {
+		if _, err := Synthetic(rng, cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

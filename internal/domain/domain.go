@@ -1,0 +1,464 @@
+// Package domain models the object universes the paper evaluates on.
+//
+// A Universe is a generative model of objects with *true* attribute values
+// and everything the crowd simulator needs to answer questions about them:
+// per-attribute difficulty (worker answer noise), the latent correlation
+// structure between attributes, the distribution of answers workers give to
+// dismantling questions (mirroring the frequency tables of Table 4), the
+// synonyms workers use for the same property, and the gold-standard
+// attribute sets used by the coverage experiment of Section 5.3.1.
+//
+// Correlations come from a latent factor model: each attribute has a
+// loading vector over a handful of named factors, an object is a draw of
+// factor values F ~ N(0, I), and the attribute's latent score is
+// z = l·F + sqrt(1−‖l‖²)·ε. This makes the implied correlation matrix
+// corr(i,j) = l_i·l_j positive semi-definite by construction, so a
+// universe assembled from the published correlation tables can never be
+// numerically inconsistent.
+package domain
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// ErrUnknownAttribute is returned when an attribute name (or any of its
+// synonyms) is not part of the universe.
+var ErrUnknownAttribute = errors.New("domain: unknown attribute")
+
+// Attribute describes one attribute of the universe's objects.
+type Attribute struct {
+	// Name is the canonical attribute name.
+	Name string
+	// Binary marks boolean attributes; their true value lies in [0,1]
+	// (the paper: "Boolean attributes may be viewed here as numerical
+	// attributes with a value between 0 and 1").
+	Binary bool
+	// Mean and Sigma give the marginal distribution of true values for
+	// numeric attributes (ignored for binary ones, whose scale is fixed).
+	Mean, Sigma float64
+	// Noise is the standard deviation of a single worker's answer around
+	// the crowd consensus — the "difficulty" that S_c measures. For binary
+	// attributes it perturbs the answer probability instead.
+	Noise float64
+	// Distortion is the standard deviation of the crowd's *systematic*
+	// per-object answer bias: the gap between the crowd consensus and the
+	// truth that no amount of averaging removes. This is what makes
+	// attributes like protein_amount "so difficult or un-intuitive for
+	// the crowd" (Section 1) that direct questions stay inaccurate — the
+	// phenomenon DisQ exploits by assembling less-distorted related
+	// attributes. For binary attributes the unit is probability.
+	Distortion float64
+	// Loadings maps factor names to loadings; the Euclidean norm must not
+	// exceed 1 (the remainder is idiosyncratic variance).
+	Loadings map[string]float64
+	// Synonyms are alternative names crowd workers use for this attribute
+	// in dismantling answers ("large", "big", "grand" → one property).
+	Synonyms []string
+}
+
+// DismantleAnswer is one entry of an attribute's dismantling-answer
+// distribution: the name a worker may reply with (canonical or synonym or
+// junk) and its relative weight, mirroring the frequency columns of
+// Table 4.
+type DismantleAnswer struct {
+	Name   string
+	Weight float64
+}
+
+// Universe is a fully specified generative domain.
+type Universe struct {
+	// Name identifies the domain ("pictures", "recipes", ...).
+	Name string
+
+	attrs     []Attribute
+	index     map[string]int // canonical name → index
+	synonyms  map[string]string
+	factorIdx map[string]int
+	loadings  [][]float64 // per attribute, dense over factors
+	residual  []float64   // sqrt(1−‖l‖²) per attribute
+	dismantle map[string][]DismantleAnswer
+	gold      map[string][]string
+	nextID    int
+}
+
+// Config assembles a Universe.
+type Config struct {
+	Name       string
+	Attributes []Attribute
+	// Dismantle maps a canonical attribute name to its dismantling-answer
+	// distribution. Attributes without an entry get a distribution derived
+	// from the factor model (weight ∝ squared correlation).
+	Dismantle map[string][]DismantleAnswer
+	// Gold maps a target attribute to its gold-standard related set
+	// (Section 5.3.1); optional.
+	Gold map[string][]string
+}
+
+// New validates the configuration and builds the universe.
+func New(cfg Config) (*Universe, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("domain: universe needs a name")
+	}
+	if len(cfg.Attributes) == 0 {
+		return nil, errors.New("domain: universe needs attributes")
+	}
+	u := &Universe{
+		Name:      cfg.Name,
+		index:     make(map[string]int),
+		synonyms:  make(map[string]string),
+		factorIdx: make(map[string]int),
+		dismantle: make(map[string][]DismantleAnswer),
+		gold:      make(map[string][]string),
+	}
+	for _, a := range cfg.Attributes {
+		if a.Name == "" {
+			return nil, errors.New("domain: attribute with empty name")
+		}
+		if _, dup := u.index[a.Name]; dup {
+			return nil, fmt.Errorf("domain: duplicate attribute %q", a.Name)
+		}
+		if !a.Binary && a.Sigma <= 0 {
+			return nil, fmt.Errorf("domain: attribute %q needs positive Sigma", a.Name)
+		}
+		if a.Noise < 0 {
+			return nil, fmt.Errorf("domain: attribute %q has negative Noise", a.Name)
+		}
+		if a.Distortion < 0 {
+			return nil, fmt.Errorf("domain: attribute %q has negative Distortion", a.Name)
+		}
+		u.index[a.Name] = len(u.attrs)
+		u.attrs = append(u.attrs, a)
+		// Register factors in sorted order so factor indexing — and hence
+		// object sampling for a fixed RNG seed — is deterministic across
+		// universe instances (map iteration order is randomized).
+		factors := make([]string, 0, len(a.Loadings))
+		for f := range a.Loadings {
+			factors = append(factors, f)
+		}
+		sort.Strings(factors)
+		for _, f := range factors {
+			if _, ok := u.factorIdx[f]; !ok {
+				u.factorIdx[f] = len(u.factorIdx)
+			}
+		}
+	}
+	// Register synonyms after all canonical names are known, so a synonym
+	// cannot shadow a real attribute.
+	for _, a := range cfg.Attributes {
+		for _, s := range a.Synonyms {
+			if _, isCanonical := u.index[s]; isCanonical {
+				return nil, fmt.Errorf("domain: synonym %q of %q collides with a canonical name", s, a.Name)
+			}
+			if prev, dup := u.synonyms[s]; dup && prev != a.Name {
+				return nil, fmt.Errorf("domain: synonym %q claimed by both %q and %q", s, prev, a.Name)
+			}
+			u.synonyms[s] = a.Name
+		}
+	}
+	// Dense loading vectors and residuals.
+	nf := len(u.factorIdx)
+	u.loadings = make([][]float64, len(u.attrs))
+	u.residual = make([]float64, len(u.attrs))
+	for i, a := range u.attrs {
+		vec := make([]float64, nf)
+		var norm2 float64
+		for f, l := range a.Loadings {
+			vec[u.factorIdx[f]] = l
+			norm2 += l * l
+		}
+		if norm2 > 1+1e-9 {
+			return nil, fmt.Errorf("domain: attribute %q loading norm %v exceeds 1", a.Name, math.Sqrt(norm2))
+		}
+		if norm2 > 1 {
+			norm2 = 1
+		}
+		u.loadings[i] = vec
+		u.residual[i] = math.Sqrt(1 - norm2)
+	}
+	for name, answers := range cfg.Dismantle {
+		if _, ok := u.index[name]; !ok {
+			return nil, fmt.Errorf("%w: dismantle table for %q", ErrUnknownAttribute, name)
+		}
+		for _, ans := range answers {
+			if ans.Weight < 0 {
+				return nil, fmt.Errorf("domain: negative dismantle weight for %q → %q", name, ans.Name)
+			}
+		}
+		u.dismantle[name] = append([]DismantleAnswer(nil), answers...)
+	}
+	for target, set := range cfg.Gold {
+		if _, err := u.Canonical(target); err != nil {
+			return nil, fmt.Errorf("domain: gold target %q: %w", target, err)
+		}
+		u.gold[target] = append([]string(nil), set...)
+	}
+	return u, nil
+}
+
+// Attributes returns the canonical attribute names in declaration order.
+func (u *Universe) Attributes() []string {
+	out := make([]string, len(u.attrs))
+	for i, a := range u.attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Attribute returns the attribute metadata for a canonical name or synonym.
+func (u *Universe) Attribute(name string) (Attribute, error) {
+	c, err := u.Canonical(name)
+	if err != nil {
+		return Attribute{}, err
+	}
+	return u.attrs[u.index[c]], nil
+}
+
+// Canonical resolves a name or synonym to the canonical attribute name.
+// Matching is exact first, then case- and separator-insensitive, mirroring
+// the paper's assumption that "answers that refer to the same property can
+// be reasonably identified and merged".
+func (u *Universe) Canonical(name string) (string, error) {
+	if _, ok := u.index[name]; ok {
+		return name, nil
+	}
+	if c, ok := u.synonyms[name]; ok {
+		return c, nil
+	}
+	norm := normalizeName(name)
+	for n := range u.index {
+		if normalizeName(n) == norm {
+			return n, nil
+		}
+	}
+	for s, c := range u.synonyms {
+		if normalizeName(s) == norm {
+			return c, nil
+		}
+	}
+	return "", fmt.Errorf("%w: %q", ErrUnknownAttribute, name)
+}
+
+func normalizeName(s string) string {
+	s = strings.ToLower(s)
+	s = strings.ReplaceAll(s, "_", "")
+	s = strings.ReplaceAll(s, " ", "")
+	s = strings.ReplaceAll(s, "-", "")
+	return s
+}
+
+// Correlation returns the model correlation between the latent scores of
+// two attributes: l_i · l_j (1 when i = j).
+func (u *Universe) Correlation(a, b string) (float64, error) {
+	ca, err := u.Canonical(a)
+	if err != nil {
+		return 0, err
+	}
+	cb, err := u.Canonical(b)
+	if err != nil {
+		return 0, err
+	}
+	if ca == cb {
+		return 1, nil
+	}
+	ia, ib := u.index[ca], u.index[cb]
+	var dot float64
+	for k := range u.loadings[ia] {
+		dot += u.loadings[ia][k] * u.loadings[ib][k]
+	}
+	return dot, nil
+}
+
+// Relatedness models how a human judges "does knowing a help estimate b?"
+// — the question verification asks. It is the marginal |correlation|, but
+// floored by the strongest *shared factor*: two attributes driven by the
+// same underlying cause (Height and Bmi both depend on body height even
+// though their marginal correlation is ≈ 0, since BMI divides by height²)
+// are recognized as related because people reason about the mechanism,
+// not the statistics. The shared-factor term is scaled by 1.5 to reflect
+// that mechanism-level relationships are easier for humans to affirm than
+// to measure.
+func (u *Universe) Relatedness(a, b string) (float64, error) {
+	rho, err := u.Correlation(a, b)
+	if err != nil {
+		return 0, err
+	}
+	r := math.Abs(rho)
+	ca, _ := u.Canonical(a)
+	cb, _ := u.Canonical(b)
+	la := u.loadings[u.index[ca]]
+	lb := u.loadings[u.index[cb]]
+	for k := range la {
+		if shared := 1.5 * math.Abs(la[k]*lb[k]); shared > r {
+			r = shared
+		}
+	}
+	if r > 1 {
+		r = 1
+	}
+	return r, nil
+}
+
+// Object is one sampled object of the universe, carrying its true latent
+// scores (and therefore its true value for every attribute).
+type Object struct {
+	// ID is unique within the universe that created the object.
+	ID int
+	// latent z-score per attribute index.
+	z []float64
+	// latent distortion score per attribute index: the standardized
+	// systematic crowd-bias draw for this object.
+	d []float64
+}
+
+// RefObject returns a reference-only object carrying just an identifier.
+// Remote platform clients use it to talk about server-side objects they
+// cannot hold the latent state of; calling Truth or Consensus on a
+// reference fails (only the owner of the real object can answer).
+func RefObject(id int) *Object { return &Object{ID: id} }
+
+// NewObjects samples n fresh objects from the universe's factor model.
+func (u *Universe) NewObjects(rng *rand.Rand, n int) []*Object {
+	out := make([]*Object, n)
+	nf := len(u.factorIdx)
+	for i := 0; i < n; i++ {
+		f := make([]float64, nf)
+		for k := range f {
+			f[k] = rng.NormFloat64()
+		}
+		z := make([]float64, len(u.attrs))
+		d := make([]float64, len(u.attrs))
+		for ai := range u.attrs {
+			var s float64
+			for k, l := range u.loadings[ai] {
+				if l != 0 {
+					s += l * f[k]
+				}
+			}
+			z[ai] = s + u.residual[ai]*rng.NormFloat64()
+			d[ai] = rng.NormFloat64()
+		}
+		out[i] = &Object{ID: u.nextID, z: z, d: d}
+		u.nextID++
+	}
+	return out
+}
+
+// Truth returns the true value of the attribute for the object:
+// Mean + Sigma·z for numeric attributes, and the logistic squashing
+// 1/(1+e^(−1.7z)) ∈ (0,1) for binary ones (1.7 makes the logistic closely
+// track the Gaussian CDF, keeping latent correlations meaningful).
+func (u *Universe) Truth(o *Object, name string) (float64, error) {
+	c, err := u.Canonical(name)
+	if err != nil {
+		return 0, err
+	}
+	i := u.index[c]
+	a := u.attrs[i]
+	if len(o.z) != len(u.attrs) {
+		return 0, fmt.Errorf("domain: object not from universe %q", u.Name)
+	}
+	if a.Binary {
+		return 1 / (1 + math.Exp(-1.7*o.z[i])), nil
+	}
+	return a.Mean + a.Sigma*o.z[i], nil
+}
+
+// Consensus returns the value crowd answers center on for the object's
+// attribute: the truth shifted by the object's systematic crowd bias
+// (Distortion·d). For binary attributes the result is clamped to [0,1].
+// Averaging many workers converges to the consensus, not the truth — the
+// gap is exactly what makes "difficult" attributes stay inaccurate under
+// direct questioning.
+func (u *Universe) Consensus(o *Object, name string) (float64, error) {
+	c, err := u.Canonical(name)
+	if err != nil {
+		return 0, err
+	}
+	i := u.index[c]
+	a := u.attrs[i]
+	if len(o.z) != len(u.attrs) || len(o.d) != len(u.attrs) {
+		return 0, fmt.Errorf("domain: object not from universe %q", u.Name)
+	}
+	truth, err := u.Truth(o, c)
+	if err != nil {
+		return 0, err
+	}
+	v := truth + a.Distortion*o.d[i]
+	if a.Binary {
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+	}
+	return v, nil
+}
+
+// TrueSigma returns the standard deviation of true values of the attribute
+// across the universe. For binary attributes this is the standard deviation
+// of the logistic-squashed latent score (≈0.29 for a standard normal).
+func (u *Universe) TrueSigma(name string) (float64, error) {
+	a, err := u.Attribute(name)
+	if err != nil {
+		return 0, err
+	}
+	if a.Binary {
+		// SD of logistic(1.7·Z), Z~N(0,1); a stable constant ≈ 0.2939,
+		// computed once by quadrature and hard-coded.
+		return 0.2939, nil
+	}
+	return a.Sigma, nil
+}
+
+// DismantleDistribution returns the answer distribution workers draw from
+// when asked to dismantle the attribute. Explicit tables (Table 4 style)
+// win; otherwise the distribution is derived from the factor model: every
+// other attribute with |correlation| ≥ 0.25 participates with weight ρ²,
+// so workers "are more likely to provide attributes that are correlative
+// with the attribute in question" (Section 2).
+func (u *Universe) DismantleDistribution(name string) ([]DismantleAnswer, error) {
+	c, err := u.Canonical(name)
+	if err != nil {
+		return nil, err
+	}
+	if d, ok := u.dismantle[c]; ok {
+		return append([]DismantleAnswer(nil), d...), nil
+	}
+	var out []DismantleAnswer
+	for _, other := range u.attrs {
+		if other.Name == c {
+			continue
+		}
+		rho, _ := u.Correlation(c, other.Name)
+		if math.Abs(rho) >= 0.25 {
+			out = append(out, DismantleAnswer{Name: other.Name, Weight: rho * rho})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Weight > out[j].Weight })
+	return out, nil
+}
+
+// GoldStandard returns the gold related-attribute set for a target, or nil
+// when none was declared.
+func (u *Universe) GoldStandard(target string) []string {
+	c, err := u.Canonical(target)
+	if err != nil {
+		return nil
+	}
+	return append([]string(nil), u.gold[c]...)
+}
+
+// GoldTargets returns the targets that have a gold standard, sorted.
+func (u *Universe) GoldTargets() []string {
+	out := make([]string, 0, len(u.gold))
+	for t := range u.gold {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

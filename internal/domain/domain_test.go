@@ -1,0 +1,350 @@
+package domain
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func tinyUniverse(t *testing.T) *Universe {
+	t.Helper()
+	u, err := New(Config{
+		Name: "tiny",
+		Attributes: []Attribute{
+			{Name: "T", Mean: 10, Sigma: 2, Noise: 1,
+				Loadings: map[string]float64{"f": 0.9}},
+			{Name: "A", Mean: 0, Sigma: 1, Noise: 0.5,
+				Loadings: map[string]float64{"f": 0.8}, Synonyms: []string{"Alpha"}},
+			{Name: "B", Binary: true, Noise: 0.1,
+				Loadings: map[string]float64{"g": 0.7}},
+		},
+		Dismantle: map[string][]DismantleAnswer{
+			"T": {{Name: "A", Weight: 3}, {Name: "B", Weight: 1}},
+		},
+		Gold: map[string][]string{"T": {"A"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestNewValidation(t *testing.T) {
+	base := []Attribute{{Name: "X", Sigma: 1, Loadings: map[string]float64{"f": 0.5}}}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no name", Config{Attributes: base}},
+		{"no attributes", Config{Name: "u"}},
+		{"empty attr name", Config{Name: "u", Attributes: []Attribute{{Sigma: 1}}}},
+		{"duplicate attr", Config{Name: "u", Attributes: []Attribute{
+			{Name: "X", Sigma: 1}, {Name: "X", Sigma: 1}}}},
+		{"zero sigma numeric", Config{Name: "u", Attributes: []Attribute{{Name: "X"}}}},
+		{"negative noise", Config{Name: "u", Attributes: []Attribute{
+			{Name: "X", Sigma: 1, Noise: -1}}}},
+		{"loading norm > 1", Config{Name: "u", Attributes: []Attribute{
+			{Name: "X", Sigma: 1, Loadings: map[string]float64{"f": 0.9, "g": 0.9}}}}},
+		{"synonym collides with canonical", Config{Name: "u", Attributes: []Attribute{
+			{Name: "X", Sigma: 1, Synonyms: []string{"Y"}},
+			{Name: "Y", Sigma: 1}}}},
+		{"synonym claimed twice", Config{Name: "u", Attributes: []Attribute{
+			{Name: "X", Sigma: 1, Synonyms: []string{"Z"}},
+			{Name: "Y", Sigma: 1, Synonyms: []string{"Z"}}}}},
+		{"dismantle for unknown", Config{Name: "u", Attributes: base,
+			Dismantle: map[string][]DismantleAnswer{"nope": {{Name: "X", Weight: 1}}}}},
+		{"negative dismantle weight", Config{Name: "u", Attributes: base,
+			Dismantle: map[string][]DismantleAnswer{"X": {{Name: "X", Weight: -1}}}}},
+		{"gold for unknown target", Config{Name: "u", Attributes: base,
+			Gold: map[string][]string{"nope": {"X"}}}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestCanonicalResolution(t *testing.T) {
+	u := tinyUniverse(t)
+	// Exact.
+	if c, err := u.Canonical("A"); err != nil || c != "A" {
+		t.Fatalf("Canonical(A) = %q, %v", c, err)
+	}
+	// Synonym.
+	if c, err := u.Canonical("Alpha"); err != nil || c != "A" {
+		t.Fatalf("Canonical(Alpha) = %q, %v", c, err)
+	}
+	// Case/separator-insensitive.
+	if c, err := u.Canonical("alpha"); err != nil || c != "A" {
+		t.Fatalf("Canonical(alpha) = %q, %v", c, err)
+	}
+	// Unknown.
+	if _, err := u.Canonical("nope"); !errors.Is(err, ErrUnknownAttribute) {
+		t.Fatal("expected ErrUnknownAttribute")
+	}
+}
+
+func TestAttributeLookup(t *testing.T) {
+	u := tinyUniverse(t)
+	a, err := u.Attribute("Alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "A" || a.Noise != 0.5 {
+		t.Fatalf("Attribute(Alpha) = %+v", a)
+	}
+	if _, err := u.Attribute("ghost"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestAttributesOrder(t *testing.T) {
+	u := tinyUniverse(t)
+	names := u.Attributes()
+	if len(names) != 3 || names[0] != "T" || names[1] != "A" || names[2] != "B" {
+		t.Fatalf("Attributes = %v", names)
+	}
+}
+
+func TestCorrelationFromLoadings(t *testing.T) {
+	u := tinyUniverse(t)
+	rho, err := u.Correlation("T", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-0.72) > 1e-12 {
+		t.Fatalf("corr(T,A) = %v, want 0.72", rho)
+	}
+	// Orthogonal factors → zero correlation.
+	rho, _ = u.Correlation("T", "B")
+	if rho != 0 {
+		t.Fatalf("corr(T,B) = %v, want 0", rho)
+	}
+	// Self-correlation is 1, also through a synonym.
+	rho, _ = u.Correlation("A", "Alpha")
+	if rho != 1 {
+		t.Fatalf("corr(A,Alpha) = %v, want 1", rho)
+	}
+	if _, err := u.Correlation("T", "ghost"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestNewObjectsAndTruth(t *testing.T) {
+	u := tinyUniverse(t)
+	rng := rand.New(rand.NewSource(1))
+	objs := u.NewObjects(rng, 5)
+	if len(objs) != 5 {
+		t.Fatalf("got %d objects", len(objs))
+	}
+	// IDs unique and increasing.
+	for i := 1; i < len(objs); i++ {
+		if objs[i].ID <= objs[i-1].ID {
+			t.Fatal("IDs not increasing")
+		}
+	}
+	v, err := u.Truth(objs[0], "T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(v) {
+		t.Fatal("truth is NaN")
+	}
+	// Binary truth lies in (0,1).
+	b, err := u.Truth(objs[0], "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= 0 || b >= 1 {
+		t.Fatalf("binary truth %v out of (0,1)", b)
+	}
+	if _, err := u.Truth(objs[0], "ghost"); err == nil {
+		t.Fatal("expected error for unknown attribute")
+	}
+	// Objects from another universe rejected.
+	other := tinyUniverse(t)
+	big, _ := New(Config{Name: "big", Attributes: []Attribute{
+		{Name: "X", Sigma: 1}, {Name: "Y", Sigma: 1},
+		{Name: "Z", Sigma: 1}, {Name: "W", Sigma: 1}}})
+	foreign := big.NewObjects(rng, 1)[0]
+	if _, err := other.Truth(foreign, "T"); err == nil {
+		t.Fatal("expected error for foreign object")
+	}
+}
+
+func TestTruthMarginalsMatchDeclaration(t *testing.T) {
+	u := tinyUniverse(t)
+	rng := rand.New(rand.NewSource(2))
+	objs := u.NewObjects(rng, 20000)
+	vals := make([]float64, len(objs))
+	for i, o := range objs {
+		vals[i], _ = u.Truth(o, "T")
+	}
+	if m := stats.Mean(vals); math.Abs(m-10) > 0.1 {
+		t.Fatalf("mean = %v, want ≈ 10", m)
+	}
+	sd, _ := stats.StdDev(vals)
+	if math.Abs(sd-2) > 0.05 {
+		t.Fatalf("sd = %v, want ≈ 2", sd)
+	}
+}
+
+func TestEmpiricalCorrelationMatchesModel(t *testing.T) {
+	u := tinyUniverse(t)
+	rng := rand.New(rand.NewSource(3))
+	objs := u.NewObjects(rng, 20000)
+	ts := make([]float64, len(objs))
+	as := make([]float64, len(objs))
+	for i, o := range objs {
+		ts[i], _ = u.Truth(o, "T")
+		as[i], _ = u.Truth(o, "A")
+	}
+	rho, err := stats.Correlation(ts, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-0.72) > 0.02 {
+		t.Fatalf("empirical corr = %v, want ≈ 0.72", rho)
+	}
+}
+
+func TestTrueSigma(t *testing.T) {
+	u := tinyUniverse(t)
+	s, err := u.TrueSigma("T")
+	if err != nil || s != 2 {
+		t.Fatalf("TrueSigma(T) = %v, %v", s, err)
+	}
+	s, err = u.TrueSigma("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empirical check of the hard-coded logistic SD constant.
+	rng := rand.New(rand.NewSource(4))
+	objs := u.NewObjects(rng, 30000)
+	vals := make([]float64, len(objs))
+	for i, o := range objs {
+		vals[i], _ = u.Truth(o, "B")
+	}
+	emp, _ := stats.StdDev(vals)
+	if math.Abs(emp-s) > 0.01 {
+		t.Fatalf("binary TrueSigma = %v but empirical %v", s, emp)
+	}
+	if _, err := u.TrueSigma("ghost"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDismantleDistributionExplicitAndDerived(t *testing.T) {
+	u := tinyUniverse(t)
+	// Explicit table.
+	d, err := u.DismantleDistribution("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 2 || d[0].Name != "A" || d[0].Weight != 3 {
+		t.Fatalf("explicit table = %v", d)
+	}
+	// Mutating the returned slice must not affect the universe.
+	d[0].Weight = 99
+	d2, _ := u.DismantleDistribution("T")
+	if d2[0].Weight != 3 {
+		t.Fatal("DismantleDistribution leaked internal state")
+	}
+	// Derived from factor model: A's only correlated attribute is T (0.72).
+	d, err = u.DismantleDistribution("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 1 || d[0].Name != "T" {
+		t.Fatalf("derived table = %v", d)
+	}
+	if math.Abs(d[0].Weight-0.72*0.72) > 1e-12 {
+		t.Fatalf("derived weight = %v, want ρ²", d[0].Weight)
+	}
+	if _, err := u.DismantleDistribution("ghost"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestGoldStandard(t *testing.T) {
+	u := tinyUniverse(t)
+	g := u.GoldStandard("T")
+	if len(g) != 1 || g[0] != "A" {
+		t.Fatalf("gold = %v", g)
+	}
+	if u.GoldStandard("B") != nil {
+		t.Fatal("no gold declared for B")
+	}
+	if u.GoldStandard("ghost") != nil {
+		t.Fatal("unknown target should return nil")
+	}
+	targets := u.GoldTargets()
+	if len(targets) != 1 || targets[0] != "T" {
+		t.Fatalf("GoldTargets = %v", targets)
+	}
+}
+
+// Property: for any pair of attributes in any built-in universe, the model
+// correlation is in [−1, 1] and symmetric.
+func TestCorrelationSymmetryProperty(t *testing.T) {
+	for name, build := range Registry() {
+		u := build()
+		names := u.Attributes()
+		f := func(i, j uint) bool {
+			a := names[i%uint(len(names))]
+			b := names[j%uint(len(names))]
+			r1, err1 := u.Correlation(a, b)
+			r2, err2 := u.Correlation(b, a)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			return r1 == r2 && r1 >= -1-1e-9 && r1 <= 1+1e-9
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRelatednessFloorsSharedFactors(t *testing.T) {
+	u := Pictures()
+	// Height and Bmi: marginal correlation near zero, but both load on
+	// the height factor — relatedness must be clearly above |corr|.
+	rho, err := u.Correlation("Height", "Bmi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := u.Relatedness("Height", "Bmi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho) > 0.2 {
+		t.Fatalf("|corr(Height,Bmi)| = %v, calibration drifted", math.Abs(rho))
+	}
+	if rel < 0.25 {
+		t.Fatalf("Relatedness(Height,Bmi) = %v, want ≥ 0.25", rel)
+	}
+	// Strongly correlated pairs: relatedness at least the correlation.
+	rho, _ = u.Correlation("Bmi", "Weight")
+	rel, _ = u.Relatedness("Bmi", "Weight")
+	if rel < math.Abs(rho) {
+		t.Fatalf("relatedness %v below |corr| %v", rel, math.Abs(rho))
+	}
+	if rel > 1 {
+		t.Fatalf("relatedness %v above 1", rel)
+	}
+	// Unrelated attributes stay unrelated.
+	rec := Recipes()
+	rel, _ = rec.Relatedness("Is Black", "Protein")
+	if rel != 0 {
+		t.Fatalf("junk relatedness = %v", rel)
+	}
+	if _, err := u.Relatedness("ghost", "Bmi"); err == nil {
+		t.Fatal("unknown attribute should error")
+	}
+}

@@ -1,0 +1,172 @@
+package domain
+
+// Houses builds the house-prices universe used by the Section 5.3.1
+// coverage experiment, with a gold standard modeled after the hedonic
+// housing variables of Harrison & Rubinfeld [18] (rooms, size, location
+// quality, crime, accessibility, schools, age).
+//
+// Factors: size, location (neighbourhood quality), age, luxury.
+func Houses() *Universe {
+	u, err := New(Config{
+		Name: "houses",
+		Attributes: []Attribute{
+			{Name: "Price", Mean: 350000, Sigma: 140000, Noise: 120000, Distortion: 60000,
+				Loadings: map[string]float64{"size": 0.70, "location": 0.50, "luxury": 0.35, "age": -0.15},
+				Synonyms: []string{"House Price", "Value"}},
+			{Name: "Rooms", Mean: 4.5, Sigma: 1.6, Noise: 0.8, Distortion: 0.3,
+				Loadings: map[string]float64{"size": 0.85},
+				Synonyms: []string{"Number Of Rooms"}},
+			{Name: "Square Meters", Mean: 130, Sigma: 55, Noise: 30, Distortion: 12,
+				Loadings: map[string]float64{"size": 0.90},
+				Synonyms: []string{"Size", "Floor Area"}},
+			{Name: "Age", Mean: 32, Sigma: 22, Noise: 12, Distortion: 6,
+				Loadings: map[string]float64{"age": 0.95},
+				Synonyms: []string{"Building Age", "Years Old"}},
+			{Name: "Crime Rate", Mean: 4, Sigma: 3, Noise: 2.5, Distortion: 1.2,
+				Loadings: map[string]float64{"location": -0.80},
+				Synonyms: []string{"Crime"}},
+			{Name: "Distance To Center", Mean: 8, Sigma: 6, Noise: 3, Distortion: 1,
+				Loadings: map[string]float64{"location": -0.55, "size": 0.20},
+				Synonyms: []string{"Distance Downtown"}},
+			{Name: "Tax Rate", Mean: 1.4, Sigma: 0.6, Noise: 0.5, Distortion: 0.25,
+				Loadings: map[string]float64{"location": 0.50, "size": 0.30}},
+			{Name: "School Quality", Mean: 6.5, Sigma: 2, Noise: 1.5, Distortion: 0.8,
+				Loadings: map[string]float64{"location": 0.75},
+				Synonyms: []string{"Good Schools"}},
+			{Name: "Neighborhood Quality", Binary: true, Noise: 0.15, Distortion: 0.06,
+				Loadings: map[string]float64{"location": 0.85, "luxury": 0.20},
+				Synonyms: []string{"Good Neighborhood", "Nice Area"}},
+			{Name: "Has Garden", Binary: true, Noise: 0.08, Distortion: 0.03,
+				Loadings: map[string]float64{"size": 0.40, "luxury": 0.20},
+				Synonyms: []string{"Garden"}},
+			{Name: "Has Garage", Binary: true, Noise: 0.07, Distortion: 0.03,
+				Loadings: map[string]float64{"size": 0.35, "luxury": 0.25},
+				Synonyms: []string{"Garage"}},
+			{Name: "Renovated", Binary: true, Noise: 0.14, Distortion: 0.06,
+				Loadings: map[string]float64{"age": -0.50, "luxury": 0.30},
+				Synonyms: []string{"Recently Renovated"}},
+			{Name: "Has Pool", Binary: true, Noise: 0.06, Distortion: 0.02,
+				Loadings: map[string]float64{"luxury": 0.60},
+				Synonyms: []string{"Pool"}},
+			{Name: "Has Red Door", Binary: true, Noise: 0.05, Distortion: 0.02,
+				Loadings: map[string]float64{}},
+		},
+		// Crime, schools, accessibility and age only come up when
+		// dismantling Neighborhood Quality / Renovated, not Price itself.
+		Dismantle: map[string][]DismantleAnswer{
+			"Price": {
+				{Name: "Square Meters", Weight: 20},
+				{Name: "Rooms", Weight: 15},
+				{Name: "Neighborhood Quality", Weight: 12},
+				{Name: "Has Garden", Weight: 6},
+				{Name: "Has Pool", Weight: 5},
+				{Name: "Renovated", Weight: 3},
+				{Name: "Has Red Door", Weight: 10},
+				{Name: "Has Garage", Weight: 6},
+			},
+			"Neighborhood Quality": {
+				{Name: "Crime Rate", Weight: 12},
+				{Name: "School Quality", Weight: 10},
+				{Name: "Distance To Center", Weight: 6},
+				{Name: "Tax Rate", Weight: 4},
+				{Name: "Has Red Door", Weight: 6},
+			},
+			"Renovated": {
+				{Name: "Age", Weight: 12},
+				{Name: "Has Pool", Weight: 4},
+				{Name: "Has Red Door", Weight: 6},
+			},
+		},
+		Gold: map[string][]string{
+			"Price": {"Rooms", "Square Meters", "Neighborhood Quality", "Crime Rate",
+				"Age", "School Quality", "Distance To Center"},
+		},
+	})
+	if err != nil {
+		panic("domain: houses universe invalid: " + err.Error())
+	}
+	return u
+}
+
+// Laptops builds the laptop-prices universe for the coverage experiment,
+// with a gold standard modeled after the hedonic PDA/laptop price study of
+// Chwelos et al. [9] (speed, memory, storage, screen, brand, vintage).
+//
+// Factors: perf (computing power), build (build/brand quality), size, age.
+func Laptops() *Universe {
+	u, err := New(Config{
+		Name: "laptops",
+		Attributes: []Attribute{
+			{Name: "Price", Mean: 1100, Sigma: 500, Noise: 350, Distortion: 220,
+				Loadings: map[string]float64{"perf": 0.70, "build": 0.45, "age": -0.30},
+				Synonyms: []string{"Laptop Price", "Cost"}},
+			{Name: "Ram Gb", Mean: 12, Sigma: 6, Noise: 4, Distortion: 2,
+				Loadings: map[string]float64{"perf": 0.80},
+				Synonyms: []string{"Memory", "Ram"}},
+			{Name: "Cpu Speed", Mean: 2.8, Sigma: 0.8, Noise: 0.6, Distortion: 0.2,
+				Loadings: map[string]float64{"perf": 0.80},
+				Synonyms: []string{"Processor Speed", "Clock Speed"}},
+			{Name: "Storage Gb", Mean: 600, Sigma: 350, Noise: 220, Distortion: 100,
+				Loadings: map[string]float64{"perf": 0.60, "age": -0.30},
+				Synonyms: []string{"Disk Size", "Hard Drive"}},
+			{Name: "Screen Size", Mean: 14.5, Sigma: 1.6, Noise: 0.8, Distortion: 0.3,
+				Loadings: map[string]float64{"size": 0.80},
+				Synonyms: []string{"Display Size"}},
+			{Name: "Weight Kg", Mean: 1.8, Sigma: 0.5, Noise: 0.35, Distortion: 0.15,
+				Loadings: map[string]float64{"size": 0.70, "build": -0.20},
+				Synonyms: []string{"Weight"}},
+			{Name: "Battery Hours", Mean: 8, Sigma: 3, Noise: 2.2, Distortion: 1,
+				Loadings: map[string]float64{"build": 0.50, "age": -0.40, "size": -0.30},
+				Synonyms: []string{"Battery Life"}},
+			{Name: "Age Years", Mean: 2.5, Sigma: 2, Noise: 1.2, Distortion: 0.5,
+				Loadings: map[string]float64{"age": 0.90},
+				Synonyms: []string{"Model Age"}},
+			{Name: "Brand Premium", Binary: true, Noise: 0.12, Distortion: 0.04,
+				Loadings: map[string]float64{"build": 0.80},
+				Synonyms: []string{"Premium Brand", "Good Brand"}},
+			{Name: "Is Gaming", Binary: true, Noise: 0.10, Distortion: 0.03,
+				Loadings: map[string]float64{"perf": 0.65, "size": 0.30},
+				Synonyms: []string{"Gaming Laptop"}},
+			{Name: "Has Stickers", Binary: true, Noise: 0.06, Distortion: 0.02,
+				Loadings: map[string]float64{}},
+		},
+		// Storage, screen size and model age surface only when dismantling
+		// the performance- and build-related attributes.
+		Dismantle: map[string][]DismantleAnswer{
+			"Price": {
+				{Name: "Ram Gb", Weight: 18},
+				{Name: "Cpu Speed", Weight: 15},
+				{Name: "Brand Premium", Weight: 12},
+				{Name: "Is Gaming", Weight: 6},
+				{Name: "Weight Kg", Weight: 4},
+				{Name: "Has Stickers", Weight: 10},
+			},
+			"Ram Gb": {
+				{Name: "Cpu Speed", Weight: 10},
+				{Name: "Storage Gb", Weight: 8},
+				{Name: "Is Gaming", Weight: 6},
+				{Name: "Has Stickers", Weight: 5},
+			},
+			"Is Gaming": {
+				{Name: "Screen Size", Weight: 10},
+				{Name: "Ram Gb", Weight: 8},
+				{Name: "Weight Kg", Weight: 5},
+				{Name: "Has Stickers", Weight: 4},
+			},
+			"Brand Premium": {
+				{Name: "Age Years", Weight: 8},
+				{Name: "Battery Hours", Weight: 6},
+				{Name: "Weight Kg", Weight: 4},
+				{Name: "Has Stickers", Weight: 5},
+			},
+		},
+		Gold: map[string][]string{
+			"Price": {"Ram Gb", "Cpu Speed", "Storage Gb", "Screen Size",
+				"Brand Premium", "Age Years"},
+		},
+	})
+	if err != nil {
+		panic("domain: laptops universe invalid: " + err.Error())
+	}
+	return u
+}

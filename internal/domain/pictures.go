@@ -1,0 +1,161 @@
+package domain
+
+// Pictures builds the "Human Pictures" universe of Section 5.1: objects are
+// people known only through a photograph, query attributes include Weight,
+// Height, Age, Bmi and Attractive. Factor loadings, noise levels and
+// dismantling tables are calibrated so the universe's induced statistics
+// track the published Table 5(a) (S_c column and correlation matrix) and
+// Table 4(a) (dismantling answers and frequencies).
+//
+// Factors: mass (body mass), height, age, style (attractiveness-related
+// presentation) and fitness.
+func Pictures() *Universe {
+	u, err := New(Config{
+		Name: "pictures",
+		Attributes: []Attribute{
+			// Numeric query attributes. Noise ≈ sqrt of the Table 5(a)
+			// S_c entries (Bmi 30 → 5.5, Weight 189 → 13.7).
+			// Bmi = weight/height²: strong mass dependence, a *negative*
+			// height dependence that mostly cancels in the marginal
+			// correlation with Height (as in the real data), and the
+			// dataset's age trend.
+			{Name: "Bmi", Mean: 25.5, Sigma: 4.8, Noise: 5.5, Distortion: 2.8,
+				Loadings: map[string]float64{"mass": 0.85, "height": -0.22, "age": 0.38},
+				Synonyms: []string{"Body Mass Index"}},
+			{Name: "Weight", Mean: 75, Sigma: 15, Noise: 13.7, Distortion: 5,
+				Loadings: map[string]float64{"mass": 0.80, "height": 0.25, "age": 0.42},
+				Synonyms: []string{"Weight Kg", "How Heavy"}},
+			{Name: "Height", Mean: 170, Sigma: 10, Noise: 6, Distortion: 3,
+				Loadings: map[string]float64{"height": 0.90, "age": 0.25},
+				Synonyms: []string{"Height Cm", "How Tall"}},
+			{Name: "Age", Mean: 35, Sigma: 14, Noise: 7, Distortion: 5,
+				Loadings: map[string]float64{"age": 0.97},
+				Synonyms: []string{"Years Old"}},
+			{Name: "Shoe Size", Mean: 41, Sigma: 3, Noise: 1.8, Distortion: 1.2,
+				Loadings: map[string]float64{"height": 0.75, "mass": 0.15}},
+
+			// Binary attributes; Noise perturbs the answer probability and
+			// is tuned for the Table 5(a) S_c entries (0.11–0.16).
+			{Name: "Heavy", Binary: true, Noise: 0.14, Distortion: 0.04,
+				Loadings: map[string]float64{"mass": 0.85, "age": 0.35},
+				Synonyms: []string{"Is Heavy", "Overweight"}},
+			{Name: "Attractive", Binary: true, Noise: 0.13, Distortion: 0.1,
+				Loadings: map[string]float64{"style": 0.70, "mass": -0.45, "age": -0.25},
+				Synonyms: []string{"Good Looking", "Pretty"}},
+			{Name: "Works Out", Binary: true, Noise: 0.11, Distortion: 0.08,
+				Loadings: map[string]float64{"fitness": 0.80, "mass": -0.35, "age": -0.20},
+				Synonyms: []string{"Athletic", "Fit"}},
+			{Name: "Wrinkles", Binary: true, Noise: 0.16, Distortion: 0.05,
+				Loadings: map[string]float64{"age": 0.78, "mass": 0.10},
+				Synonyms: []string{"Has Wrinkles"}},
+			{Name: "Gray Hair", Binary: true, Noise: 0.12, Distortion: 0.03,
+				Loadings: map[string]float64{"age": 0.80},
+				Synonyms: []string{"Grey Hair", "White Hair"}},
+			{Name: "Old", Binary: true, Noise: 0.12, Distortion: 0.04,
+				Loadings: map[string]float64{"age": 0.90},
+				Synonyms: []string{"Is Old", "Elderly"}},
+			{Name: "Tall", Binary: true, Noise: 0.13, Distortion: 0.05,
+				Loadings: map[string]float64{"height": 0.85},
+				Synonyms: []string{"Taller Then You", "Taller Than You", "Is Tall"}},
+			{Name: "Fat", Binary: true, Noise: 0.15, Distortion: 0.05,
+				Loadings: map[string]float64{"mass": 0.85, "age": 0.25},
+				Synonyms: []string{"Is Fat", "Obese"}},
+			{Name: "Good Facial Features", Binary: true, Noise: 0.17, Distortion: 0.1,
+				Loadings: map[string]float64{"style": 0.78},
+				Synonyms: []string{"Nice Face"}},
+			{Name: "Has Good Style", Binary: true, Noise: 0.16, Distortion: 0.1,
+				Loadings: map[string]float64{"style": 0.68},
+				Synonyms: []string{"Well Dressed", "Stylish"}},
+			{Name: "Children", Binary: true, Noise: 0.18, Distortion: 0.08,
+				Loadings: map[string]float64{"age": 0.50},
+				Synonyms: []string{"Has Children", "Parent"}},
+
+			// Low-information attributes that appear as noise answers to
+			// dismantling questions ("is_black may help determining
+			// number_of_calories" — the paper's example of an answer that
+			// verification should reject).
+			{Name: "Wears Glasses", Binary: true, Noise: 0.08, Distortion: 0.02,
+				Loadings: map[string]float64{"age": 0.25}},
+			{Name: "Is Smiling", Binary: true, Noise: 0.10, Distortion: 0.02,
+				Loadings: map[string]float64{"style": 0.15}},
+			{Name: "Dark Hair", Binary: true, Noise: 0.09, Distortion: 0.02,
+				Loadings: map[string]float64{"age": -0.20}},
+		},
+		// Dismantling-answer tables following Table 4(a); weights are the
+		// published percentages where available, with the remaining mass
+		// spread over other plausible answers and junk.
+		// The published frequencies of Table 4(a) sum to well under 100%
+		// per question — most answers workers type are junk, rare, or
+		// unusable. The tables therefore carry a heavy junk tail, and some
+		// gold attributes are reachable only by dismantling intermediate
+		// attributes (the paper's red_meat-via-meat_content effect): e.g.
+		// Heavy and Fat never come up when dismantling Bmi directly, only
+		// when dismantling Weight.
+		Dismantle: map[string][]DismantleAnswer{
+			"Bmi": {
+				{Name: "Weight", Weight: 33},
+				{Name: "Height", Weight: 33},
+				{Name: "Age", Weight: 6},
+				{Name: "Attractive", Weight: 2},
+				{Name: "Wears Glasses", Weight: 8},
+				{Name: "Is Smiling", Weight: 8},
+				{Name: "Dark Hair", Weight: 7},
+				{Name: "Has Good Style", Weight: 3},
+			},
+			"Height": {
+				{Name: "Age", Weight: 22},
+				{Name: "Shoe Size", Weight: 9},
+				{Name: "Taller Then You", Weight: 7}, // synonym of Tall
+				{Name: "Tall", Weight: 8},
+				{Name: "Is Smiling", Weight: 14},
+				{Name: "Dark Hair", Weight: 14},
+				{Name: "Wears Glasses", Weight: 10},
+				{Name: "Children", Weight: 6},
+			},
+			"Age": {
+				{Name: "Wrinkles", Weight: 15},
+				{Name: "Gray Hair", Weight: 10},
+				{Name: "Old", Weight: 10},
+				{Name: "Children", Weight: 3},
+				{Name: "Weight", Weight: 5},
+				{Name: "Wears Glasses", Weight: 4},
+				{Name: "Grey Hair", Weight: 4}, // synonym of Gray Hair
+				{Name: "Is Smiling", Weight: 6},
+				{Name: "Dark Hair", Weight: 5},
+			},
+			"Attractive": {
+				{Name: "Good Facial Features", Weight: 17},
+				{Name: "Fat", Weight: 6},
+				{Name: "Has Good Style", Weight: 6},
+				{Name: "Works Out", Weight: 1},
+				{Name: "Age", Weight: 5},
+				{Name: "Is Smiling", Weight: 8},
+				{Name: "Dark Hair", Weight: 6},
+				{Name: "Wears Glasses", Weight: 6},
+			},
+			"Weight": {
+				{Name: "Heavy", Weight: 20},
+				{Name: "Fat", Weight: 15},
+				{Name: "Bmi", Weight: 6},
+				{Name: "Is Smiling", Weight: 12},
+				{Name: "Dark Hair", Weight: 12},
+				{Name: "Wears Glasses", Weight: 9},
+				{Name: "Children", Weight: 7},
+				{Name: "Has Good Style", Weight: 5},
+			},
+		},
+		// Gold-standard related sets (standing in for the expert lists of
+		// [27] used by the Section 5.3.1 coverage experiment).
+		Gold: map[string][]string{
+			"Height": {"Weight", "Age", "Shoe Size", "Tall", "Bmi"},
+			"Weight": {"Bmi", "Height", "Heavy", "Fat", "Age", "Works Out"},
+			"Bmi":    {"Weight", "Height", "Heavy", "Fat", "Attractive"},
+		},
+	})
+	if err != nil {
+		// The built-in definition is a compile-time constant; failing to
+		// assemble it is a programming error.
+		panic("domain: pictures universe invalid: " + err.Error())
+	}
+	return u
+}

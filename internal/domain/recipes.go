@@ -1,0 +1,209 @@
+package domain
+
+// Recipes builds the "Recipes" universe of Section 5.1: objects are food
+// recipes (the paper used the 500 most popular recipes of allrecipes.com,
+// normalized to one serving), query attributes include Protein, Calories,
+// GoodForKids, EasyToMake and Healthy. Noise levels and the correlation
+// structure track Table 5(b) — note the enormous Calories S_c of 80707
+// (single-worker answers are wildly off) — and dismantling tables track
+// Table 4(b).
+//
+// Factors: energy (caloric density), meat (animal protein), dessert
+// (sweetness/dessertness), health, and complexity (preparation effort).
+func Recipes() *Universe {
+	u, err := New(Config{
+		Name: "recipes",
+		Attributes: []Attribute{
+			// Numeric query attributes. Calories noise ≈ sqrt(80707) ≈ 284.
+			{Name: "Calories", Mean: 420, Sigma: 250, Noise: 284, Distortion: 450,
+				Loadings: map[string]float64{"energy": 0.85, "dessert": 0.20, "health": -0.25},
+				Synonyms: []string{"Number Of Calories", "Calorie Count"}},
+			{Name: "Protein", Mean: 18, Sigma: 14, Noise: 16, Distortion: 22,
+				Loadings: map[string]float64{"meat": 0.80, "dessert": -0.40, "energy": 0.20},
+				Synonyms: []string{"Protein Amount", "Grams Of Protein"}},
+			{Name: "Number Of Eggs", Mean: 1.2, Sigma: 1.1, Noise: 0.7, Distortion: 0.3,
+				Loadings: map[string]float64{"dessert": 0.30, "meat": 0.55},
+				Synonyms: []string{"Eggs Count"}},
+			{Name: "Number Of Ingredients", Mean: 9, Sigma: 4, Noise: 2.2, Distortion: 1.5,
+				Loadings: map[string]float64{"complexity": 0.85},
+				Synonyms: []string{"Ingredients Count"}},
+			{Name: "Fat Amount", Mean: 18, Sigma: 13, Noise: 12, Distortion: 10,
+				Loadings: map[string]float64{"energy": 0.80, "health": -0.30},
+				Synonyms: []string{"Grams Of Fat"}},
+			{Name: "Sugar", Mean: 20, Sigma: 18, Noise: 14, Distortion: 8,
+				Loadings: map[string]float64{"dessert": 0.75, "energy": 0.45},
+				Synonyms: []string{"Sugar Amount", "Grams Of Sugar"}},
+
+			// Binary attributes; Noise tuned for Table 5(b) S_c (0.05–0.2).
+			{Name: "Low Calories", Binary: true, Noise: 0.06, Distortion: 0.08,
+				Loadings: map[string]float64{"energy": -0.75, "health": 0.35},
+				Synonyms: []string{"Low Calorie", "Dietetic", "Is Dietetic"}},
+			{Name: "Dessert", Binary: true, Noise: 0.08, Distortion: 0.02,
+				Loadings: map[string]float64{"dessert": 0.90},
+				Synonyms: []string{"Is Dessert", "Sweet Dish"}},
+			{Name: "Healthy", Binary: true, Noise: 0.20, Distortion: 0.12,
+				Loadings: map[string]float64{"health": 0.85, "energy": -0.30},
+				Synonyms: []string{"Is Healthy", "Good For You"}},
+			{Name: "Vegetarian", Binary: true, Noise: 0.13, Distortion: 0.04,
+				Loadings: map[string]float64{"meat": -0.75, "health": 0.25},
+				Synonyms: []string{"Is Vegetarian", "Meatless"}},
+			{Name: "Has Eggs", Binary: true, Noise: 0.05, Distortion: 0.04,
+				Loadings: map[string]float64{"dessert": 0.28, "meat": 0.50},
+				Synonyms: []string{"Contains Eggs"}},
+			{Name: "Has Meat", Binary: true, Noise: 0.07, Distortion: 0.02,
+				Loadings: map[string]float64{"meat": 0.90},
+				Synonyms: []string{"Contains Meat", "Meaty"}},
+			{Name: "High Protein", Binary: true, Noise: 0.15, Distortion: 0.1,
+				Loadings: map[string]float64{"meat": 0.78, "energy": 0.20},
+				Synonyms: []string{"Protein Rich"}},
+			{Name: "Low Salt", Binary: true, Noise: 0.18, Distortion: 0.12,
+				Loadings: map[string]float64{"health": 0.60},
+				Synonyms: []string{"Low Sodium"}},
+			{Name: "Natural", Binary: true, Noise: 0.17, Distortion: 0.1,
+				Loadings: map[string]float64{"health": 0.70},
+				Synonyms: []string{"All Natural", "Organic"}},
+			{Name: "Bitter", Binary: true, Noise: 0.14, Distortion: 0.05,
+				Loadings: map[string]float64{"dessert": -0.30, "health": 0.20},
+				Synonyms: []string{"Is Bitter"}},
+			{Name: "Fast", Binary: true, Noise: 0.15, Distortion: 0.06,
+				Loadings: map[string]float64{"complexity": -0.80},
+				Synonyms: []string{"Quick", "Quick To Make"}},
+			{Name: "Easy To Make", Binary: true, Noise: 0.16, Distortion: 0.08,
+				Loadings: map[string]float64{"complexity": -0.85},
+				Synonyms: []string{"Easy", "Simple To Make"}},
+			{Name: "Tasty", Binary: true, Noise: 0.20, Distortion: 0.12,
+				Loadings: map[string]float64{"dessert": 0.30, "energy": 0.20},
+				Synonyms: []string{"Is Tasty", "Delicious"}},
+			{Name: "Expensive", Binary: true, Noise: 0.18, Distortion: 0.08,
+				Loadings: map[string]float64{"complexity": 0.40, "meat": 0.30},
+				Synonyms: []string{"Is Expensive", "Pricey"}},
+			{Name: "Good For Kids", Binary: true, Noise: 0.17, Distortion: 0.08,
+				Loadings: map[string]float64{"dessert": 0.45, "health": 0.10, "complexity": -0.30},
+				Synonyms: []string{"Kid Friendly"}},
+			{Name: "Spicy", Binary: true, Noise: 0.10, Distortion: 0.03,
+				Loadings: map[string]float64{"dessert": -0.45, "meat": 0.25},
+				Synonyms: []string{"Is Spicy", "Hot"}},
+
+			// Noise answers with (almost) no information content; the
+			// paper's own example of a verification reject is
+			// "does knowing if a dish is_black help its number_of_calories".
+			{Name: "Is Black", Binary: true, Noise: 0.08, Distortion: 0.02,
+				Loadings: map[string]float64{}},
+			{Name: "Is Brown", Binary: true, Noise: 0.12, Distortion: 0.02,
+				Loadings: map[string]float64{"dessert": 0.15}},
+			{Name: "Is Soup", Binary: true, Noise: 0.06, Distortion: 0.02,
+				Loadings: map[string]float64{"complexity": -0.15, "meat": 0.10}},
+		},
+		// Dismantling tables following Table 4(b). The published
+		// frequencies sum to well under 100% per question; the remaining
+		// mass is junk, which verification must filter. Several
+		// gold-standard attributes are reachable only through intermediate
+		// attributes (dismantling Number Of Eggs surfaces Dessert; High
+		// Protein surfaces Fat Amount) - the paper's motivation for
+		// recursive dismantling.
+		Dismantle: map[string][]DismantleAnswer{
+			"Calories": {
+				{Name: "Has Eggs", Weight: 8},
+				{Name: "Low Calories", Weight: 4},
+				{Name: "Dessert", Weight: 2},
+				{Name: "Healthy", Weight: 2},
+				{Name: "Is Dietetic", Weight: 3}, // synonym of Low Calories
+				{Name: "Is Brown", Weight: 7},
+				{Name: "Is Black", Weight: 6},
+				{Name: "Is Soup", Weight: 6},
+				{Name: "Tasty", Weight: 6},
+			},
+			"Protein": {
+				{Name: "Has Meat", Weight: 13},
+				{Name: "Number Of Eggs", Weight: 4},
+				{Name: "High Protein", Weight: 4},
+				{Name: "Vegetarian", Weight: 2},
+				{Name: "Contains Meat", Weight: 3}, // synonym of Has Meat
+				{Name: "Is Soup", Weight: 5},
+				{Name: "Is Black", Weight: 4},
+				{Name: "Is Brown", Weight: 4},
+				{Name: "Tasty", Weight: 4},
+				{Name: "Expensive", Weight: 3},
+			},
+			"Healthy": {
+				{Name: "Low Salt", Weight: 8},
+				{Name: "Natural", Weight: 8},
+				{Name: "Fat Amount", Weight: 4},
+				{Name: "Bitter", Weight: 4},
+				{Name: "Low Calories", Weight: 6},
+				{Name: "Vegetarian", Weight: 4},
+				{Name: "Is Brown", Weight: 6},
+				{Name: "Is Black", Weight: 4},
+			},
+			"Easy To Make": {
+				{Name: "Number Of Ingredients", Weight: 17},
+				{Name: "Fast", Weight: 10},
+				{Name: "Tasty", Weight: 5},
+				{Name: "Expensive", Weight: 2},
+				{Name: "Quick", Weight: 4}, // synonym of Fast
+				{Name: "Is Soup", Weight: 5},
+				{Name: "Is Brown", Weight: 4},
+			},
+			"Good For Kids": {
+				{Name: "Dessert", Weight: 14},
+				{Name: "Spicy", Weight: 10},
+				{Name: "Sugar", Weight: 8},
+				{Name: "Easy To Make", Weight: 5},
+				{Name: "Healthy", Weight: 5},
+				{Name: "Tasty", Weight: 4},
+				{Name: "Is Brown", Weight: 5},
+				{Name: "Is Black", Weight: 4},
+			},
+			// Intermediate attributes workers can dismantle further.
+			"Has Meat": {
+				{Name: "Vegetarian", Weight: 10},
+				{Name: "High Protein", Weight: 8},
+				{Name: "Fat Amount", Weight: 4},
+				{Name: "Spicy", Weight: 5},
+				{Name: "Expensive", Weight: 4},
+				{Name: "Protein", Weight: 4},
+				{Name: "Is Soup", Weight: 6},
+				{Name: "Is Brown", Weight: 5},
+			},
+			"High Protein": {
+				{Name: "Has Meat", Weight: 10},
+				{Name: "Protein", Weight: 6},
+				{Name: "Fat Amount", Weight: 6},
+				{Name: "Calories", Weight: 4},
+				{Name: "Healthy", Weight: 3},
+				{Name: "Is Black", Weight: 5},
+				{Name: "Tasty", Weight: 4},
+			},
+			"Number Of Eggs": {
+				{Name: "Has Eggs", Weight: 10},
+				{Name: "Dessert", Weight: 8},
+				{Name: "Sugar", Weight: 4},
+				{Name: "Vegetarian", Weight: 3},
+				{Name: "Is Brown", Weight: 5},
+				{Name: "Is Soup", Weight: 4},
+			},
+			"Vegetarian": {
+				{Name: "Has Meat", Weight: 10},
+				{Name: "Healthy", Weight: 6},
+				{Name: "Natural", Weight: 4},
+				{Name: "Dessert", Weight: 4},
+				{Name: "Has Eggs", Weight: 3},
+				{Name: "Low Calories", Weight: 3},
+				{Name: "Is Brown", Weight: 5},
+				{Name: "Is Black", Weight: 4},
+			},
+		},
+		// Gold sets standing in for the expert dietitian of Section 5.3.1.
+		// Dessert, Fat Amount, Sugar and Has Eggs never come up when
+		// dismantling Protein directly.
+		Gold: map[string][]string{
+			"Protein": {"Has Meat", "Number Of Eggs", "High Protein", "Vegetarian",
+				"Dessert", "Fat Amount", "Has Eggs"},
+			"Calories": {"Fat Amount", "Sugar", "Low Calories", "Dessert", "Healthy", "Vegetarian"},
+		},
+	})
+	if err != nil {
+		panic("domain: recipes universe invalid: " + err.Error())
+	}
+	return u
+}

@@ -1,0 +1,133 @@
+package domain
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SyntheticConfig parameterizes the synthetic universe generator of
+// Section 5.1 ("Synthetic Data"): a randomly generated set of attributes
+// with dependencies between them and mocked crowd behaviour, used to
+// neutralize subjectivity about which attributes are hard or easy.
+type SyntheticConfig struct {
+	// Attributes is the total number of attributes (≥ 2); the first one is
+	// named "Target" and is the intended query attribute.
+	Attributes int
+	// Factors is the number of latent factors inducing dependencies (≥ 1).
+	Factors int
+	// BinaryFraction is the fraction of attributes that are boolean.
+	BinaryFraction float64
+	// MaxNoise bounds the per-attribute worker-answer noise: numeric noise
+	// is Uniform(0.2, MaxNoise)·Sigma, binary noise Uniform(0.05, 0.25).
+	// Zero means the default of 1.5.
+	MaxNoise float64
+	// JunkAttributes adds this many zero-loading attributes that only show
+	// up as irrelevant dismantling answers.
+	JunkAttributes int
+	// HardTarget makes the query attribute genuinely hard for the crowd
+	// (large answer noise and systematic distortion) — the premise of the
+	// paper's problem statement. Without it the target's difficulty is
+	// random, and an easy target makes direct questioning competitive.
+	HardTarget bool
+}
+
+// Synthetic generates a random universe from the configuration, driven
+// entirely by rng (deterministic for a fixed seed).
+func Synthetic(rng *rand.Rand, cfg SyntheticConfig) (*Universe, error) {
+	if cfg.Attributes < 2 {
+		return nil, fmt.Errorf("domain: synthetic needs ≥ 2 attributes, got %d", cfg.Attributes)
+	}
+	if cfg.Factors < 1 {
+		return nil, fmt.Errorf("domain: synthetic needs ≥ 1 factor, got %d", cfg.Factors)
+	}
+	if cfg.BinaryFraction < 0 || cfg.BinaryFraction > 1 {
+		return nil, fmt.Errorf("domain: BinaryFraction %v out of [0,1]", cfg.BinaryFraction)
+	}
+	maxNoise := cfg.MaxNoise
+	if maxNoise == 0 {
+		maxNoise = 1.5
+	}
+	if maxNoise < 0.2 {
+		return nil, fmt.Errorf("domain: MaxNoise %v below minimum 0.2", maxNoise)
+	}
+
+	factorNames := make([]string, cfg.Factors)
+	for i := range factorNames {
+		factorNames[i] = fmt.Sprintf("f%d", i)
+	}
+
+	attrs := make([]Attribute, 0, cfg.Attributes+cfg.JunkAttributes)
+	for i := 0; i < cfg.Attributes; i++ {
+		name := fmt.Sprintf("Attr%d", i)
+		if i == 0 {
+			name = "Target"
+		}
+		// Random sparse loadings: each attribute loads on 1–3 factors with
+		// total norm in [0.5, 0.95] so everything is learnable but noisy.
+		nLoad := 1 + rng.Intn(minInt(3, cfg.Factors))
+		perm := rng.Perm(cfg.Factors)
+		loadings := make(map[string]float64, nLoad)
+		targetNorm := 0.5 + 0.45*rng.Float64()
+		remaining := targetNorm * targetNorm
+		for j := 0; j < nLoad; j++ {
+			var l2 float64
+			if j == nLoad-1 {
+				l2 = remaining
+			} else {
+				l2 = remaining * (0.3 + 0.5*rng.Float64())
+			}
+			remaining -= l2
+			l := math.Sqrt(l2)
+			if rng.Intn(2) == 0 {
+				l = -l
+			}
+			loadings[factorNames[perm[j]]] = l
+		}
+		binary := i != 0 && rng.Float64() < cfg.BinaryFraction
+		a := Attribute{Name: name, Binary: binary, Loadings: loadings}
+		if binary {
+			a.Noise = 0.05 + 0.20*rng.Float64()
+			a.Distortion = 0.02 + 0.1*rng.Float64()
+		} else {
+			a.Mean = 50 * rng.NormFloat64()
+			a.Sigma = 1 + 9*rng.Float64()
+			a.Noise = a.Sigma * (0.2 + (maxNoise-0.2)*rng.Float64())
+			a.Distortion = a.Sigma * (0.1 + 0.6*rng.Float64())
+		}
+		if i == 0 && cfg.HardTarget {
+			a.Noise = a.Sigma * (1.0 + 0.5*rng.Float64())
+			a.Distortion = a.Sigma * (1.0 + 0.6*rng.Float64())
+		}
+		attrs = append(attrs, a)
+	}
+	for j := 0; j < cfg.JunkAttributes; j++ {
+		attrs = append(attrs, Attribute{
+			Name:       fmt.Sprintf("Junk%d", j),
+			Binary:     true,
+			Noise:      0.05 + 0.1*rng.Float64(),
+			Distortion: 0.02,
+			Loadings:   map[string]float64{},
+		})
+	}
+
+	return New(Config{Name: "synthetic", Attributes: attrs})
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Registry returns the built-in universes by name. The synthetic domain is
+// excluded because it needs a seed; use Synthetic directly.
+func Registry() map[string]func() *Universe {
+	return map[string]func() *Universe{
+		"pictures": Pictures,
+		"recipes":  Recipes,
+		"houses":   Houses,
+		"laptops":  Laptops,
+	}
+}

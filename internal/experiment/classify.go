@@ -1,0 +1,200 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/domain"
+)
+
+// newEvalRand derives the evaluation-object generator for a repetition.
+func newEvalRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed ^ 0x3c6e)) }
+
+// coreQuery builds a single-target query.
+func coreQuery(target string) core.Query { return core.Query{Targets: []string{target}} }
+
+// ClassificationMetrics are the recall–precision measures the paper's
+// Section 7 proposes for boolean query attributes (like gluten_free),
+// where mean-square error is a poor fit.
+type ClassificationMetrics struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	Accuracy  float64
+	Positives int
+	Total     int
+}
+
+// ClassifyTarget evaluates a boolean query attribute: an object is
+// predicted positive when the estimate crosses the threshold, and truly
+// positive when its true value does. The paper represents booleans as
+// numbers in [0,1], so 0.5 is the natural threshold.
+func ClassifyTarget(
+	p crowd.Platform,
+	ev baselines.Evaluator,
+	objs []*domain.Object,
+	truths []float64,
+	target string,
+	threshold float64,
+) (ClassificationMetrics, error) {
+	if len(objs) == 0 || len(objs) != len(truths) {
+		return ClassificationMetrics{}, errors.New("experiment: misaligned classification inputs")
+	}
+	var tp, fp, fn, tn int
+	for i, o := range objs {
+		est, err := ev.Estimate(p, o)
+		if err != nil {
+			return ClassificationMetrics{}, err
+		}
+		pred := est[target] >= threshold
+		truth := truths[i] >= threshold
+		switch {
+		case pred && truth:
+			tp++
+		case pred && !truth:
+			fp++
+		case !pred && truth:
+			fn++
+		default:
+			tn++
+		}
+	}
+	m := ClassificationMetrics{Positives: tp + fn, Total: len(objs)}
+	if tp+fp > 0 {
+		m.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		m.Recall = float64(tp) / float64(tp+fn)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	m.Accuracy = float64(tp+tn) / float64(len(objs))
+	return m, nil
+}
+
+// ClassificationSpec configures a boolean-target comparison.
+type ClassificationSpec struct {
+	Platform    PlatformConfig
+	Target      string // must be a boolean attribute
+	BObj, BPrc  crowd.Cost
+	Algorithms  []baselines.Algorithm
+	Reps        int // default 10
+	EvalObjects int // default 150
+	BaseSeed    int64
+	Threshold   float64 // default 0.5
+}
+
+// ClassificationResult aggregates metrics over repetitions.
+type ClassificationResult struct {
+	Algorithm string
+	Mean      ClassificationMetrics
+	Reps      int
+}
+
+// RunClassification runs the boolean-target experiment: each repetition
+// shares a platform across algorithms and evaluates the same objects.
+func RunClassification(spec ClassificationSpec) ([]ClassificationResult, error) {
+	if spec.Target == "" || len(spec.Algorithms) == 0 {
+		return nil, errors.New("experiment: classification needs a target and algorithms")
+	}
+	reps := spec.Reps
+	if reps == 0 {
+		reps = 10
+	}
+	evalN := spec.EvalObjects
+	if evalN == 0 {
+		evalN = 150
+	}
+	threshold := spec.Threshold
+	if threshold == 0 {
+		threshold = 0.5
+	}
+	acc := make([]ClassificationMetrics, len(spec.Algorithms))
+	counted := make([]int, len(spec.Algorithms))
+	for rep := 0; rep < reps; rep++ {
+		seed := repSeed("classify/"+spec.Target, spec.BaseSeed, rep)
+		p, err := spec.Platform.Build(seed)
+		if err != nil {
+			return nil, err
+		}
+		u := p.Universe()
+		target, err := u.Canonical(spec.Target)
+		if err != nil {
+			return nil, err
+		}
+		if meta, err := u.Attribute(target); err != nil || !meta.Binary {
+			return nil, fmt.Errorf("experiment: classification target %q must be a boolean attribute", spec.Target)
+		}
+		objs := u.NewObjects(newEvalRand(seed), evalN)
+		truths := make([]float64, len(objs))
+		for i, o := range objs {
+			truths[i], _ = u.Truth(o, target)
+		}
+		q := coreQuery(target)
+		for ai, alg := range spec.Algorithms {
+			ev, err := alg.Prepare(p, q, spec.BObj, spec.BPrc)
+			if err != nil {
+				continue // unaffordable point: skip, like Run
+			}
+			m, err := ClassifyTarget(p, ev, objs, truths, target, threshold)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", alg.Name(), err)
+			}
+			acc[ai].Precision += m.Precision
+			acc[ai].Recall += m.Recall
+			acc[ai].F1 += m.F1
+			acc[ai].Accuracy += m.Accuracy
+			acc[ai].Positives += m.Positives
+			acc[ai].Total += m.Total
+			counted[ai]++
+		}
+	}
+	out := make([]ClassificationResult, len(spec.Algorithms))
+	for i, alg := range spec.Algorithms {
+		out[i].Algorithm = alg.Name()
+		out[i].Reps = counted[i]
+		if counted[i] > 0 {
+			n := float64(counted[i])
+			out[i].Mean = ClassificationMetrics{
+				Precision: acc[i].Precision / n,
+				Recall:    acc[i].Recall / n,
+				F1:        acc[i].F1 / n,
+				Accuracy:  acc[i].Accuracy / n,
+				Positives: acc[i].Positives / counted[i],
+				Total:     acc[i].Total / counted[i],
+			}
+		}
+	}
+	return out, nil
+}
+
+// RenderClassification formats the comparison.
+func RenderClassification(w io.Writer, title string, results []ClassificationResult) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-22s %10s %10s %10s %10s %6s\n",
+		"algorithm", "precision", "recall", "F1", "accuracy", "reps"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if r.Reps == 0 {
+			if _, err := fmt.Fprintf(w, "  %-22s %10s %10s %10s %10s %6d\n",
+				r.Algorithm, "-", "-", "-", "-", 0); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "  %-22s %10.3f %10.3f %10.3f %10.3f %6d\n",
+			r.Algorithm, r.Mean.Precision, r.Mean.Recall, r.Mean.F1, r.Mean.Accuracy, r.Reps); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/crowd"
+	"repro/internal/domain"
+)
+
+// fixedEvaluator returns canned predictions keyed by object id.
+type fixedEvaluator struct {
+	preds  map[int]float64
+	target string
+}
+
+func (f *fixedEvaluator) Estimate(_ crowd.Platform, o *domain.Object) (map[string]float64, error) {
+	return map[string]float64{f.target: f.preds[o.ID]}, nil
+}
+func (f *fixedEvaluator) PerObjectCost() crowd.Cost { return 0 }
+
+func TestClassifyTargetMetrics(t *testing.T) {
+	objs := []*domain.Object{
+		domain.RefObject(0), domain.RefObject(1), domain.RefObject(2), domain.RefObject(3),
+	}
+	truths := []float64{0.9, 0.8, 0.1, 0.2} // two positives, two negatives
+	ev := &fixedEvaluator{target: "X", preds: map[int]float64{
+		0: 0.9, // TP
+		1: 0.2, // FN
+		2: 0.7, // FP
+		3: 0.1, // TN
+	}}
+	m, err := ClassifyTarget(nil, ev, objs, truths, "X", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Precision != 0.5 || m.Recall != 0.5 || m.Accuracy != 0.5 {
+		t.Fatalf("metrics %+v, want P=R=A=0.5", m)
+	}
+	if m.F1 != 0.5 {
+		t.Fatalf("F1 = %v", m.F1)
+	}
+	if m.Positives != 2 || m.Total != 4 {
+		t.Fatalf("counts %+v", m)
+	}
+	// Misaligned inputs.
+	if _, err := ClassifyTarget(nil, ev, objs, truths[:2], "X", 0.5); err == nil {
+		t.Fatal("expected error on misaligned inputs")
+	}
+}
+
+func TestClassifyTargetDegenerate(t *testing.T) {
+	objs := []*domain.Object{domain.RefObject(0)}
+	// No predicted positives and no true positives: all ratios zero,
+	// accuracy 1.
+	ev := &fixedEvaluator{target: "X", preds: map[int]float64{0: 0.1}}
+	m, err := ClassifyTarget(nil, ev, objs, []float64{0.2}, "X", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Precision != 0 || m.Recall != 0 || m.F1 != 0 || m.Accuracy != 1 {
+		t.Fatalf("degenerate metrics %+v", m)
+	}
+}
+
+func TestRunClassificationValidation(t *testing.T) {
+	if _, err := RunClassification(ClassificationSpec{}); err == nil {
+		t.Fatal("empty spec should error")
+	}
+	// Numeric target rejected.
+	_, err := RunClassification(ClassificationSpec{
+		Platform:   PlatformConfig{Domain: "recipes"},
+		Target:     "Calories",
+		BObj:       crowd.Cents(2),
+		BPrc:       crowd.Dollars(15),
+		Algorithms: []baselines.Algorithm{baselines.NaiveAverage{}},
+		Reps:       1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "boolean") {
+		t.Fatalf("expected boolean-target error, got %v", err)
+	}
+}
+
+func TestRunClassificationEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("classification experiment is slow")
+	}
+	res, err := RunClassification(ClassificationSpec{
+		Platform:    PlatformConfig{Domain: "recipes"},
+		Target:      "Vegetarian",
+		BObj:        crowd.Cents(2),
+		BPrc:        crowd.Dollars(25),
+		Algorithms:  []baselines.Algorithm{baselines.NaiveAverage{}, baselines.DisQ{}},
+		Reps:        2,
+		EvalObjects: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %d", len(res))
+	}
+	for _, r := range res {
+		if r.Reps != 2 {
+			t.Fatalf("%s: reps %d", r.Algorithm, r.Reps)
+		}
+		// Vegetarian is an easy-ish boolean: everything should beat a
+		// coin flip clearly.
+		if r.Mean.F1 < 0.5 {
+			t.Fatalf("%s: F1 = %v, suspiciously low", r.Algorithm, r.Mean.F1)
+		}
+	}
+	var b strings.Builder
+	if err := RenderClassification(&b, "test", res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "precision") || !strings.Contains(b.String(), "DisQ") {
+		t.Fatalf("render: %q", b.String())
+	}
+}
+
+func TestRenderClassificationHandlesFailures(t *testing.T) {
+	var b strings.Builder
+	err := RenderClassification(&b, "t", []ClassificationResult{{Algorithm: "A", Reps: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "-") {
+		t.Fatalf("render: %q", b.String())
+	}
+}

@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+)
+
+// CoverageSpec configures the Section 5.3.1 gold-standard coverage
+// experiment for one (domain, target) pair.
+type CoverageSpec struct {
+	Platform PlatformConfig
+	Target   string
+	BObj     crowd.Cost
+	BPrc     crowd.Cost
+	Reps     int // default 10
+	BaseSeed int64
+}
+
+// CoverageResult reports the fraction of the gold-standard set each
+// discovery strategy found, averaged over repetitions.
+type CoverageResult struct {
+	Domain string
+	Target string
+	// DisQ is full recursive dismantling; Naive restricts dismantling to
+	// the query attributes only (the comparison of Section 5.3.1).
+	DisQ  float64
+	Naive float64
+	// GoldSize is the size of the gold-standard set.
+	GoldSize int
+}
+
+// Coverage measures how much of the domain's gold-standard related set
+// each strategy's discovery phase recovers.
+func Coverage(spec CoverageSpec) (*CoverageResult, error) {
+	reps := spec.Reps
+	if reps == 0 {
+		reps = 10
+	}
+	var disqSum, naiveSum float64
+	var goldSize int
+	for rep := 0; rep < reps; rep++ {
+		seed := repSeed("coverage/"+spec.Platform.Domain+"/"+spec.Target, spec.BaseSeed, rep)
+		p, err := spec.Platform.Build(seed)
+		if err != nil {
+			return nil, err
+		}
+		gold := p.Universe().GoldStandard(spec.Target)
+		if len(gold) == 0 {
+			return nil, fmt.Errorf("experiment: no gold standard for %q in %q", spec.Target, spec.Platform.Domain)
+		}
+		goldSize = len(gold)
+		q := core.Query{Targets: []string{spec.Target}}
+		for i, opts := range []core.Options{
+			{},                          // DisQ: recursive dismantling
+			{OnlyQueryAttributes: true}, // naive: dismantle the target only
+		} {
+			plan, err := core.Preprocess(p, q, spec.BObj, spec.BPrc, opts)
+			if err != nil {
+				return nil, err
+			}
+			found := make(map[string]bool, len(plan.Discovered))
+			for _, a := range plan.Discovered {
+				found[p.Canonical(a)] = true
+			}
+			hit := 0
+			for _, g := range gold {
+				if found[p.Canonical(g)] {
+					hit++
+				}
+			}
+			cov := float64(hit) / float64(len(gold))
+			if i == 0 {
+				disqSum += cov
+			} else {
+				naiveSum += cov
+			}
+		}
+	}
+	return &CoverageResult{
+		Domain:   spec.Platform.Domain,
+		Target:   spec.Target,
+		DisQ:     disqSum / float64(reps),
+		Naive:    naiveSum / float64(reps),
+		GoldSize: goldSize,
+	}, nil
+}
+
+// RenderCoverage formats coverage results like the Section 5.3.1
+// discussion (DisQ > 80%, naive < 50%).
+func RenderCoverage(w io.Writer, title string, results []*CoverageResult) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-10s %-10s %6s %12s %12s\n", "domain", "target", "gold", "DisQ", "naive"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if _, err := fmt.Fprintf(w, "  %-10s %-10s %6d %11.0f%% %11.0f%%\n",
+			r.Domain, r.Target, r.GoldSize, 100*r.DisQ, 100*r.Naive); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/crowd"
+)
+
+func TestRegistryCoversDesignIndex(t *testing.T) {
+	// Every experiment of the DESIGN.md per-experiment index must be
+	// present in the registry.
+	want := []string{
+		"table4", "table5",
+		"fig1a", "fig1b", "fig1c", "fig1d", "fig1e", "fig1f",
+		"fig2", "fig3a", "fig3b", "fig4a", "fig4b",
+		"coverage", "classify",
+		"ablation-quality", "ablation-unification", "ablation-rho", "ablation-pricing",
+		"ablation-quadratic", "advisor",
+		"synthetic",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("registry missing %q", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registry has %d entries, design index has %d", len(IDs()), len(want))
+	}
+}
+
+func TestLookup(t *testing.T) {
+	f, ok := Lookup("fig1a")
+	if !ok || f.ID != "fig1a" {
+		t.Fatal("Lookup(fig1a) failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("Lookup(nope) should fail")
+	}
+}
+
+func TestDescribeListsAll(t *testing.T) {
+	d := Describe()
+	for _, id := range IDs() {
+		if !strings.Contains(d, id) {
+			t.Errorf("Describe missing %q", id)
+		}
+	}
+}
+
+func TestTable4Figure(t *testing.T) {
+	f, _ := Lookup("table4")
+	out, err := f.Run(RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pictures block lists the Table 4a answers.
+	for _, s := range []string{"Table 4a", "Table 4b", "Weight", "Has Meat", "%"} {
+		if !strings.Contains(out, s) {
+			t.Errorf("table4 output missing %q", s)
+		}
+	}
+}
+
+func TestTable5Figure(t *testing.T) {
+	f, _ := Lookup("table5")
+	out, err := f.Run(RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"Table 5a", "Table 5b", "S_c", "Bmi", "Calories"} {
+		if !strings.Contains(out, s) {
+			t.Errorf("table5 output missing %q", s)
+		}
+	}
+}
+
+// TestFig1aQuick smoke-tests one sweep figure end to end with tiny
+// repetition counts; the full curves are exercised by the benchmarks.
+func TestFig1aQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep figure is slow")
+	}
+	f, _ := Lookup("fig1a")
+	out, err := f.Run(RunOptions{Reps: 2, EvalObjects: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "B_prc") || !strings.Contains(out, "DisQ") {
+		t.Fatalf("fig1a output: %q", out)
+	}
+	// Six B_prc points rendered.
+	if got := strings.Count(out, "$"); got < 6 {
+		t.Fatalf("expected ≥6 budget rows, got %d in %q", got, out)
+	}
+}
+
+func TestCoverageFigureQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coverage figure is slow")
+	}
+	res, err := Coverage(CoverageSpec{
+		Platform: PlatformConfig{Domain: "recipes"},
+		Target:   "Protein",
+		BObj:     crowd.Cents(4),
+		BPrc:     crowd.Dollars(30),
+		Reps:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Section 5.3.1 claim: DisQ covers well over half, the naive
+	// variant covers less than DisQ.
+	if res.DisQ < 0.5 {
+		t.Fatalf("DisQ coverage %v too low", res.DisQ)
+	}
+	if res.Naive > res.DisQ {
+		t.Fatalf("naive coverage %v should not beat DisQ %v", res.Naive, res.DisQ)
+	}
+	var b strings.Builder
+	if err := RenderCoverage(&b, "cov", []*CoverageResult{res}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "recipes") {
+		t.Fatalf("render: %q", b.String())
+	}
+}
+
+func TestCoverageUnknownGold(t *testing.T) {
+	_, err := Coverage(CoverageSpec{
+		Platform: PlatformConfig{Domain: "recipes"},
+		Target:   "Tasty", // no gold standard declared
+		BObj:     crowd.Cents(4),
+		BPrc:     crowd.Dollars(20),
+		Reps:     1,
+	})
+	if err == nil {
+		t.Fatal("expected error for target without gold standard")
+	}
+}

@@ -1,0 +1,406 @@
+// Package experiment is the harness that regenerates every table and
+// figure of the paper's Section 5. It runs algorithm comparisons over
+// seeded simulated platforms, repeats each configuration (the paper uses
+// 30 repetitions and averages), computes the paper's weighted query error,
+// and renders text tables/series.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/domain"
+	"repro/internal/stats"
+)
+
+// PlatformConfig describes how to build the simulated platform of one
+// repetition.
+type PlatformConfig struct {
+	// Domain is a built-in universe name ("pictures", "recipes", "houses",
+	// "laptops") or "synthetic".
+	Domain string
+	// Synthetic parameterizes the synthetic universe when Domain is
+	// "synthetic".
+	Synthetic domain.SyntheticConfig
+	// SpamRate / FilterEfficiency configure malicious-worker simulation.
+	SpamRate         float64
+	FilterEfficiency float64
+	// DisableUnification turns off synonym merging (Section 5.4 ablation).
+	DisableUnification bool
+	// IrrelevantRate pollutes dismantling answers (Section 5.4 ablation).
+	IrrelevantRate float64
+	// Pricing overrides the payment scheme (zero value = paper default).
+	Pricing crowd.Pricing
+}
+
+// Build creates the universe and platform for one repetition seed.
+func (pc PlatformConfig) Build(seed int64) (*crowd.SimPlatform, error) {
+	var u *domain.Universe
+	if pc.Domain == "synthetic" {
+		var err error
+		u, err = domain.Synthetic(rand.New(rand.NewSource(seed^0x51f7)), pc.Synthetic)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		build, ok := domain.Registry()[pc.Domain]
+		if !ok {
+			return nil, fmt.Errorf("experiment: unknown domain %q", pc.Domain)
+		}
+		u = build()
+	}
+	return crowd.NewSim(u, crowd.SimOptions{
+		Seed:               seed,
+		Pricing:            pc.Pricing,
+		SpamRate:           pc.SpamRate,
+		FilterEfficiency:   pc.FilterEfficiency,
+		DisableUnification: pc.DisableUnification,
+		IrrelevantRate:     pc.IrrelevantRate,
+	})
+}
+
+// Spec is one experiment configuration: a query over a domain, the two
+// budgets, and the algorithms to compare.
+type Spec struct {
+	Name        string
+	Platform    PlatformConfig
+	Targets     []string
+	BObj        crowd.Cost
+	BPrc        crowd.Cost
+	Algorithms  []baselines.Algorithm
+	Reps        int // default 30
+	EvalObjects int // default 100
+	BaseSeed    int64
+}
+
+// AlgResult aggregates one algorithm's weighted query errors over the
+// repetitions.
+type AlgResult struct {
+	Algorithm string
+	// Mean is the average weighted query error Er(Q(D)*) over reps.
+	Mean float64
+	// StdErr is the standard error of that mean.
+	StdErr float64
+	// PerRep holds the individual repetition errors.
+	PerRep []float64
+	// Failures counts repetitions the algorithm could not complete (e.g.
+	// the budget did not buy a single question).
+	Failures int
+}
+
+// repSeed derives a deterministic per-repetition seed from the spec name.
+func repSeed(name string, base int64, rep int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d", name, base, rep)
+	return int64(h.Sum64())
+}
+
+// Run executes the spec: Reps independent repetitions, each with its own
+// seeded platform shared by all algorithms (reproducing the paper's
+// recorded-answers reuse, "so that results of multiple runs/algorithms may
+// be compared in equivalent settings"), evaluated on the same objects with
+// the paper's weighted error ω_t = 1/Var(O.a_t).
+func Run(spec Spec) ([]AlgResult, error) {
+	if len(spec.Algorithms) == 0 {
+		return nil, errors.New("experiment: no algorithms")
+	}
+	if len(spec.Targets) == 0 {
+		return nil, errors.New("experiment: no targets")
+	}
+	reps := spec.Reps
+	if reps == 0 {
+		reps = 30
+	}
+	evalN := spec.EvalObjects
+	if evalN == 0 {
+		evalN = 100
+	}
+
+	type repOut struct {
+		errs []float64 // per algorithm; NaN = failure
+		err  error
+	}
+	outs := make([]repOut, reps)
+	sem := make(chan struct{}, maxParallel())
+	var wg sync.WaitGroup
+	for rep := 0; rep < reps; rep++ {
+		wg.Add(1)
+		go func(rep int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs, err := runOneRep(spec, repSeed(spec.Name, spec.BaseSeed, rep), evalN)
+			outs[rep] = repOut{errs: errs, err: err}
+		}(rep)
+	}
+	wg.Wait()
+
+	results := make([]AlgResult, len(spec.Algorithms))
+	for i, alg := range spec.Algorithms {
+		results[i].Algorithm = alg.Name()
+	}
+	for rep, out := range outs {
+		if out.err != nil {
+			return nil, fmt.Errorf("experiment: rep %d: %w", rep, out.err)
+		}
+		for i, e := range out.errs {
+			if e != e { // NaN marks an algorithm failure for this rep
+				results[i].Failures++
+				continue
+			}
+			results[i].PerRep = append(results[i].PerRep, e)
+		}
+	}
+	for i := range results {
+		r := &results[i]
+		if len(r.PerRep) == 0 {
+			continue
+		}
+		r.Mean = stats.Mean(r.PerRep)
+		if len(r.PerRep) > 1 {
+			sd, _ := stats.StdDev(r.PerRep)
+			r.StdErr = sd / math.Sqrt(float64(len(r.PerRep)))
+		}
+	}
+	return results, nil
+}
+
+func maxParallel() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// runOneRep builds the shared platform, computes oracle weights, runs all
+// algorithms and returns the per-algorithm weighted errors.
+func runOneRep(spec Spec, seed int64, evalN int) ([]float64, error) {
+	p, err := spec.Platform.Build(seed)
+	if err != nil {
+		return nil, err
+	}
+	u := p.Universe()
+	// Canonical target names.
+	targets := make([]string, len(spec.Targets))
+	for i, t := range spec.Targets {
+		c, err := u.Canonical(t)
+		if err != nil {
+			return nil, err
+		}
+		targets[i] = c
+	}
+	// The paper fixes ω_t = 1/Var(O.a_t); the experimenters knew the
+	// variances from the dataset, so we compute them from a pilot truth
+	// sample (not from crowd answers).
+	pilotRng := rand.New(rand.NewSource(seed ^ 0x9a7))
+	pilot := u.NewObjects(pilotRng, 500)
+	weights := make(map[string]float64, len(targets))
+	for _, t := range targets {
+		vals := make([]float64, len(pilot))
+		for i, o := range pilot {
+			vals[i], _ = u.Truth(o, t)
+		}
+		v, err := stats.Variance(vals)
+		if err != nil || v <= 0 {
+			weights[t] = 1
+		} else {
+			weights[t] = 1 / v
+		}
+	}
+	// Shared evaluation objects.
+	evalRng := rand.New(rand.NewSource(seed ^ 0x3c6e))
+	evalObjs := u.NewObjects(evalRng, evalN)
+	truths := make(map[string][]float64, len(targets))
+	for _, t := range targets {
+		col := make([]float64, len(evalObjs))
+		for i, o := range evalObjs {
+			col[i], _ = u.Truth(o, t)
+		}
+		truths[t] = col
+	}
+
+	q := core.Query{Targets: targets, Weights: weights}
+	out := make([]float64, len(spec.Algorithms))
+	for ai, alg := range spec.Algorithms {
+		ev, err := alg.Prepare(p, q, spec.BObj, spec.BPrc)
+		if err != nil {
+			// An algorithm that cannot operate at this budget point is a
+			// data point ("budget buys nothing"), not a harness failure.
+			out[ai] = nan()
+			continue
+		}
+		werr, err := WeightedError(p, ev, evalObjs, targets, weights, truths)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", alg.Name(), err)
+		}
+		out[ai] = werr
+	}
+	return out, nil
+}
+
+func nan() float64 { return math.NaN() }
+
+// WeightedError evaluates the evaluator on the objects and returns the
+// paper's query error Σ_t ω_t·MSE_t.
+func WeightedError(
+	p crowd.Platform,
+	ev baselines.Evaluator,
+	objs []*domain.Object,
+	targets []string,
+	weights map[string]float64,
+	truths map[string][]float64,
+) (float64, error) {
+	preds := make(map[string][]float64, len(targets))
+	for _, o := range objs {
+		est, err := ev.Estimate(p, o)
+		if err != nil {
+			return 0, err
+		}
+		for _, t := range targets {
+			preds[t] = append(preds[t], est[t])
+		}
+	}
+	var total float64
+	for _, t := range targets {
+		mse, err := stats.MeanSquaredError(preds[t], truths[t])
+		if err != nil {
+			return 0, err
+		}
+		w := weights[t]
+		if w == 0 {
+			w = 1
+		}
+		total += w * mse
+	}
+	return total, nil
+}
+
+// SweepVariable selects which budget a sweep varies.
+type SweepVariable int
+
+const (
+	// VaryBPrc varies the preprocessing budget (Figure 1 top row).
+	VaryBPrc SweepVariable = iota
+	// VaryBObj varies the per-object budget (Figure 1 bottom row).
+	VaryBObj
+)
+
+// String names the variable.
+func (v SweepVariable) String() string {
+	if v == VaryBObj {
+		return "B_obj"
+	}
+	return "B_prc"
+}
+
+// SweepPoint is the outcome of one budget value.
+type SweepPoint struct {
+	Budget  crowd.Cost
+	Results []AlgResult
+}
+
+// Sweep is an error-vs-budget curve set (one series per algorithm).
+type Sweep struct {
+	Name   string
+	Vary   SweepVariable
+	Points []SweepPoint
+}
+
+// RunSweep runs the spec once per budget value. Platform seeds depend only
+// on the repetition, so the same answer streams are reused across budget
+// points (the paper's recorded-answer methodology).
+func RunSweep(spec Spec, vary SweepVariable, budgets []crowd.Cost) (*Sweep, error) {
+	if len(budgets) == 0 {
+		return nil, errors.New("experiment: empty budget grid")
+	}
+	sw := &Sweep{Name: spec.Name, Vary: vary}
+	for _, b := range budgets {
+		pt := spec
+		if vary == VaryBPrc {
+			pt.BPrc = b
+		} else {
+			pt.BObj = b
+		}
+		res, err := Run(pt)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: sweep %v=%v: %w", vary, b, err)
+		}
+		sw.Points = append(sw.Points, SweepPoint{Budget: b, Results: res})
+	}
+	return sw, nil
+}
+
+// WinRate returns, for each algorithm, the fraction of repetitions in
+// which it achieved a strictly lower error than the named reference
+// algorithm (comparing the same repetition's shared platform). The paper
+// notes that averages do not hide reversals — "all observations are true
+// in general as most results are very close to the average" — and this is
+// the statistic that verifies it.
+func WinRate(results []AlgResult, reference string) (map[string]float64, error) {
+	var ref *AlgResult
+	for i := range results {
+		if results[i].Algorithm == reference {
+			ref = &results[i]
+		}
+	}
+	if ref == nil {
+		return nil, fmt.Errorf("experiment: reference algorithm %q not in results", reference)
+	}
+	out := make(map[string]float64, len(results))
+	for _, r := range results {
+		if r.Algorithm == reference {
+			continue
+		}
+		n := len(r.PerRep)
+		if len(ref.PerRep) < n {
+			n = len(ref.PerRep)
+		}
+		if n == 0 {
+			continue
+		}
+		wins := 0
+		for i := 0; i < n; i++ {
+			if r.PerRep[i] < ref.PerRep[i] {
+				wins++
+			}
+		}
+		out[r.Algorithm] = float64(wins) / float64(n)
+	}
+	return out, nil
+}
+
+// RequiredBudget scans a sweep for the smallest budget at which each
+// algorithm reaches each target error (Figure 2). It returns a map
+// algorithm → threshold-index → budget (-1 when never reached).
+func RequiredBudget(sw *Sweep, thresholds []float64) map[string][]crowd.Cost {
+	out := make(map[string][]crowd.Cost)
+	for _, pt := range sw.Points {
+		for _, r := range pt.Results {
+			if _, ok := out[r.Algorithm]; !ok {
+				cs := make([]crowd.Cost, len(thresholds))
+				for i := range cs {
+					cs[i] = -1
+				}
+				out[r.Algorithm] = cs
+			}
+			if len(r.PerRep) == 0 {
+				continue
+			}
+			for ti, th := range thresholds {
+				if r.Mean <= th && out[r.Algorithm][ti] == -1 {
+					out[r.Algorithm][ti] = pt.Budget
+				}
+			}
+		}
+	}
+	return out
+}

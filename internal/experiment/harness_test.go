@@ -1,0 +1,265 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/crowd"
+	"repro/internal/domain"
+)
+
+func quickSpec() Spec {
+	return Spec{
+		Name:        "test",
+		Platform:    PlatformConfig{Domain: "recipes"},
+		Targets:     []string{"Protein"},
+		BObj:        crowd.Cents(4),
+		BPrc:        crowd.Dollars(25),
+		Algorithms:  []baselines.Algorithm{baselines.NaiveAverage{}, baselines.DisQ{}},
+		Reps:        3,
+		EvalObjects: 40,
+	}
+}
+
+func TestPlatformConfigBuild(t *testing.T) {
+	if _, err := (PlatformConfig{Domain: "nope"}).Build(1); err == nil {
+		t.Fatal("unknown domain should error")
+	}
+	p, err := PlatformConfig{Domain: "pictures"}.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Universe().Name != "pictures" {
+		t.Fatal("wrong universe")
+	}
+	// Synthetic path.
+	p, err = PlatformConfig{
+		Domain:    "synthetic",
+		Synthetic: domain.SyntheticConfig{Attributes: 6, Factors: 2},
+	}.Build(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Universe().Name != "synthetic" {
+		t.Fatal("wrong universe")
+	}
+	// Bad synthetic config.
+	if _, err := (PlatformConfig{Domain: "synthetic"}).Build(3); err == nil {
+		t.Fatal("empty synthetic config should error")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	s := quickSpec()
+	s.Algorithms = nil
+	if _, err := Run(s); err == nil {
+		t.Fatal("no algorithms should error")
+	}
+	s = quickSpec()
+	s.Targets = nil
+	if _, err := Run(s); err == nil {
+		t.Fatal("no targets should error")
+	}
+}
+
+func TestRunProducesOrderedResults(t *testing.T) {
+	res, err := Run(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if res[0].Algorithm != "NaiveAverage" || res[1].Algorithm != "DisQ" {
+		t.Fatalf("order: %v %v", res[0].Algorithm, res[1].Algorithm)
+	}
+	for _, r := range res {
+		if len(r.PerRep) != 3 {
+			t.Fatalf("%s: %d reps", r.Algorithm, len(r.PerRep))
+		}
+		if r.Mean <= 0 || math.IsNaN(r.Mean) {
+			t.Fatalf("%s: mean %v", r.Algorithm, r.Mean)
+		}
+	}
+	// DisQ beats NaiveAverage on the hard Protein attribute.
+	if res[1].Mean >= res[0].Mean {
+		t.Fatalf("DisQ %v should beat NaiveAverage %v", res[1].Mean, res[0].Mean)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	r1, err := Run(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1 {
+		if r1[i].Mean != r2[i].Mean {
+			t.Fatalf("non-deterministic result for %s: %v vs %v", r1[i].Algorithm, r1[i].Mean, r2[i].Mean)
+		}
+	}
+	// Different base seed changes the numbers.
+	s := quickSpec()
+	s.BaseSeed = 99
+	r3, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3[0].Mean == r1[0].Mean {
+		t.Fatal("different seed should change results")
+	}
+}
+
+func TestRunHandlesAlgorithmFailureAsDataPoint(t *testing.T) {
+	s := quickSpec()
+	// 0.2¢ cannot buy a numeric question: NaiveAverage fails per rep.
+	s.BObj = crowd.Cents(0.2)
+	s.Algorithms = []baselines.Algorithm{baselines.NaiveAverage{}}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Failures != 3 || len(res[0].PerRep) != 0 {
+		t.Fatalf("expected 3 failures, got %+v", res[0])
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	s := quickSpec()
+	s.Reps = 2
+	s.EvalObjects = 30
+	sw, err := RunSweep(s, VaryBPrc, []crowd.Cost{crowd.Dollars(15), crowd.Dollars(25)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Points) != 2 {
+		t.Fatalf("points = %d", len(sw.Points))
+	}
+	if sw.Points[0].Budget != crowd.Dollars(15) {
+		t.Fatal("budget order wrong")
+	}
+	if _, err := RunSweep(s, VaryBPrc, nil); err == nil {
+		t.Fatal("empty grid should error")
+	}
+	// Render paths.
+	var b strings.Builder
+	if err := RenderSweep(&b, sw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "B_prc") || !strings.Contains(b.String(), "DisQ") {
+		t.Fatalf("render: %q", b.String())
+	}
+	b.Reset()
+	if err := SweepCSV(&b, sw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "b_prc_mills,NaiveAverage,DisQ") {
+		t.Fatalf("csv header: %q", b.String())
+	}
+}
+
+func TestRequiredBudget(t *testing.T) {
+	sw := &Sweep{
+		Vary: VaryBObj,
+		Points: []SweepPoint{
+			{Budget: 10, Results: []AlgResult{{Algorithm: "A", Mean: 0.9, PerRep: []float64{0.9}}}},
+			{Budget: 20, Results: []AlgResult{{Algorithm: "A", Mean: 0.5, PerRep: []float64{0.5}}}},
+			{Budget: 40, Results: []AlgResult{{Algorithm: "A", Mean: 0.4, PerRep: []float64{0.4}}}},
+		},
+	}
+	req := RequiredBudget(sw, []float64{1.0, 0.45, 0.1})
+	if req["A"][0] != 10 {
+		t.Fatalf("threshold 1.0: %v", req["A"][0])
+	}
+	if req["A"][1] != 40 {
+		t.Fatalf("threshold 0.45: %v", req["A"][1])
+	}
+	if req["A"][2] != -1 {
+		t.Fatalf("threshold 0.1 should be unreachable: %v", req["A"][2])
+	}
+	var b strings.Builder
+	if err := RenderRequiredBudget(&b, "t", req, []float64{1.0, 0.45, 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "never") {
+		t.Fatalf("render: %q", b.String())
+	}
+}
+
+func TestRenderResults(t *testing.T) {
+	var b strings.Builder
+	err := RenderResults(&b, "title", []AlgResult{
+		{Algorithm: "A", Mean: 1.5, StdErr: 0.1, PerRep: []float64{1.4, 1.6}},
+		{Algorithm: "B", Failures: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "1.5") {
+		t.Fatalf("render: %q", out)
+	}
+	if !strings.Contains(out, "B") {
+		t.Fatal("failed algorithm missing from render")
+	}
+}
+
+func TestRepSeedStable(t *testing.T) {
+	a := repSeed("x", 1, 2)
+	b := repSeed("x", 1, 2)
+	c := repSeed("x", 1, 3)
+	d := repSeed("y", 1, 2)
+	if a != b {
+		t.Fatal("repSeed not deterministic")
+	}
+	if a == c || a == d {
+		t.Fatal("repSeed should vary with inputs")
+	}
+}
+
+func TestWinRate(t *testing.T) {
+	results := []AlgResult{
+		{Algorithm: "Naive", PerRep: []float64{1.0, 1.2, 0.9}},
+		{Algorithm: "DisQ", PerRep: []float64{0.5, 1.5, 0.8}},
+	}
+	wr, err := WinRate(results, "Naive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr["DisQ"] != 2.0/3.0 {
+		t.Fatalf("win rate %v, want 2/3", wr["DisQ"])
+	}
+	if _, ok := wr["Naive"]; ok {
+		t.Fatal("reference should not appear")
+	}
+	if _, err := WinRate(results, "ghost"); err == nil {
+		t.Fatal("unknown reference should error")
+	}
+}
+
+// TestWinRateEndToEnd confirms the paper's "close to the average" claim
+// on real runs: DisQ beats NaiveAverage in (nearly) every repetition, not
+// just on average.
+func TestWinRateEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := quickSpec()
+	s.Reps = 5
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, err := WinRate(res, "NaiveAverage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr["DisQ"] < 0.8 {
+		t.Fatalf("DisQ beats NaiveAverage in only %.0f%% of reps", 100*wr["DisQ"])
+	}
+}

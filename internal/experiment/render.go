@@ -1,0 +1,142 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/crowd"
+)
+
+// RenderResults formats one Run's results as a text table.
+func RenderResults(w io.Writer, title string, results []AlgResult) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-22s %12s %10s %6s %9s\n", "algorithm", "mean error", "stderr", "reps", "failures"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if len(r.PerRep) == 0 {
+			if _, err := fmt.Fprintf(w, "  %-22s %12s %10s %6d %9d\n", r.Algorithm, "-", "-", 0, r.Failures); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "  %-22s %12.4f %10.4f %6d %9d\n",
+			r.Algorithm, r.Mean, r.StdErr, len(r.PerRep), r.Failures); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderSweep formats a sweep as one row per budget with one column per
+// algorithm — the series behind the paper's figures.
+func RenderSweep(w io.Writer, sw *Sweep) error {
+	if _, err := fmt.Fprintf(w, "%s  (error vs %s)\n", sw.Name, sw.Vary); err != nil {
+		return err
+	}
+	if len(sw.Points) == 0 {
+		return nil
+	}
+	var algs []string
+	for _, r := range sw.Points[0].Results {
+		algs = append(algs, r.Algorithm)
+	}
+	header := fmt.Sprintf("  %-10s", sw.Vary.String())
+	for _, a := range algs {
+		header += fmt.Sprintf(" %18s", a)
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for _, pt := range sw.Points {
+		row := fmt.Sprintf("  %-10s", pt.Budget)
+		for _, r := range pt.Results {
+			if len(r.PerRep) == 0 {
+				row += fmt.Sprintf(" %18s", "-")
+			} else {
+				row += fmt.Sprintf(" %18.4f", r.Mean)
+			}
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SweepCSV renders a sweep as CSV (budget in mills, one column per
+// algorithm mean, then one per stderr).
+func SweepCSV(w io.Writer, sw *Sweep) error {
+	if len(sw.Points) == 0 {
+		return nil
+	}
+	cols := []string{strings.ToLower(sw.Vary.String()) + "_mills"}
+	for _, r := range sw.Points[0].Results {
+		cols = append(cols, r.Algorithm)
+	}
+	for _, r := range sw.Points[0].Results {
+		cols = append(cols, r.Algorithm+"_stderr")
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, pt := range sw.Points {
+		fields := []string{fmt.Sprintf("%d", int64(pt.Budget))}
+		for _, r := range pt.Results {
+			if len(r.PerRep) == 0 {
+				fields = append(fields, "")
+			} else {
+				fields = append(fields, fmt.Sprintf("%.6g", r.Mean))
+			}
+		}
+		for _, r := range pt.Results {
+			if len(r.PerRep) == 0 {
+				fields = append(fields, "")
+			} else {
+				fields = append(fields, fmt.Sprintf("%.6g", r.StdErr))
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(fields, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderRequiredBudget formats the Figure 2 table: the budget each
+// algorithm needs to reach each target error.
+func RenderRequiredBudget(w io.Writer, title string, req map[string][]crowd.Cost, thresholds []float64) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	header := fmt.Sprintf("  %-22s", "algorithm")
+	for _, th := range thresholds {
+		header += fmt.Sprintf(" %14s", fmt.Sprintf("err≤%.3g", th))
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	algs := make([]string, 0, len(req))
+	for a := range req {
+		algs = append(algs, a)
+	}
+	sort.Strings(algs)
+	for _, a := range algs {
+		row := fmt.Sprintf("  %-22s", a)
+		for _, b := range req[a] {
+			if b < 0 {
+				row += fmt.Sprintf(" %14s", "never")
+			} else {
+				row += fmt.Sprintf(" %14s", b)
+			}
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

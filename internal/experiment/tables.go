@@ -1,0 +1,187 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/crowd"
+	"repro/internal/stats"
+)
+
+// DismantleFrequencies reproduces one block of Table 4: ask many
+// dismantling questions about each listed attribute and report the answer
+// frequencies (after canonicalization, so synonym mass merges like the
+// paper's normalization mechanism).
+func DismantleFrequencies(p *crowd.SimPlatform, attributes []string, questions int) (map[string][]FreqRow, error) {
+	out := make(map[string][]FreqRow, len(attributes))
+	for _, attr := range attributes {
+		counts := make(map[string]int)
+		for i := 0; i < questions; i++ {
+			ans, err := p.Dismantle(attr)
+			if err != nil {
+				return nil, err
+			}
+			counts[p.Canonical(ans)]++
+		}
+		rows := make([]FreqRow, 0, len(counts))
+		for name, c := range counts {
+			rows = append(rows, FreqRow{Answer: name, Frequency: float64(c) / float64(questions)})
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].Frequency != rows[j].Frequency {
+				return rows[i].Frequency > rows[j].Frequency
+			}
+			return rows[i].Answer < rows[j].Answer
+		})
+		out[attr] = rows
+	}
+	return out, nil
+}
+
+// FreqRow is one Table 4 line: an answer and how often workers gave it.
+type FreqRow struct {
+	Answer    string
+	Frequency float64
+}
+
+// RenderTable4 formats dismantling-answer frequencies like Table 4.
+func RenderTable4(w io.Writer, title string, freqs map[string][]FreqRow, topK int) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	questions := make([]string, 0, len(freqs))
+	for q := range freqs {
+		questions = append(questions, q)
+	}
+	sort.Strings(questions)
+	for _, q := range questions {
+		if _, err := fmt.Fprintf(w, "  dismantle %q:\n", q); err != nil {
+			return err
+		}
+		rows := freqs[q]
+		if topK > 0 && len(rows) > topK {
+			rows = rows[:topK]
+		}
+		for _, r := range rows {
+			if _, err := fmt.Fprintf(w, "    %-28s %5.1f%%\n", r.Answer, 100*r.Frequency); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// StatsTable reproduces one block of Table 5: estimate S_c for each listed
+// attribute plus the correlation matrix of worker answers and the
+// answer-truth correlations for the listed targets, from examples and k
+// value samples exactly like the algorithm's statistics component.
+type StatsTable struct {
+	Attributes []string
+	Targets    []string
+	Sc         []float64
+	// SoCorr[t][i] is corr(answers of attribute i, truth of target t).
+	SoCorr map[string][]float64
+	// Corr[i][j] is corr(answers_i, answers_j).
+	Corr [][]float64
+}
+
+// BuildStatsTable gathers the Table 5 statistics over n example objects
+// with k answers per (object, attribute).
+func BuildStatsTable(p *crowd.SimPlatform, attributes, targets []string, n, k int, seed int64) (*StatsTable, error) {
+	u := p.Universe()
+	objs := u.NewObjects(rand.New(rand.NewSource(seed)), n)
+	means := make([][]float64, len(attributes))
+	sc := make([]float64, len(attributes))
+	for ai, attr := range attributes {
+		col := make([]float64, len(objs))
+		var scAcc stats.Welford
+		for oi, o := range objs {
+			ans, err := p.Value(o, attr, k)
+			if err != nil {
+				return nil, err
+			}
+			col[oi] = stats.Mean(ans)
+			if v, err := stats.VarEstK(ans); err == nil {
+				scAcc.Add(v)
+			}
+		}
+		means[ai] = col
+		sc[ai] = scAcc.Mean()
+	}
+	tbl := &StatsTable{
+		Attributes: attributes,
+		Targets:    targets,
+		Sc:         sc,
+		SoCorr:     make(map[string][]float64, len(targets)),
+		Corr:       make([][]float64, len(attributes)),
+	}
+	for _, t := range targets {
+		truth := make([]float64, len(objs))
+		for oi, o := range objs {
+			truth[oi], _ = u.Truth(o, t)
+		}
+		col := make([]float64, len(attributes))
+		for ai := range attributes {
+			r, err := stats.Correlation(means[ai], truth)
+			if err != nil {
+				return nil, err
+			}
+			col[ai] = math.Abs(r)
+		}
+		tbl.SoCorr[t] = col
+	}
+	for i := range attributes {
+		tbl.Corr[i] = make([]float64, len(attributes))
+		for j := range attributes {
+			r, err := stats.Correlation(means[i], means[j])
+			if err != nil {
+				return nil, err
+			}
+			tbl.Corr[i][j] = math.Abs(r)
+		}
+	}
+	return tbl, nil
+}
+
+// Render formats the table like Table 5 (S_c, answer-truth correlations
+// per target, then the answer correlation matrix).
+func (t *StatsTable) Render(w io.Writer, title string) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	header := fmt.Sprintf("  %-22s %10s", "attribute", "S_c")
+	for _, tgt := range t.Targets {
+		header += fmt.Sprintf(" %12s", "ρ·"+shorten(tgt, 9))
+	}
+	for _, a := range t.Attributes {
+		header += fmt.Sprintf(" %9s", shorten(a, 9))
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for i, a := range t.Attributes {
+		row := fmt.Sprintf("  %-22s %10.4g", a, t.Sc[i])
+		for _, tgt := range t.Targets {
+			row += fmt.Sprintf(" %12.2f", t.SoCorr[tgt][i])
+		}
+		for j := range t.Attributes {
+			row += fmt.Sprintf(" %9.2f", t.Corr[i][j])
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func shorten(s string, n int) string {
+	s = strings.ReplaceAll(s, " ", "")
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}

@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDismantleFrequencies(t *testing.T) {
+	p, err := PlatformConfig{Domain: "recipes"}.Build(71)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs, err := DismantleFrequencies(p, []string{"Protein"}, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := freqs["Protein"]
+	if len(rows) == 0 {
+		t.Fatal("no frequencies")
+	}
+	// Sorted descending, frequencies sum to 1.
+	var sum float64
+	for i, r := range rows {
+		sum += r.Frequency
+		if i > 0 && r.Frequency > rows[i-1].Frequency {
+			t.Fatal("rows not sorted")
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("frequencies sum to %v", sum)
+	}
+	// Synonym mass merged into the canonical name: "Contains Meat" must
+	// not appear (it folds into "Has Meat").
+	for _, r := range rows {
+		if r.Answer == "Contains Meat" {
+			t.Fatal("synonym not canonicalized")
+		}
+	}
+	// Has Meat leads (13% + 3% synonym beats everything).
+	if rows[0].Answer != "Has Meat" {
+		t.Fatalf("top answer %q, want Has Meat", rows[0].Answer)
+	}
+	// Unknown attribute errors.
+	if _, err := DismantleFrequencies(p, []string{"ghost"}, 10); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRenderTable4TopK(t *testing.T) {
+	var b strings.Builder
+	err := RenderTable4(&b, "title", map[string][]FreqRow{
+		"X": {{Answer: "a", Frequency: 0.5}, {Answer: "b", Frequency: 0.3}, {Answer: "c", Frequency: 0.2}},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatalf("render: %q", out)
+	}
+	if strings.Contains(out, " c ") {
+		t.Fatal("topK not applied")
+	}
+}
+
+func TestBuildStatsTable(t *testing.T) {
+	p, err := PlatformConfig{Domain: "pictures"}.Build(72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := BuildStatsTable(p,
+		[]string{"Bmi", "Weight", "Heavy"},
+		[]string{"Bmi"},
+		200, 2, 73)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S_c ordering mirrors Table 5a: Weight ≫ Bmi ≫ Heavy.
+	if !(tbl.Sc[1] > tbl.Sc[0] && tbl.Sc[0] > tbl.Sc[2]) {
+		t.Fatalf("S_c ordering: %v", tbl.Sc)
+	}
+	// Answer-truth correlation for the target's own answers is high.
+	if tbl.SoCorr["Bmi"][0] < 0.5 {
+		t.Fatalf("ρ(Bmi answers, Bmi truth) = %v", tbl.SoCorr["Bmi"][0])
+	}
+	// Correlation matrix: diagonal 1, symmetric, in [0,1].
+	for i := range tbl.Corr {
+		if math.Abs(tbl.Corr[i][i]-1) > 1e-9 {
+			t.Fatalf("diagonal: %v", tbl.Corr[i][i])
+		}
+		for j := range tbl.Corr {
+			if tbl.Corr[i][j] != tbl.Corr[j][i] {
+				t.Fatal("matrix not symmetric")
+			}
+			if tbl.Corr[i][j] < 0 || tbl.Corr[i][j] > 1 {
+				t.Fatalf("correlation %v out of [0,1]", tbl.Corr[i][j])
+			}
+		}
+	}
+	// Bmi–Weight answers clearly correlated (Table 5a reports 0.94 for
+	// the real data; with k=2 samples the worker noise and the Bmi
+	// distortion attenuate the estimate substantially).
+	if tbl.Corr[0][1] < 0.35 {
+		t.Fatalf("corr(Bmi, Weight answers) = %v", tbl.Corr[0][1])
+	}
+	// Render includes header and all attributes.
+	var b strings.Builder
+	if err := tbl.Render(&b, "Table 5a"); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"Table 5a", "S_c", "Bmi", "Weight", "Heavy"} {
+		if !strings.Contains(b.String(), s) {
+			t.Fatalf("render missing %q", s)
+		}
+	}
+}
+
+func TestBuildStatsTableUnknownAttribute(t *testing.T) {
+	p, err := PlatformConfig{Domain: "pictures"}.Build(74)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildStatsTable(p, []string{"ghost"}, []string{"Bmi"}, 50, 2, 75); err == nil {
+		t.Fatal("expected error")
+	}
+}

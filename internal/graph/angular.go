@@ -1,0 +1,232 @@
+// Package graph implements the weighted bipartite attribute graph of
+// Section 4 ("Estimation"), used to infer missing S_o covariance entries
+// between query attributes and discovered attributes.
+//
+// Edge weights are angular distances w(a_t, a_j) = arccos(ρ(a_t, a_j)),
+// which [29] proves form a metric over random variables under the
+// covariance inner product. Distances compose multiplicatively on cosines:
+// Γ1 ⊕ Γ2 = arccos(cos Γ1 · cos Γ2), so a shortest path between a target
+// and an attribute yields the most optimistic consistent correlation, and
+// Eq. 11 converts it back to a covariance via σ(a_t)·σ(a_j)·cos(S.P.).
+package graph
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrUnknownNode is returned when a queried node was never added.
+var ErrUnknownNode = errors.New("graph: unknown node")
+
+// AngularGraph is a weighted undirected graph over named attribute nodes
+// whose edge weights are angular distances in [0, π/2]. Although Section 4
+// describes it as bipartite (targets × attributes), nothing in the
+// composition rule needs bipartiteness, so the implementation is a general
+// undirected graph; callers decide which nodes are targets.
+type AngularGraph struct {
+	index map[string]int
+	names []string
+	adj   [][]edge
+}
+
+type edge struct {
+	to     int
+	weight float64
+}
+
+// NewAngularGraph returns an empty graph.
+func NewAngularGraph() *AngularGraph {
+	return &AngularGraph{index: make(map[string]int)}
+}
+
+// AddNode ensures a node named name exists and returns its id.
+func (g *AngularGraph) AddNode(name string) int {
+	if id, ok := g.index[name]; ok {
+		return id
+	}
+	id := len(g.names)
+	g.index[name] = id
+	g.names = append(g.names, name)
+	g.adj = append(g.adj, nil)
+	return id
+}
+
+// HasNode reports whether the named node exists.
+func (g *AngularGraph) HasNode(name string) bool {
+	_, ok := g.index[name]
+	return ok
+}
+
+// Len returns the number of nodes.
+func (g *AngularGraph) Len() int { return len(g.names) }
+
+// AngularDistance converts a correlation coefficient to an angular
+// distance arccos(|ρ|) ∈ [0, π/2]. The absolute value mirrors the paper's
+// use of |Cov| throughout: only the strength of the relationship matters
+// for budget allocation, not its sign.
+func AngularDistance(rho float64) float64 {
+	a := math.Abs(rho)
+	if a > 1 {
+		a = 1
+	}
+	return math.Acos(a)
+}
+
+// Connect adds (or tightens) an undirected edge between a and b with the
+// angular distance derived from correlation rho. Nodes are created as
+// needed. When an edge already exists the smaller distance wins, because
+// each observation is a lower bound on relatedness.
+func (g *AngularGraph) Connect(a, b string, rho float64) error {
+	if a == b {
+		return fmt.Errorf("graph: self edge on %q", a)
+	}
+	w := AngularDistance(rho)
+	ia := g.AddNode(a)
+	ib := g.AddNode(b)
+	if g.updateEdge(ia, ib, w) {
+		g.updateEdge(ib, ia, w)
+		return nil
+	}
+	g.adj[ia] = append(g.adj[ia], edge{to: ib, weight: w})
+	g.adj[ib] = append(g.adj[ib], edge{to: ia, weight: w})
+	return nil
+}
+
+// updateEdge tightens an existing edge and reports whether it was found.
+func (g *AngularGraph) updateEdge(from, to int, w float64) bool {
+	for i := range g.adj[from] {
+		if g.adj[from][i].to == to {
+			if w < g.adj[from][i].weight {
+				g.adj[from][i].weight = w
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeWeight returns the direct angular distance between a and b, and
+// whether such an edge exists.
+func (g *AngularGraph) EdgeWeight(a, b string) (float64, bool) {
+	ia, ok := g.index[a]
+	if !ok {
+		return 0, false
+	}
+	ib, ok := g.index[b]
+	if !ok {
+		return 0, false
+	}
+	for _, e := range g.adj[ia] {
+		if e.to == ib {
+			return e.weight, true
+		}
+	}
+	return 0, false
+}
+
+// ShortestPath returns the composed angular distance of the shortest path
+// from a to b under the composition Γ1 ⊕ Γ2 = arccos(cos Γ1 · cos Γ2),
+// and whether any path exists. Since cosines are in [0,1] the composition
+// is monotone (longer paths never decrease distance), so Dijkstra's
+// algorithm applies with ⊕ in place of +.
+func (g *AngularGraph) ShortestPath(a, b string) (float64, bool, error) {
+	ia, ok := g.index[a]
+	if !ok {
+		return 0, false, fmt.Errorf("%w: %q", ErrUnknownNode, a)
+	}
+	ib, ok := g.index[b]
+	if !ok {
+		return 0, false, fmt.Errorf("%w: %q", ErrUnknownNode, b)
+	}
+	if ia == ib {
+		return 0, true, nil
+	}
+	const unreached = math.MaxFloat64
+	dist := make([]float64, len(g.names))
+	for i := range dist {
+		dist[i] = unreached
+	}
+	dist[ia] = 0
+	pq := &distHeap{{node: ia, dist: 0}}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(distEntry)
+		if cur.dist > dist[cur.node] {
+			continue // stale entry
+		}
+		if cur.node == ib {
+			return cur.dist, true, nil
+		}
+		for _, e := range g.adj[cur.node] {
+			nd := Compose(cur.dist, e.weight)
+			if nd < dist[e.to] {
+				dist[e.to] = nd
+				heap.Push(pq, distEntry{node: e.to, dist: nd})
+			}
+		}
+	}
+	return 0, false, nil
+}
+
+// Compose combines two angular distances: arccos(cos Γ1 · cos Γ2).
+// It is associative, commutative, has identity 0 and never exceeds π/2
+// for inputs in [0, π/2].
+func Compose(g1, g2 float64) float64 {
+	c := math.Cos(g1) * math.Cos(g2)
+	if c > 1 {
+		c = 1
+	}
+	if c < -1 {
+		c = -1
+	}
+	return math.Acos(c)
+}
+
+// EstimateCovariance implements Eq. 11: the estimated |covariance| between
+// target and attr given their standard deviations. A direct edge uses its
+// weight, otherwise the shortest path, otherwise 0 (disconnected pairs
+// carry no evidence of relatedness).
+func (g *AngularGraph) EstimateCovariance(target, attr string, sigmaTarget, sigmaAttr float64) (float64, error) {
+	if !g.HasNode(target) || !g.HasNode(attr) {
+		return 0, nil
+	}
+	if target == attr {
+		return sigmaTarget * sigmaAttr, nil
+	}
+	if w, ok := g.EdgeWeight(target, attr); ok {
+		return sigmaTarget * sigmaAttr * math.Cos(w), nil
+	}
+	d, reachable, err := g.ShortestPath(target, attr)
+	if err != nil {
+		return 0, err
+	}
+	if !reachable {
+		return 0, nil
+	}
+	return sigmaTarget * sigmaAttr * math.Cos(d), nil
+}
+
+// Nodes returns the node names in insertion order.
+func (g *AngularGraph) Nodes() []string {
+	return append([]string(nil), g.names...)
+}
+
+type distEntry struct {
+	node int
+	dist float64
+}
+
+type distHeap []distEntry
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distEntry)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,270 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAngularDistance(t *testing.T) {
+	if got := AngularDistance(1); got != 0 {
+		t.Fatalf("AngularDistance(1) = %v, want 0", got)
+	}
+	if got := AngularDistance(0); math.Abs(got-math.Pi/2) > 1e-12 {
+		t.Fatalf("AngularDistance(0) = %v, want π/2", got)
+	}
+	// Sign is ignored (|Cov| semantics).
+	if AngularDistance(-0.5) != AngularDistance(0.5) {
+		t.Fatal("AngularDistance should be symmetric in sign")
+	}
+	// Out-of-range correlations clamp.
+	if got := AngularDistance(1.5); got != 0 {
+		t.Fatalf("AngularDistance(1.5) = %v, want 0", got)
+	}
+}
+
+func TestComposeIdentityAndBounds(t *testing.T) {
+	if got := Compose(0, 0.7); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("Compose(0, x) = %v, want x", got)
+	}
+	// Composition never shrinks a distance for inputs in [0, π/2].
+	f := func(a, b float64) bool {
+		g1 := math.Mod(math.Abs(a), math.Pi/2)
+		g2 := math.Mod(math.Abs(b), math.Pi/2)
+		c := Compose(g1, g2)
+		return c >= g1-1e-12 && c >= g2-1e-12 && c <= math.Pi/2+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComposeAssociativeProperty(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		g1 := math.Mod(math.Abs(a), math.Pi/2)
+		g2 := math.Mod(math.Abs(b), math.Pi/2)
+		g3 := math.Mod(math.Abs(c), math.Pi/2)
+		left := Compose(Compose(g1, g2), g3)
+		right := Compose(g1, Compose(g2, g3))
+		return math.Abs(left-right) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddNodeIdempotent(t *testing.T) {
+	g := NewAngularGraph()
+	a := g.AddNode("x")
+	b := g.AddNode("x")
+	if a != b {
+		t.Fatal("AddNode should be idempotent")
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+	if !g.HasNode("x") || g.HasNode("y") {
+		t.Fatal("HasNode wrong")
+	}
+}
+
+func TestConnectAndEdgeWeight(t *testing.T) {
+	g := NewAngularGraph()
+	if err := g.Connect("a", "b", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	w, ok := g.EdgeWeight("a", "b")
+	if !ok {
+		t.Fatal("edge should exist")
+	}
+	if math.Abs(w-math.Acos(0.5)) > 1e-12 {
+		t.Fatalf("weight = %v, want arccos(0.5)", w)
+	}
+	// Symmetric.
+	w2, ok := g.EdgeWeight("b", "a")
+	if !ok || w2 != w {
+		t.Fatal("edge should be undirected")
+	}
+	// Missing nodes.
+	if _, ok := g.EdgeWeight("a", "zzz"); ok {
+		t.Fatal("edge to unknown node should not exist")
+	}
+}
+
+func TestConnectSelfEdgeRejected(t *testing.T) {
+	g := NewAngularGraph()
+	if err := g.Connect("a", "a", 0.9); err == nil {
+		t.Fatal("expected error on self edge")
+	}
+}
+
+func TestConnectTightensExistingEdge(t *testing.T) {
+	g := NewAngularGraph()
+	g.Connect("a", "b", 0.3) // large distance
+	g.Connect("a", "b", 0.9) // smaller distance should win
+	w, _ := g.EdgeWeight("a", "b")
+	if math.Abs(w-math.Acos(0.9)) > 1e-12 {
+		t.Fatalf("edge should keep min distance, got %v", w)
+	}
+	// Weaker evidence must not loosen it.
+	g.Connect("a", "b", 0.1)
+	w, _ = g.EdgeWeight("a", "b")
+	if math.Abs(w-math.Acos(0.9)) > 1e-12 {
+		t.Fatal("weaker correlation loosened the edge")
+	}
+}
+
+func TestShortestPathDirectAndComposed(t *testing.T) {
+	g := NewAngularGraph()
+	g.Connect("t", "a", 0.8)
+	g.Connect("a", "b", 0.5)
+	// Direct edge.
+	d, ok, err := g.ShortestPath("t", "a")
+	if err != nil || !ok {
+		t.Fatalf("path t-a: %v %v", ok, err)
+	}
+	if math.Abs(d-math.Acos(0.8)) > 1e-12 {
+		t.Fatalf("t-a distance %v", d)
+	}
+	// Two-hop composition: arccos(0.8·0.5).
+	d, ok, err = g.ShortestPath("t", "b")
+	if err != nil || !ok {
+		t.Fatalf("path t-b: %v %v", ok, err)
+	}
+	if math.Abs(d-math.Acos(0.4)) > 1e-12 {
+		t.Fatalf("t-b distance %v, want arccos(0.4)", d)
+	}
+}
+
+func TestShortestPathPrefersBetterRoute(t *testing.T) {
+	g := NewAngularGraph()
+	// Weak direct edge vs strong two-hop path.
+	g.Connect("t", "b", 0.1)
+	g.Connect("t", "a", 0.95)
+	g.Connect("a", "b", 0.95)
+	d, ok, _ := g.ShortestPath("t", "b")
+	if !ok {
+		t.Fatal("path should exist")
+	}
+	want := math.Acos(0.95 * 0.95)
+	if math.Abs(d-want) > 1e-12 {
+		t.Fatalf("distance %v, want %v (two-hop should beat weak direct)", d, want)
+	}
+}
+
+func TestShortestPathUnreachableAndErrors(t *testing.T) {
+	g := NewAngularGraph()
+	g.AddNode("island")
+	g.Connect("a", "b", 0.5)
+	_, ok, err := g.ShortestPath("a", "island")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("island should be unreachable")
+	}
+	if _, _, err := g.ShortestPath("a", "ghost"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatal("expected ErrUnknownNode")
+	}
+	// Same node: distance 0.
+	d, ok, err := g.ShortestPath("a", "a")
+	if err != nil || !ok || d != 0 {
+		t.Fatalf("self path = %v %v %v", d, ok, err)
+	}
+}
+
+func TestEstimateCovarianceEq11(t *testing.T) {
+	g := NewAngularGraph()
+	g.Connect("t", "a", 0.8)
+	g.Connect("a", "b", 0.5)
+	// Direct edge: σt·σa·cos(w) = 2·3·0.8.
+	cov, err := g.EstimateCovariance("t", "a", 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cov-4.8) > 1e-10 {
+		t.Fatalf("direct cov = %v, want 4.8", cov)
+	}
+	// Path: 2·1·0.8·0.5.
+	cov, err = g.EstimateCovariance("t", "b", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cov-0.8) > 1e-10 {
+		t.Fatalf("path cov = %v, want 0.8", cov)
+	}
+	// Disconnected: 0.
+	g.AddNode("island")
+	cov, err = g.EstimateCovariance("t", "island", 2, 1)
+	if err != nil || cov != 0 {
+		t.Fatalf("island cov = %v, %v", cov, err)
+	}
+	// Unknown node: 0 without error.
+	cov, err = g.EstimateCovariance("t", "ghost", 2, 1)
+	if err != nil || cov != 0 {
+		t.Fatalf("ghost cov = %v, %v", cov, err)
+	}
+	// Same node: full covariance.
+	cov, _ = g.EstimateCovariance("t", "t", 2, 2)
+	if cov != 4 {
+		t.Fatalf("self cov = %v, want 4", cov)
+	}
+}
+
+func TestNodesOrder(t *testing.T) {
+	g := NewAngularGraph()
+	g.AddNode("x")
+	g.AddNode("y")
+	g.AddNode("z")
+	nodes := g.Nodes()
+	if len(nodes) != 3 || nodes[0] != "x" || nodes[1] != "y" || nodes[2] != "z" {
+		t.Fatalf("Nodes = %v", nodes)
+	}
+	// Returned slice does not alias internals.
+	nodes[0] = "mutated"
+	if g.Nodes()[0] != "x" {
+		t.Fatal("Nodes leaked internal slice")
+	}
+}
+
+// Property: shortest path distance never exceeds any direct edge and is a
+// metric-like lower envelope (path ≤ direct edge).
+func TestShortestPathNoWorseThanEdgeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := NewAngularGraph()
+		names := []string{"a", "b", "c", "d", "e"}
+		for i := 0; i < 8; i++ {
+			x := names[r.Intn(len(names))]
+			y := names[r.Intn(len(names))]
+			if x == y {
+				continue
+			}
+			g.Connect(x, y, r.Float64())
+		}
+		for _, x := range names {
+			for _, y := range names {
+				if x == y || !g.HasNode(x) || !g.HasNode(y) {
+					continue
+				}
+				w, hasEdge := g.EdgeWeight(x, y)
+				if !hasEdge {
+					continue
+				}
+				d, ok, err := g.ShortestPath(x, y)
+				if err != nil || !ok {
+					return false
+				}
+				if d > w+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,290 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixZeroInitialized(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("got %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Errorf("At(%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewMatrixFromPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrixFrom(2, 2, []float64{1, 2, 3})
+}
+
+func TestNewMatrixPanicsOnNegativeDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7.5)
+	if got := m.At(1, 2); got != 7.5 {
+		t.Fatalf("At(1,2) = %v, want 7.5", got)
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	m := NewMatrix(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Errorf("I(%d,%d) = %v, want %v", i, j, id.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestDiag(t *testing.T) {
+	d := Diag([]float64{1, 2, 3})
+	if d.At(0, 0) != 1 || d.At(1, 1) != 2 || d.At(2, 2) != 3 {
+		t.Fatal("diagonal values wrong")
+	}
+	if d.At(0, 1) != 0 || d.At(2, 0) != 0 {
+		t.Fatal("off-diagonal should be 0")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliased the original data")
+	}
+}
+
+func TestRowColCopies(t *testing.T) {
+	m := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	r := m.Row(1)
+	if r[0] != 4 || r[1] != 5 || r[2] != 6 {
+		t.Fatalf("Row(1) = %v", r)
+	}
+	r[0] = 100
+	if m.At(1, 0) != 4 {
+		t.Fatal("Row returned an aliased slice")
+	}
+	c := m.Col(2)
+	if c[0] != 3 || c[1] != 6 {
+		t.Fatalf("Col(2) = %v", c)
+	}
+}
+
+func TestSetRow(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.SetRow(1, []float64{5, 6})
+	if m.At(1, 0) != 5 || m.At(1, 1) != 6 {
+		t.Fatal("SetRow did not write values")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("transpose shape %dx%d", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Errorf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	b := NewMatrixFrom(2, 2, []float64{10, 20, 30, 40})
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.At(1, 1) != 44 {
+		t.Fatalf("Add wrong: %v", sum)
+	}
+	diff, err := b.Sub(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.At(0, 0) != 9 {
+		t.Fatalf("Sub wrong: %v", diff)
+	}
+	if _, err := a.Add(NewMatrix(3, 3)); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewMatrixFrom(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	p, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewMatrixFrom(2, 2, []float64{58, 64, 139, 154})
+	if !p.Equal(want, 1e-12) {
+		t.Fatalf("Mul = %v, want %v", p, want)
+	}
+	if _, err := a.Mul(a); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	v, err := a.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 3 || v[1] != 7 {
+		t.Fatalf("MulVec = %v", v)
+	}
+	if _, err := a.MulVec([]float64{1}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestQuadraticForm(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{2, 0, 0, 3})
+	q, err := a.QuadraticForm([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 2+12 {
+		t.Fatalf("QuadraticForm = %v, want 14", q)
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	s := NewMatrixFrom(2, 2, []float64{1, 2, 2, 5})
+	if !s.IsSymmetric(0) {
+		t.Fatal("expected symmetric")
+	}
+	n := NewMatrixFrom(2, 2, []float64{1, 2, 3, 5})
+	if n.IsSymmetric(0.5) {
+		t.Fatal("expected non-symmetric")
+	}
+	if NewMatrix(2, 3).IsSymmetric(1) {
+		t.Fatal("non-square cannot be symmetric")
+	}
+}
+
+func TestSubmatrix(t *testing.T) {
+	m := NewMatrixFrom(3, 3, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	s := m.Submatrix([]int{0, 2}, []int{1, 2})
+	want := NewMatrixFrom(2, 2, []float64{2, 3, 8, 9})
+	if !s.Equal(want, 0) {
+		t.Fatalf("Submatrix = %v, want %v", s, want)
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Fatal("Dot wrong")
+	}
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+}
+
+func TestMaxAbsAndFrobenius(t *testing.T) {
+	m := NewMatrixFrom(2, 2, []float64{-3, 1, 2, -1})
+	if m.MaxAbs() != 3 {
+		t.Fatalf("MaxAbs = %v", m.MaxAbs())
+	}
+	want := math.Sqrt(9 + 1 + 4 + 1)
+	if math.Abs(m.FrobeniusNorm()-want) > 1e-12 {
+		t.Fatalf("FrobeniusNorm = %v, want %v", m.FrobeniusNorm(), want)
+	}
+}
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+// Property: (AᵀB)ᵀ = BᵀA for random matrices.
+func TestTransposeProductProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 1 + r.Intn(6)
+		cols := 1 + r.Intn(6)
+		a := randomMatrix(rng, rows, cols)
+		b := randomMatrix(rng, rows, cols)
+		atb, err := a.Transpose().Mul(b)
+		if err != nil {
+			return false
+		}
+		bta, err := b.Transpose().Mul(a)
+		if err != nil {
+			return false
+		}
+		return atb.Transpose().Equal(bta, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matrix multiplication is associative.
+func TestMulAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		a := randomMatrix(r, n, n)
+		b := randomMatrix(r, n, n)
+		c := randomMatrix(r, n, n)
+		ab, _ := a.Mul(b)
+		abc1, _ := ab.Mul(c)
+		bc, _ := b.Mul(c)
+		abc2, _ := a.Mul(bc)
+		return abc1.Equal(abc2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

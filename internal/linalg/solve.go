@@ -1,0 +1,213 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Inverse returns m⁻¹ computed by Gauss-Jordan elimination with partial
+// pivoting. It returns ErrSingular when a pivot falls below the numerical
+// tolerance.
+func (m *Matrix) Inverse() (*Matrix, error) {
+	if !m.IsSquare() {
+		return nil, fmt.Errorf("%w: inverse of %dx%d", ErrDimension, m.rows, m.cols)
+	}
+	n := m.rows
+	// Augment [A | I] and reduce in place.
+	a := m.Clone()
+	inv := Identity(n)
+	const tiny = 1e-13
+	scale := a.MaxAbs()
+	if scale == 0 {
+		return nil, ErrSingular
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot: pick the row with the largest |entry| in this column.
+		pivot := col
+		best := math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best <= tiny*scale {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			a.swapRows(pivot, col)
+			inv.swapRows(pivot, col)
+		}
+		p := a.At(col, col)
+		for j := 0; j < n; j++ {
+			a.Set(col, j, a.At(col, j)/p)
+			inv.Set(col, j, inv.At(col, j)/p)
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				a.Set(r, j, a.At(r, j)-f*a.At(col, j))
+				inv.Set(r, j, inv.At(r, j)-f*inv.At(col, j))
+			}
+		}
+	}
+	return inv, nil
+}
+
+func (m *Matrix) swapRows(i, j int) {
+	if i == j {
+		return
+	}
+	ri := m.data[i*m.cols : (i+1)*m.cols]
+	rj := m.data[j*m.cols : (j+1)*m.cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// SolveSPD solves A·x = b for a symmetric positive-definite A using a
+// Cholesky factorization. It returns ErrSingular when A is not (numerically)
+// positive definite.
+func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
+	l, err := a.Cholesky()
+	if err != nil {
+		return nil, err
+	}
+	return l.solveCholesky(b)
+}
+
+// Cholesky returns the lower-triangular L with A = L·Lᵀ.
+// A must be symmetric positive definite.
+func (m *Matrix) Cholesky() (*Matrix, error) {
+	if !m.IsSquare() {
+		return nil, fmt.Errorf("%w: cholesky of %dx%d", ErrDimension, m.rows, m.cols)
+	}
+	n := m.rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := m.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("%w: not positive definite at row %d", ErrSingular, i)
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// solveCholesky solves L·Lᵀ·x = b given the lower-triangular factor L.
+func (l *Matrix) solveCholesky(b []float64) ([]float64, error) {
+	n := l.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: rhs len %d for %dx%d", ErrDimension, len(b), n, n)
+	}
+	// Forward substitution L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back substitution Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}
+
+// QR computes a thin Householder QR factorization of m (rows ≥ cols),
+// returning Q (rows×cols, orthonormal columns) and R (cols×cols, upper
+// triangular) with m = Q·R.
+func (m *Matrix) QR() (q, r *Matrix, err error) {
+	rows, cols := m.rows, m.cols
+	if rows < cols {
+		return nil, nil, fmt.Errorf("%w: QR needs rows >= cols, got %dx%d", ErrDimension, rows, cols)
+	}
+	a := m.Clone()
+	// Householder vectors stored per column.
+	vs := make([][]float64, cols)
+	for k := 0; k < cols; k++ {
+		// Build the Householder vector for column k below the diagonal.
+		v := make([]float64, rows-k)
+		for i := k; i < rows; i++ {
+			v[i-k] = a.At(i, k)
+		}
+		alpha := Norm2(v)
+		if v[0] > 0 {
+			alpha = -alpha
+		}
+		if alpha == 0 {
+			vs[k] = nil
+			continue
+		}
+		v[0] -= alpha
+		vn := Norm2(v)
+		if vn == 0 {
+			vs[k] = nil
+			continue
+		}
+		for i := range v {
+			v[i] /= vn
+		}
+		vs[k] = v
+		// Apply reflector to the trailing submatrix of a.
+		for j := k; j < cols; j++ {
+			var s float64
+			for i := k; i < rows; i++ {
+				s += v[i-k] * a.At(i, j)
+			}
+			s *= 2
+			for i := k; i < rows; i++ {
+				a.Set(i, j, a.At(i, j)-s*v[i-k])
+			}
+		}
+	}
+	r = NewMatrix(cols, cols)
+	for i := 0; i < cols; i++ {
+		for j := i; j < cols; j++ {
+			r.Set(i, j, a.At(i, j))
+		}
+	}
+	// Accumulate Q by applying reflectors to the first cols columns of I.
+	q = NewMatrix(rows, cols)
+	for j := 0; j < cols; j++ {
+		q.Set(j, j, 1)
+	}
+	for k := cols - 1; k >= 0; k-- {
+		v := vs[k]
+		if v == nil {
+			continue
+		}
+		for j := 0; j < cols; j++ {
+			var s float64
+			for i := k; i < rows; i++ {
+				s += v[i-k] * q.At(i, j)
+			}
+			s *= 2
+			for i := k; i < rows; i++ {
+				q.Set(i, j, q.At(i, j)-s*v[i-k])
+			}
+		}
+	}
+	return q, r, nil
+}

@@ -1,0 +1,183 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInverseKnown(t *testing.T) {
+	m := NewMatrixFrom(2, 2, []float64{4, 7, 2, 6})
+	inv, err := m.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewMatrixFrom(2, 2, []float64{0.6, -0.7, -0.2, 0.4})
+	if !inv.Equal(want, 1e-12) {
+		t.Fatalf("Inverse = %v, want %v", inv, want)
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	m := NewMatrixFrom(2, 2, []float64{1, 2, 2, 4})
+	if _, err := m.Inverse(); !errors.Is(err, ErrSingular) {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+	zero := NewMatrix(3, 3)
+	if _, err := zero.Inverse(); !errors.Is(err, ErrSingular) {
+		t.Fatalf("expected ErrSingular for zero matrix, got %v", err)
+	}
+}
+
+func TestInverseNonSquare(t *testing.T) {
+	if _, err := NewMatrix(2, 3).Inverse(); !errors.Is(err, ErrDimension) {
+		t.Fatal("expected ErrDimension")
+	}
+}
+
+// Property: A·A⁻¹ = I for random well-conditioned matrices.
+func TestInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		a := randomMatrix(r, n, n)
+		// Diagonal dominance keeps it invertible and well conditioned.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		inv, err := a.Inverse()
+		if err != nil {
+			return false
+		}
+		prod, err := a.Mul(inv)
+		if err != nil {
+			return false
+		}
+		return prod.Equal(Identity(n), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	// A = [[4,2],[2,3]] -> L = [[2,0],[1,sqrt2]]
+	a := NewMatrixFrom(2, 2, []float64{4, 2, 2, 3})
+	l, err := a.Cholesky()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.At(0, 0)-2) > 1e-12 || math.Abs(l.At(1, 0)-1) > 1e-12 ||
+		math.Abs(l.At(1, 1)-math.Sqrt(2)) > 1e-12 || l.At(0, 1) != 0 {
+		t.Fatalf("Cholesky = %v", l)
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 2, 1})
+	if _, err := a.Cholesky(); !errors.Is(err, ErrSingular) {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{4, 2, 2, 3})
+	x, err := SolveSPD(a, []float64{10, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check residual.
+	ax, _ := a.MulVec(x)
+	if math.Abs(ax[0]-10) > 1e-10 || math.Abs(ax[1]-9) > 1e-10 {
+		t.Fatalf("SolveSPD residual: Ax = %v", ax)
+	}
+}
+
+func TestSolveSPDBadRHS(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{4, 2, 2, 3})
+	if _, err := SolveSPD(a, []float64{1}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+// Property: SolveSPD inverts random SPD systems (A = MᵀM + I).
+func TestSolveSPDProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		m := randomMatrix(r, n, n)
+		mtm, _ := m.Transpose().Mul(m)
+		a, _ := mtm.Add(Identity(n))
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = r.NormFloat64()
+		}
+		b, _ := a.MulVec(want)
+		got, err := SolveSPD(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQRKnown(t *testing.T) {
+	a := NewMatrixFrom(3, 2, []float64{1, 0, 0, 1, 1, 1})
+	q, r, err := a.QR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q has orthonormal columns.
+	qtq, _ := q.Transpose().Mul(q)
+	if !qtq.Equal(Identity(2), 1e-10) {
+		t.Fatalf("QᵀQ != I: %v", qtq)
+	}
+	// A = QR.
+	qr, _ := q.Mul(r)
+	if !qr.Equal(a, 1e-10) {
+		t.Fatalf("QR != A: %v vs %v", qr, a)
+	}
+	// R upper triangular.
+	if math.Abs(r.At(1, 0)) > 1e-12 {
+		t.Fatalf("R not upper triangular: %v", r)
+	}
+}
+
+func TestQRWideRejected(t *testing.T) {
+	if _, _, err := NewMatrix(2, 3).QR(); !errors.Is(err, ErrDimension) {
+		t.Fatal("expected ErrDimension for wide matrix")
+	}
+}
+
+// Property: QR reconstructs A with orthonormal Q for random tall matrices.
+func TestQRProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cols := 1 + r.Intn(5)
+		rows := cols + r.Intn(6)
+		a := randomMatrix(r, rows, cols)
+		q, rr, err := a.QR()
+		if err != nil {
+			return false
+		}
+		qtq, _ := q.Transpose().Mul(q)
+		if !qtq.Equal(Identity(cols), 1e-8) {
+			return false
+		}
+		qr, _ := q.Mul(rr)
+		return qr.Equal(a, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,230 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SVD holds a thin singular value decomposition A = U·Diag(S)·Vᵀ where A is
+// rows×cols with rows ≥ cols, U is rows×cols with orthonormal columns,
+// S is the cols singular values in non-increasing order and V is cols×cols
+// orthogonal.
+type SVD struct {
+	U *Matrix
+	S []float64
+	V *Matrix
+}
+
+// SingularValues computes the SVD of m using one-sided Jacobi rotations
+// (Hestenes method). One-sided Jacobi is slower than Golub-Reinsch for
+// large matrices but is simple, numerically robust and more than fast
+// enough for the small regression problems DisQ solves (tens of columns).
+//
+// For rows < cols the decomposition is computed on the transpose and the
+// factors are swapped, so any shape is accepted.
+func SingularValues(m *Matrix) (*SVD, error) {
+	if m.rows == 0 || m.cols == 0 {
+		return nil, fmt.Errorf("%w: SVD of empty %dx%d matrix", ErrDimension, m.rows, m.cols)
+	}
+	if m.rows < m.cols {
+		s, err := SingularValues(m.Transpose())
+		if err != nil {
+			return nil, err
+		}
+		return &SVD{U: s.V, S: s.S, V: s.U}, nil
+	}
+	rows, cols := m.rows, m.cols
+	u := m.Clone()
+	v := Identity(cols)
+
+	const maxSweeps = 64
+	tol := 1e-14 * float64(rows)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		offDiag := 0.0
+		for p := 0; p < cols-1; p++ {
+			for q := p + 1; q < cols; q++ {
+				// Column inner products.
+				var app, aqq, apq float64
+				for i := 0; i < rows; i++ {
+					up := u.At(i, p)
+					uq := u.At(i, q)
+					app += up * up
+					aqq += uq * uq
+					apq += up * uq
+				}
+				if app*aqq > 0 {
+					offDiag = math.Max(offDiag, math.Abs(apq)/math.Sqrt(app*aqq))
+				}
+				if math.Abs(apq) <= tol*math.Sqrt(app*aqq) {
+					continue
+				}
+				// Jacobi rotation zeroing the (p,q) inner product.
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < rows; i++ {
+					up := u.At(i, p)
+					uq := u.At(i, q)
+					u.Set(i, p, c*up-s*uq)
+					u.Set(i, q, s*up+c*uq)
+				}
+				for i := 0; i < cols; i++ {
+					vp := v.At(i, p)
+					vq := v.At(i, q)
+					v.Set(i, p, c*vp-s*vq)
+					v.Set(i, q, s*vp+c*vq)
+				}
+			}
+		}
+		if offDiag < 1e-13 {
+			break
+		}
+	}
+
+	// Extract singular values as column norms of u, then normalize.
+	sv := make([]float64, cols)
+	for j := 0; j < cols; j++ {
+		var n float64
+		for i := 0; i < rows; i++ {
+			n += u.At(i, j) * u.At(i, j)
+		}
+		sv[j] = math.Sqrt(n)
+		if sv[j] > 0 {
+			for i := 0; i < rows; i++ {
+				u.Set(i, j, u.At(i, j)/sv[j])
+			}
+		}
+	}
+	// Sort by descending singular value, permuting U and V columns.
+	idx := make([]int, cols)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return sv[idx[a]] > sv[idx[b]] })
+	us := NewMatrix(rows, cols)
+	vs := NewMatrix(cols, cols)
+	sorted := make([]float64, cols)
+	for newJ, oldJ := range idx {
+		sorted[newJ] = sv[oldJ]
+		for i := 0; i < rows; i++ {
+			us.Set(i, newJ, u.At(i, oldJ))
+		}
+		for i := 0; i < cols; i++ {
+			vs.Set(i, newJ, v.At(i, oldJ))
+		}
+	}
+	return &SVD{U: us, S: sorted, V: vs}, nil
+}
+
+// Rank returns the numerical rank of the decomposition at relative
+// tolerance rtol (singular values below rtol·S[0] count as zero).
+func (d *SVD) Rank(rtol float64) int {
+	if len(d.S) == 0 || d.S[0] == 0 {
+		return 0
+	}
+	r := 0
+	for _, s := range d.S {
+		if s > rtol*d.S[0] {
+			r++
+		}
+	}
+	return r
+}
+
+// LeastSquares solves min_x ‖A·x − b‖₂ via the SVD pseudo-inverse, truncating
+// singular values below rtol·S[0]. This is the regression black box of
+// Section 3.1 ("we used a singular value decomposition (SVD) algorithm").
+func LeastSquares(a *Matrix, b []float64, rtol float64) ([]float64, error) {
+	if len(b) != a.rows {
+		return nil, fmt.Errorf("%w: lstsq rhs len %d for %dx%d", ErrDimension, len(b), a.rows, a.cols)
+	}
+	d, err := SingularValues(a)
+	if err != nil {
+		return nil, err
+	}
+	// x = V · Diag(1/s) · Uᵀ · b  with truncated small singular values.
+	utb, err := d.U.Transpose().MulVec(b)
+	if err != nil {
+		return nil, err
+	}
+	cut := 0.0
+	if len(d.S) > 0 {
+		cut = rtol * d.S[0]
+	}
+	for i := range utb {
+		if d.S[i] > cut && d.S[i] > 0 {
+			utb[i] /= d.S[i]
+		} else {
+			utb[i] = 0
+		}
+	}
+	return d.V.MulVec(utb)
+}
+
+// PseudoInverse returns the Moore-Penrose pseudo-inverse of m with relative
+// singular-value tolerance rtol.
+func PseudoInverse(m *Matrix, rtol float64) (*Matrix, error) {
+	d, err := SingularValues(m)
+	if err != nil {
+		return nil, err
+	}
+	cut := 0.0
+	if len(d.S) > 0 {
+		cut = rtol * d.S[0]
+	}
+	inv := make([]float64, len(d.S))
+	for i, s := range d.S {
+		if s > cut && s > 0 {
+			inv[i] = 1 / s
+		}
+	}
+	vd, err := d.V.Mul(Diag(inv))
+	if err != nil {
+		return nil, err
+	}
+	return vd.Mul(d.U.Transpose())
+}
+
+// NearestSPD nudges a symmetric matrix toward positive definiteness by
+// symmetrizing and adding a ridge to the diagonal until Cholesky succeeds.
+// It is used to keep estimated covariance matrices (which come from small
+// samples and absolute-value transforms) usable in Eq. 2's inverse.
+func NearestSPD(m *Matrix) (*Matrix, error) {
+	if !m.IsSquare() {
+		return nil, fmt.Errorf("%w: NearestSPD of %dx%d", ErrDimension, m.rows, m.cols)
+	}
+	n := m.rows
+	sym := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sym.Set(i, j, (m.At(i, j)+m.At(j, i))/2)
+		}
+	}
+	ridge := 0.0
+	base := sym.MaxAbs()
+	if base == 0 {
+		base = 1
+	}
+	for attempt := 0; attempt < 40; attempt++ {
+		trial := sym.Clone()
+		for i := 0; i < n; i++ {
+			trial.Set(i, i, trial.At(i, i)+ridge)
+		}
+		if _, err := trial.Cholesky(); err == nil {
+			return trial, nil
+		}
+		if ridge == 0 {
+			ridge = 1e-12 * base
+		} else {
+			ridge *= 10
+		}
+	}
+	return nil, fmt.Errorf("%w: could not regularize to SPD", ErrSingular)
+}

@@ -1,0 +1,217 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func reconstruct(d *SVD) *Matrix {
+	us, _ := d.U.Mul(Diag(d.S))
+	m, _ := us.Mul(d.V.Transpose())
+	return m
+}
+
+func TestSVDKnownDiagonal(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{3, 0, 0, 2})
+	d, err := SingularValues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.S[0]-3) > 1e-10 || math.Abs(d.S[1]-2) > 1e-10 {
+		t.Fatalf("S = %v, want [3 2]", d.S)
+	}
+	if !reconstruct(d).Equal(a, 1e-10) {
+		t.Fatal("reconstruction failed")
+	}
+}
+
+func TestSVDSingularValuesSorted(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	a := randomMatrix(r, 8, 5)
+	d, err := SingularValues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(d.S); i++ {
+		if d.S[i] > d.S[i-1]+1e-12 {
+			t.Fatalf("singular values not sorted: %v", d.S)
+		}
+	}
+}
+
+func TestSVDWideMatrix(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	a := randomMatrix(r, 3, 6)
+	d, err := SingularValues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reconstruct(d).Equal(a, 1e-8) {
+		t.Fatal("wide reconstruction failed")
+	}
+}
+
+func TestSVDEmpty(t *testing.T) {
+	if _, err := SingularValues(NewMatrix(0, 3)); err == nil {
+		t.Fatal("expected error for empty matrix")
+	}
+}
+
+func TestSVDRank(t *testing.T) {
+	// Rank-1 matrix.
+	a := NewMatrixFrom(3, 3, []float64{1, 2, 3, 2, 4, 6, 3, 6, 9})
+	d, err := SingularValues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := d.Rank(1e-10); r != 1 {
+		t.Fatalf("Rank = %d, want 1 (S=%v)", r, d.S)
+	}
+	zero := NewMatrix(2, 2)
+	dz, _ := SingularValues(zero)
+	if dz.Rank(1e-10) != 0 {
+		t.Fatal("zero matrix should have rank 0")
+	}
+}
+
+// Property: SVD reconstructs A, U and V are orthonormal.
+func TestSVDProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 1 + r.Intn(8)
+		cols := 1 + r.Intn(8)
+		a := randomMatrix(r, rows, cols)
+		d, err := SingularValues(a)
+		if err != nil {
+			return false
+		}
+		if !reconstruct(d).Equal(a, 1e-7) {
+			return false
+		}
+		k := len(d.S)
+		utu, _ := d.U.Transpose().Mul(d.U)
+		vtv, _ := d.V.Transpose().Mul(d.V)
+		return utu.Equal(Identity(k), 1e-7) && vtv.Equal(Identity(k), 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Overdetermined but consistent system.
+	a := NewMatrixFrom(3, 2, []float64{1, 1, 1, 2, 1, 3})
+	want := []float64{0.5, 2}
+	b, _ := a.MulVec(want)
+	x, err := LeastSquares(a, b, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestLeastSquaresMinimizesResidual(t *testing.T) {
+	// y = 2x + 1 + noise; check the fit is close.
+	r := rand.New(rand.NewSource(3))
+	n := 200
+	a := NewMatrix(n, 2)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := r.Float64() * 10
+		a.Set(i, 0, 1)
+		a.Set(i, 1, x)
+		b[i] = 1 + 2*x + 0.01*r.NormFloat64()
+	}
+	coef, err := LeastSquares(a, b, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coef[0]-1) > 0.05 || math.Abs(coef[1]-2) > 0.01 {
+		t.Fatalf("fit = %v, want ≈ [1 2]", coef)
+	}
+}
+
+func TestLeastSquaresRankDeficient(t *testing.T) {
+	// Duplicate column: pseudo-inverse should still return a finite solution.
+	a := NewMatrixFrom(3, 2, []float64{1, 1, 2, 2, 3, 3})
+	x, err := LeastSquares(a, []float64{2, 4, 6}, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite solution %v", x)
+		}
+	}
+	// Minimum-norm solution of x1+x2=2 is [1,1].
+	if math.Abs(x[0]-1) > 1e-8 || math.Abs(x[1]-1) > 1e-8 {
+		t.Fatalf("x = %v, want [1 1]", x)
+	}
+}
+
+func TestLeastSquaresBadRHS(t *testing.T) {
+	a := NewMatrix(3, 2)
+	if _, err := LeastSquares(a, []float64{1}, 1e-12); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestPseudoInverseProperty(t *testing.T) {
+	// A·A⁺·A = A (Moore-Penrose condition 1).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 1 + r.Intn(6)
+		cols := 1 + r.Intn(6)
+		a := randomMatrix(r, rows, cols)
+		pinv, err := PseudoInverse(a, 1e-12)
+		if err != nil {
+			return false
+		}
+		ap, _ := a.Mul(pinv)
+		apa, _ := ap.Mul(a)
+		return apa.Equal(a, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNearestSPD(t *testing.T) {
+	// Indefinite symmetric matrix becomes PD after regularization.
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 2, 1})
+	spd, err := NearestSPD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spd.Cholesky(); err != nil {
+		t.Fatalf("NearestSPD result not PD: %v", err)
+	}
+	// Already-PD matrices pass through unchanged.
+	pd := NewMatrixFrom(2, 2, []float64{4, 1, 1, 3})
+	got, err := NearestSPD(pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(pd, 0) {
+		t.Fatal("PD matrix should be unchanged")
+	}
+	if _, err := NearestSPD(NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected error for non-square")
+	}
+}
+
+func TestNearestSPDZeroMatrix(t *testing.T) {
+	spd, err := NearestSPD(NewMatrix(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spd.Cholesky(); err != nil {
+		t.Fatalf("regularized zero matrix not PD: %v", err)
+	}
+}

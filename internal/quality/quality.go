@@ -1,0 +1,190 @@
+// Package quality implements the crowd quality management the paper
+// assumes is in place ("we assume ... spam filters are employed to avoid
+// malicious workers", Section 2; reference [19], Ipeirotis et al.):
+// estimating per-worker reliability from answer agreement and flagging
+// suspected spammers.
+//
+// The estimator is an iteratively-reweighted consensus (a simplified
+// Dawid–Skene for continuous answers): each cell (one object-attribute
+// pair) has answers from several workers; the cell consensus is the
+// reliability-weighted mean; a worker's error variance is measured against
+// the consensus of the cells they answered; reliability is the inverse
+// variance. A few iterations suffice — bad workers stop dragging the
+// consensus toward themselves, which sharpens everyone's variance
+// estimates.
+package quality
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Cell is the answer multiset for one (object, attribute) pair, with the
+// worker identity of each answer.
+type Cell struct {
+	Values  []float64
+	Workers []int
+}
+
+// WorkerStats is the estimated reliability of one worker.
+type WorkerStats struct {
+	// Answers is how many answers the worker contributed.
+	Answers int
+	// Variance is the estimated error variance against consensus, in
+	// *standardized* units (each cell's deviations are scaled by the
+	// cell's answer spread, so attributes of different scales mix).
+	Variance float64
+	// Weight is the reliability weight 1/Variance used in the consensus.
+	Weight float64
+}
+
+// Options tunes the estimator.
+type Options struct {
+	// Iterations of reweighting (default 5).
+	Iterations int
+	// MinAnswers is the minimum contributions for a worker to be scored
+	// (default 3; fewer answers give no meaningful variance estimate).
+	MinAnswers int
+}
+
+// EstimateWorkers runs the iteratively-reweighted consensus over the
+// cells and returns the reliability of each worker with enough answers.
+func EstimateWorkers(cells []Cell, opts Options) (map[int]WorkerStats, error) {
+	if len(cells) == 0 {
+		return nil, errors.New("quality: no cells")
+	}
+	if opts.Iterations == 0 {
+		opts.Iterations = 5
+	}
+	if opts.MinAnswers == 0 {
+		opts.MinAnswers = 3
+	}
+	// Validate and standardize each cell: deviations are measured in
+	// units of the cell's answer spread so numeric and binary attributes
+	// are comparable.
+	scale := make([]float64, len(cells))
+	for i, c := range cells {
+		if len(c.Values) != len(c.Workers) {
+			return nil, fmt.Errorf("quality: cell %d has %d values but %d workers", i, len(c.Values), len(c.Workers))
+		}
+		if len(c.Values) < 2 {
+			return nil, fmt.Errorf("quality: cell %d needs ≥ 2 answers", i)
+		}
+		sd, err := stats.StdDev(c.Values)
+		if err != nil {
+			return nil, err
+		}
+		if sd < 1e-9 {
+			sd = 1e-9 // unanimous cell: any deviation would be infinitely informative
+		}
+		scale[i] = sd
+	}
+
+	weights := make(map[int]float64) // default weight 1
+	var result map[int]WorkerStats
+	for iter := 0; iter < opts.Iterations; iter++ {
+		// E-step: weighted consensus per cell.
+		consensus := make([]float64, len(cells))
+		for i, c := range cells {
+			var num, den float64
+			for j, v := range c.Values {
+				w := weights[c.Workers[j]]
+				if w == 0 {
+					w = 1
+				}
+				num += w * v
+				den += w
+			}
+			consensus[i] = num / den
+		}
+		// M-step: per-worker standardized error variance.
+		sumSq := make(map[int]float64)
+		count := make(map[int]int)
+		for i, c := range cells {
+			for j, v := range c.Values {
+				d := (v - consensus[i]) / scale[i]
+				sumSq[c.Workers[j]] += d * d
+				count[c.Workers[j]]++
+			}
+		}
+		result = make(map[int]WorkerStats, len(count))
+		for w, n := range count {
+			if n < opts.MinAnswers {
+				continue
+			}
+			v := sumSq[w] / float64(n)
+			if v < 1e-6 {
+				v = 1e-6
+			}
+			result[w] = WorkerStats{Answers: n, Variance: v, Weight: 1 / v}
+		}
+		// Update weights for the next iteration (unscored workers keep 1).
+		weights = make(map[int]float64, len(result))
+		for w, s := range result {
+			weights[w] = s.Weight
+		}
+	}
+	if len(result) == 0 {
+		return nil, errors.New("quality: no worker reached the minimum answer count")
+	}
+	return result, nil
+}
+
+// SpamSuspects returns the workers whose error variance exceeds factor
+// times the median variance, sorted by descending variance — the
+// candidates a deployment would exclude or re-verify.
+func SpamSuspects(workers map[int]WorkerStats, factor float64) []int {
+	if factor <= 0 {
+		factor = 3
+	}
+	vars := make([]float64, 0, len(workers))
+	for _, s := range workers {
+		vars = append(vars, s.Variance)
+	}
+	med := stats.Median(vars)
+	var out []int
+	for w, s := range workers {
+		if s.Variance > factor*med {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if workers[out[i]].Variance != workers[out[j]].Variance {
+			return workers[out[i]].Variance > workers[out[j]].Variance
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// ConsensusShift reports how far the reliability-weighted consensus moves
+// from the plain mean for a cell, in standardized units — a diagnostic for
+// how much quality weighting matters on a given workload.
+func ConsensusShift(cell Cell, workers map[int]WorkerStats) (float64, error) {
+	if len(cell.Values) == 0 || len(cell.Values) != len(cell.Workers) {
+		return 0, errors.New("quality: bad cell")
+	}
+	plain := stats.Mean(cell.Values)
+	var num, den float64
+	for j, v := range cell.Values {
+		w := 1.0
+		if s, ok := workers[cell.Workers[j]]; ok {
+			w = s.Weight
+		}
+		num += w * v
+		den += w
+	}
+	weighted := num / den
+	sd, err := stats.StdDev(cell.Values)
+	if err != nil {
+		return 0, err
+	}
+	if sd < 1e-9 {
+		return 0, nil
+	}
+	return math.Abs(weighted-plain) / sd, nil
+}

@@ -1,0 +1,363 @@
+// Package query provides the query-evaluation layer the paper's
+// introduction motivates: SQL-like SELECT/WHERE statements over object
+// attributes that are not in the database, evaluated by estimating the
+// referenced attributes with a DisQ plan.
+//
+// A statement like
+//
+//	SELECT Calories, Protein WHERE Dessert > 0.5 AND Calories < 350
+//
+// is parsed into a Statement; its referenced attributes become the DisQ
+// query targets; and Engine.Execute evaluates every object online, filters
+// by the WHERE conjunction and returns the selected values — the CC
+// ("CrowdCooking.com") search upgrade of Section 1.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/domain"
+)
+
+// Op is a comparison operator in a WHERE condition.
+type Op int
+
+// Supported operators.
+const (
+	Lt Op = iota // <
+	Le           // <=
+	Gt           // >
+	Ge           // >=
+	Eq           // =
+	Ne           // !=
+)
+
+// String renders the operator in SQL syntax.
+func (o Op) String() string {
+	switch o {
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+var opTokens = map[string]Op{
+	"<": Lt, "<=": Le, ">": Gt, ">=": Ge, "=": Eq, "==": Eq, "!=": Ne, "<>": Ne,
+}
+
+// Condition is one WHERE comparison against a constant.
+type Condition struct {
+	Attr  string
+	Op    Op
+	Value float64
+}
+
+// Holds evaluates the condition against an estimated value. Equality uses
+// a relative tolerance: estimates are continuous, so exact float equality
+// would never hold.
+func (c Condition) Holds(v float64) bool {
+	switch c.Op {
+	case Lt:
+		return v < c.Value
+	case Le:
+		return v <= c.Value
+	case Gt:
+		return v > c.Value
+	case Ge:
+		return v >= c.Value
+	case Eq:
+		return approxEqual(v, c.Value)
+	case Ne:
+		return !approxEqual(v, c.Value)
+	default:
+		return false
+	}
+}
+
+func approxEqual(a, b float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := b
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return diff <= 0.05*scale
+}
+
+// String renders the condition.
+func (c Condition) String() string {
+	return fmt.Sprintf("%s %s %g", c.Attr, c.Op, c.Value)
+}
+
+// Statement is a parsed query: the attributes to return and a conjunction
+// of filter conditions.
+type Statement struct {
+	Select []string
+	Where  []Condition
+}
+
+// Attributes returns every attribute the statement references (selected
+// or filtered), deduplicated and sorted — these are the DisQ targets.
+func (s *Statement) Attributes() []string {
+	set := make(map[string]struct{})
+	for _, a := range s.Select {
+		set[a] = struct{}{}
+	}
+	for _, c := range s.Where {
+		set[c.Attr] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Query returns the core.Query that a plan must be preprocessed for.
+func (s *Statement) Query() core.Query {
+	return core.Query{Targets: s.Attributes()}
+}
+
+// String renders the statement in its canonical SQL-like syntax.
+func (s *Statement) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	b.WriteString(strings.Join(s.Select, ", "))
+	if len(s.Where) > 0 {
+		b.WriteString(" WHERE ")
+		parts := make([]string, len(s.Where))
+		for i, c := range s.Where {
+			parts[i] = c.String()
+		}
+		b.WriteString(strings.Join(parts, " AND "))
+	}
+	return b.String()
+}
+
+// Parse reads a statement of the form
+//
+//	SELECT attr[, attr...] [WHERE attr op value [AND attr op value ...]]
+//
+// Attribute names may contain spaces (e.g. "Has Meat"); they extend until
+// the next comma, operator or keyword. Keywords are case-insensitive.
+func Parse(input string) (*Statement, error) {
+	tokens := tokenize(input)
+	if len(tokens) == 0 {
+		return nil, errors.New("query: empty statement")
+	}
+	if !strings.EqualFold(tokens[0], "select") {
+		return nil, fmt.Errorf("query: expected SELECT, got %q", tokens[0])
+	}
+	pos := 1
+	st := &Statement{}
+
+	// SELECT list: names separated by commas, until WHERE or end.
+	var current []string
+	flush := func() error {
+		if len(current) == 0 {
+			return errors.New("query: empty name in SELECT list")
+		}
+		st.Select = append(st.Select, strings.Join(current, " "))
+		current = nil
+		return nil
+	}
+	for pos < len(tokens) && !strings.EqualFold(tokens[pos], "where") {
+		tok := tokens[pos]
+		if tok == "," {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		} else {
+			current = append(current, tok)
+		}
+		pos++
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+
+	if pos == len(tokens) {
+		return st, nil
+	}
+	pos++ // consume WHERE
+
+	// Conditions separated by AND.
+	for {
+		cond, next, err := parseCondition(tokens, pos)
+		if err != nil {
+			return nil, err
+		}
+		st.Where = append(st.Where, cond)
+		pos = next
+		if pos == len(tokens) {
+			return st, nil
+		}
+		if !strings.EqualFold(tokens[pos], "and") {
+			return nil, fmt.Errorf("query: expected AND, got %q", tokens[pos])
+		}
+		pos++
+		if pos == len(tokens) {
+			return nil, errors.New("query: dangling AND")
+		}
+	}
+}
+
+func parseCondition(tokens []string, pos int) (Condition, int, error) {
+	var name []string
+	for pos < len(tokens) {
+		if _, isOp := opTokens[tokens[pos]]; isOp {
+			break
+		}
+		name = append(name, tokens[pos])
+		pos++
+	}
+	if len(name) == 0 {
+		return Condition{}, 0, errors.New("query: condition missing attribute name")
+	}
+	if pos == len(tokens) {
+		return Condition{}, 0, fmt.Errorf("query: condition on %q missing operator", strings.Join(name, " "))
+	}
+	op := opTokens[tokens[pos]]
+	pos++
+	if pos == len(tokens) {
+		return Condition{}, 0, errors.New("query: condition missing value")
+	}
+	v, err := strconv.ParseFloat(tokens[pos], 64)
+	if err != nil {
+		// Convenience: allow true/false for boolean attributes.
+		switch strings.ToLower(tokens[pos]) {
+		case "true":
+			v = 1
+		case "false":
+			v = 0
+		default:
+			return Condition{}, 0, fmt.Errorf("query: bad value %q", tokens[pos])
+		}
+	}
+	pos++
+	return Condition{Attr: strings.Join(name, " "), Op: op, Value: v}, pos, nil
+}
+
+// tokenize splits on whitespace but keeps commas and operators as their
+// own tokens.
+func tokenize(s string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	runes := []rune(s)
+	for i := 0; i < len(runes); i++ {
+		r := runes[i]
+		switch {
+		case r == ' ' || r == '\t' || r == '\n':
+			flush()
+		case r == ',':
+			flush()
+			out = append(out, ",")
+		case r == '<' || r == '>' || r == '=' || r == '!':
+			flush()
+			op := string(r)
+			if i+1 < len(runes) && (runes[i+1] == '=' || (r == '<' && runes[i+1] == '>')) {
+				op += string(runes[i+1])
+				i++
+			}
+			out = append(out, op)
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}
+
+// ResultRow is one object that passed the WHERE filter, with its selected
+// attribute estimates.
+type ResultRow struct {
+	Object *domain.Object
+	Values map[string]float64
+}
+
+// Engine evaluates statements with a preprocessed plan over a platform.
+type Engine struct {
+	platform crowd.Platform
+	plan     *core.Plan
+}
+
+// NewEngine validates that the plan covers every attribute the statement
+// will need and returns an engine. The plan's targets must be a superset
+// of the statement's attributes (after platform canonicalization).
+func NewEngine(p crowd.Platform, plan *core.Plan, st *Statement) (*Engine, error) {
+	if p == nil || plan == nil || st == nil {
+		return nil, errors.New("query: nil platform, plan or statement")
+	}
+	if len(st.Select) == 0 {
+		return nil, errors.New("query: statement selects nothing")
+	}
+	covered := make(map[string]bool, len(plan.Targets))
+	for _, t := range plan.Targets {
+		covered[p.Canonical(t)] = true
+	}
+	for _, a := range st.Attributes() {
+		if !covered[p.Canonical(a)] {
+			return nil, fmt.Errorf("query: plan does not cover attribute %q", a)
+		}
+	}
+	return &Engine{platform: p, plan: plan}, nil
+}
+
+// Execute estimates the statement's attributes for every object (spending
+// the plan's per-object budget each) and returns the rows whose estimates
+// satisfy every WHERE condition, with the SELECTed values.
+func (e *Engine) Execute(st *Statement, objects []*domain.Object) ([]ResultRow, error) {
+	canon := func(name string) string { return e.platform.Canonical(name) }
+	var rows []ResultRow
+	for _, o := range objects {
+		est, err := e.plan.EstimateObject(e.platform, o)
+		if err != nil {
+			return nil, err
+		}
+		keep := true
+		for _, c := range st.Where {
+			if !c.Holds(est[canon(c.Attr)]) {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		vals := make(map[string]float64, len(st.Select))
+		for _, a := range st.Select {
+			vals[a] = est[canon(a)]
+		}
+		rows = append(rows, ResultRow{Object: o, Values: vals})
+	}
+	return rows, nil
+}

@@ -1,0 +1,156 @@
+// Package sprt implements Wald's sequential probability ratio test [31],
+// used by DisQ to decide dismantling-verification questions ("does knowing
+// X help estimate Y?") with as few crowd answers as possible. The paper
+// defers this decision to "standard algorithms such as [25]"
+// (CrowdScreen); the SPRT is the classical optimal such strategy for a
+// binary hypothesis with i.i.d. worker answers.
+//
+// The test observes a stream of yes/no answers and decides between
+//
+//	H1: workers answer "yes" with probability p1 (attribute is relevant)
+//	H0: workers answer "yes" with probability p0 (attribute is irrelevant)
+//
+// stopping as soon as the cumulative log-likelihood ratio crosses the
+// boundaries derived from the allowed error rates α (false accept) and
+// β (false reject), or when the question cap is reached (majority fallback).
+package sprt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Decision is the outcome of a sequential test.
+type Decision int
+
+const (
+	// Undecided means more answers are needed.
+	Undecided Decision = iota
+	// AcceptH1 means the test concluded the hypothesis holds (relevant).
+	AcceptH1
+	// RejectH1 means the test concluded the hypothesis fails (irrelevant).
+	RejectH1
+)
+
+// String renders the decision for logs.
+func (d Decision) String() string {
+	switch d {
+	case Undecided:
+		return "undecided"
+	case AcceptH1:
+		return "accept"
+	case RejectH1:
+		return "reject"
+	default:
+		return fmt.Sprintf("Decision(%d)", int(d))
+	}
+}
+
+// Test is a running Wald SPRT over Bernoulli observations.
+type Test struct {
+	logA, logB   float64 // decision boundaries
+	stepYes      float64 // LLR increment for a "yes"
+	stepNo       float64 // LLR increment for a "no"
+	llr          float64
+	observations int
+	yes          int
+	maxQuestions int
+	decided      Decision
+}
+
+// Config parameterizes a test.
+type Config struct {
+	// P1 is the probability of a "yes" answer under H1 (relevant attribute).
+	P1 float64
+	// P0 is the probability of a "yes" answer under H0 (irrelevant attribute).
+	P0 float64
+	// Alpha is the tolerated probability of accepting H1 when H0 holds.
+	Alpha float64
+	// Beta is the tolerated probability of rejecting H1 when H1 holds.
+	Beta float64
+	// MaxQuestions caps the number of observations; when reached the test
+	// decides by majority (ties reject). Zero means no cap.
+	MaxQuestions int
+}
+
+// New validates the configuration and returns a fresh test.
+func New(cfg Config) (*Test, error) {
+	if !(cfg.P0 > 0 && cfg.P0 < 1 && cfg.P1 > 0 && cfg.P1 < 1) {
+		return nil, fmt.Errorf("sprt: probabilities must be in (0,1), got p0=%v p1=%v", cfg.P0, cfg.P1)
+	}
+	if cfg.P1 <= cfg.P0 {
+		return nil, errors.New("sprt: need P1 > P0 to distinguish hypotheses")
+	}
+	if !(cfg.Alpha > 0 && cfg.Alpha < 1 && cfg.Beta > 0 && cfg.Beta < 1) {
+		return nil, fmt.Errorf("sprt: error rates must be in (0,1), got alpha=%v beta=%v", cfg.Alpha, cfg.Beta)
+	}
+	if cfg.MaxQuestions < 0 {
+		return nil, errors.New("sprt: negative question cap")
+	}
+	return &Test{
+		// Wald's boundaries: accept when LLR ≥ log((1−β)/α),
+		// reject when LLR ≤ log(β/(1−α)).
+		logA:         math.Log((1 - cfg.Beta) / cfg.Alpha),
+		logB:         math.Log(cfg.Beta / (1 - cfg.Alpha)),
+		stepYes:      math.Log(cfg.P1 / cfg.P0),
+		stepNo:       math.Log((1 - cfg.P1) / (1 - cfg.P0)),
+		maxQuestions: cfg.MaxQuestions,
+	}, nil
+}
+
+// Observe feeds one worker answer and returns the current decision.
+// Observing after a decision is a no-op returning the same decision.
+func (t *Test) Observe(yes bool) Decision {
+	if t.decided != Undecided {
+		return t.decided
+	}
+	t.observations++
+	if yes {
+		t.yes++
+		t.llr += t.stepYes
+	} else {
+		t.llr += t.stepNo
+	}
+	switch {
+	case t.llr >= t.logA:
+		t.decided = AcceptH1
+	case t.llr <= t.logB:
+		t.decided = RejectH1
+	case t.maxQuestions > 0 && t.observations >= t.maxQuestions:
+		// Cap reached: fall back to majority, ties reject (conservative —
+		// a falsely accepted attribute wastes per-object budget forever).
+		if 2*t.yes > t.observations {
+			t.decided = AcceptH1
+		} else {
+			t.decided = RejectH1
+		}
+	}
+	return t.decided
+}
+
+// Decision returns the current decision.
+func (t *Test) Decision() Decision { return t.decided }
+
+// Observations returns the number of answers consumed so far.
+func (t *Test) Observations() int { return t.observations }
+
+// ExpectedSampleSize returns Wald's approximation of the expected number
+// of observations under H1 for the given configuration. Useful for budget
+// planning before asking anything.
+func ExpectedSampleSize(cfg Config) (float64, error) {
+	t, err := New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	// E_H1[N] ≈ ((1−β)·logA + β·logB) / E_H1[step]
+	eStep := cfg.P1*t.stepYes + (1-cfg.P1)*t.stepNo
+	if eStep == 0 {
+		return 0, errors.New("sprt: degenerate expected step")
+	}
+	n := ((1-cfg.Beta)*t.logA + cfg.Beta*t.logB) / eStep
+	if n < 1 {
+		n = 1
+	}
+	return n, nil
+}

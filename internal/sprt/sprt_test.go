@@ -1,0 +1,196 @@
+package sprt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func validCfg() Config {
+	return Config{P1: 0.8, P0: 0.3, Alpha: 0.05, Beta: 0.05, MaxQuestions: 50}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"p0 zero", func(c *Config) { c.P0 = 0 }},
+		{"p1 one", func(c *Config) { c.P1 = 1 }},
+		{"p1<=p0", func(c *Config) { c.P1 = 0.2 }},
+		{"alpha 0", func(c *Config) { c.Alpha = 0 }},
+		{"beta 1", func(c *Config) { c.Beta = 1 }},
+		{"negative cap", func(c *Config) { c.MaxQuestions = -1 }},
+	}
+	for _, tc := range cases {
+		cfg := validCfg()
+		tc.mut(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	if _, err := New(validCfg()); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if Undecided.String() != "undecided" || AcceptH1.String() != "accept" || RejectH1.String() != "reject" {
+		t.Fatal("Decision.String wrong")
+	}
+	if Decision(99).String() == "" {
+		t.Fatal("unknown decision should render")
+	}
+}
+
+func TestAcceptsUnderH1(t *testing.T) {
+	test, err := New(validCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A run of yes answers should accept quickly.
+	var d Decision
+	for i := 0; i < 20; i++ {
+		d = test.Observe(true)
+		if d != Undecided {
+			break
+		}
+	}
+	if d != AcceptH1 {
+		t.Fatalf("decision = %v, want accept", d)
+	}
+	if test.Observations() > 10 {
+		t.Fatalf("took %d observations for pure-yes stream", test.Observations())
+	}
+}
+
+func TestRejectsUnderH0(t *testing.T) {
+	test, _ := New(validCfg())
+	var d Decision
+	for i := 0; i < 20; i++ {
+		d = test.Observe(false)
+		if d != Undecided {
+			break
+		}
+	}
+	if d != RejectH1 {
+		t.Fatalf("decision = %v, want reject", d)
+	}
+}
+
+func TestObserveAfterDecisionIsNoop(t *testing.T) {
+	test, _ := New(validCfg())
+	for test.Decision() == Undecided {
+		test.Observe(true)
+	}
+	n := test.Observations()
+	d := test.Observe(false)
+	if d != AcceptH1 || test.Observations() != n {
+		t.Fatal("Observe after decision should be a no-op")
+	}
+}
+
+func TestMajorityFallbackAtCap(t *testing.T) {
+	// Boundaries far apart so the cap binds; alternate answers.
+	cfg := Config{P1: 0.55, P0: 0.45, Alpha: 0.001, Beta: 0.001, MaxQuestions: 9}
+	test, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers := []bool{true, false, true, false, true, false, true, false, true} // 5 yes / 4 no
+	var d Decision
+	for _, a := range answers {
+		d = test.Observe(a)
+	}
+	if d != AcceptH1 {
+		t.Fatalf("majority 5/9 yes should accept, got %v", d)
+	}
+	// Tie rejects.
+	test2, _ := New(Config{P1: 0.55, P0: 0.45, Alpha: 0.001, Beta: 0.001, MaxQuestions: 2})
+	test2.Observe(true)
+	d = test2.Observe(false)
+	if d != RejectH1 {
+		t.Fatalf("tie at cap should reject, got %v", d)
+	}
+}
+
+func TestErrorRatesEmpirically(t *testing.T) {
+	// Under H1 (p=0.8), the test should accept in ≳95% of runs.
+	cfg := Config{P1: 0.8, P0: 0.3, Alpha: 0.05, Beta: 0.05}
+	rng := rand.New(rand.NewSource(11))
+	runs := 2000
+	accepts := 0
+	totalObs := 0
+	for i := 0; i < runs; i++ {
+		test, _ := New(cfg)
+		for test.Decision() == Undecided {
+			test.Observe(rng.Float64() < 0.8)
+		}
+		if test.Decision() == AcceptH1 {
+			accepts++
+		}
+		totalObs += test.Observations()
+	}
+	if rate := float64(accepts) / float64(runs); rate < 0.93 {
+		t.Fatalf("accept rate under H1 = %v, want ≥ 0.93", rate)
+	}
+	// SPRT should need few questions on average (the whole point).
+	if avg := float64(totalObs) / float64(runs); avg > 12 {
+		t.Fatalf("average observations = %v, want small", avg)
+	}
+
+	// Under H0 (p=0.3), accept rate should be ≲5%.
+	accepts = 0
+	for i := 0; i < runs; i++ {
+		test, _ := New(cfg)
+		for test.Decision() == Undecided {
+			test.Observe(rng.Float64() < 0.3)
+		}
+		if test.Decision() == AcceptH1 {
+			accepts++
+		}
+	}
+	if rate := float64(accepts) / float64(runs); rate > 0.07 {
+		t.Fatalf("false accept rate under H0 = %v, want ≤ 0.07", rate)
+	}
+}
+
+func TestExpectedSampleSize(t *testing.T) {
+	n, err := ExpectedSampleSize(validCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1 || n > 30 {
+		t.Fatalf("ExpectedSampleSize = %v, want a small positive number", n)
+	}
+	if _, err := ExpectedSampleSize(Config{P1: 0.5, P0: 0.5, Alpha: 0.1, Beta: 0.1}); err == nil {
+		t.Fatal("expected error for indistinguishable hypotheses")
+	}
+}
+
+// Property: the test always terminates within the cap, for any answer
+// stream, and once decided never changes its mind.
+func TestAlwaysTerminatesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := Config{P1: 0.7, P0: 0.4, Alpha: 0.1, Beta: 0.1, MaxQuestions: 25}
+		test, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		var first Decision
+		for i := 0; i < 40; i++ {
+			d := test.Observe(r.Intn(2) == 0)
+			if first == Undecided && d != Undecided {
+				first = d
+			}
+			if first != Undecided && d != first {
+				return false // changed its mind
+			}
+		}
+		return test.Decision() != Undecided && test.Observations() <= 25
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

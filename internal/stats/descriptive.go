@@ -1,0 +1,222 @@
+// Package stats provides the descriptive statistics and random sampling
+// primitives DisQ relies on: means, variances, covariances, correlations,
+// the unbiased per-object variance estimator VarEst_k used for S_c
+// (Section 3.2.2), and seeded distributions for the crowd simulator.
+//
+// Everything is deterministic given a *rand.Rand; the package never touches
+// the global rand source or the wall clock.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when an estimator needs more samples than
+// it was given (e.g. variance of fewer than two values).
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased (n−1 denominator) sample variance of xs.
+// It returns ErrInsufficientData for fewer than two samples.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, ErrInsufficientData
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1), nil
+}
+
+// PopulationVariance returns the biased (n denominator) variance of xs,
+// or 0 for fewer than one sample.
+func PopulationVariance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Covariance returns the unbiased sample covariance of paired samples.
+// It returns ErrInsufficientData when lengths differ or fewer than two
+// pairs are given.
+func Covariance(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, ErrInsufficientData
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var s float64
+	for i := range xs {
+		s += (xs[i] - mx) * (ys[i] - my)
+	}
+	return s / float64(len(xs)-1), nil
+}
+
+// Correlation returns the Pearson correlation coefficient of paired
+// samples, clamped to [−1, 1]. When either series is constant it returns 0
+// (no linear information) rather than NaN.
+func Correlation(xs, ys []float64) (float64, error) {
+	cov, err := Covariance(xs, ys)
+	if err != nil {
+		return 0, err
+	}
+	vx, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	vy, err := Variance(ys)
+	if err != nil {
+		return 0, err
+	}
+	if vx == 0 || vy == 0 {
+		return 0, nil
+	}
+	r := cov / math.Sqrt(vx*vy)
+	return clamp(r, -1, 1), nil
+}
+
+// VarEstK is the unbiased estimator of a single worker's answer variance
+// from k sampled answers about one object — the building block of
+// S_c[a] = E_O[VarEst_k(o.a^(1))] in Section 3.2.2.
+// It is simply the unbiased sample variance of the k answers.
+func VarEstK(answers []float64) (float64, error) {
+	return Variance(answers)
+}
+
+// MeanSquaredError returns mean((pred−truth)²).
+// It returns ErrInsufficientData when lengths differ or are zero.
+func MeanSquaredError(pred, truth []float64) (float64, error) {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		return 0, ErrInsufficientData
+	}
+	var s float64
+	for i := range pred {
+		d := pred[i] - truth[i]
+		s += d * d
+	}
+	return s / float64(len(pred)), nil
+}
+
+// Median returns the median of xs (average of middle two for even length),
+// or 0 for an empty slice. The input is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. The input is not modified.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrInsufficientData
+	}
+	if q < 0 || q > 1 {
+		return 0, errors.New("stats: quantile out of [0,1]")
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if len(cp) == 1 {
+		return cp[0], nil
+	}
+	pos := q * float64(len(cp)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac, nil
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Welford accumulates mean and variance in one streaming pass
+// (Welford's algorithm). The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add feeds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations seen.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 before any observation).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased running variance; it returns
+// ErrInsufficientData for fewer than two observations.
+func (w *Welford) Variance() (float64, error) {
+	if w.n < 2 {
+		return 0, ErrInsufficientData
+	}
+	return w.m2 / float64(w.n-1), nil
+}
+
+// Merge folds another accumulator into w (parallel Welford merge).
+func (w *Welford) Merge(o *Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	mean := w.mean + delta*float64(o.n)/float64(n)
+	m2 := w.m2 + o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	w.n, w.mean, w.m2 = n, mean, m2
+}

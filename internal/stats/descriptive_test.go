@@ -1,0 +1,265 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestVariance(t *testing.T) {
+	if _, err := Variance([]float64{1}); !errors.Is(err, ErrInsufficientData) {
+		t.Fatal("expected ErrInsufficientData")
+	}
+	v, err := Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(v, 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", v, 32.0/7.0)
+	}
+}
+
+func TestPopulationVariance(t *testing.T) {
+	if PopulationVariance(nil) != 0 {
+		t.Fatal("empty population variance should be 0")
+	}
+	got := PopulationVariance([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEqual(got, 4, 1e-12) {
+		t.Fatalf("PopulationVariance = %v, want 4", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	s, err := StdDev([]float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 0 {
+		t.Fatalf("StdDev of constants = %v, want 0", s)
+	}
+}
+
+func TestCovariance(t *testing.T) {
+	if _, err := Covariance([]float64{1, 2}, []float64{1}); !errors.Is(err, ErrInsufficientData) {
+		t.Fatal("expected ErrInsufficientData on length mismatch")
+	}
+	// Perfectly linear: cov(x, 2x) = 2·var(x).
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	c, err := Covariance(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := Variance(xs)
+	if !almostEqual(c, 2*v, 1e-12) {
+		t.Fatalf("Covariance = %v, want %v", c, 2*v)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	up := []float64{2, 4, 6, 8, 10}
+	down := []float64{10, 8, 6, 4, 2}
+	flat := []float64{3, 3, 3, 3, 3}
+	if r, _ := Correlation(xs, up); !almostEqual(r, 1, 1e-12) {
+		t.Fatalf("Correlation up = %v, want 1", r)
+	}
+	if r, _ := Correlation(xs, down); !almostEqual(r, -1, 1e-12) {
+		t.Fatalf("Correlation down = %v, want -1", r)
+	}
+	if r, _ := Correlation(xs, flat); r != 0 {
+		t.Fatalf("Correlation with constant = %v, want 0", r)
+	}
+}
+
+func TestCorrelationBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+			ys[i] = r.NormFloat64()*3 + 0.5*xs[i]
+		}
+		rho, err := Correlation(xs, ys)
+		return err == nil && rho >= -1 && rho <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarEstKUnbiasedness(t *testing.T) {
+	// Average VarEst over many draws of k samples from N(0, σ²)
+	// should converge to σ².
+	rng := rand.New(rand.NewSource(42))
+	sigma2 := 4.0
+	k := 2
+	var acc Welford
+	for trial := 0; trial < 20000; trial++ {
+		xs := make([]float64, k)
+		for i := range xs {
+			xs[i] = math.Sqrt(sigma2) * rng.NormFloat64()
+		}
+		v, err := VarEstK(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc.Add(v)
+	}
+	if !almostEqual(acc.Mean(), sigma2, 0.15) {
+		t.Fatalf("VarEstK mean = %v, want ≈ %v", acc.Mean(), sigma2)
+	}
+}
+
+func TestMeanSquaredError(t *testing.T) {
+	mse, err := MeanSquaredError([]float64{1, 2}, []float64{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(mse, (1+4)/2.0, 1e-12) {
+		t.Fatalf("MSE = %v, want 2.5", mse)
+	}
+	if _, err := MeanSquaredError(nil, nil); !errors.Is(err, ErrInsufficientData) {
+		t.Fatal("expected ErrInsufficientData on empty")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Fatal("Median(nil) should be 0")
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median wrong")
+	}
+	if Median([]float64{4, 1, 3, 2}) != 2.5 {
+		t.Fatal("even median wrong")
+	}
+	// Input not modified.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 {
+		t.Fatal("Median modified its input")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	q, err := Quantile(xs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 3 {
+		t.Fatalf("Quantile(0.5) = %v, want 3", q)
+	}
+	if q, _ := Quantile(xs, 0); q != 1 {
+		t.Fatalf("Quantile(0) = %v, want 1", q)
+	}
+	if q, _ := Quantile(xs, 1); q != 5 {
+		t.Fatalf("Quantile(1) = %v, want 5", q)
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Fatal("expected error on q>1")
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrInsufficientData) {
+		t.Fatal("expected ErrInsufficientData")
+	}
+	if q, _ := Quantile([]float64{7}, 0.3); q != 7 {
+		t.Fatal("single-element quantile should return it")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	xs := make([]float64, 1000)
+	var w Welford
+	for i := range xs {
+		xs[i] = r.NormFloat64()*3 + 7
+		w.Add(xs[i])
+	}
+	if w.N() != 1000 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if !almostEqual(w.Mean(), Mean(xs), 1e-10) {
+		t.Fatalf("Welford mean %v vs batch %v", w.Mean(), Mean(xs))
+	}
+	wv, err := w.Variance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bv, _ := Variance(xs)
+	if !almostEqual(wv, bv, 1e-9) {
+		t.Fatalf("Welford var %v vs batch %v", wv, bv)
+	}
+}
+
+func TestWelfordInsufficient(t *testing.T) {
+	var w Welford
+	if _, err := w.Variance(); !errors.Is(err, ErrInsufficientData) {
+		t.Fatal("expected ErrInsufficientData")
+	}
+	w.Add(1)
+	if _, err := w.Variance(); !errors.Is(err, ErrInsufficientData) {
+		t.Fatal("expected ErrInsufficientData with one sample")
+	}
+}
+
+func TestWelfordMergeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n1 := 2 + r.Intn(30)
+		n2 := 2 + r.Intn(30)
+		var a, b, all Welford
+		for i := 0; i < n1; i++ {
+			x := r.NormFloat64()
+			a.Add(x)
+			all.Add(x)
+		}
+		for i := 0; i < n2; i++ {
+			x := r.NormFloat64() * 2
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(&b)
+		av, err1 := a.Variance()
+		allv, err2 := all.Variance()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return a.N() == all.N() &&
+			almostEqual(a.Mean(), all.Mean(), 1e-9) &&
+			almostEqual(av, allv, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	b.Add(2)
+	b.Add(4)
+	a.Merge(&b)
+	if a.N() != 2 || a.Mean() != 3 {
+		t.Fatal("merge into empty failed")
+	}
+	var empty Welford
+	a.Merge(&empty)
+	if a.N() != 2 {
+		t.Fatal("merging empty changed state")
+	}
+}

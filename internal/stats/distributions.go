@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Normal is a seeded Gaussian distribution.
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// Sample draws one value using the given source.
+func (n Normal) Sample(rng *rand.Rand) float64 {
+	return n.Mu + n.Sigma*rng.NormFloat64()
+}
+
+// Bernoulli is a seeded coin with success probability P.
+type Bernoulli struct {
+	P float64
+}
+
+// Sample draws 1 with probability P (clamped to [0,1]) and 0 otherwise.
+func (b Bernoulli) Sample(rng *rand.Rand) float64 {
+	if rng.Float64() < clamp(b.P, 0, 1) {
+		return 1
+	}
+	return 0
+}
+
+// Categorical samples indexes proportionally to a weight vector using
+// Walker's alias method, giving O(1) draws after O(n) setup. The crowd
+// simulator uses it for dismantling-answer distributions (the long-tailed
+// frequency tables of Table 4).
+type Categorical struct {
+	prob  []float64
+	alias []int
+}
+
+// NewCategorical builds an alias table for the given non-negative weights.
+// It returns an error when weights is empty, contains a negative or
+// non-finite value, or sums to zero.
+func NewCategorical(weights []float64) (*Categorical, error) {
+	if len(weights) == 0 {
+		return nil, errors.New("stats: empty categorical")
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("stats: bad weight %v at index %d", w, i)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, errors.New("stats: categorical weights sum to zero")
+	}
+	n := len(weights)
+	c := &Categorical{prob: make([]float64, n), alias: make([]int, n)}
+	scaled := make([]float64, n)
+	var small, large []int
+	for i, w := range weights {
+		scaled[i] = w / total * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		c.prob[s] = scaled[s]
+		c.alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		c.prob[i] = 1
+		c.alias[i] = i
+	}
+	for _, i := range small {
+		c.prob[i] = 1
+		c.alias[i] = i
+	}
+	return c, nil
+}
+
+// Len returns the number of categories.
+func (c *Categorical) Len() int { return len(c.prob) }
+
+// Sample draws a category index.
+func (c *Categorical) Sample(rng *rand.Rand) int {
+	i := rng.Intn(len(c.prob))
+	if rng.Float64() < c.prob[i] {
+		return i
+	}
+	return c.alias[i]
+}
+
+// MultivariateNormal samples correlated Gaussian vectors from a mean vector
+// and the lower-triangular Cholesky factor of the covariance matrix. The
+// domain generators use it to produce objects whose attribute correlations
+// match the published Table 5 matrices.
+type MultivariateNormal struct {
+	mean []float64
+	chol [][]float64 // lower-triangular rows
+}
+
+// NewMultivariateNormal builds the sampler from a mean vector and a
+// lower-triangular Cholesky factor (rows of length i+1 accepted, or full
+// square rows; only the lower triangle is read).
+func NewMultivariateNormal(mean []float64, chol [][]float64) (*MultivariateNormal, error) {
+	if len(mean) != len(chol) {
+		return nil, fmt.Errorf("stats: mean len %d vs chol %d", len(mean), len(chol))
+	}
+	rows := make([][]float64, len(chol))
+	for i, r := range chol {
+		if len(r) < i+1 {
+			return nil, fmt.Errorf("stats: chol row %d too short (%d)", i, len(r))
+		}
+		rows[i] = append([]float64(nil), r[:i+1]...)
+	}
+	return &MultivariateNormal{mean: append([]float64(nil), mean...), chol: rows}, nil
+}
+
+// Dim returns the dimensionality of the distribution.
+func (m *MultivariateNormal) Dim() int { return len(m.mean) }
+
+// Sample draws one correlated vector.
+func (m *MultivariateNormal) Sample(rng *rand.Rand) []float64 {
+	n := len(m.mean)
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = rng.NormFloat64()
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := m.mean[i]
+		for j := 0; j <= i; j++ {
+			s += m.chol[i][j] * z[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// CholeskyLower factors a symmetric positive-definite matrix given as full
+// square rows into its lower-triangular Cholesky rows. A small diagonal
+// ridge is added automatically when the matrix is only positive
+// semi-definite (common for correlation matrices assembled from published
+// tables, which may be slightly inconsistent).
+func CholeskyLower(cov [][]float64) ([][]float64, error) {
+	n := len(cov)
+	for i, r := range cov {
+		if len(r) != n {
+			return nil, fmt.Errorf("stats: cov row %d has len %d, want %d", i, len(r), n)
+		}
+	}
+	ridge := 0.0
+	for attempt := 0; attempt < 30; attempt++ {
+		l := make([][]float64, n)
+		ok := true
+		for i := 0; i < n && ok; i++ {
+			l[i] = make([]float64, i+1)
+			for j := 0; j <= i; j++ {
+				sum := cov[i][j]
+				if i == j {
+					sum += ridge
+				}
+				for k := 0; k < j; k++ {
+					sum -= l[i][k] * l[j][k]
+				}
+				if i == j {
+					if sum <= 0 {
+						ok = false
+						break
+					}
+					l[i][i] = math.Sqrt(sum)
+				} else {
+					l[i][j] = sum / l[j][j]
+				}
+			}
+		}
+		if ok {
+			return l, nil
+		}
+		if ridge == 0 {
+			ridge = 1e-10
+		} else {
+			ridge *= 10
+		}
+	}
+	return nil, errors.New("stats: covariance not factorizable even with ridge")
+}

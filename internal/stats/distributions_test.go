@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := Normal{Mu: 5, Sigma: 2}
+	var w Welford
+	for i := 0; i < 50000; i++ {
+		w.Add(n.Sample(rng))
+	}
+	if !almostEqual(w.Mean(), 5, 0.05) {
+		t.Fatalf("mean = %v, want ≈ 5", w.Mean())
+	}
+	v, _ := w.Variance()
+	if !almostEqual(v, 4, 0.15) {
+		t.Fatalf("variance = %v, want ≈ 4", v)
+	}
+}
+
+func TestBernoulliSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b := Bernoulli{P: 0.3}
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := b.Sample(rng)
+		if v != 0 && v != 1 {
+			t.Fatalf("Bernoulli sample %v not in {0,1}", v)
+		}
+		sum += v
+	}
+	if !almostEqual(sum/n, 0.3, 0.01) {
+		t.Fatalf("empirical p = %v, want ≈ 0.3", sum/n)
+	}
+	// Clamping out-of-range P.
+	always := Bernoulli{P: 7}
+	if always.Sample(rng) != 1 {
+		t.Fatal("P>1 should always return 1")
+	}
+	never := Bernoulli{P: -1}
+	if never.Sample(rng) != 0 {
+		t.Fatal("P<0 should always return 0")
+	}
+}
+
+func TestNewCategoricalErrors(t *testing.T) {
+	if _, err := NewCategorical(nil); err == nil {
+		t.Fatal("expected error on empty weights")
+	}
+	if _, err := NewCategorical([]float64{1, -1}); err == nil {
+		t.Fatal("expected error on negative weight")
+	}
+	if _, err := NewCategorical([]float64{0, 0}); err == nil {
+		t.Fatal("expected error on zero-sum weights")
+	}
+	if _, err := NewCategorical([]float64{math.NaN()}); err == nil {
+		t.Fatal("expected error on NaN weight")
+	}
+	if _, err := NewCategorical([]float64{math.Inf(1)}); err == nil {
+		t.Fatal("expected error on Inf weight")
+	}
+}
+
+func TestCategoricalFrequencies(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	c, err := NewCategorical(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	rng := rand.New(rand.NewSource(3))
+	counts := make([]int, 4)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[c.Sample(rng)]++
+	}
+	for i, w := range weights {
+		got := float64(counts[i]) / n
+		want := w / 10
+		if !almostEqual(got, want, 0.01) {
+			t.Errorf("category %d frequency %v, want ≈ %v", i, got, want)
+		}
+	}
+}
+
+func TestCategoricalZeroWeightNeverSampled(t *testing.T) {
+	c, err := NewCategorical([]float64{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		if got := c.Sample(rng); got != 1 {
+			t.Fatalf("sampled zero-weight category %d", got)
+		}
+	}
+}
+
+// Property: alias table always returns valid indexes.
+func TestCategoricalValidIndexProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = r.Float64()
+		}
+		w[r.Intn(n)] += 0.5 // ensure non-zero sum
+		c, err := NewCategorical(w)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 100; i++ {
+			idx := c.Sample(r)
+			if idx < 0 || idx >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyLowerAndMVN(t *testing.T) {
+	cov := [][]float64{
+		{1, 0.8},
+		{0.8, 1},
+	}
+	l, err := CholeskyLower(cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mvn, err := NewMultivariateNormal([]float64{0, 0}, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mvn.Dim() != 2 {
+		t.Fatalf("Dim = %d", mvn.Dim())
+	}
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 20000)
+	ys := make([]float64, 20000)
+	for i := range xs {
+		v := mvn.Sample(rng)
+		xs[i], ys[i] = v[0], v[1]
+	}
+	rho, err := Correlation(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(rho, 0.8, 0.02) {
+		t.Fatalf("empirical correlation = %v, want ≈ 0.8", rho)
+	}
+}
+
+func TestCholeskyLowerSemidefiniteRidge(t *testing.T) {
+	// Perfectly correlated pair is only PSD; ridge should rescue it.
+	cov := [][]float64{
+		{1, 1},
+		{1, 1},
+	}
+	l, err := CholeskyLower(cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l) != 2 {
+		t.Fatalf("factor rows = %d", len(l))
+	}
+}
+
+func TestCholeskyLowerBadShape(t *testing.T) {
+	if _, err := CholeskyLower([][]float64{{1, 2}}); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestNewMultivariateNormalErrors(t *testing.T) {
+	if _, err := NewMultivariateNormal([]float64{0}, nil); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if _, err := NewMultivariateNormal([]float64{0, 0}, [][]float64{{1}, {}}); err == nil {
+		t.Fatal("expected short row error")
+	}
+}

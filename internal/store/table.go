@@ -1,0 +1,269 @@
+// Package store holds the collected-data tables of the paper's Table 1:
+// rows are objects, one column per attribute holding the multiset of worker
+// answers, plus true values for query attributes where known. The paper
+// records all crowd answers "in a database and reused in following
+// experiments"; Table supports that workflow with JSON persistence and CSV
+// export for inspection.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+
+	"repro/internal/stats"
+)
+
+// ErrNoSuchObject is returned when a row for the object does not exist.
+var ErrNoSuchObject = errors.New("store: no such object")
+
+// Row is one object's record: known true values for query attributes and
+// worker-answer multisets per attribute.
+type Row struct {
+	ObjectID   int                  `json:"object_id"`
+	TrueValues map[string]float64   `json:"true_values,omitempty"`
+	Answers    map[string][]float64 `json:"answers,omitempty"`
+}
+
+// Table is an ordered collection of rows (Table 1a/1b/1c of the paper).
+type Table struct {
+	rows  []*Row
+	byID  map[int]int
+	attrs map[string]struct{}
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{byID: make(map[int]int), attrs: make(map[string]struct{})}
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// AddObject ensures a row exists for the object and returns it.
+func (t *Table) AddObject(objectID int) *Row {
+	if i, ok := t.byID[objectID]; ok {
+		return t.rows[i]
+	}
+	r := &Row{
+		ObjectID:   objectID,
+		TrueValues: make(map[string]float64),
+		Answers:    make(map[string][]float64),
+	}
+	t.byID[objectID] = len(t.rows)
+	t.rows = append(t.rows, r)
+	return r
+}
+
+// Row returns the row for an object, or ErrNoSuchObject.
+func (t *Table) Row(objectID int) (*Row, error) {
+	i, ok := t.byID[objectID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchObject, objectID)
+	}
+	return t.rows[i], nil
+}
+
+// SetTrue records a true value for a query attribute of an object,
+// creating the row as needed.
+func (t *Table) SetTrue(objectID int, attr string, value float64) {
+	t.AddObject(objectID).TrueValues[attr] = value
+	t.attrs[attr] = struct{}{}
+}
+
+// AddAnswers appends worker answers for an object's attribute, creating
+// the row as needed.
+func (t *Table) AddAnswers(objectID int, attr string, answers ...float64) {
+	r := t.AddObject(objectID)
+	r.Answers[attr] = append(r.Answers[attr], answers...)
+	t.attrs[attr] = struct{}{}
+}
+
+// SetAnswers replaces the answer multiset for an object's attribute.
+func (t *Table) SetAnswers(objectID int, attr string, answers []float64) {
+	r := t.AddObject(objectID)
+	r.Answers[attr] = append([]float64(nil), answers...)
+	t.attrs[attr] = struct{}{}
+}
+
+// Answers returns the answer multiset for an object's attribute (nil when
+// absent) without copying.
+func (t *Table) Answers(objectID int, attr string) []float64 {
+	i, ok := t.byID[objectID]
+	if !ok {
+		return nil
+	}
+	return t.rows[i].Answers[attr]
+}
+
+// MeanAnswer returns the average of the recorded answers o.a^(n) and
+// whether any answers exist.
+func (t *Table) MeanAnswer(objectID int, attr string) (float64, bool) {
+	a := t.Answers(objectID, attr)
+	if len(a) == 0 {
+		return 0, false
+	}
+	return stats.Mean(a), true
+}
+
+// True returns the recorded true value and whether it exists.
+func (t *Table) True(objectID int, attr string) (float64, bool) {
+	i, ok := t.byID[objectID]
+	if !ok {
+		return 0, false
+	}
+	v, ok := t.rows[i].TrueValues[attr]
+	return v, ok
+}
+
+// Attributes returns the attribute names seen so far, sorted.
+func (t *Table) Attributes() []string {
+	out := make([]string, 0, len(t.attrs))
+	for a := range t.attrs {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ObjectIDs returns the object ids in insertion order.
+func (t *Table) ObjectIDs() []int {
+	out := make([]int, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = r.ObjectID
+	}
+	return out
+}
+
+// MeanColumn returns, for each row in order, the mean answer for attr and
+// a parallel mask of which rows had any answers.
+func (t *Table) MeanColumn(attr string) (means []float64, ok []bool) {
+	means = make([]float64, len(t.rows))
+	ok = make([]bool, len(t.rows))
+	for i, r := range t.rows {
+		if a := r.Answers[attr]; len(a) > 0 {
+			means[i] = stats.Mean(a)
+			ok[i] = true
+		}
+	}
+	return means, ok
+}
+
+// TrueColumn returns, for each row in order, the true value for attr and a
+// mask of which rows have one.
+func (t *Table) TrueColumn(attr string) (values []float64, ok []bool) {
+	values = make([]float64, len(t.rows))
+	ok = make([]bool, len(t.rows))
+	for i, r := range t.rows {
+		if v, has := r.TrueValues[attr]; has {
+			values[i] = v
+			ok[i] = true
+		}
+	}
+	return values, ok
+}
+
+// tableJSON is the serialized form.
+type tableJSON struct {
+	Rows []*Row `json:"rows"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(tableJSON{Rows: t.rows})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var tj tableJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		return err
+	}
+	*t = *NewTable()
+	for _, r := range tj.Rows {
+		row := t.AddObject(r.ObjectID)
+		for a, v := range r.TrueValues {
+			row.TrueValues[a] = v
+			t.attrs[a] = struct{}{}
+		}
+		for a, ans := range r.Answers {
+			row.Answers[a] = append([]float64(nil), ans...)
+			t.attrs[a] = struct{}{}
+		}
+	}
+	return nil
+}
+
+// Save writes the table as JSON to a file.
+func (t *Table) Save(path string) error {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a table saved with Save.
+func Load(path string) (*Table, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable()
+	if err := json.Unmarshal(data, t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// WriteCSV renders the table with one row per object: object id, true
+// values (prefixed "true:"), then mean answers plus answer counts for
+// every attribute.
+func (t *Table) WriteCSV(w io.Writer) error {
+	attrs := t.Attributes()
+	header := []string{"object"}
+	for _, a := range attrs {
+		header = append(header, "true:"+a, "mean:"+a, "n:"+a)
+	}
+	if err := writeCSVRow(w, header); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		rec := []string{strconv.Itoa(r.ObjectID)}
+		for _, a := range attrs {
+			if v, ok := r.TrueValues[a]; ok {
+				rec = append(rec, strconv.FormatFloat(v, 'g', 6, 64))
+			} else {
+				rec = append(rec, "")
+			}
+			if ans := r.Answers[a]; len(ans) > 0 {
+				rec = append(rec, strconv.FormatFloat(stats.Mean(ans), 'g', 6, 64), strconv.Itoa(len(ans)))
+			} else {
+				rec = append(rec, "", "0")
+			}
+		}
+		if err := writeCSVRow(w, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeCSVRow(w io.Writer, fields []string) error {
+	for i, f := range fields {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, f); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}

@@ -1,0 +1,198 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAddObjectIdempotent(t *testing.T) {
+	tbl := NewTable()
+	r1 := tbl.AddObject(7)
+	r2 := tbl.AddObject(7)
+	if r1 != r2 {
+		t.Fatal("AddObject should return the same row")
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+}
+
+func TestRowLookup(t *testing.T) {
+	tbl := NewTable()
+	tbl.AddObject(1)
+	if _, err := tbl.Row(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Row(2); !errors.Is(err, ErrNoSuchObject) {
+		t.Fatal("expected ErrNoSuchObject")
+	}
+}
+
+func TestTrueAndAnswers(t *testing.T) {
+	tbl := NewTable()
+	tbl.SetTrue(1, "Bmi", 24.5)
+	tbl.AddAnswers(1, "Weight", 70, 72)
+	tbl.AddAnswers(1, "Weight", 74)
+
+	if v, ok := tbl.True(1, "Bmi"); !ok || v != 24.5 {
+		t.Fatalf("True = %v %v", v, ok)
+	}
+	if _, ok := tbl.True(1, "Weight"); ok {
+		t.Fatal("no true value for Weight")
+	}
+	if _, ok := tbl.True(99, "Bmi"); ok {
+		t.Fatal("no row 99")
+	}
+	if got := tbl.Answers(1, "Weight"); len(got) != 3 || got[2] != 74 {
+		t.Fatalf("Answers = %v", got)
+	}
+	if tbl.Answers(99, "Weight") != nil {
+		t.Fatal("missing row should return nil answers")
+	}
+	m, ok := tbl.MeanAnswer(1, "Weight")
+	if !ok || m != 72 {
+		t.Fatalf("MeanAnswer = %v %v", m, ok)
+	}
+	if _, ok := tbl.MeanAnswer(1, "Height"); ok {
+		t.Fatal("no answers for Height")
+	}
+}
+
+func TestSetAnswersReplacesAndCopies(t *testing.T) {
+	tbl := NewTable()
+	src := []float64{1, 2}
+	tbl.SetAnswers(1, "A", src)
+	src[0] = 99
+	if got := tbl.Answers(1, "A"); got[0] != 1 {
+		t.Fatal("SetAnswers should copy its input")
+	}
+	tbl.SetAnswers(1, "A", []float64{5})
+	if got := tbl.Answers(1, "A"); len(got) != 1 || got[0] != 5 {
+		t.Fatal("SetAnswers should replace")
+	}
+}
+
+func TestAttributesSorted(t *testing.T) {
+	tbl := NewTable()
+	tbl.AddAnswers(1, "Zeta", 1)
+	tbl.SetTrue(1, "Alpha", 2)
+	attrs := tbl.Attributes()
+	if len(attrs) != 2 || attrs[0] != "Alpha" || attrs[1] != "Zeta" {
+		t.Fatalf("Attributes = %v", attrs)
+	}
+}
+
+func TestObjectIDsOrder(t *testing.T) {
+	tbl := NewTable()
+	tbl.AddObject(5)
+	tbl.AddObject(3)
+	tbl.AddObject(9)
+	ids := tbl.ObjectIDs()
+	if len(ids) != 3 || ids[0] != 5 || ids[1] != 3 || ids[2] != 9 {
+		t.Fatalf("ObjectIDs = %v", ids)
+	}
+}
+
+func TestMeanColumnAndTrueColumn(t *testing.T) {
+	tbl := NewTable()
+	tbl.AddAnswers(1, "A", 2, 4)
+	tbl.AddObject(2) // no answers
+	tbl.AddAnswers(3, "A", 10)
+	tbl.SetTrue(1, "T", 7)
+
+	means, ok := tbl.MeanColumn("A")
+	if !ok[0] || ok[1] || !ok[2] {
+		t.Fatalf("mask = %v", ok)
+	}
+	if means[0] != 3 || means[2] != 10 {
+		t.Fatalf("means = %v", means)
+	}
+	vals, ok2 := tbl.TrueColumn("T")
+	if !ok2[0] || ok2[1] || ok2[2] {
+		t.Fatalf("true mask = %v", ok2)
+	}
+	if vals[0] != 7 {
+		t.Fatalf("true vals = %v", vals)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tbl := NewTable()
+	tbl.SetTrue(1, "Bmi", 24.5)
+	tbl.AddAnswers(1, "Weight", 70, 72)
+	tbl.AddAnswers(2, "Weight", 80)
+
+	data, err := json.Marshal(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Table
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("Len = %d", got.Len())
+	}
+	if v, ok := got.True(1, "Bmi"); !ok || v != 24.5 {
+		t.Fatal("true value lost in round trip")
+	}
+	if a := got.Answers(1, "Weight"); len(a) != 2 || a[1] != 72 {
+		t.Fatal("answers lost in round trip")
+	}
+	if len(got.Attributes()) != 2 {
+		t.Fatalf("attributes = %v", got.Attributes())
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "table.json")
+	tbl := NewTable()
+	tbl.SetTrue(1, "T", 3.14)
+	tbl.AddAnswers(1, "A", 1, 2, 3)
+	if err := tbl.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := got.True(1, "T"); !ok || v != 3.14 {
+		t.Fatal("Save/Load lost data")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestUnmarshalInvalid(t *testing.T) {
+	var tbl Table
+	if err := json.Unmarshal([]byte("{bad"), &tbl); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tbl := NewTable()
+	tbl.SetTrue(1, "T", 5)
+	tbl.AddAnswers(1, "A", 2, 4)
+	tbl.AddObject(2)
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d: %q", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], "true:T") || !strings.Contains(lines[0], "mean:A") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "3") { // mean of 2,4
+		t.Fatalf("row = %q", lines[1])
+	}
+}
