@@ -127,6 +127,46 @@ func BenchmarkQualityBmiAge4c(b *testing.B) {
 	})
 }
 
+// --- Parallel-throughput figure benchmark ------------------------------------
+
+// benchSweep runs the fig1a-style sweep at a fixed harness parallelism,
+// reporting the DisQ mean error so the sequential and parallel variants
+// can be checked for identical quality. The ns/op ratio between the two
+// is the end-to-end parallel speedup (≈1 on one CPU, approaching the
+// core count on multi-core machines).
+func benchSweep(b *testing.B, parallelism int) {
+	spec := experiment.Spec{
+		Name:     "bench-sweep",
+		Platform: experiment.PlatformConfig{Domain: "pictures"},
+		Targets:  []string{"Bmi"},
+		BObj:     crowd.Cents(4), BPrc: crowd.Dollars(30),
+		Algorithms:  []baselines.Algorithm{baselines.NaiveAverage{}, baselines.DisQ{}},
+		Reps:        2,
+		EvalObjects: 30,
+		Parallelism: parallelism,
+	}
+	grid := []crowd.Cost{crowd.Dollars(10), crowd.Dollars(20), crowd.Dollars(30)}
+	var lastErr float64
+	for i := 0; i < b.N; i++ {
+		spec.BaseSeed = int64(i)
+		sw, err := experiment.RunSweep(spec, experiment.VaryBPrc, grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pt := range sw.Points {
+			for _, r := range pt.Results {
+				if r.Algorithm == "DisQ" && len(r.PerRep) > 0 {
+					lastErr = r.Mean
+				}
+			}
+		}
+	}
+	b.ReportMetric(lastErr, "err")
+}
+
+func BenchmarkSweepSequential(b *testing.B) { benchSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B)   { benchSweep(b, 0) }
+
 // --- Component micro-benchmarks ----------------------------------------------
 
 // BenchmarkPreprocessSingleTarget measures one full offline phase.

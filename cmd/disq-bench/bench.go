@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	disq "repro"
+	"repro/internal/baselines"
+	"repro/internal/crowd"
+	"repro/internal/experiment"
+)
+
+// benchEntry is one machine-readable benchmark result. NsPerOp mirrors
+// `go test -bench` and Err carries the quality metric (the DisQ mean
+// weighted error) where the benchmark has one, so speed regressions and
+// quality regressions show up in the same diff.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	Parallelism int     `json:"parallelism"` // 0 = as wide as GOMAXPROCS allows
+	NsPerOp     int64   `json:"ns_per_op"`
+	Err         float64 `json:"err,omitempty"`
+}
+
+// benchReport is the top-level JSON document written by -bench.
+type benchReport struct {
+	GoMaxProcs  int `json:"go_max_procs"`
+	Reps        int `json:"reps"`
+	EvalObjects int `json:"eval_objects"`
+	// SweepSpeedup is sequential / parallel wall-clock of the figure-level
+	// sweep benchmark — the end-to-end parallel-throughput figure. It is
+	// ~1 on a single-CPU machine and should approach min(GOMAXPROCS,
+	// #budget points × reps) on multi-core hardware.
+	SweepSpeedup float64      `json:"sweep_speedup"`
+	Benchmarks   []benchEntry `json:"benchmarks"`
+}
+
+// runBench executes the benchmark suite and writes the JSON report to
+// jsonPath ("" = stdout). reps/evalN of 0 use the reduced benchmark
+// defaults (2 reps, 30 objects), not the paper-scale defaults.
+func runBench(jsonPath string, reps, evalN int, seed int64) error {
+	if reps == 0 {
+		reps = 2
+	}
+	if evalN == 0 {
+		evalN = 30
+	}
+	report := benchReport{
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Reps:        reps,
+		EvalObjects: evalN,
+	}
+
+	// Figure-level benchmark: the fig1a sweep (error vs B_prc, pictures,
+	// Bmi) at Parallelism=1 and at full width. Same seeds, so the err
+	// metric must agree within float noise; the wall-clock ratio is the
+	// headline parallel-throughput number.
+	sweepSpec := experiment.Spec{
+		Name:     "bench-fig1a",
+		Platform: experiment.PlatformConfig{Domain: "pictures"},
+		Targets:  []string{"Bmi"},
+		BObj:     crowd.Cents(4), BPrc: crowd.Dollars(30),
+		Algorithms: []baselines.Algorithm{
+			baselines.NaiveAverage{}, baselines.SimpleDisQ(), baselines.DisQ{},
+		},
+		Reps: reps, EvalObjects: evalN, BaseSeed: seed,
+	}
+	grid := []crowd.Cost{crowd.Dollars(10), crowd.Dollars(15), crowd.Dollars(20), crowd.Dollars(25)}
+	runSweepBench := func(parallelism int) (int64, float64, error) {
+		s := sweepSpec
+		s.Parallelism = parallelism
+		start := time.Now()
+		sw, err := experiment.RunSweep(s, experiment.VaryBPrc, grid)
+		if err != nil {
+			return 0, 0, err
+		}
+		elapsed := time.Since(start).Nanoseconds()
+		var sum float64
+		var n int
+		for _, pt := range sw.Points {
+			for _, r := range pt.Results {
+				if r.Algorithm == "DisQ" && len(r.PerRep) > 0 {
+					sum += r.Mean
+					n++
+				}
+			}
+		}
+		if n == 0 {
+			return elapsed, 0, nil
+		}
+		return elapsed, sum / float64(n), nil
+	}
+	seqNs, seqErr, err := runSweepBench(1)
+	if err != nil {
+		return err
+	}
+	parNs, parErr, err := runSweepBench(0)
+	if err != nil {
+		return err
+	}
+	report.Benchmarks = append(report.Benchmarks,
+		benchEntry{Name: "sweep-fig1a", Parallelism: 1, NsPerOp: seqNs, Err: seqErr},
+		benchEntry{Name: "sweep-fig1a", Parallelism: 0, NsPerOp: parNs, Err: parErr},
+	)
+	if parNs > 0 {
+		report.SweepSpeedup = float64(seqNs) / float64(parNs)
+	}
+
+	// Headline quality point: DisQ alone on recipes/Protein at 4¢.
+	pointSpec := experiment.Spec{
+		Name:     "bench-protein-4c",
+		Platform: experiment.PlatformConfig{Domain: "recipes"},
+		Targets:  []string{"Protein"},
+		BObj:     crowd.Cents(4), BPrc: crowd.Dollars(30),
+		Algorithms: []baselines.Algorithm{baselines.DisQ{}},
+		Reps:       reps, EvalObjects: evalN, BaseSeed: seed,
+	}
+	start := time.Now()
+	res, err := experiment.Run(pointSpec)
+	if err != nil {
+		return err
+	}
+	var pointErr float64
+	for _, r := range res {
+		if len(r.PerRep) > 0 {
+			pointErr = r.Mean
+		}
+	}
+	report.Benchmarks = append(report.Benchmarks, benchEntry{
+		Name: "point-protein-4c", NsPerOp: time.Since(start).Nanoseconds(), Err: pointErr,
+	})
+
+	// Offline phase: one full preprocessing run (optimizer-dominated).
+	start = time.Now()
+	p, err := disq.NewSimPlatform(disq.Recipes(), disq.SimOptions{Seed: seed + 1})
+	if err != nil {
+		return err
+	}
+	plan, err := disq.Preprocess(p, disq.Query{Targets: []string{"Protein"}},
+		disq.Cents(4), disq.Dollars(25), disq.Options{})
+	if err != nil {
+		return err
+	}
+	report.Benchmarks = append(report.Benchmarks, benchEntry{
+		Name: "preprocess-single-target", NsPerOp: time.Since(start).Nanoseconds(),
+	})
+
+	// Online phase: per-object estimation cost, amortized.
+	objs := p.Universe().NewObjects(rand.New(rand.NewSource(seed+2)), 256)
+	start = time.Now()
+	for _, o := range objs {
+		if _, err := plan.EstimateObject(p, o); err != nil {
+			return err
+		}
+	}
+	report.Benchmarks = append(report.Benchmarks, benchEntry{
+		Name: "online-evaluation", NsPerOp: time.Since(start).Nanoseconds() / int64(len(objs)),
+	})
+
+	// Raw simulator throughput: one value question, amortized.
+	const questions = 4096
+	start = time.Now()
+	for i := 0; i < questions; i++ {
+		if _, err := p.Value(objs[i%len(objs)], "Calories", 1+i/len(objs)/2); err != nil {
+			return err
+		}
+	}
+	report.Benchmarks = append(report.Benchmarks, benchEntry{
+		Name: "sim-value-question", NsPerOp: time.Since(start).Nanoseconds() / questions,
+	})
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if jsonPath == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchmark report written to %s (sweep speedup %.2fx on %d CPUs)\n",
+		jsonPath, report.SweepSpeedup, report.GoMaxProcs)
+	return nil
+}

@@ -8,6 +8,7 @@
 //	disq-bench -experiment fig1a     # regenerate one figure
 //	disq-bench -all                  # regenerate everything (slow)
 //	disq-bench -experiment fig1e -reps 10 -csv out/   # fewer reps, CSV dump
+//	disq-bench -bench -json BENCH.json                # machine-readable benchmarks
 //
 // The paper uses 30 repetitions per configuration; -reps trades fidelity
 // for speed.
@@ -30,8 +31,17 @@ func main() {
 		evalN = flag.Int("objects", 0, "evaluation objects per repetition (0 = default of 100)")
 		seed  = flag.Int64("seed", 0, "seed offset for all platforms")
 		out   = flag.String("out", "", "directory to also write each result as <id>.txt")
+		bench = flag.Bool("bench", false, "run the benchmark suite instead of regenerating figures")
+		jsonP = flag.String("json", "", "with -bench: write the JSON report here (default stdout)")
 	)
 	flag.Parse()
+	if *bench {
+		if err := runBench(*jsonP, *reps, *evalN, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "disq-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*list, *expID, *all, *reps, *evalN, *seed, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "disq-bench:", err)
 		os.Exit(1)

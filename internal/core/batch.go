@@ -3,11 +3,33 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"repro/internal/crowd"
 	"repro/internal/domain"
 )
+
+// EstimateFunc produces the target estimates for one object. It must be
+// safe for concurrent calls; the platform implementations in this repo
+// (simulator, recorder, HTTP client) all synchronize internally.
+type EstimateFunc func(o *domain.Object) (map[string]float64, error)
+
+// EvaluateBatchFunc runs est over the objects with bounded concurrency on
+// the shared computation pool. Results are returned in input order; the
+// first error (by input order) fails the batch. parallelism <= 0 uses the
+// pool's full width, 1 is strictly sequential.
+func EvaluateBatchFunc(objects []*domain.Object, parallelism int, est EstimateFunc) ([]map[string]float64, error) {
+	out := make([]map[string]float64, len(objects))
+	errs := make([]error, len(objects))
+	ForEach(len(objects), parallelism, func(i int) {
+		out[i], errs[i] = est(objects[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: object %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
 
 // EvaluateBatch runs the online phase for many objects with bounded
 // concurrency. Platforms are safe for concurrent use (the simulator and
@@ -19,28 +41,7 @@ func EvaluateBatch(p crowd.Platform, plan *Plan, objects []*domain.Object, paral
 	if plan == nil {
 		return nil, errors.New("core: nil plan")
 	}
-	if parallelism <= 0 {
-		parallelism = 4
-	}
-	out := make([]map[string]float64, len(objects))
-	errs := make([]error, len(objects))
-	sem := make(chan struct{}, parallelism)
-	var wg sync.WaitGroup
-	for i, o := range objects {
-		wg.Add(1)
-		go func(i int, o *domain.Object) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			est, err := plan.EstimateObject(p, o)
-			out[i], errs[i] = est, err
-		}(i, o)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: object %d: %w", i, err)
-		}
-	}
-	return out, nil
+	return EvaluateBatchFunc(objects, parallelism, func(o *domain.Object) (map[string]float64, error) {
+		return plan.EstimateObject(p, o)
+	})
 }

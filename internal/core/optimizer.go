@@ -17,8 +17,17 @@ import (
 //   - admitting a new attribute into the support is a bordered-inverse
 //     update evaluated in O(|S|²).
 //
-// This turns the greedy from O(steps·n·n³) into O(steps·n·n²), which is
-// what makes 30-repetition experiment sweeps practical.
+// The admission quantities of every out-of-support candidate are cached
+// between greedy steps: an increment at support position p perturbs them
+// exactly (see applyIncrement), so only an admission — which changes the
+// support itself — invalidates the cache. Scoring a candidate is therefore
+// O(1) amortized instead of O(|S|²) per step.
+//
+// Allocation is kept off the hot path: M⁻¹ lives in one flat row-major
+// buffer whose stride only grows by capacity doubling (an admission within
+// capacity writes its border row/column in place), the Sherman–Morrison
+// column is a reused scratch buffer, and candidate caches reuse their
+// slices across invalidations.
 type budgetOptimizer struct {
 	s       *Statistics
 	weights []float64 // per target, aligned with s.trgets
@@ -27,9 +36,29 @@ type budgetOptimizer struct {
 	pos     map[int]int // statistic index → position in support
 	counts  []int       // b(a) per support position
 
-	minv *linalg.Matrix // inverse of M over the support
-	u    [][]float64    // per target: M⁻¹·so restricted to support
-	val  float64        // current objective value
+	// minv is M⁻¹ over the support: row-major with row stride minvStride
+	// (≥ |S|), so growing the support by one only reallocates when the
+	// stride capacity is exhausted.
+	minv       []float64
+	minvStride int
+
+	u   [][]float64 // per target: M⁻¹·so restricted to support
+	val float64     // current objective value
+
+	cands  []candidate // per statistic index: cached admission quantities
+	rowBuf []float64   // scratch: the p-th column of M⁻¹ in applyIncrement
+}
+
+// candidate caches what gainAdmit computes for one out-of-support
+// statistic index, kept exact across increments and dropped on admission.
+type candidate struct {
+	valid     bool
+	redundant bool // schur ≤ eps: no gain until the support changes
+	gain      float64
+	schur     float64   // d − cᵀ·M⁻¹·c, the bordered pivot
+	c         []float64 // S_a[support, idx]
+	minvC     []float64 // M⁻¹·c
+	r         []float64 // per target: so(t,idx) − cᵀ·u_t
 }
 
 func newBudgetOptimizer(s *Statistics, weights map[string]float64) *budgetOptimizer {
@@ -44,8 +73,8 @@ func newBudgetOptimizer(s *Statistics, weights map[string]float64) *budgetOptimi
 		s:       s,
 		weights: w,
 		pos:     make(map[int]int),
-		minv:    linalg.NewMatrix(0, 0),
 		u:       make([][]float64, len(s.trgets)),
+		cands:   make([]candidate, len(s.attrs)),
 	}
 }
 
@@ -66,6 +95,24 @@ func (o *budgetOptimizer) so(ti, idx int) float64 {
 	return o.s.so[o.s.trgets[ti]][idx]
 }
 
+// minvAt reads M⁻¹[i][j] from the flat buffer.
+func (o *budgetOptimizer) minvAt(i, j int) float64 {
+	return o.minv[i*o.minvStride+j]
+}
+
+// minvRow returns M⁻¹'s row i clipped to the current support size.
+func (o *budgetOptimizer) minvRow(i, n int) []float64 {
+	return o.minv[i*o.minvStride : i*o.minvStride+n]
+}
+
+// reuse returns s resized to n, reusing its backing array when possible.
+func reuse(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
 // gainIncrement returns the objective gain of granting one more question
 // to the support attribute at position p, in O(#targets).
 func (o *budgetOptimizer) gainIncrement(p int) float64 {
@@ -75,7 +122,7 @@ func (o *budgetOptimizer) gainIncrement(p int) float64 {
 	if delta == 0 {
 		return 0
 	}
-	den := 1 + delta*o.minv.At(p, p)
+	den := 1 + delta*o.minvAt(p, p)
 	if den <= 1e-12 {
 		return 0 // numerically unsafe; report no gain
 	}
@@ -88,41 +135,49 @@ func (o *budgetOptimizer) gainIncrement(p int) float64 {
 }
 
 // gainAdmit returns the objective gain of admitting statistic index idx
-// into the support with b=1, plus the intermediate quantities needed to
-// apply the update, in O(|S|²).
-func (o *budgetOptimizer) gainAdmit(idx int) (gain float64, minvC []float64, schur float64) {
+// into the support with b=1. The first call after a support change costs
+// O(|S|²); subsequent calls return the cached value kept exact by
+// applyIncrement.
+func (o *budgetOptimizer) gainAdmit(idx int) float64 {
+	cd := &o.cands[idx]
+	if cd.valid {
+		return cd.gain
+	}
 	n := len(o.support)
-	c := make([]float64, n)
+	saRow := o.s.sa.RowView(idx) // S_a is symmetric: row idx = column idx
+	cd.c = reuse(cd.c, n)
 	for p, sIdx := range o.support {
-		c[p] = o.s.sa.At(sIdx, idx)
+		cd.c[p] = saRow[sIdx]
 	}
 	// minvC = M⁻¹·c.
-	minvC = make([]float64, n)
+	cd.minvC = reuse(cd.minvC, n)
 	for i := 0; i < n; i++ {
-		var sum float64
-		for j := 0; j < n; j++ {
-			sum += o.minv.At(i, j) * c[j]
-		}
-		minvC[i] = sum
+		cd.minvC[i] = linalg.Dot(o.minvRow(i, n), cd.c)
 	}
-	d := o.s.sa.At(idx, idx) + o.s.sc[idx] // b=1 → + S_c/1
-	schur = d - linalg.Dot(c, minvC)
-	if schur <= 1e-12 {
-		return 0, nil, 0 // candidate is (numerically) redundant
+	d := saRow[idx] + o.s.sc[idx] // b=1 → + S_c/1
+	cd.schur = d - linalg.Dot(cd.c, cd.minvC)
+	cd.valid = true
+	if cd.schur <= 1e-12 {
+		// Candidate is (numerically) redundant; increments only shrink the
+		// pivot further, so this holds until the support changes.
+		cd.redundant, cd.gain = true, 0
+		return 0
 	}
+	cd.redundant = false
+	cd.r = reuse(cd.r, len(o.u))
+	var gain float64
 	for ti := range o.u {
-		r := o.so(ti, idx)
-		for p, sIdx := range o.support {
-			_ = sIdx
-			r -= c[p] * o.u[ti][p]
-		}
-		gain += o.weights[ti] * r * r / schur
+		r := o.so(ti, idx) - linalg.Dot(cd.c, o.u[ti])
+		cd.r[ti] = r
+		gain += o.weights[ti] * r * r / cd.schur
 	}
-	return gain, minvC, schur
+	cd.gain = gain
+	return gain
 }
 
 // applyIncrement grants one more question to support position p,
-// updating M⁻¹, the u vectors and the objective via Sherman–Morrison.
+// updating M⁻¹, the u vectors, the objective and every cached candidate
+// via Sherman–Morrison.
 func (o *budgetOptimizer) applyIncrement(p int) {
 	idx := o.support[p]
 	b := float64(o.counts[p])
@@ -131,62 +186,121 @@ func (o *budgetOptimizer) applyIncrement(p int) {
 	if delta == 0 {
 		return
 	}
-	den := 1 + delta*o.minv.At(p, p)
+	den := 1 + delta*o.minvAt(p, p)
 	n := len(o.support)
-	// row = M⁻¹ e_p (the p-th column of the symmetric M⁻¹).
-	row := make([]float64, n)
+	// row = M⁻¹ e_p (the p-th column of the symmetric M⁻¹), pre-update.
+	row := reuse(o.rowBuf, n)
+	o.rowBuf = row
 	for i := 0; i < n; i++ {
-		row[i] = o.minv.At(i, p)
+		row[i] = o.minvAt(i, p)
+	}
+	f := delta / den
+	// Candidate caches stay exact under the perturbation: with
+	// rho = (M⁻¹c)[p] and g_t = δ·u_t[p]/den,
+	//
+	//	M'⁻¹c = M⁻¹c − f·rho·row,  schur' = schur + f·rho²,
+	//	r'_t  = r_t + g_t·rho,
+	//
+	// all using the pre-update row and u_t (so this runs before the
+	// matrix and u updates below).
+	for ci := range o.cands {
+		cd := &o.cands[ci]
+		if !cd.valid || cd.redundant {
+			continue
+		}
+		rho := cd.minvC[p]
+		for i := 0; i < n; i++ {
+			cd.minvC[i] -= f * rho * row[i]
+		}
+		cd.schur += f * rho * rho
+		if cd.schur <= 1e-12 {
+			cd.redundant, cd.gain = true, 0
+			continue
+		}
+		var gain float64
+		for ti := range o.u {
+			cd.r[ti] += delta * o.u[ti][p] / den * rho
+			gain += o.weights[ti] * cd.r[ti] * cd.r[ti] / cd.schur
+		}
+		cd.gain = gain
 	}
 	// M'⁻¹ = M⁻¹ − (δ/den)·row·rowᵀ.
-	f := delta / den
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			o.minv.Set(i, j, o.minv.At(i, j)-f*row[i]*row[j])
+		ri := o.minvRow(i, n)
+		fi := f * row[i]
+		for j := range ri {
+			ri[j] -= fi * row[j]
 		}
 	}
 	// u'_t = u_t − (δ·u_t[p]/den)·row ; objective gains (−δ)·u[p]²/den.
 	for ti := range o.u {
 		up := o.u[ti][p]
 		g := delta * up / den
+		ut := o.u[ti]
 		for i := 0; i < n; i++ {
-			o.u[ti][i] -= g * row[i]
+			ut[i] -= g * row[i]
 		}
 		o.val += o.weights[ti] * (-delta) * up * up / den
 	}
 }
 
-// applyAdmit admits statistic index idx with b=1, growing M⁻¹ by one
-// row/column via the bordered-inverse formula.
-func (o *budgetOptimizer) applyAdmit(idx int, minvC []float64, schur float64) {
-	n := len(o.support)
-	grown := linalg.NewMatrix(n+1, n+1)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			grown.Set(i, j, o.minv.At(i, j)+minvC[i]*minvC[j]/schur)
-		}
-		grown.Set(i, n, -minvC[i]/schur)
-		grown.Set(n, i, -minvC[i]/schur)
+// growMinv ensures the flat M⁻¹ buffer can hold an n×n matrix, copying the
+// current cur×cur contents over when the stride must grow. Strides double
+// so a sweep's worth of admissions costs O(log n) reallocations.
+func (o *budgetOptimizer) growMinv(cur, n int) {
+	if n <= o.minvStride {
+		return
 	}
-	grown.Set(n, n, 1/schur)
-	o.minv = grown
+	stride := o.minvStride * 2
+	if stride < 4 {
+		stride = 4
+	}
+	for stride < n {
+		stride *= 2
+	}
+	buf := make([]float64, stride*stride)
+	for i := 0; i < cur; i++ {
+		copy(buf[i*stride:i*stride+cur], o.minvRow(i, cur))
+	}
+	o.minv, o.minvStride = buf, stride
+}
+
+// applyAdmit admits statistic index idx with b=1, growing M⁻¹ by one
+// row/column via the bordered-inverse formula. The candidate's cached
+// quantities supply every term; the support change then invalidates all
+// candidate caches.
+func (o *budgetOptimizer) applyAdmit(idx int) {
+	cd := &o.cands[idx]
+	n := len(o.support)
+	schur := cd.schur
+	o.growMinv(n, n+1)
+	// Existing block += minvC·minvCᵀ/schur; border = −minvC/schur.
+	for i := 0; i < n; i++ {
+		ri := o.minv[i*o.minvStride:]
+		s := cd.minvC[i] / schur
+		for j := 0; j < n; j++ {
+			ri[j] += s * cd.minvC[j]
+		}
+		ri[n] = -s
+		o.minv[n*o.minvStride+i] = -s
+	}
+	o.minv[n*o.minvStride+n] = 1 / schur
 
 	for ti := range o.u {
-		r := o.so(ti, idx)
-		for p := range o.support {
-			r -= o.s.sa.At(o.support[p], idx) * o.u[ti][p]
-		}
-		nu := make([]float64, n+1)
+		r := cd.r[ti]
+		ut := o.u[ti]
 		for i := 0; i < n; i++ {
-			nu[i] = o.u[ti][i] - minvC[i]*r/schur
+			ut[i] -= cd.minvC[i] * r / schur
 		}
-		nu[n] = r / schur
-		o.u[ti] = nu
+		o.u[ti] = append(ut, r/schur)
 		o.val += o.weights[ti] * r * r / schur
 	}
 	o.pos[idx] = n
 	o.support = append(o.support, idx)
 	o.counts = append(o.counts, 1)
+	for ci := range o.cands {
+		o.cands[ci].valid = false
+	}
 }
 
 // runGreedy performs greedy forward selection under the budget, returning
@@ -207,18 +321,15 @@ func runGreedy(s *Statistics, weights map[string]float64, price PriceFunc, budge
 		idx   int // statistic index (admit) or support position (increment)
 		gain  float64
 		cost  crowd.Cost
-		minvC []float64
-		schur float64
 	}
 	for {
-		var best *move
+		var best move
 		consider := func(m move) {
 			if m.gain <= 1e-15 {
 				return
 			}
-			if best == nil || m.gain/float64(m.cost) > best.gain/float64(best.cost) {
-				mm := m
-				best = &mm
+			if best.cost == 0 || m.gain/float64(m.cost) > best.gain/float64(best.cost) {
+				best = m
 			}
 		}
 		for p := range o.support {
@@ -236,14 +347,13 @@ func runGreedy(s *Statistics, weights map[string]float64, price PriceFunc, budge
 			if spent+c > budget {
 				continue
 			}
-			g, minvC, schur := o.gainAdmit(idx)
-			consider(move{admit: true, idx: idx, gain: g, cost: c, minvC: minvC, schur: schur})
+			consider(move{admit: true, idx: idx, gain: o.gainAdmit(idx), cost: c})
 		}
-		if best == nil {
+		if best.cost == 0 {
 			break
 		}
 		if best.admit {
-			o.applyAdmit(best.idx, best.minvC, best.schur)
+			o.applyAdmit(best.idx)
 		} else {
 			o.applyIncrement(best.idx)
 		}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool bounds the number of concurrently *computing* goroutines across
+// every layer that fans work out — repetitions inside experiment.Run,
+// budget points inside experiment.RunSweep and the per-object evaluation
+// fan-out of EvaluateBatch — with one shared semaphore sized to
+// GOMAXPROCS. The invariants that keep arbitrary nesting of these layers
+// deadlock-free and bounded:
+//
+//   - extra workers spawned by ForEach each hold exactly one slot for
+//     their lifetime, acquired with TryAcquire so nothing ever *blocks*
+//     waiting for a slot;
+//   - the goroutine that calls ForEach always processes items itself,
+//     so progress never depends on a slot being free;
+//   - nested ForEach calls (a repetition fanning out its evaluation
+//     objects) simply grab whatever slots remain, or run sequentially in
+//     the caller when the pool is saturated.
+//
+// Total active computation is therefore at most the pool size plus the
+// one root caller, no matter how deep the layers nest.
+type Pool struct{ sem chan struct{} }
+
+// NewPool returns a pool admitting n concurrent computations (n < 1 is
+// treated as 1).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	return &Pool{sem: make(chan struct{}, n)}
+}
+
+// TryAcquire grabs a slot only if one is immediately free.
+func (p *Pool) TryAcquire() bool {
+	select {
+	case p.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot.
+func (p *Pool) Release() { <-p.sem }
+
+// sharedPool is the process-wide computation pool.
+var sharedPool = NewPool(DefaultParallelism())
+
+// DefaultParallelism is the fan-out width used when a caller does not
+// request a specific one: the number of CPUs the scheduler may use.
+func DefaultParallelism() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n), fanning out up to parallelism
+// wide over the shared pool. parallelism <= 0 means "as wide as the pool
+// allows"; parallelism == 1 is strictly sequential in the caller (no
+// goroutines at all, which is what determinism tests pin). The calling
+// goroutine always participates, so ForEach never deadlocks even when the
+// pool is exhausted, and indexes are handed out through a channel so
+// workers self-balance across uneven item costs.
+func ForEach(n, parallelism int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if parallelism == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if parallelism <= 0 || parallelism > n {
+		parallelism = n
+	}
+	next := make(chan int)
+	go func() {
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	var wg sync.WaitGroup
+	for w := 1; w < parallelism && sharedPool.TryAcquire(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer sharedPool.Release()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := range next {
+		fn(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,73 @@
+package crowd
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/domain"
+)
+
+// TestGoldenAnswerStreams pins the simulator's answer streams to the
+// recorded output of the pre-sharding implementation
+// (testdata/golden_answers.txt). Every simulated answer is derived from an
+// independent RNG seeded by (platform seed, question identity), so neither
+// the sharded locking introduced for concurrency nor the order in which
+// questions are asked may change a single byte of these streams. If this
+// test fails, a refactor altered the derivation contract and every seeded
+// experiment in the repo silently changed.
+func TestGoldenAnswerStreams(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden_answers.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, dom := range []string{"pictures", "recipes"} {
+		u := domain.Registry()[dom]()
+		p, err := NewSim(u, SimOptions{Seed: 12345, SpamRate: 0.1, FilterEfficiency: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs := u.NewObjects(rand.New(rand.NewSource(777)), 3)
+		attrs := u.Attributes()[:3]
+		fmt.Fprintf(&b, "domain %s attrs %v\n", dom, attrs)
+		for _, o := range objs {
+			for _, a := range attrs {
+				vals, err := p.Value(o, a, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fmt.Fprintf(&b, "value %s obj%d %q: %.17g %.17g %.17g %.17g\n",
+					dom, o.ID, a, vals[0], vals[1], vals[2], vals[3])
+			}
+		}
+		for i := 0; i < 6; i++ {
+			ans, err := p.Dismantle(attrs[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Fprintf(&b, "dismantle %s %q #%d: %q\n", dom, attrs[0], i, ans)
+		}
+		for i := 0; i < 6; i++ {
+			yes, err := p.Verify(attrs[1], attrs[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Fprintf(&b, "verify %s %q->%q #%d: %v\n", dom, attrs[1], attrs[0], i, yes)
+		}
+		exs, err := p.Examples([]string{attrs[0], attrs[1]}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, ex := range exs {
+			fmt.Fprintf(&b, "example %s #%d obj%d: %q=%.17g %q=%.17g\n",
+				dom, i, ex.Object.ID, attrs[0], ex.Values[attrs[0]], attrs[1], ex.Values[attrs[1]])
+		}
+		fmt.Fprintf(&b, "ledger %s spent=%d\n", dom, p.Ledger().Spent())
+	}
+	if got := b.String(); got != string(want) {
+		t.Fatalf("answer streams diverged from the recorded golden output.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

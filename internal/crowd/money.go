@@ -12,7 +12,7 @@ package crowd
 import (
 	"errors"
 	"fmt"
-	"sync"
+	"sync/atomic"
 )
 
 // Cost is a monetary amount in mills (tenths of a cent), the smallest
@@ -152,13 +152,14 @@ func (p Pricing) Of(k QuestionKind) Cost {
 var ErrBudgetExhausted = errors.New("crowd: budget exhausted")
 
 // Ledger tracks crowd spending against an optional limit. It is safe for
-// concurrent use.
+// concurrent use: the total and per-kind tallies are atomic counters, so
+// charging from many goroutines never serializes on a lock (the limit is
+// enforced with a compare-and-swap loop on the total).
 type Ledger struct {
-	mu     sync.Mutex
-	limit  Cost // 0 means unlimited
-	spent  Cost
-	byKind [numKinds]Cost
-	nAsked [numKinds]int
+	limit  Cost // 0 means unlimited; immutable after NewLedger
+	spent  atomic.Int64
+	byKind [numKinds]atomic.Int64
+	nAsked [numKinds]atomic.Int64
 }
 
 // NewLedger returns a ledger with the given limit; limit 0 disables
@@ -174,67 +175,62 @@ func (l *Ledger) Charge(k QuestionKind, c Cost) error {
 	if c < 0 {
 		return fmt.Errorf("crowd: negative charge %v", c)
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.limit > 0 && l.spent+c > l.limit {
-		return fmt.Errorf("%w: spent %v + %v exceeds %v", ErrBudgetExhausted, l.spent, c, l.limit)
+	if l.limit > 0 {
+		for {
+			cur := l.spent.Load()
+			if Cost(cur)+c > l.limit {
+				return fmt.Errorf("%w: spent %v + %v exceeds %v", ErrBudgetExhausted, Cost(cur), c, l.limit)
+			}
+			if l.spent.CompareAndSwap(cur, cur+int64(c)) {
+				break
+			}
+		}
+	} else {
+		l.spent.Add(int64(c))
 	}
-	l.spent += c
 	if k >= 0 && k < numKinds {
-		l.byKind[k] += c
-		l.nAsked[k]++
+		l.byKind[k].Add(int64(c))
+		l.nAsked[k].Add(1)
 	}
 	return nil
 }
 
 // Spent returns the total amount charged.
 func (l *Ledger) Spent() Cost {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.spent
+	return Cost(l.spent.Load())
 }
 
 // Remaining returns the budget left, or a negative value meaning
 // "unlimited" when no limit is set.
 func (l *Ledger) Remaining() Cost {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.limit == 0 {
 		return -1
 	}
-	return l.limit - l.spent
+	return l.limit - Cost(l.spent.Load())
 }
 
 // Limit returns the configured limit (0 = unlimited).
 func (l *Ledger) Limit() Cost {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	return l.limit
 }
 
 // SpentOn returns the amount charged for a question kind.
 func (l *Ledger) SpentOn(k QuestionKind) Cost {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	if k < 0 || k >= numKinds {
 		return 0
 	}
-	return l.byKind[k]
+	return Cost(l.byKind[k].Load())
 }
 
 // Asked returns how many questions of a kind were charged.
 func (l *Ledger) Asked(k QuestionKind) int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	if k < 0 || k >= numKinds {
 		return 0
 	}
-	return l.nAsked[k]
+	return int(l.nAsked[k].Load())
 }
 
 // CanAfford reports whether a further charge of c fits in the limit.
 func (l *Ledger) CanAfford(c Cost) bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.limit == 0 || l.spent+c <= l.limit
+	return l.limit == 0 || Cost(l.spent.Load())+c <= l.limit
 }

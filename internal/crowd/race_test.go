@@ -1,0 +1,202 @@
+package crowd
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/domain"
+)
+
+// TestSimPlatformConcurrentValue hammers Value from many goroutines over
+// overlapping (object, attribute, n) triples and then checks two
+// contracts: answers are identical to a sequential platform with the same
+// seed (execution order must not leak into the streams), and every
+// shorter ask is a prefix of the longer one (answer reuse). Run with
+// -race this is the regression test for the sharded simulator locking.
+func TestSimPlatformConcurrentValue(t *testing.T) {
+	u := domain.Recipes()
+	p, err := NewSim(u, SimOptions{Seed: 4242, SpamRate: 0.2, FilterEfficiency: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := u.NewObjects(rand.New(rand.NewSource(5)), 16)
+	attrs := u.Attributes()[:4]
+
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for it := 0; it < 200; it++ {
+				o := objs[rng.Intn(len(objs))]
+				a := attrs[rng.Intn(len(attrs))]
+				if _, err := p.Value(o, a, 1+rng.Intn(5)); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Sequential platform with the same seed must see the same streams.
+	seq, err := NewSim(domain.Recipes(), SimOptions{Seed: 4242, SpamRate: 0.2, FilterEfficiency: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqObjs := seq.Universe().NewObjects(rand.New(rand.NewSource(5)), 16)
+	for i, o := range objs {
+		for _, a := range attrs {
+			got, err := p.Value(o, a, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := seq.Value(seqObjs[i], a, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("obj %d attr %q answer %d: concurrent %v, sequential %v", o.ID, a, k, got, want)
+				}
+			}
+			// Prefix property: asking fewer answers returns the same prefix.
+			short, err := p.Value(o, a, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if short[0] != got[0] || short[1] != got[1] {
+				t.Fatalf("obj %d attr %q: prefix not stable: %v vs %v", o.ID, a, short, got)
+			}
+		}
+	}
+}
+
+// TestSimPlatformConcurrentStreams hammers the cursor-based question
+// streams (Dismantle, Verify, Examples) concurrently. Unlike value
+// questions these consume a per-key cursor, so the *multiset* of answers
+// handed out must equal the sequential stream even though the interleaving
+// is arbitrary.
+func TestSimPlatformConcurrentStreams(t *testing.T) {
+	mk := func() *SimPlatform {
+		p, err := NewSim(domain.Pictures(), SimOptions{Seed: 777})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p := mk()
+	const workers = 8
+	const perWorker = 25
+	answers := make([][]string, workers)
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for it := 0; it < perWorker; it++ {
+				ans, err := p.Dismantle("Bmi")
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				answers[w] = append(answers[w], ans)
+				if _, err := p.Verify("Weight", "Bmi"); err != nil {
+					errs[w] = err
+					return
+				}
+				if _, err := p.Examples([]string{"Bmi", "Age"}, 1+it%4); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make(map[string]int)
+	for _, ws := range answers {
+		if len(ws) != perWorker {
+			t.Fatalf("worker answered %d dismantles, want %d", len(ws), perWorker)
+		}
+		for _, a := range ws {
+			got[a]++
+		}
+	}
+	seq := mk()
+	want := make(map[string]int)
+	for i := 0; i < workers*perWorker; i++ {
+		ans, err := seq.Dismantle("Bmi")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[ans]++
+	}
+	for a, n := range want {
+		if got[a] != n {
+			t.Fatalf("dismantle answer %q: concurrent multiset has %d, sequential %d", a, got[a], n)
+		}
+	}
+
+	// Examples streams are position-derived, so concurrent prefixes agree
+	// with a sequential ask.
+	gotEx, err := p.Examples([]string{"Bmi", "Age"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqEx, err := seq.Examples([]string{"Bmi", "Age"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seqEx {
+		if gotEx[i].Values["Bmi"] != seqEx[i].Values["Bmi"] {
+			t.Fatalf("example %d: %v vs %v", i, gotEx[i].Values, seqEx[i].Values)
+		}
+	}
+}
+
+// TestLedgerConcurrentLimit charges a limited ledger from many goroutines
+// and verifies the CAS enforcement never overspends.
+func TestLedgerConcurrentLimit(t *testing.T) {
+	limit := Cents(10) // 100 charges of 0.1¢
+	l := NewLedger(limit)
+	const workers = 8
+	var wg sync.WaitGroup
+	granted := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := l.Charge(BinaryValue, Cents(0.1)); err == nil {
+					granted[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, g := range granted {
+		total += g
+	}
+	if l.Spent() > limit {
+		t.Fatalf("overspent: %d > %d", l.Spent(), limit)
+	}
+	if want := int(limit / Cents(0.1)); total != want {
+		t.Fatalf("granted %d charges, want exactly %d", total, want)
+	}
+}

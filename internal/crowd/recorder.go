@@ -1,11 +1,23 @@
 package crowd
 
 import (
+	"sort"
 	"sync"
 
 	"repro/internal/domain"
 	"repro/internal/store"
 )
+
+// recorderShards is the fixed shard count of the recorder's write path.
+// Answers are keyed by object id, so sharding by id lets concurrent
+// evaluations of different objects record without contending on one lock.
+const recorderShards = 32
+
+// recorderShard buffers the recordings of one object-id shard.
+type recorderShard struct {
+	mu    sync.Mutex
+	table *store.Table
+}
 
 // Recorder wraps a Platform and records every value answer and example
 // truth it sees into a store.Table — the paper's methodology of keeping
@@ -13,24 +25,58 @@ import (
 // that results of multiple runs/algorithms may be compared in equivalent
 // settings". The recorded table can be saved, inspected as CSV, or used to
 // audit exactly what the crowd was asked.
+//
+// Recorder is safe for concurrent use; recordings are buffered in
+// object-id shards and merged on demand by Table.
 type Recorder struct {
-	inner Platform
-
-	mu    sync.Mutex
-	table *store.Table
+	inner  Platform
+	shards [recorderShards]recorderShard
 }
 
 // NewRecorder wraps a platform with recording.
 func NewRecorder(inner Platform) *Recorder {
-	return &Recorder{inner: inner, table: store.NewTable()}
+	r := &Recorder{inner: inner}
+	for i := range r.shards {
+		r.shards[i].table = store.NewTable()
+	}
+	return r
 }
 
-// Table returns the recorded data (live reference; callers should not
-// mutate it while the platform is in use).
+// shard returns the shard buffering recordings for an object id.
+func (r *Recorder) shard(objID int) *recorderShard {
+	return &r.shards[uint(objID)%recorderShards]
+}
+
+// Table merges the recorded data into a fresh table with rows ordered by
+// object id. The snapshot is independent of the recorder: callers may
+// mutate it freely, and recordings made after the call are not reflected
+// (call Table again for an up-to-date view).
 func (r *Recorder) Table() *store.Table {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.table
+	type rowRef struct {
+		id  int
+		row *store.Row
+	}
+	var rows []rowRef
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for _, id := range sh.table.ObjectIDs() {
+			row, _ := sh.table.Row(id)
+			rows = append(rows, rowRef{id: id, row: row})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+	out := store.NewTable()
+	for _, rr := range rows {
+		for attr, v := range rr.row.TrueValues {
+			out.SetTrue(rr.id, attr, v)
+		}
+		for attr, ans := range rr.row.Answers {
+			out.SetAnswers(rr.id, attr, ans)
+		}
+	}
+	return out
 }
 
 // Value implements Platform, recording the full answer multiset.
@@ -39,9 +85,10 @@ func (r *Recorder) Value(o *domain.Object, attr string, n int) ([]float64, error
 	if err != nil {
 		return nil, err
 	}
-	r.mu.Lock()
-	r.table.SetAnswers(o.ID, r.inner.Canonical(attr), answers)
-	r.mu.Unlock()
+	sh := r.shard(o.ID)
+	sh.mu.Lock()
+	sh.table.SetAnswers(o.ID, r.inner.Canonical(attr), answers)
+	sh.mu.Unlock()
 	return answers, nil
 }
 
@@ -60,13 +107,14 @@ func (r *Recorder) Examples(targets []string, n int) ([]Example, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.mu.Lock()
 	for _, ex := range examples {
+		sh := r.shard(ex.Object.ID)
+		sh.mu.Lock()
 		for attr, v := range ex.Values {
-			r.table.SetTrue(ex.Object.ID, attr, v)
+			sh.table.SetTrue(ex.Object.ID, attr, v)
 		}
+		sh.mu.Unlock()
 	}
-	r.mu.Unlock()
 	return examples, nil
 }
 

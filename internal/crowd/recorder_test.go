@@ -19,8 +19,7 @@ func TestRecorderCapturesValuesAndExamples(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tbl := rec.Table()
-	v, ok := tbl.True(ex[0].Object.ID, "Protein")
+	v, ok := rec.Table().True(ex[0].Object.ID, "Protein")
 	if !ok || v != ex[0].Values["Protein"] {
 		t.Fatalf("true value not recorded: %v %v", v, ok)
 	}
@@ -30,7 +29,7 @@ func TestRecorderCapturesValuesAndExamples(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := tbl.Answers(ex[0].Object.ID, "Dessert")
+	got := rec.Table().Answers(ex[0].Object.ID, "Dessert")
 	if len(got) != 3 || got[0] != ans[0] {
 		t.Fatalf("answers not recorded: %v", got)
 	}
@@ -38,13 +37,13 @@ func TestRecorderCapturesValuesAndExamples(t *testing.T) {
 	if _, err := rec.Value(ex[0].Object, "Dessert", 5); err != nil {
 		t.Fatal(err)
 	}
-	if len(tbl.Answers(ex[0].Object.ID, "Dessert")) != 5 {
+	if len(rec.Table().Answers(ex[0].Object.ID, "Dessert")) != 5 {
 		t.Fatal("extended answers not recorded")
 	}
 
 	// The table exports as CSV.
 	var buf bytes.Buffer
-	if err := tbl.WriteCSV(&buf); err != nil {
+	if err := rec.Table().WriteCSV(&buf); err != nil {
 		t.Fatal(err)
 	}
 	if buf.Len() == 0 {

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/domain"
 	"repro/internal/stats"
@@ -45,26 +46,71 @@ type SimOptions struct {
 	BudgetLimit Cost
 }
 
+// numShards is the fixed shard count of the simulator's mutable state.
+// Object-keyed answer caches shard by object id and string-keyed question
+// streams by name hash, so concurrent questions about different objects
+// (or different attributes) almost never contend on the same mutex. 32
+// shards keep contention negligible up to well past the core counts the
+// experiment harness saturates.
+const numShards = 32
+
+// objShard holds the per-object value-answer caches of one shard.
+type objShard struct {
+	mu      sync.Mutex
+	values  map[valueKey][]float64
+	workers map[valueKey][]int // worker id per cached answer
+}
+
+// streamShard holds the string-keyed question-stream cursors of one shard.
+type streamShard struct {
+	mu       sync.Mutex
+	examples map[string][]Example
+	nextAsk  map[string]int // per-attribute dismantling answer index
+	nVerify  map[string]int // per (candidate,target) verification index
+}
+
 // SimPlatform is a deterministic simulated crowd over a domain.Universe.
-// It implements Platform. See the package comment for the fidelity
-// argument.
+// It implements Platform and is safe for concurrent use. See the package
+// comment for the fidelity argument.
+//
+// Concurrency design: all mutable state is split into fixed shards, each
+// guarded by its own mutex; the ledger uses atomic adds; read-mostly
+// metadata (pricing, attribute meta, canonicalization) is immutable after
+// construction, and the dismantling-distribution cache sits behind an
+// RWMutex. Shards carry no RNG state: every answer derives an independent
+// generator from the platform seed and the full question identity
+// (object, attribute, stream position), which is what makes the answer
+// stream per (object, attribute) deterministic regardless of question
+// order, interleaving or parallelism — the paper's recorded-answers
+// methodology, preserved under concurrency.
 type SimPlatform struct {
 	u    *domain.Universe
 	opts SimOptions
 
-	mu       sync.Mutex
-	ledger   *Ledger
-	values   map[valueKey][]float64
-	workers  map[valueKey][]int // worker id per cached answer
-	examples map[string][]Example
-	nextAsk  map[string]int // per-attribute dismantling answer index
-	nVerify  map[string]int // per (candidate,target) verification index
-	dist     map[string]*dismantleDist
+	ledger atomic.Pointer[Ledger]
+
+	objShards    [numShards]objShard
+	streamShards [numShards]streamShard
+
+	distMu sync.RWMutex
+	dist   map[string]*dismantleDist
 }
 
 type valueKey struct {
 	objID int
 	attr  string // canonical
+}
+
+// objShard returns the shard guarding the object's value-answer cache.
+func (p *SimPlatform) objShard(objID int) *objShard {
+	return &p.objShards[uint(objID)%numShards]
+}
+
+// streamShard returns the shard guarding a string-keyed question stream.
+func (p *SimPlatform) streamShard(key string) *streamShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &p.streamShards[h.Sum32()%numShards]
 }
 
 type dismantleDist struct {
@@ -98,17 +144,22 @@ func NewSim(u *domain.Universe, opts SimOptions) (*SimPlatform, error) {
 	if opts.IrrelevantRate < 0 || opts.IrrelevantRate > 1 {
 		return nil, fmt.Errorf("crowd: irrelevant rate %v out of [0,1]", opts.IrrelevantRate)
 	}
-	return &SimPlatform{
-		u:        u,
-		opts:     opts,
-		ledger:   NewLedger(opts.BudgetLimit),
-		values:   make(map[valueKey][]float64),
-		workers:  make(map[valueKey][]int),
-		examples: make(map[string][]Example),
-		nextAsk:  make(map[string]int),
-		nVerify:  make(map[string]int),
-		dist:     make(map[string]*dismantleDist),
-	}, nil
+	p := &SimPlatform{
+		u:    u,
+		opts: opts,
+		dist: make(map[string]*dismantleDist),
+	}
+	p.ledger.Store(NewLedger(opts.BudgetLimit))
+	for i := range p.objShards {
+		p.objShards[i].values = make(map[valueKey][]float64)
+		p.objShards[i].workers = make(map[valueKey][]int)
+	}
+	for i := range p.streamShards {
+		p.streamShards[i].examples = make(map[string][]Example)
+		p.streamShards[i].nextAsk = make(map[string]int)
+		p.streamShards[i].nVerify = make(map[string]int)
+	}
+	return p, nil
 }
 
 // Universe exposes the underlying universe (used by experiment harnesses to
@@ -179,13 +230,15 @@ func (p *SimPlatform) Value(o *domain.Object, attr string, n int) ([]float64, er
 		kind = BinaryValue
 	}
 
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	sh := p.objShard(o.ID)
+	ledger := p.ledger.Load()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	key := valueKey{objID: o.ID, attr: canon}
-	answers := p.values[key]
+	answers := sh.values[key]
 	for len(answers) < n {
-		if err := p.ledger.Charge(kind, price); err != nil {
-			p.values[key] = answers
+		if err := ledger.Charge(kind, price); err != nil {
+			sh.values[key] = answers
 			return nil, err
 		}
 		idx := len(answers)
@@ -193,9 +246,9 @@ func (p *SimPlatform) Value(o *domain.Object, attr string, n int) ([]float64, er
 		workerID := r.Intn(p.opts.PoolSize)
 		w := p.worker(workerID)
 		answers = append(answers, p.generateAnswer(r, w, meta, consensus))
-		p.workers[key] = append(p.workers[key], workerID)
+		sh.workers[key] = append(sh.workers[key], workerID)
 	}
-	p.values[key] = answers
+	sh.values[key] = answers
 	out := make([]float64, n)
 	copy(out, answers[:n])
 	return out, nil
@@ -221,9 +274,10 @@ func (p *SimPlatform) ValueDetailed(o *domain.Object, attr string, n int) ([]Det
 	if err != nil {
 		return nil, err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	ids := p.workers[valueKey{objID: o.ID, attr: canon}]
+	sh := p.objShard(o.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ids := sh.workers[valueKey{objID: o.ID, attr: canon}]
 	out := make([]DetailedAnswer, n)
 	for i := range out {
 		out[i] = DetailedAnswer{Worker: ids[i], Value: values[i]}
@@ -266,17 +320,18 @@ func (p *SimPlatform) Dismantle(attr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("%w: %q", ErrUnknownAttribute, attr)
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := p.ledger.Charge(Dismantling, p.opts.Pricing.Dismantling); err != nil {
+	if err := p.ledger.Load().Charge(Dismantling, p.opts.Pricing.Dismantling); err != nil {
 		return "", err
 	}
 	d, err := p.distribution(canon)
 	if err != nil {
 		return "", err
 	}
-	idx := p.nextAsk[canon]
-	p.nextAsk[canon]++
+	sh := p.streamShard(canon)
+	sh.mu.Lock()
+	idx := sh.nextAsk[canon]
+	sh.nextAsk[canon]++
+	sh.mu.Unlock()
 	r := p.subRand("dismantle", canon, fmt.Sprint(idx))
 	if p.opts.IrrelevantRate > 0 && r.Float64() < p.opts.IrrelevantRate {
 		all := p.u.Attributes()
@@ -292,29 +347,37 @@ func (p *SimPlatform) Dismantle(attr string) (string, error) {
 }
 
 func (p *SimPlatform) distribution(canon string) (*dismantleDist, error) {
-	if d, ok := p.dist[canon]; ok {
+	p.distMu.RLock()
+	d, ok := p.dist[canon]
+	p.distMu.RUnlock()
+	if ok {
 		return d, nil
 	}
 	table, err := p.u.DismantleDistribution(canon)
 	if err != nil {
 		return nil, err
 	}
-	if len(table) == 0 {
-		p.dist[canon] = nil
-		return nil, nil
+	d = nil
+	if len(table) > 0 {
+		names := make([]string, len(table))
+		weights := make([]float64, len(table))
+		for i, a := range table {
+			names[i] = a.Name
+			weights[i] = a.Weight
+		}
+		cat, err := stats.NewCategorical(weights)
+		if err != nil {
+			return nil, err
+		}
+		d = &dismantleDist{names: names, cat: cat}
 	}
-	names := make([]string, len(table))
-	weights := make([]float64, len(table))
-	for i, a := range table {
-		names[i] = a.Name
-		weights[i] = a.Weight
+	p.distMu.Lock()
+	if exist, ok := p.dist[canon]; ok {
+		d = exist // lost a build race; keep the first cached value
+	} else {
+		p.dist[canon] = d
 	}
-	cat, err := stats.NewCategorical(weights)
-	if err != nil {
-		return nil, err
-	}
-	d := &dismantleDist{names: names, cat: cat}
-	p.dist[canon] = d
+	p.distMu.Unlock()
 	return d, nil
 }
 
@@ -333,14 +396,15 @@ func (p *SimPlatform) Verify(candidate, target string) (bool, error) {
 	if cCanon, err := p.u.Canonical(candidate); err == nil {
 		rho, _ = p.u.Relatedness(cCanon, tCanon)
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := p.ledger.Charge(Verification, p.opts.Pricing.Verification); err != nil {
+	if err := p.ledger.Load().Charge(Verification, p.opts.Pricing.Verification); err != nil {
 		return false, err
 	}
 	key := candidate + "\x00" + tCanon
-	idx := p.nVerify[key]
-	p.nVerify[key]++
+	sh := p.streamShard(key)
+	sh.mu.Lock()
+	idx := sh.nVerify[key]
+	sh.nVerify[key]++
+	sh.mu.Unlock()
 	r := p.subRand("verify", candidate, tCanon, fmt.Sprint(idx))
 	pYes := 0.12 + 0.8*rho
 	if pYes < 0.05 {
@@ -373,12 +437,14 @@ func (p *SimPlatform) Examples(targets []string, n int) ([]Example, error) {
 	sort.Strings(sorted)
 	streamKey := strings.Join(sorted, "\x00")
 
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	stream := p.examples[streamKey]
+	sh := p.streamShard(streamKey)
+	ledger := p.ledger.Load()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	stream := sh.examples[streamKey]
 	for len(stream) < n {
-		if err := p.ledger.Charge(ExampleQuestion, p.opts.Pricing.Example); err != nil {
-			p.examples[streamKey] = stream
+		if err := ledger.Charge(ExampleQuestion, p.opts.Pricing.Example); err != nil {
+			sh.examples[streamKey] = stream
 			return nil, err
 		}
 		// Each stream position gets its own deterministic generator, so
@@ -396,7 +462,7 @@ func (p *SimPlatform) Examples(targets []string, n int) ([]Example, error) {
 		}
 		stream = append(stream, Example{Object: obj, Values: values})
 	}
-	p.examples[streamKey] = stream
+	sh.examples[streamKey] = stream
 	out := make([]Example, n)
 	copy(out, stream[:n])
 	return out, nil
@@ -433,16 +499,10 @@ func (p *SimPlatform) Pricing() Pricing { return p.opts.Pricing }
 
 // Ledger implements Platform.
 func (p *SimPlatform) Ledger() *Ledger {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.ledger
+	return p.ledger.Load()
 }
 
 // SetLedger implements Platform.
 func (p *SimPlatform) SetLedger(l *Ledger) *Ledger {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	old := p.ledger
-	p.ledger = l
-	return old
+	return p.ledger.Swap(l)
 }

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/crowd"
 	"repro/internal/domain"
@@ -28,12 +29,18 @@ type Client struct {
 	pricing     crowd.Pricing
 	pricingErr  error
 
+	ledger atomic.Pointer[crowd.Ledger]
+
+	// mu guards the answer/example caches (written per question).
 	mu       sync.Mutex
-	ledger   *crowd.Ledger
 	values   map[valueKey][]float64
 	examples map[string][]crowd.Example
-	meta     map[string]metaResponse
-	canon    map[string]string
+
+	// metaMu guards the read-mostly metadata caches; lookups take only a
+	// read lock so concurrent value questions never serialize on them.
+	metaMu sync.RWMutex
+	meta   map[string]metaResponse
+	canon  map[string]string
 }
 
 type valueKey struct {
@@ -48,15 +55,16 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{
+	c := &Client{
 		base:     strings.TrimRight(baseURL, "/"),
 		http:     httpClient,
-		ledger:   crowd.NewLedger(0),
 		values:   make(map[valueKey][]float64),
 		examples: make(map[string][]crowd.Example),
 		meta:     make(map[string]metaResponse),
 		canon:    make(map[string]string),
 	}
+	c.ledger.Store(crowd.NewLedger(0))
+	return c
 }
 
 // post sends a JSON request and decodes the JSON response, surfacing
@@ -112,19 +120,18 @@ func (c *Client) fetchPricing() (crowd.Pricing, error) {
 
 // metaOf fetches (and caches) attribute metadata.
 func (c *Client) metaOf(attr string) (metaResponse, error) {
-	c.mu.Lock()
-	if m, ok := c.meta[attr]; ok {
-		c.mu.Unlock()
+	c.metaMu.RLock()
+	m, ok := c.meta[attr]
+	c.metaMu.RUnlock()
+	if ok {
 		return m, nil
 	}
-	c.mu.Unlock()
-	var m metaResponse
 	if err := c.post(PathMeta, metaRequest{Attribute: attr}, &m); err != nil {
 		return metaResponse{}, err
 	}
-	c.mu.Lock()
+	c.metaMu.Lock()
 	c.meta[attr] = m
-	c.mu.Unlock()
+	c.metaMu.Unlock()
 	return m, nil
 }
 
@@ -269,21 +276,21 @@ func (c *Client) Examples(targets []string, n int) ([]crowd.Example, error) {
 
 // Canonical implements crowd.Platform (cached).
 func (c *Client) Canonical(name string) string {
-	c.mu.Lock()
-	if canon, ok := c.canon[name]; ok {
-		c.mu.Unlock()
+	c.metaMu.RLock()
+	canon, ok := c.canon[name]
+	c.metaMu.RUnlock()
+	if ok {
 		return canon
 	}
-	c.mu.Unlock()
 	var resp canonicalResponse
 	if err := c.post(PathCanonical, canonicalRequest{Name: name}, &resp); err != nil {
 		// A canonicalization failure must not break the pipeline; the raw
 		// name is always an acceptable fallback.
 		return name
 	}
-	c.mu.Lock()
+	c.metaMu.Lock()
 	c.canon[name] = resp.Canonical
-	c.mu.Unlock()
+	c.metaMu.Unlock()
 	return resp.Canonical
 }
 
@@ -317,16 +324,10 @@ func (c *Client) Pricing() crowd.Pricing {
 func (c *Client) Ledger() *crowd.Ledger { return c.ledgerRef() }
 
 func (c *Client) ledgerRef() *crowd.Ledger {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ledger
+	return c.ledger.Load()
 }
 
 // SetLedger implements crowd.Platform.
 func (c *Client) SetLedger(l *crowd.Ledger) *crowd.Ledger {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	old := c.ledger
-	c.ledger = l
-	return old
+	return c.ledger.Swap(l)
 }

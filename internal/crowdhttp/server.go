@@ -99,11 +99,14 @@ type (
 // Server adapts a crowd.Platform to the HTTP API. It neutralizes the
 // wrapped platform's budget enforcement (clients budget themselves) and
 // keeps a registry of the objects it has handed out so value questions can
-// reference them by id.
+// reference them by id. The registry is read-mostly (every value question
+// looks an object up; only example questions and RegisterObject write), so
+// it sits behind an RWMutex and concurrent value questions never serialize
+// on it.
 type Server struct {
 	platform crowd.Platform
 
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	objects map[int]*domain.Object
 }
 
@@ -150,8 +153,8 @@ func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 }
 
 func (s *Server) lookupObject(id int) (*domain.Object, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	o, ok := s.objects[id]
 	return o, ok
 }

@@ -24,6 +24,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // ErrUnknownAttribute is returned when an attribute name (or any of its
@@ -78,12 +79,13 @@ type Universe struct {
 	attrs     []Attribute
 	index     map[string]int // canonical name → index
 	synonyms  map[string]string
+	normIndex map[string]string // normalized name/synonym → canonical
 	factorIdx map[string]int
 	loadings  [][]float64 // per attribute, dense over factors
 	residual  []float64   // sqrt(1−‖l‖²) per attribute
 	dismantle map[string][]DismantleAnswer
 	gold      map[string][]string
-	nextID    int
+	nextID    atomic.Int64
 }
 
 // Config assembles a Universe.
@@ -111,6 +113,7 @@ func New(cfg Config) (*Universe, error) {
 		Name:      cfg.Name,
 		index:     make(map[string]int),
 		synonyms:  make(map[string]string),
+		normIndex: make(map[string]string),
 		factorIdx: make(map[string]int),
 		dismantle: make(map[string][]DismantleAnswer),
 		gold:      make(map[string][]string),
@@ -158,6 +161,23 @@ func New(cfg Config) (*Universe, error) {
 				return nil, fmt.Errorf("domain: synonym %q claimed by both %q and %q", s, prev, a.Name)
 			}
 			u.synonyms[s] = a.Name
+		}
+	}
+	// Precompute the normalized-name index (canonical names win over
+	// synonyms, earlier declarations over later ones) so Canonical is a
+	// pure map lookup — lock-free and O(1) even under heavy concurrent use.
+	for _, a := range cfg.Attributes {
+		norm := normalizeName(a.Name)
+		if _, ok := u.normIndex[norm]; !ok {
+			u.normIndex[norm] = a.Name
+		}
+	}
+	for _, a := range cfg.Attributes {
+		for _, s := range a.Synonyms {
+			norm := normalizeName(s)
+			if _, ok := u.normIndex[norm]; !ok {
+				u.normIndex[norm] = a.Name
+			}
 		}
 	}
 	// Dense loading vectors and residuals.
@@ -229,16 +249,8 @@ func (u *Universe) Canonical(name string) (string, error) {
 	if c, ok := u.synonyms[name]; ok {
 		return c, nil
 	}
-	norm := normalizeName(name)
-	for n := range u.index {
-		if normalizeName(n) == norm {
-			return n, nil
-		}
-	}
-	for s, c := range u.synonyms {
-		if normalizeName(s) == norm {
-			return c, nil
-		}
+	if c, ok := u.normIndex[normalizeName(name)]; ok {
+		return c, nil
 	}
 	return "", fmt.Errorf("%w: %q", ErrUnknownAttribute, name)
 }
@@ -322,6 +334,9 @@ type Object struct {
 func RefObject(id int) *Object { return &Object{ID: id} }
 
 // NewObjects samples n fresh objects from the universe's factor model.
+// Object ids come from an atomic counter, so concurrent callers (e.g. the
+// simulator generating example streams in parallel) never collide; the
+// latent state of each object depends only on the caller's rng.
 func (u *Universe) NewObjects(rng *rand.Rand, n int) []*Object {
 	out := make([]*Object, n)
 	nf := len(u.factorIdx)
@@ -342,8 +357,7 @@ func (u *Universe) NewObjects(rng *rand.Rand, n int) []*Object {
 			z[ai] = s + u.residual[ai]*rng.NormFloat64()
 			d[ai] = rng.NormFloat64()
 		}
-		out[i] = &Object{ID: u.nextID, z: z, d: d}
-		u.nextID++
+		out[i] = &Object{ID: int(u.nextID.Add(1) - 1), z: z, d: d}
 	}
 	return out
 }

@@ -11,8 +11,6 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"repro/internal/baselines"
 	"repro/internal/core"
@@ -79,6 +77,21 @@ type Spec struct {
 	Reps        int // default 30
 	EvalObjects int // default 100
 	BaseSeed    int64
+	// Parallelism caps the fan-out width at every layer of the harness
+	// (budget points, repetitions, evaluation objects). 0 means "as wide
+	// as the shared GOMAXPROCS pool allows"; 1 forces a strictly
+	// sequential run (no goroutines), which must produce byte-identical
+	// results — answer streams are derived per question, not from shared
+	// RNG state, so execution order cannot leak into them.
+	Parallelism int
+}
+
+// parallelism resolves the spec's fan-out width.
+func (s Spec) parallelism() int {
+	if s.Parallelism != 0 {
+		return s.Parallelism
+	}
+	return core.DefaultParallelism()
 }
 
 // AlgResult aggregates one algorithm's weighted query errors over the
@@ -89,8 +102,16 @@ type AlgResult struct {
 	Mean float64
 	// StdErr is the standard error of that mean.
 	StdErr float64
-	// PerRep holds the individual repetition errors.
+	// PerRep holds the individual repetition errors with failed reps
+	// dropped (the slice statistics are computed over). Because the
+	// compaction loses the repetition index, per-rep *pairing* across
+	// algorithms must use RepErrs instead.
 	PerRep []float64
+	// RepErrs holds one entry per repetition, indexed by repetition
+	// number, with NaN marking a failed rep. This is the alignment-safe
+	// view: RepErrs[i] of two algorithms always refers to the same
+	// shared platform.
+	RepErrs []float64
 	// Failures counts repetitions the algorithm could not complete (e.g.
 	// the budget did not buy a single question).
 	Failures int
@@ -129,29 +150,22 @@ func Run(spec Spec) ([]AlgResult, error) {
 		err  error
 	}
 	outs := make([]repOut, reps)
-	sem := make(chan struct{}, maxParallel())
-	var wg sync.WaitGroup
-	for rep := 0; rep < reps; rep++ {
-		wg.Add(1)
-		go func(rep int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			errs, err := runOneRep(spec, repSeed(spec.Name, spec.BaseSeed, rep), evalN)
-			outs[rep] = repOut{errs: errs, err: err}
-		}(rep)
-	}
-	wg.Wait()
+	core.ForEach(reps, spec.parallelism(), func(rep int) {
+		errs, err := runOneRep(spec, repSeed(spec.Name, spec.BaseSeed, rep), evalN)
+		outs[rep] = repOut{errs: errs, err: err}
+	})
 
 	results := make([]AlgResult, len(spec.Algorithms))
 	for i, alg := range spec.Algorithms {
 		results[i].Algorithm = alg.Name()
+		results[i].RepErrs = make([]float64, reps)
 	}
 	for rep, out := range outs {
 		if out.err != nil {
 			return nil, fmt.Errorf("experiment: rep %d: %w", rep, out.err)
 		}
 		for i, e := range out.errs {
+			results[i].RepErrs[rep] = e
 			if e != e { // NaN marks an algorithm failure for this rep
 				results[i].Failures++
 				continue
@@ -171,14 +185,6 @@ func Run(spec Spec) ([]AlgResult, error) {
 		}
 	}
 	return results, nil
-}
-
-func maxParallel() int {
-	n := runtime.GOMAXPROCS(0)
-	if n < 1 {
-		n = 1
-	}
-	return n
 }
 
 // runOneRep builds the shared platform, computes oracle weights, runs all
@@ -238,7 +244,7 @@ func runOneRep(spec Spec, seed int64, evalN int) ([]float64, error) {
 			out[ai] = nan()
 			continue
 		}
-		werr, err := WeightedError(p, ev, evalObjs, targets, weights, truths)
+		werr, err := WeightedError(p, ev, evalObjs, targets, weights, truths, spec.parallelism())
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", alg.Name(), err)
 		}
@@ -250,7 +256,10 @@ func runOneRep(spec Spec, seed int64, evalN int) ([]float64, error) {
 func nan() float64 { return math.NaN() }
 
 // WeightedError evaluates the evaluator on the objects and returns the
-// paper's query error Σ_t ω_t·MSE_t.
+// paper's query error Σ_t ω_t·MSE_t. The per-object estimates fan out up
+// to parallelism wide over the shared computation pool (1 = sequential);
+// estimates land in input order so the result does not depend on
+// scheduling.
 func WeightedError(
 	p crowd.Platform,
 	ev baselines.Evaluator,
@@ -258,16 +267,21 @@ func WeightedError(
 	targets []string,
 	weights map[string]float64,
 	truths map[string][]float64,
+	parallelism int,
 ) (float64, error) {
+	ests, err := core.EvaluateBatchFunc(objs, parallelism, func(o *domain.Object) (map[string]float64, error) {
+		return ev.Estimate(p, o)
+	})
+	if err != nil {
+		return 0, err
+	}
 	preds := make(map[string][]float64, len(targets))
-	for _, o := range objs {
-		est, err := ev.Estimate(p, o)
-		if err != nil {
-			return 0, err
+	for _, t := range targets {
+		col := make([]float64, len(objs))
+		for i, est := range ests {
+			col[i] = est[t]
 		}
-		for _, t := range targets {
-			preds[t] = append(preds[t], est[t])
-		}
+		preds[t] = col
 	}
 	var total float64
 	for _, t := range targets {
@@ -317,24 +331,34 @@ type Sweep struct {
 
 // RunSweep runs the spec once per budget value. Platform seeds depend only
 // on the repetition, so the same answer streams are reused across budget
-// points (the paper's recorded-answer methodology).
+// points (the paper's recorded-answer methodology). Budget points run
+// concurrently over the shared computation pool (each point's repetitions
+// fan out below it); results are assembled in budget order, and with
+// Spec.Parallelism == 1 the whole sweep is strictly sequential.
 func RunSweep(spec Spec, vary SweepVariable, budgets []crowd.Cost) (*Sweep, error) {
 	if len(budgets) == 0 {
 		return nil, errors.New("experiment: empty budget grid")
 	}
-	sw := &Sweep{Name: spec.Name, Vary: vary}
-	for _, b := range budgets {
+	sw := &Sweep{Name: spec.Name, Vary: vary, Points: make([]SweepPoint, len(budgets))}
+	errs := make([]error, len(budgets))
+	core.ForEach(len(budgets), spec.parallelism(), func(i int) {
 		pt := spec
 		if vary == VaryBPrc {
-			pt.BPrc = b
+			pt.BPrc = budgets[i]
 		} else {
-			pt.BObj = b
+			pt.BObj = budgets[i]
 		}
 		res, err := Run(pt)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: sweep %v=%v: %w", vary, b, err)
+			errs[i] = fmt.Errorf("experiment: sweep %v=%v: %w", vary, budgets[i], err)
+			return
 		}
-		sw.Points = append(sw.Points, SweepPoint{Budget: b, Results: res})
+		sw.Points[i] = SweepPoint{Budget: budgets[i], Results: res}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return sw, nil
 }
@@ -345,6 +369,14 @@ func RunSweep(spec Spec, vary SweepVariable, budgets []crowd.Cost) (*Sweep, erro
 // notes that averages do not hide reversals — "all observations are true
 // in general as most results are very close to the average" — and this is
 // the statistic that verifies it.
+//
+// Pairing uses the rep-indexed RepErrs so algorithm i's repetition k is
+// always compared against the reference's repetition k; repetitions where
+// either side failed (NaN) are excluded from both numerator and
+// denominator. (Pairing over the compacted PerRep would silently shift
+// the alignment as soon as failure counts differ.) Hand-built results
+// without RepErrs fall back to PerRep, which is only correct when neither
+// side had failures.
 func WinRate(results []AlgResult, reference string) (map[string]float64, error) {
 	var ref *AlgResult
 	for i := range results {
@@ -360,20 +392,29 @@ func WinRate(results []AlgResult, reference string) (map[string]float64, error) 
 		if r.Algorithm == reference {
 			continue
 		}
-		n := len(r.PerRep)
-		if len(ref.PerRep) < n {
-			n = len(ref.PerRep)
+		rErrs, refErrs := r.RepErrs, ref.RepErrs
+		if rErrs == nil || refErrs == nil {
+			rErrs, refErrs = r.PerRep, ref.PerRep
 		}
-		if n == 0 {
-			continue
+		n := len(rErrs)
+		if len(refErrs) < n {
+			n = len(refErrs)
 		}
-		wins := 0
+		wins, pairs := 0, 0
 		for i := 0; i < n; i++ {
-			if r.PerRep[i] < ref.PerRep[i] {
+			a, b := rErrs[i], refErrs[i]
+			if a != a || b != b { // either side failed this rep
+				continue
+			}
+			pairs++
+			if a < b {
 				wins++
 			}
 		}
-		out[r.Algorithm] = float64(wins) / float64(n)
+		if pairs == 0 {
+			continue
+		}
+		out[r.Algorithm] = float64(wins) / float64(pairs)
 	}
 	return out, nil
 }

@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/crowd"
+)
+
+// parallelSpec is a small two-algorithm configuration used by the
+// parallelism tests.
+func parallelSpec() Spec {
+	return Spec{
+		Name:        "parallel-determinism",
+		Platform:    PlatformConfig{Domain: "recipes"},
+		Targets:     []string{"Protein"},
+		BObj:        crowd.Cents(2),
+		BPrc:        crowd.Dollars(15),
+		Algorithms:  []baselines.Algorithm{baselines.NaiveAverage{}, baselines.DisQ{}},
+		Reps:        3,
+		EvalObjects: 12,
+	}
+}
+
+// TestSweepDeterministicAcrossParallelism runs the same sweep strictly
+// sequentially (Parallelism=1) and maximally parallel and requires the
+// rendered results to be byte-identical. This is the acceptance test for
+// the concurrent harness: platform answer streams are derived per
+// question, the shared pool only changes scheduling, and results are
+// assembled by index — so parallelism must be unobservable in the output.
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	budgets := []crowd.Cost{crowd.Dollars(10), crowd.Dollars(15)}
+	render := func(parallelism int) string {
+		s := parallelSpec()
+		s.Parallelism = parallelism
+		sw, err := RunSweep(s, VaryBPrc, budgets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := RenderSweep(&b, sw); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	sequential := render(1)
+	parallel := render(8)
+	if sequential != parallel {
+		t.Fatalf("sweep results depend on parallelism.\nsequential:\n%s\nparallel:\n%s", sequential, parallel)
+	}
+}
+
+// TestRunFillsRepErrs checks the rep-indexed error record: one slot per
+// repetition for every algorithm, NaN only where Failures says so.
+func TestRunFillsRepErrs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := parallelSpec()
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if len(r.RepErrs) != s.Reps {
+			t.Fatalf("%s: RepErrs has %d entries, want %d", r.Algorithm, len(r.RepErrs), s.Reps)
+		}
+		nans := 0
+		for _, e := range r.RepErrs {
+			if math.IsNaN(e) {
+				nans++
+			}
+		}
+		if nans != r.Failures {
+			t.Fatalf("%s: %d NaN entries but %d recorded failures", r.Algorithm, nans, r.Failures)
+		}
+		if len(r.PerRep)+r.Failures != s.Reps {
+			t.Fatalf("%s: PerRep %d + Failures %d != Reps %d", r.Algorithm, len(r.PerRep), r.Failures, s.Reps)
+		}
+	}
+}
+
+// TestWinRateAsymmetricFailures pins the index-alignment fix: with
+// failures at different repetitions for the two algorithms, wins must be
+// counted over same-rep pairs only. Before the fix the compacted PerRep
+// slices were paired positionally, comparing different repetitions as
+// soon as failure counts diverged.
+func TestWinRateAsymmetricFailures(t *testing.T) {
+	nan := math.NaN()
+	results := []AlgResult{
+		// Reference fails rep 0; candidate fails rep 3.
+		{Algorithm: "Ref", RepErrs: []float64{nan, 1.0, 1.0, 1.0, 1.0}, PerRep: []float64{1.0, 1.0, 1.0, 1.0}},
+		{Algorithm: "Cand", RepErrs: []float64{0.1, 0.5, 2.0, nan, 0.5}, PerRep: []float64{0.1, 0.5, 2.0, 0.5}},
+	}
+	wr, err := WinRate(results, "Ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Comparable reps: 1, 2, 4 → Cand wins at 1 and 4 → 2/3.
+	if got := wr["Cand"]; math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("win rate %v, want 2/3 (misaligned pairing?)", got)
+	}
+	// Positional PerRep pairing would have compared (0.1,1.0) (0.5,1.0)
+	// (2.0,1.0) (0.5,1.0) → 3/4; make sure we did not.
+	if got := wr["Cand"]; math.Abs(got-0.75) < 1e-12 {
+		t.Fatal("WinRate paired compacted PerRep slices positionally")
+	}
+
+	// No comparable pairs → algorithm absent from the map.
+	disjoint := []AlgResult{
+		{Algorithm: "Ref", RepErrs: []float64{nan, 1.0}},
+		{Algorithm: "Cand", RepErrs: []float64{0.5, nan}},
+	}
+	wr, err = WinRate(disjoint, "Ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := wr["Cand"]; ok {
+		t.Fatal("algorithm with no comparable reps should be omitted")
+	}
+}

@@ -109,6 +109,18 @@ func (m *Matrix) Row(i int) []float64 {
 	return out
 }
 
+// RowView returns row i as a slice aliasing the matrix storage: no
+// allocation, and writes through the slice write into the matrix. It is
+// the hot-loop counterpart of Row; callers that need an independent copy
+// must use Row. The slice's capacity is clipped so appends cannot clobber
+// the following row.
+func (m *Matrix) RowView(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("linalg: row %d out of range for %dx%d", i, m.rows, m.cols))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols : (i+1)*m.cols]
+}
+
 // Col returns a copy of column j as a slice.
 func (m *Matrix) Col(j int) []float64 {
 	if j < 0 || j >= m.cols {
@@ -197,19 +209,32 @@ func (m *Matrix) Mul(n *Matrix) (*Matrix, error) {
 
 // MulVec returns the matrix-vector product m·v.
 func (m *Matrix) MulVec(v []float64) ([]float64, error) {
-	if m.cols != len(v) {
-		return nil, fmt.Errorf("%w: mulvec %dx%d with len %d", ErrDimension, m.rows, m.cols, len(v))
-	}
 	out := make([]float64, m.rows)
+	if err := m.MulVecInto(out, v); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MulVecInto computes the matrix-vector product m·v into dst, which must
+// have length m.Rows(). It is the allocation-free form of MulVec for hot
+// loops that reuse a scratch vector. dst must not alias v.
+func (m *Matrix) MulVecInto(dst, v []float64) error {
+	if m.cols != len(v) {
+		return fmt.Errorf("%w: mulvec %dx%d with len %d", ErrDimension, m.rows, m.cols, len(v))
+	}
+	if len(dst) != m.rows {
+		return fmt.Errorf("%w: mulvec dst len %d, want %d", ErrDimension, len(dst), m.rows)
+	}
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		var s float64
 		for j, rv := range row {
 			s += rv * v[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out, nil
+	return nil
 }
 
 // QuadraticForm returns vᵀ·m·v.
