@@ -3,9 +3,17 @@
 // run against it from another process — the deployment topology of a real
 // crowdsourcing integration.
 //
+// Fault injection (for rehearsing the retrying client against a flaky
+// deployment): -fail-rate rejects a fraction of requests with 503 before
+// they execute, -drop-rate loses responses after execution (recoverable
+// only through the client's idempotency keys), -latency delays every
+// request, -fail-after N makes every request after the first N fail, and
+// -short-rate truncates value/example batches at the platform.
+//
 // Usage:
 //
 //	disq-serve -domain recipes -addr :8080 -seed 42
+//	disq-serve -domain recipes -fail-rate 0.1 -drop-rate 0.05 -latency 20ms
 //	# elsewhere: client := disq.NewCrowdClient("http://host:8080", nil)
 package main
 
@@ -30,15 +38,33 @@ func main() {
 		spam       = flag.Float64("spam", 0, "spam worker rate")
 		filterEff  = flag.Float64("filter", 0.9, "spam filter efficiency")
 		register   = flag.Int("register", 100, "database objects to pre-register for online evaluation")
+
+		failRate  = flag.Float64("fail-rate", 0, "inject: fraction of requests rejected with 503 before executing")
+		dropRate  = flag.Float64("drop-rate", 0, "inject: fraction of executed responses dropped (recovered via idempotent replay)")
+		failAfter = flag.Int("fail-after", 0, "inject: every request after the first N fails with 503 (0 = off)")
+		latency   = flag.Duration("latency", 0, "inject: added latency per request")
+		shortRate = flag.Float64("short-rate", 0, "inject: fraction of value/example batches truncated at the platform")
+		faultSeed = flag.Int64("fault-seed", 0, "fault-injection seed (default: platform seed)")
 	)
 	flag.Parse()
-	if err := run(*domainName, *addr, *seed, *spam, *filterEff, *register); err != nil {
+	faults := crowdhttp.FaultOptions{
+		Seed:      *faultSeed,
+		FailRate:  *failRate,
+		DropRate:  *dropRate,
+		FailAfter: *failAfter,
+		Latency:   *latency,
+	}
+	if faults.Seed == 0 {
+		faults.Seed = *seed
+	}
+	if err := run(*domainName, *addr, *seed, *spam, *filterEff, *register, faults, *shortRate); err != nil {
 		fmt.Fprintln(os.Stderr, "disq-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(domainName, addr string, seed int64, spam, filterEff float64, register int) error {
+func run(domainName, addr string, seed int64, spam, filterEff float64, register int,
+	faults crowdhttp.FaultOptions, shortRate float64) error {
 	build, ok := domain.Registry()[domainName]
 	if !ok {
 		return fmt.Errorf("unknown domain %q", domainName)
@@ -52,7 +78,18 @@ func run(domainName, addr string, seed int64, spam, filterEff float64, register 
 	if err != nil {
 		return err
 	}
-	server := crowdhttp.NewServer(sim)
+	var platform crowd.Platform = sim
+	if shortRate > 0 {
+		platform = crowd.NewFaulty(sim, crowd.FaultyOptions{Seed: faults.Seed, ShortRate: shortRate})
+	}
+	injecting := faults.FailRate > 0 || faults.DropRate > 0 || faults.FailAfter > 0 ||
+		faults.Latency > 0 || shortRate > 0
+	var server *crowdhttp.Server
+	if injecting {
+		server = crowdhttp.NewFaultyServer(platform, faults)
+	} else {
+		server = crowdhttp.NewServer(platform)
+	}
 	// Pre-register a batch of "database" objects so clients can evaluate
 	// them by id (ids are printed for convenience).
 	objs := u.NewObjects(rand.New(rand.NewSource(seed^0xdb)), register)
@@ -64,6 +101,10 @@ func run(domainName, addr string, seed int64, spam, filterEff float64, register 
 		return err
 	}
 	fmt.Printf("serving %q crowd platform on http://%s\n", domainName, listener.Addr())
+	if injecting {
+		fmt.Printf("fault injection: fail-rate %.2f drop-rate %.2f fail-after %d latency %s short-rate %.2f (seed %d)\n",
+			faults.FailRate, faults.DropRate, faults.FailAfter, faults.Latency, shortRate, faults.Seed)
+	}
 	if register > 0 {
 		fmt.Printf("registered database objects: ids %d..%d\n", objs[0].ID, objs[len(objs)-1].ID)
 	}

@@ -233,21 +233,68 @@ func NewQueryEngine(p Platform, plan *Plan, st *Statement) (*QueryEngine, error)
 
 // Remote crowd platform (HTTP adapter; see internal/crowdhttp).
 type (
-	// CrowdServer exposes a Platform over HTTP.
+	// CrowdServer exposes a Platform over HTTP, with idempotent replay of
+	// retried requests and optional fault injection.
 	CrowdServer = crowdhttp.Server
 	// CrowdClient implements Platform against a CrowdServer, with local
-	// budgeting and answer caching.
+	// transactional budgeting, answer caching and a retrying transport.
 	CrowdClient = crowdhttp.Client
+	// CrowdClientOptions tunes the client's retry/timeout transport.
+	CrowdClientOptions = crowdhttp.Options
+	// CrowdFaultOptions configures request-level fault injection on a
+	// CrowdServer (503s, dropped responses, latency, fail-after-N).
+	CrowdFaultOptions = crowdhttp.FaultOptions
 )
 
 // NewCrowdServer wraps a platform for serving; mount Handler() on an
 // http.Server.
 func NewCrowdServer(p Platform) *CrowdServer { return crowdhttp.NewServer(p) }
 
+// NewFaultyCrowdServer is NewCrowdServer plus seeded request-level fault
+// injection, for rehearsing deployments against a flaky crowd service.
+func NewFaultyCrowdServer(p Platform, f CrowdFaultOptions) *CrowdServer {
+	return crowdhttp.NewFaultyServer(p, f)
+}
+
 // NewCrowdClient returns a Platform speaking to a CrowdServer at baseURL
-// (nil httpClient = http.DefaultClient).
+// (nil httpClient = http.DefaultClient) with default transport options.
 func NewCrowdClient(baseURL string, httpClient *http.Client) *CrowdClient {
 	return crowdhttp.NewClient(baseURL, httpClient)
+}
+
+// NewCrowdClientWithOptions is NewCrowdClient with explicit retry/timeout
+// options.
+func NewCrowdClientWithOptions(baseURL string, httpClient *http.Client, opts CrowdClientOptions) *CrowdClient {
+	return crowdhttp.NewClientWithOptions(baseURL, httpClient, opts)
+}
+
+// Fault injection on any Platform (see internal/crowd).
+type (
+	// FaultyPlatform injects seeded transient errors, latency and short
+	// batches into a Platform.
+	FaultyPlatform = crowd.FaultyPlatform
+	// FaultyOptions configures FaultyPlatform.
+	FaultyOptions = crowd.FaultyOptions
+	// RetryPlatform recovers from transient platform failures in-process.
+	RetryPlatform = crowd.RetryPlatform
+	// RetryOptions configures RetryPlatform.
+	RetryOptions = crowd.RetryOptions
+	// FaultStats counts injected faults and retry recoveries.
+	FaultStats = crowd.FaultStats
+)
+
+// ErrTransientCrowd marks transient (retryable) platform failures.
+var ErrTransientCrowd = crowd.ErrTransient
+
+// NewFaultyPlatform wraps a platform with seeded fault injection.
+func NewFaultyPlatform(p Platform, opts FaultyOptions) *FaultyPlatform {
+	return crowd.NewFaulty(p, opts)
+}
+
+// NewRetryPlatform wraps a platform with transparent retries of transient
+// failures.
+func NewRetryPlatform(p Platform, opts RetryOptions) *RetryPlatform {
+	return crowd.NewRetry(p, opts)
 }
 
 // RefObject returns a reference-only object for addressing server-side

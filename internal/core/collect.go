@@ -33,7 +33,12 @@ type collector struct {
 func newCollector(p crowd.Platform, opts Options, targets []string, bPrc crowd.Cost) *collector {
 	n1 := opts.N1
 	exPrice := p.Pricing().Example
-	if bPrc > 0 {
+	// exPrice can be 0 when the platform's pricing is unavailable (e.g. a
+	// remote client before its first successful fetch) or examples are
+	// free; dividing by it would make maxExamples int(+Inf), which is
+	// implementation-defined. Free examples put no pressure on the
+	// budget, so the configured N1 stands.
+	if bPrc > 0 && exPrice > 0 {
 		maxExamples := int(float64(bPrc) * 0.4 / float64(exPrice) / float64(len(targets)))
 		if maxExamples < n1 {
 			n1 = maxExamples

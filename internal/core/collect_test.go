@@ -49,6 +49,31 @@ func TestCollectorShrinksN1UnderTightBudget(t *testing.T) {
 	}
 }
 
+// freeExamplePlatform prices example questions at zero, the shape a
+// remote client reports before its first pricing fetch (and a legitimate
+// configuration in its own right).
+type freeExamplePlatform struct{ crowd.Platform }
+
+func (f freeExamplePlatform) Pricing() crowd.Pricing {
+	p := f.Platform.Pricing()
+	p.Example = 0
+	return p
+}
+
+func TestCollectorFreeExamplesKeepN1(t *testing.T) {
+	// A zero example price must not divide the budget by zero (which made
+	// maxExamples int(+Inf)); free examples put no pressure on the budget,
+	// so the configured N1 stands even under a tight B_prc.
+	p, err := crowd.NewSim(domain.Recipes(), crowd.SimOptions{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCollector(freeExamplePlatform{p}, Options{}.Defaults(), []string{"Protein"}, crowd.Dollars(2))
+	if c.n1 != 200 {
+		t.Fatalf("n1 = %d with free examples, want the configured 200", c.n1)
+	}
+}
+
 func TestCollectorInitAndAddAttribute(t *testing.T) {
 	c, p := testCollector(t, crowd.Dollars(30), "Protein")
 	if err := c.init(); err != nil {

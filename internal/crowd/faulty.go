@@ -1,0 +1,354 @@
+package crowd
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/domain"
+)
+
+// ErrTransient marks a transient platform failure: the question did not
+// execute (no state advanced, nothing was charged), and retrying it is
+// safe and expected. FaultyPlatform injects it, RetryPlatform and the
+// crowdhttp transport recover from it.
+var ErrTransient = errors.New("crowd: transient platform failure")
+
+// FaultyOptions configures deterministic, seeded fault injection. All
+// injection decisions derive from the seed and a per-question counter, so
+// a given option set produces the same fault schedule on every run.
+type FaultyOptions struct {
+	// Seed drives the injection schedule (independent of the platform
+	// seed, so faults never perturb the simulated answers).
+	Seed int64
+	// FailRate is the probability a question fails transiently *before*
+	// executing: the wrapped platform is never consulted, so no stream
+	// cursor advances and nothing is charged — a retry observes exactly
+	// the state the failed attempt saw.
+	FailRate float64
+	// FailAfter, when > 0, makes every question after the first N fail
+	// transiently — the "platform went down mid-run" shape, for driving
+	// retry budgets to exhaustion.
+	FailAfter int
+	// ShortRate is the probability a Value/Examples batch is truncated to
+	// a strict prefix. The wrapped call executes fully (real platforms
+	// return partially completed batches after collecting answers), so a
+	// re-ask is cheap: cached answers are never regenerated or recharged.
+	ShortRate float64
+	// Latency delays every question; LatencyJitter adds a seeded random
+	// extra on top.
+	Latency       time.Duration
+	LatencyJitter time.Duration
+}
+
+// FaultStats counts injected faults and fault recoveries across the
+// layers that handle them (FaultyPlatform injects; RetryPlatform and
+// crowdhttp.Client retry).
+type FaultStats struct {
+	// Questions is how many questions reached a fault-injecting layer.
+	Questions int64
+	// InjectedErrors counts transient errors injected.
+	InjectedErrors int64
+	// InjectedShorts counts truncated Value/Examples batches returned.
+	InjectedShorts int64
+	// Retries counts re-asks performed by a retrying layer.
+	Retries int64
+}
+
+// Merge accumulates another layer's counters.
+func (s *FaultStats) Merge(o FaultStats) {
+	s.Questions += o.Questions
+	s.InjectedErrors += o.InjectedErrors
+	s.InjectedShorts += o.InjectedShorts
+	s.Retries += o.Retries
+}
+
+// FaultReporter is implemented by platform layers that count faults; the
+// experiment harness collects these counters into its run reports.
+type FaultReporter interface {
+	FaultStats() FaultStats
+}
+
+// faultRand derives an independent generator from the fault seed and a
+// question index, mirroring the simulator's per-question derivation.
+func faultRand(seed, idx int64) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "fault|%d|%d", seed, idx)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// FaultyPlatform wraps any Platform and injects transient errors, latency
+// and short batches into the four charged question types (metadata
+// lookups pass through untouched). Injection is pre-execution for errors:
+// a failed question leaves the wrapped platform exactly as it was, which
+// is what makes a fault-injected run converge to the same answers as a
+// fault-free run once a retry layer sits on top.
+type FaultyPlatform struct {
+	inner Platform
+	opts  FaultyOptions
+
+	calls         atomic.Int64
+	injectedErr   atomic.Int64
+	injectedShort atomic.Int64
+}
+
+// NewFaulty wraps a platform with the fault schedule.
+func NewFaulty(inner Platform, opts FaultyOptions) *FaultyPlatform {
+	return &FaultyPlatform{inner: inner, opts: opts}
+}
+
+// FaultStats implements FaultReporter, including the wrapped platform's
+// counters when it reports any.
+func (f *FaultyPlatform) FaultStats() FaultStats {
+	s := FaultStats{
+		Questions:      f.calls.Load(),
+		InjectedErrors: f.injectedErr.Load(),
+		InjectedShorts: f.injectedShort.Load(),
+	}
+	if fr, ok := f.inner.(FaultReporter); ok {
+		s.Merge(fr.FaultStats())
+	}
+	return s
+}
+
+// begin runs the per-question fault schedule: latency, then the
+// pre-execution failure decision. The returned generator carries the
+// question's remaining injection randomness (short batches).
+func (f *FaultyPlatform) begin() (*rand.Rand, error) {
+	idx := f.calls.Add(1)
+	r := faultRand(f.opts.Seed, idx)
+	if d := f.opts.Latency; d > 0 || f.opts.LatencyJitter > 0 {
+		if f.opts.LatencyJitter > 0 {
+			d += time.Duration(r.Int63n(int64(f.opts.LatencyJitter) + 1))
+		}
+		time.Sleep(d)
+	}
+	if f.opts.FailAfter > 0 && idx > int64(f.opts.FailAfter) {
+		f.injectedErr.Add(1)
+		return nil, fmt.Errorf("%w: injected (question %d past fail-after %d)", ErrTransient, idx, f.opts.FailAfter)
+	}
+	if f.opts.FailRate > 0 && r.Float64() < f.opts.FailRate {
+		f.injectedErr.Add(1)
+		return nil, fmt.Errorf("%w: injected (question %d)", ErrTransient, idx)
+	}
+	return r, nil
+}
+
+// Value implements Platform with injected faults; short batches return a
+// strict prefix of the real answers.
+func (f *FaultyPlatform) Value(o *domain.Object, attr string, n int) ([]float64, error) {
+	r, err := f.begin()
+	if err != nil {
+		return nil, err
+	}
+	ans, err := f.inner.Value(o, attr, n)
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 && f.opts.ShortRate > 0 && r.Float64() < f.opts.ShortRate {
+		f.injectedShort.Add(1)
+		return ans[:r.Intn(n)], nil
+	}
+	return ans, nil
+}
+
+// Dismantle implements Platform with injected faults.
+func (f *FaultyPlatform) Dismantle(attr string) (string, error) {
+	if _, err := f.begin(); err != nil {
+		return "", err
+	}
+	return f.inner.Dismantle(attr)
+}
+
+// Verify implements Platform with injected faults.
+func (f *FaultyPlatform) Verify(candidate, target string) (bool, error) {
+	if _, err := f.begin(); err != nil {
+		return false, err
+	}
+	return f.inner.Verify(candidate, target)
+}
+
+// Examples implements Platform with injected faults; short batches return
+// a strict prefix of the real stream.
+func (f *FaultyPlatform) Examples(targets []string, n int) ([]Example, error) {
+	r, err := f.begin()
+	if err != nil {
+		return nil, err
+	}
+	ex, err := f.inner.Examples(targets, n)
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 && f.opts.ShortRate > 0 && r.Float64() < f.opts.ShortRate {
+		f.injectedShort.Add(1)
+		return ex[:r.Intn(n)], nil
+	}
+	return ex, nil
+}
+
+// Canonical implements Platform (pass-through; metadata is not faulted).
+func (f *FaultyPlatform) Canonical(name string) string { return f.inner.Canonical(name) }
+
+// Sigma implements Platform (pass-through).
+func (f *FaultyPlatform) Sigma(attr string) float64 { return f.inner.Sigma(attr) }
+
+// IsBinary implements Platform (pass-through).
+func (f *FaultyPlatform) IsBinary(attr string) bool { return f.inner.IsBinary(attr) }
+
+// Pricing implements Platform (pass-through).
+func (f *FaultyPlatform) Pricing() Pricing { return f.inner.Pricing() }
+
+// Ledger implements Platform (pass-through).
+func (f *FaultyPlatform) Ledger() *Ledger { return f.inner.Ledger() }
+
+// SetLedger implements Platform (pass-through).
+func (f *FaultyPlatform) SetLedger(l *Ledger) *Ledger { return f.inner.SetLedger(l) }
+
+// RetryOptions configures the in-process retry layer.
+type RetryOptions struct {
+	// MaxRetries is how many times a transiently failed question is
+	// re-asked after the first attempt (default 6).
+	MaxRetries int
+	// Backoff is the delay before the first retry; it doubles per attempt
+	// up to BackoffMax (defaults 1ms / 100ms).
+	Backoff    time.Duration
+	BackoffMax time.Duration
+}
+
+func (o RetryOptions) withDefaults() RetryOptions {
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 6
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 100 * time.Millisecond
+	}
+	return o
+}
+
+// RetryPlatform wraps a Platform and retries questions that fail with
+// ErrTransient (or come back as short batches) with exponential backoff —
+// the in-process counterpart of the crowdhttp client's retrying
+// transport, used to run the experiment harness over a FaultyPlatform.
+type RetryPlatform struct {
+	inner   Platform
+	opts    RetryOptions
+	retries atomic.Int64
+}
+
+// NewRetry wraps a platform with the retry policy (zero options =
+// defaults).
+func NewRetry(inner Platform, opts RetryOptions) *RetryPlatform {
+	return &RetryPlatform{inner: inner, opts: opts.withDefaults()}
+}
+
+// FaultStats implements FaultReporter, including the wrapped platform's
+// counters.
+func (p *RetryPlatform) FaultStats() FaultStats {
+	s := FaultStats{Retries: p.retries.Load()}
+	if fr, ok := p.inner.(FaultReporter); ok {
+		s.Merge(fr.FaultStats())
+	}
+	return s
+}
+
+// do runs one question, re-asking on ErrTransient until the retry budget
+// is exhausted. Non-transient errors (budget, unknown attribute) are
+// terminal immediately.
+func (p *RetryPlatform) do(call func() error) error {
+	backoff := p.opts.Backoff
+	var err error
+	for attempt := 0; attempt <= p.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			p.retries.Add(1)
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > p.opts.BackoffMax {
+				backoff = p.opts.BackoffMax
+			}
+		}
+		if err = call(); err == nil || !errors.Is(err, ErrTransient) {
+			return err
+		}
+	}
+	return fmt.Errorf("crowd: retry budget (%d) exhausted: %w", p.opts.MaxRetries, err)
+}
+
+// Value implements Platform; short batches are treated as transient and
+// re-asked (answer caching in the wrapped platform makes that free).
+func (p *RetryPlatform) Value(o *domain.Object, attr string, n int) ([]float64, error) {
+	var out []float64
+	err := p.do(func() error {
+		ans, err := p.inner.Value(o, attr, n)
+		if err != nil {
+			return err
+		}
+		if len(ans) < n {
+			return fmt.Errorf("%w: short value batch %d/%d", ErrTransient, len(ans), n)
+		}
+		out = ans
+		return nil
+	})
+	return out, err
+}
+
+// Dismantle implements Platform with retries.
+func (p *RetryPlatform) Dismantle(attr string) (string, error) {
+	var out string
+	err := p.do(func() error {
+		ans, err := p.inner.Dismantle(attr)
+		out = ans
+		return err
+	})
+	return out, err
+}
+
+// Verify implements Platform with retries.
+func (p *RetryPlatform) Verify(candidate, target string) (bool, error) {
+	var out bool
+	err := p.do(func() error {
+		yes, err := p.inner.Verify(candidate, target)
+		out = yes
+		return err
+	})
+	return out, err
+}
+
+// Examples implements Platform; short batches are re-asked.
+func (p *RetryPlatform) Examples(targets []string, n int) ([]Example, error) {
+	var out []Example
+	err := p.do(func() error {
+		ex, err := p.inner.Examples(targets, n)
+		if err != nil {
+			return err
+		}
+		if len(ex) < n {
+			return fmt.Errorf("%w: short example batch %d/%d", ErrTransient, len(ex), n)
+		}
+		out = ex
+		return nil
+	})
+	return out, err
+}
+
+// Canonical implements Platform (pass-through).
+func (p *RetryPlatform) Canonical(name string) string { return p.inner.Canonical(name) }
+
+// Sigma implements Platform (pass-through).
+func (p *RetryPlatform) Sigma(attr string) float64 { return p.inner.Sigma(attr) }
+
+// IsBinary implements Platform (pass-through).
+func (p *RetryPlatform) IsBinary(attr string) bool { return p.inner.IsBinary(attr) }
+
+// Pricing implements Platform (pass-through).
+func (p *RetryPlatform) Pricing() Pricing { return p.inner.Pricing() }
+
+// Ledger implements Platform (pass-through).
+func (p *RetryPlatform) Ledger() *Ledger { return p.inner.Ledger() }
+
+// SetLedger implements Platform (pass-through).
+func (p *RetryPlatform) SetLedger(l *Ledger) *Ledger { return p.inner.SetLedger(l) }

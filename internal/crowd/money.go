@@ -195,6 +195,74 @@ func (l *Ledger) Charge(k QuestionKind, c Cost) error {
 	return nil
 }
 
+// Refund reverses one prior Charge of kind k at price c, returning the
+// money (and the question count) to the ledger. It is the caller's
+// contract that every Refund matches an earlier successful Charge; the
+// ledger does not track individual charges.
+func (l *Ledger) Refund(k QuestionKind, c Cost) error {
+	if c < 0 {
+		return fmt.Errorf("crowd: negative refund %v", c)
+	}
+	l.spent.Add(-int64(c))
+	if k >= 0 && k < numKinds {
+		l.byKind[k].Add(-int64(c))
+		l.nAsked[k].Add(-1)
+	}
+	return nil
+}
+
+// Reservation is budget charged ahead of a crowd request, so the limit is
+// enforced *before* any money leaves and a failed request can return what
+// it reserved. Exactly one of Commit (the request succeeded, the money
+// stays spent) or Release (the request failed, refund everything) settles
+// it; both are idempotent and the first settlement wins.
+type Reservation struct {
+	l       *Ledger
+	kind    QuestionKind
+	unit    Cost
+	n       int
+	settled atomic.Bool
+}
+
+// Reserve charges n questions of kind k at the unit price, all or
+// nothing: if the limit cannot cover every question, the ones already
+// charged are refunded and ErrBudgetExhausted is returned.
+func (l *Ledger) Reserve(k QuestionKind, unit Cost, n int) (*Reservation, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("crowd: negative reservation size %d", n)
+	}
+	for i := 0; i < n; i++ {
+		if err := l.Charge(k, unit); err != nil {
+			for j := 0; j < i; j++ {
+				l.Refund(k, unit)
+			}
+			return nil, err
+		}
+	}
+	return &Reservation{l: l, kind: k, unit: unit, n: n}, nil
+}
+
+// N returns how many questions the reservation covers.
+func (r *Reservation) N() int { return r.n }
+
+// Commit settles the reservation: the reserved budget stays spent.
+func (r *Reservation) Commit() {
+	if r != nil {
+		r.settled.Store(true)
+	}
+}
+
+// Release refunds the reserved budget (no-op after Commit or a previous
+// Release).
+func (r *Reservation) Release() {
+	if r == nil || r.settled.Swap(true) {
+		return
+	}
+	for i := 0; i < r.n; i++ {
+		r.l.Refund(r.kind, r.unit)
+	}
+}
+
 // Spent returns the total amount charged.
 func (l *Ledger) Spent() Cost {
 	return Cost(l.spent.Load())

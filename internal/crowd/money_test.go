@@ -177,6 +177,78 @@ func TestLedgerConcurrency(t *testing.T) {
 	}
 }
 
+func TestLedgerRefund(t *testing.T) {
+	l := NewLedger(10 * Mill)
+	if err := l.Charge(NumericValue, 4*Mill); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Refund(NumericValue, 4*Mill); err != nil {
+		t.Fatal(err)
+	}
+	if l.Spent() != 0 || l.SpentOn(NumericValue) != 0 || l.Asked(NumericValue) != 0 {
+		t.Fatalf("refund did not restore the ledger: spent %v, on-kind %v, asked %d",
+			l.Spent(), l.SpentOn(NumericValue), l.Asked(NumericValue))
+	}
+	// Refunded budget is spendable again, up to the full limit.
+	for i := 0; i < 10; i++ {
+		if err := l.Charge(BinaryValue, 1*Mill); err != nil {
+			t.Fatalf("charge %d after refund: %v", i, err)
+		}
+	}
+	if err := l.Refund(BinaryValue, -1); err == nil {
+		t.Fatal("expected error for negative refund")
+	}
+}
+
+func TestLedgerReserveAllOrNothing(t *testing.T) {
+	l := NewLedger(10 * Mill)
+	// Three numeric questions (12 mills) exceed the limit: the two that fit
+	// must be rolled back, leaving the ledger untouched.
+	if _, err := l.Reserve(NumericValue, 4*Mill, 3); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("expected ErrBudgetExhausted, got %v", err)
+	}
+	if l.Spent() != 0 || l.Asked(NumericValue) != 0 {
+		t.Fatalf("failed reservation leaked: spent %v, asked %d", l.Spent(), l.Asked(NumericValue))
+	}
+	res, err := l.Reserve(NumericValue, 4*Mill, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N() != 2 || l.Spent() != 8*Mill {
+		t.Fatalf("reservation: n %d, spent %v", res.N(), l.Spent())
+	}
+	res.Release()
+	if l.Spent() != 0 {
+		t.Fatalf("released reservation kept %v spent", l.Spent())
+	}
+	if _, err := l.Reserve(NumericValue, Mill, -1); err == nil {
+		t.Fatal("expected error for negative reservation size")
+	}
+}
+
+func TestReservationSettlementIdempotent(t *testing.T) {
+	l := NewLedger(0)
+	res, err := l.Reserve(Dismantling, 15*Mill, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Commit()
+	res.Release() // no-op after Commit: the money stays spent
+	if l.Spent() != 15*Mill {
+		t.Fatalf("Release after Commit refunded: spent %v", l.Spent())
+	}
+	res2, err := l.Reserve(Dismantling, 15*Mill, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2.Release()
+	res2.Release() // double Release refunds once
+	res2.Commit()  // Commit after Release cannot re-spend
+	if l.Spent() != 15*Mill {
+		t.Fatalf("settlement not idempotent: spent %v, want %v", l.Spent(), 15*Mill)
+	}
+}
+
 func TestLedgerEnforcesUnderConcurrency(t *testing.T) {
 	l := NewLedger(1000)
 	var wg sync.WaitGroup

@@ -2,45 +2,125 @@ package crowdhttp
 
 import (
 	"bytes"
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/crowd"
 	"repro/internal/domain"
 )
 
+// Options configures the client's fault-tolerant transport.
+type Options struct {
+	// Timeout bounds each individual HTTP attempt (default 30s); a
+	// timed-out attempt is retried like a connection failure.
+	Timeout time.Duration
+	// MaxRetries is how many times a retryable request (connection error,
+	// timeout, 5xx, 429, short batch) is re-sent after the first attempt
+	// (default 3; negative disables retries).
+	MaxRetries int
+	// BackoffBase/BackoffMax shape the exponential backoff between
+	// retries (defaults 25ms / 2s); each delay carries up to 50% random
+	// jitter so synchronized clients do not stampede a recovering server.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 25 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	return o
+}
+
+// TransportStats counts the client's transport-level fault handling.
+type TransportStats struct {
+	// Requests is the number of HTTP attempts sent, including retries.
+	Requests int64
+	// Retries counts re-sent requests.
+	Retries int64
+	// TransientErrors counts retryable failures observed (connection
+	// errors, timeouts, 5xx, 429).
+	TransientErrors int64
+	// ShortResponses counts answer/example batches shorter than asked.
+	ShortResponses int64
+}
+
 // Client implements crowd.Platform over the crowdhttp API. It owns the
-// budget: every question is charged to the local ledger *before* the
-// request is sent, using the server's advertised pricing, and the local
-// answer/example caches guarantee nothing is paid for twice (the same
-// reuse semantics as crowd.SimPlatform).
+// budget — every question is charged to the local ledger *before* the
+// request is sent — and charging is transactional: the charge is a
+// reservation that is committed when the server's answer arrives and
+// released (refunded in full) when the request ultimately fails, so a
+// flaky network can never leak budget. The local answer/example caches
+// guarantee nothing is paid for twice (the same reuse semantics as
+// crowd.SimPlatform), and a per-key single-flight lock makes the
+// cache-check + charge + fetch sequence atomic per question identity:
+// concurrent callers of the same question serialize instead of
+// double-charging, while distinct questions proceed in parallel.
+//
+// The transport retries transient failures (connection errors, timeouts,
+// 5xx, 429) with exponential backoff and jitter under a per-request retry
+// budget. Every POST carries a client-unique idempotency key that stays
+// constant across retries: the server executes each key at most once and
+// replays the recorded response, so a retry can never advance a
+// dismantling/verification stream twice or double-answer a question.
 type Client struct {
 	base string
 	http *http.Client
+	opts Options
 
-	pricingOnce sync.Once
-	pricing     crowd.Pricing
-	pricingErr  error
+	// idemBase + idemSeq generate client-unique idempotency keys.
+	idemBase string
+	idemSeq  atomic.Int64
+
+	// pricingMu guards the cached payment scheme. A failed fetch is not
+	// cached (unlike a sync.Once), so a transient blip cannot permanently
+	// poison pricing and, with it, every budget computation.
+	pricingMu sync.Mutex
+	pricing   *crowd.Pricing
 
 	ledger atomic.Pointer[crowd.Ledger]
 
-	// mu guards the answer/example caches (written per question).
-	mu       sync.Mutex
-	values   map[valueKey][]float64
-	examples map[string][]crowd.Example
+	// mu guards the answer/example caches and their key-lock tables.
+	mu           sync.Mutex
+	values       map[valueKey][]float64
+	examples     map[string][]crowd.Example
+	valueLocks   map[valueKey]*sync.Mutex
+	exampleLocks map[string]*sync.Mutex
 
 	// metaMu guards the read-mostly metadata caches; lookups take only a
 	// read lock so concurrent value questions never serialize on them.
 	metaMu sync.RWMutex
 	meta   map[string]metaResponse
 	canon  map[string]string
+
+	requests       atomic.Int64
+	retries        atomic.Int64
+	transientErrs  atomic.Int64
+	shortResponses atomic.Int64
 }
 
 type valueKey struct {
@@ -48,74 +128,179 @@ type valueKey struct {
 	attr  string
 }
 
-// NewClient returns a platform speaking to the server at baseURL. The
-// httpClient may be nil (http.DefaultClient is used). The initial ledger
-// is unlimited; callers install budget limits with SetLedger.
+// NewClient returns a platform speaking to the server at baseURL with
+// default transport options. The httpClient may be nil
+// (http.DefaultClient is used). The initial ledger is unlimited; callers
+// install budget limits with SetLedger.
 func NewClient(baseURL string, httpClient *http.Client) *Client {
+	return NewClientWithOptions(baseURL, httpClient, Options{})
+}
+
+// NewClientWithOptions is NewClient with explicit retry/timeout options.
+func NewClientWithOptions(baseURL string, httpClient *http.Client, opts Options) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
 	c := &Client{
-		base:     strings.TrimRight(baseURL, "/"),
-		http:     httpClient,
-		values:   make(map[valueKey][]float64),
-		examples: make(map[string][]crowd.Example),
-		meta:     make(map[string]metaResponse),
-		canon:    make(map[string]string),
+		base:         strings.TrimRight(baseURL, "/"),
+		http:         httpClient,
+		opts:         opts.withDefaults(),
+		idemBase:     newIdemBase(),
+		values:       make(map[valueKey][]float64),
+		examples:     make(map[string][]crowd.Example),
+		valueLocks:   make(map[valueKey]*sync.Mutex),
+		exampleLocks: make(map[string]*sync.Mutex),
+		meta:         make(map[string]metaResponse),
+		canon:        make(map[string]string),
 	}
 	c.ledger.Store(crowd.NewLedger(0))
 	return c
 }
 
-// post sends a JSON request and decodes the JSON response, surfacing
-// server-side errors.
-func (c *Client) post(path string, req, resp interface{}) error {
+// newIdemBase returns a random prefix making this client's idempotency
+// keys unique across client instances sharing one server.
+func newIdemBase() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return fmt.Sprintf("t%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func (c *Client) nextIdemKey() string {
+	return fmt.Sprintf("%s-%d", c.idemBase, c.idemSeq.Add(1))
+}
+
+// TransportStats implements a snapshot of the transport counters.
+func (c *Client) TransportStats() TransportStats {
+	return TransportStats{
+		Requests:        c.requests.Load(),
+		Retries:         c.retries.Load(),
+		TransientErrors: c.transientErrs.Load(),
+		ShortResponses:  c.shortResponses.Load(),
+	}
+}
+
+// FaultStats implements crowd.FaultReporter, mapping the transport
+// counters onto the shared fault-accounting shape.
+func (c *Client) FaultStats() crowd.FaultStats {
+	return crowd.FaultStats{
+		Questions:      c.requests.Load(),
+		InjectedErrors: c.transientErrs.Load(),
+		InjectedShorts: c.shortResponses.Load(),
+		Retries:        c.retries.Load(),
+	}
+}
+
+// post sends one logical JSON request, retrying transient failures with
+// exponential backoff and jitter. The idempotency key is generated once
+// and reused across retries, so the server executes the question at most
+// once and replays the recorded response to late retries.
+func (c *Client) post(path string, req wireRequest, resp interface{}) error {
+	req.setIdempotencyKey(c.nextIdemKey())
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
-	r, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	return c.roundTrip(http.MethodPost, path, body, resp)
+}
+
+// get is the retrying GET counterpart of post (used for /v1/pricing).
+func (c *Client) get(path string, resp interface{}) error {
+	return c.roundTrip(http.MethodGet, path, nil, resp)
+}
+
+func (c *Client) roundTrip(method, path string, body []byte, resp interface{}) error {
+	backoff := c.opts.BackoffBase
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			time.Sleep(jittered(backoff))
+			if backoff *= 2; backoff > c.opts.BackoffMax {
+				backoff = c.opts.BackoffMax
+			}
+		}
+		err, retry := c.attempt(method, path, body, resp)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retry {
+			return err
+		}
+		c.transientErrs.Add(1)
+	}
+	return fmt.Errorf("crowdhttp: %s: retry budget (%d) exhausted: %w", path, c.opts.MaxRetries, lastErr)
+}
+
+// jittered adds up to 50% random delay so retrying clients spread out.
+func jittered(d time.Duration) time.Duration {
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// attempt performs one HTTP exchange and classifies the failure:
+// connection errors, timeouts, 5xx and 429 are retryable; any other
+// non-200 status (bad request, unknown object) is terminal.
+func (c *Client) attempt(method, path string, body []byte, resp interface{}) (error, bool) {
+	c.requests.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), c.opts.Timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return fmt.Errorf("crowdhttp: %s: %w", path, err)
+		return err, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	r, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("crowdhttp: %s: %w", path, err), true
 	}
 	defer r.Body.Close()
 	data, err := io.ReadAll(r.Body)
 	if err != nil {
-		return fmt.Errorf("crowdhttp: %s: reading response: %w", path, err)
+		return fmt.Errorf("crowdhttp: %s: reading response: %w", path, err), true
 	}
 	if r.StatusCode != http.StatusOK {
+		retry := r.StatusCode >= 500 || r.StatusCode == http.StatusTooManyRequests
 		var er errorResponse
 		if json.Unmarshal(data, &er) == nil && er.Error != "" {
-			return fmt.Errorf("crowdhttp: %s: %s", path, er.Error)
+			return fmt.Errorf("crowdhttp: %s: %s", path, er.Error), retry
 		}
-		return fmt.Errorf("crowdhttp: %s: status %d", path, r.StatusCode)
+		return fmt.Errorf("crowdhttp: %s: status %d", path, r.StatusCode), retry
 	}
-	return json.Unmarshal(data, resp)
+	if err := json.Unmarshal(data, resp); err != nil {
+		// A truncated/corrupted 200 body is a transport fault, not a
+		// protocol disagreement: retry it.
+		return fmt.Errorf("crowdhttp: %s: decoding response: %w", path, err), true
+	}
+	return nil, false
 }
 
-// fetchPricing loads and caches the server's payment scheme.
+// fetchPricing loads and caches the server's payment scheme; only a
+// successful fetch is cached.
 func (c *Client) fetchPricing() (crowd.Pricing, error) {
-	c.pricingOnce.Do(func() {
-		r, err := c.http.Get(c.base + PathPricing)
-		if err != nil {
-			c.pricingErr = err
-			return
-		}
-		defer r.Body.Close()
-		var pr pricingResponse
-		if err := json.NewDecoder(r.Body).Decode(&pr); err != nil {
-			c.pricingErr = err
-			return
-		}
-		c.pricing = crowd.Pricing{
-			BinaryValue:  pr.BinaryValue,
-			NumericValue: pr.NumericValue,
-			Dismantling:  pr.Dismantling,
-			Verification: pr.Verification,
-			Example:      pr.Example,
-		}
-	})
-	return c.pricing, c.pricingErr
+	c.pricingMu.Lock()
+	defer c.pricingMu.Unlock()
+	if c.pricing != nil {
+		return *c.pricing, nil
+	}
+	var pr pricingResponse
+	if err := c.get(PathPricing, &pr); err != nil {
+		return crowd.Pricing{}, err
+	}
+	p := crowd.Pricing{
+		BinaryValue:  pr.BinaryValue,
+		NumericValue: pr.NumericValue,
+		Dismantling:  pr.Dismantling,
+		Verification: pr.Verification,
+		Example:      pr.Example,
+	}
+	c.pricing = &p
+	return p, nil
 }
 
 // metaOf fetches (and caches) attribute metadata.
@@ -126,7 +311,7 @@ func (c *Client) metaOf(attr string) (metaResponse, error) {
 	if ok {
 		return m, nil
 	}
-	if err := c.post(PathMeta, metaRequest{Attribute: attr}, &m); err != nil {
+	if err := c.post(PathMeta, &metaRequest{Attribute: attr}, &m); err != nil {
 		return metaResponse{}, err
 	}
 	c.metaMu.Lock()
@@ -135,8 +320,62 @@ func (c *Client) metaOf(attr string) (metaResponse, error) {
 	return m, nil
 }
 
+// canonicalName resolves (and caches) the server-canonical form of an
+// attribute name, surfacing transport failures instead of silently
+// falling back: the value/example cache keys must agree with the server's
+// canonical names, and a transient blip answered with the raw name would
+// desynchronize them. Only a definitive 200 response is cached — the
+// server answers unknown names with the identity, which is the one
+// legitimate fallback.
+func (c *Client) canonicalName(name string) (string, error) {
+	c.metaMu.RLock()
+	canon, ok := c.canon[name]
+	c.metaMu.RUnlock()
+	if ok {
+		return canon, nil
+	}
+	var resp canonicalResponse
+	if err := c.post(PathCanonical, &canonicalRequest{Name: name}, &resp); err != nil {
+		return "", err
+	}
+	c.metaMu.Lock()
+	c.canon[name] = resp.Canonical
+	c.metaMu.Unlock()
+	return resp.Canonical, nil
+}
+
+// lockValueKey serializes callers of one value-question key; the lock
+// entry lives exactly as long as the cache entry it guards.
+func (c *Client) lockValueKey(k valueKey) func() {
+	c.mu.Lock()
+	lk := c.valueLocks[k]
+	if lk == nil {
+		lk = new(sync.Mutex)
+		c.valueLocks[k] = lk
+	}
+	c.mu.Unlock()
+	lk.Lock()
+	return lk.Unlock
+}
+
+// lockExampleKey serializes callers of one example stream.
+func (c *Client) lockExampleKey(k string) func() {
+	c.mu.Lock()
+	lk := c.exampleLocks[k]
+	if lk == nil {
+		lk = new(sync.Mutex)
+		c.exampleLocks[k] = lk
+	}
+	c.mu.Unlock()
+	lk.Lock()
+	return lk.Unlock
+}
+
 // Value implements crowd.Platform: local cache first, then charge the
-// ledger for the missing answers and fetch the full prefix remotely.
+// ledger for the missing answers and fetch the full prefix remotely. The
+// per-key lock makes cache-check + charge + fetch one critical section,
+// so two concurrent callers of the same question never both pay; the
+// reservation is released (refunded) if the request fails.
 func (c *Client) Value(o *domain.Object, attr string, n int) ([]float64, error) {
 	if o == nil {
 		return nil, errors.New("crowdhttp: nil object")
@@ -144,8 +383,14 @@ func (c *Client) Value(o *domain.Object, attr string, n int) ([]float64, error) 
 	if n < 0 {
 		return nil, fmt.Errorf("crowdhttp: negative answer count %d", n)
 	}
-	canon := c.Canonical(attr)
+	canon, err := c.canonicalName(attr)
+	if err != nil {
+		return nil, fmt.Errorf("crowdhttp: canonicalizing %q: %w", attr, err)
+	}
 	key := valueKey{objID: o.ID, attr: canon}
+
+	unlock := c.lockValueKey(key)
+	defer unlock()
 
 	c.mu.Lock()
 	cached := len(c.values[key])
@@ -165,22 +410,26 @@ func (c *Client) Value(o *domain.Object, attr string, n int) ([]float64, error) 
 			price = pricing.BinaryValue
 			kind = crowd.BinaryValue
 		}
-		// Charge for exactly the new answers before asking.
-		for i := cached; i < n; i++ {
-			if err := c.ledgerRef().Charge(kind, price); err != nil {
-				return nil, err
-			}
-		}
-		var resp valueResponse
-		if err := c.post(PathValue, valueRequest{ObjectID: o.ID, Attribute: canon, N: n}, &resp); err != nil {
+		// Reserve exactly the new answers before asking; a failed request
+		// returns the reservation, so Spent() only ever reflects answers
+		// that actually arrived.
+		res, err := c.ledgerRef().Reserve(kind, price, n-cached)
+		if err != nil {
 			return nil, err
 		}
-		if len(resp.Answers) < n {
-			return nil, fmt.Errorf("crowdhttp: server returned %d answers, want %d", len(resp.Answers), n)
+		resp, err := c.fetchValues(o.ID, canon, n)
+		if err != nil {
+			res.Release()
+			return nil, err
 		}
+		// Copy out of the decoded body: aliasing resp.Answers would pin
+		// the whole decoded slice for the cache's lifetime.
+		vals := make([]float64, n)
+		copy(vals, resp.Answers[:n])
 		c.mu.Lock()
-		c.values[key] = resp.Answers[:n]
+		c.values[key] = vals
 		c.mu.Unlock()
+		res.Commit()
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -189,41 +438,70 @@ func (c *Client) Value(o *domain.Object, attr string, n int) ([]float64, error) 
 	return out, nil
 }
 
-// Dismantle implements crowd.Platform.
+// fetchValues POSTs the value question, re-asking with a fresh
+// idempotency key when the server returns a short batch (a fresh key is
+// required: replaying the old one would return the same short body; and
+// re-execution is safe because value answers are cached server-side).
+func (c *Client) fetchValues(objID int, canon string, n int) (valueResponse, error) {
+	for attempt := 0; ; attempt++ {
+		var resp valueResponse
+		if err := c.post(PathValue, &valueRequest{ObjectID: objID, Attribute: canon, N: n}, &resp); err != nil {
+			return valueResponse{}, err
+		}
+		if len(resp.Answers) >= n {
+			return resp, nil
+		}
+		c.shortResponses.Add(1)
+		if attempt >= c.opts.MaxRetries {
+			return valueResponse{}, fmt.Errorf("crowdhttp: server returned %d answers, want %d (after %d attempts)",
+				len(resp.Answers), n, attempt+1)
+		}
+		c.retries.Add(1)
+	}
+}
+
+// Dismantle implements crowd.Platform with transactional charging.
 func (c *Client) Dismantle(attr string) (string, error) {
 	pricing, err := c.fetchPricing()
 	if err != nil {
 		return "", err
 	}
-	if err := c.ledgerRef().Charge(crowd.Dismantling, pricing.Dismantling); err != nil {
+	res, err := c.ledgerRef().Reserve(crowd.Dismantling, pricing.Dismantling, 1)
+	if err != nil {
 		return "", err
 	}
 	var resp dismantleResponse
-	if err := c.post(PathDismantle, dismantleRequest{Attribute: attr}, &resp); err != nil {
+	if err := c.post(PathDismantle, &dismantleRequest{Attribute: attr}, &resp); err != nil {
+		res.Release()
 		return "", err
 	}
+	res.Commit()
 	return resp.Answer, nil
 }
 
-// Verify implements crowd.Platform.
+// Verify implements crowd.Platform with transactional charging.
 func (c *Client) Verify(candidate, target string) (bool, error) {
 	pricing, err := c.fetchPricing()
 	if err != nil {
 		return false, err
 	}
-	if err := c.ledgerRef().Charge(crowd.Verification, pricing.Verification); err != nil {
+	res, err := c.ledgerRef().Reserve(crowd.Verification, pricing.Verification, 1)
+	if err != nil {
 		return false, err
 	}
 	var resp verifyResponse
-	if err := c.post(PathVerify, verifyRequest{Candidate: candidate, Target: target}, &resp); err != nil {
+	if err := c.post(PathVerify, &verifyRequest{Candidate: candidate, Target: target}, &resp); err != nil {
+		res.Release()
 		return false, err
 	}
+	res.Commit()
 	return resp.Yes, nil
 }
 
 // Examples implements crowd.Platform with the same stream-prefix reuse as
 // the simulator: only examples beyond the locally cached prefix are
-// charged and fetched.
+// charged and fetched, under the same single-flight + reservation
+// discipline as Value.
 func (c *Client) Examples(targets []string, n int) ([]crowd.Example, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("crowdhttp: negative example count %d", n)
@@ -233,11 +511,18 @@ func (c *Client) Examples(targets []string, n int) ([]crowd.Example, error) {
 	}
 	canon := make([]string, len(targets))
 	for i, t := range targets {
-		canon[i] = c.Canonical(t)
+		ct, err := c.canonicalName(t)
+		if err != nil {
+			return nil, fmt.Errorf("crowdhttp: canonicalizing %q: %w", t, err)
+		}
+		canon[i] = ct
 	}
 	sorted := append([]string(nil), canon...)
 	sort.Strings(sorted)
 	streamKey := strings.Join(sorted, "\x00")
+
+	unlock := c.lockExampleKey(streamKey)
+	defer unlock()
 
 	c.mu.Lock()
 	cached := len(c.examples[streamKey])
@@ -247,18 +532,16 @@ func (c *Client) Examples(targets []string, n int) ([]crowd.Example, error) {
 		if err != nil {
 			return nil, err
 		}
-		for i := cached; i < n; i++ {
-			if err := c.ledgerRef().Charge(crowd.ExampleQuestion, pricing.Example); err != nil {
-				return nil, err
-			}
-		}
-		var resp examplesResponse
-		if err := c.post(PathExamples, examplesRequest{Targets: canon, N: n}, &resp); err != nil {
+		res, err := c.ledgerRef().Reserve(crowd.ExampleQuestion, pricing.Example, n-cached)
+		if err != nil {
 			return nil, err
 		}
-		if len(resp.Examples) < n {
-			return nil, fmt.Errorf("crowdhttp: server returned %d examples, want %d", len(resp.Examples), n)
+		resp, err := c.fetchExamples(canon, n)
+		if err != nil {
+			res.Release()
+			return nil, err
 		}
+		// Right-sized copy: never alias the decoded response slice.
 		stream := make([]crowd.Example, n)
 		for i, ex := range resp.Examples[:n] {
 			stream[i] = crowd.Example{Object: domain.RefObject(ex.ObjectID), Values: ex.Values}
@@ -266,6 +549,7 @@ func (c *Client) Examples(targets []string, n int) ([]crowd.Example, error) {
 		c.mu.Lock()
 		c.examples[streamKey] = stream
 		c.mu.Unlock()
+		res.Commit()
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -274,29 +558,46 @@ func (c *Client) Examples(targets []string, n int) ([]crowd.Example, error) {
 	return out, nil
 }
 
-// Canonical implements crowd.Platform (cached).
-func (c *Client) Canonical(name string) string {
-	c.metaMu.RLock()
-	canon, ok := c.canon[name]
-	c.metaMu.RUnlock()
-	if ok {
-		return canon
+// fetchExamples POSTs the example question, re-asking short batches with
+// a fresh idempotency key (safe: example streams are cached server-side).
+func (c *Client) fetchExamples(canon []string, n int) (examplesResponse, error) {
+	for attempt := 0; ; attempt++ {
+		var resp examplesResponse
+		if err := c.post(PathExamples, &examplesRequest{Targets: canon, N: n}, &resp); err != nil {
+			return examplesResponse{}, err
+		}
+		if len(resp.Examples) >= n {
+			return resp, nil
+		}
+		c.shortResponses.Add(1)
+		if attempt >= c.opts.MaxRetries {
+			return examplesResponse{}, fmt.Errorf("crowdhttp: server returned %d examples, want %d (after %d attempts)",
+				len(resp.Examples), n, attempt+1)
+		}
+		c.retries.Add(1)
 	}
-	var resp canonicalResponse
-	if err := c.post(PathCanonical, canonicalRequest{Name: name}, &resp); err != nil {
-		// A canonicalization failure must not break the pipeline; the raw
-		// name is always an acceptable fallback.
+}
+
+// Canonical implements crowd.Platform. The interface offers no error
+// path, so when the transport retries are exhausted it degrades to the
+// raw name WITHOUT caching it — the next call retries the server instead
+// of pinning a desynchronized key. Internal users (Value, Examples,
+// metadata) call canonicalName and surface the transport error instead.
+func (c *Client) Canonical(name string) string {
+	canon, err := c.canonicalName(name)
+	if err != nil {
 		return name
 	}
-	c.metaMu.Lock()
-	c.canon[name] = resp.Canonical
-	c.metaMu.Unlock()
-	return resp.Canonical
+	return canon
 }
 
 // Sigma implements crowd.Platform.
 func (c *Client) Sigma(attr string) float64 {
-	m, err := c.metaOf(c.Canonical(attr))
+	canon, err := c.canonicalName(attr)
+	if err != nil {
+		return 1
+	}
+	m, err := c.metaOf(canon)
 	if err != nil {
 		return 1
 	}
@@ -305,13 +606,17 @@ func (c *Client) Sigma(attr string) float64 {
 
 // IsBinary implements crowd.Platform.
 func (c *Client) IsBinary(attr string) bool {
-	m, err := c.metaOf(c.Canonical(attr))
+	canon, err := c.canonicalName(attr)
+	if err != nil {
+		return false
+	}
+	m, err := c.metaOf(canon)
 	return err == nil && m.Binary
 }
 
 // Pricing implements crowd.Platform. It returns the zero value until the
-// first successful fetch; the pipeline always issues a charging call (which
-// fetches) before consulting Pricing.
+// first successful fetch; the pipeline always issues a charging call
+// (which fetches) before consulting Pricing.
 func (c *Client) Pricing() crowd.Pricing {
 	p, err := c.fetchPricing()
 	if err != nil {

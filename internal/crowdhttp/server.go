@@ -7,20 +7,44 @@
 //
 //   - The server executes questions against its wrapped platform and owns
 //     the objects (a client can only ask value questions about objects the
-//     server has handed out through example questions).
+//     server has handed out through example questions). It deduplicates
+//     retried POSTs by their idempotency key, replaying the recorded
+//     response instead of re-executing, so a retry can never advance a
+//     dismantling/verification stream twice.
 //   - The client owns budgeting: it knows the pricing, keeps a local
 //     answer cache mirroring its own asks, charges its ledger *before*
 //     each request, and therefore enforces B_prc/B_obj without trusting
-//     the server.
+//     the server. Charging is transactional — a reservation committed on
+//     success and refunded on failure — so transport faults never leak
+//     budget, and a per-key single-flight lock prevents concurrent
+//     callers of one question from double-charging.
+//   - The transport retries transient failures (connection errors,
+//     timeouts, 5xx, 429, short batches) with exponential backoff +
+//     jitter under a bounded retry budget; 4xx and local budget errors
+//     are terminal.
+//
+// Fault injection: NewFaultyServer adds seeded request-level faults
+// (pre-execution 503s, post-execution response drops recovered only via
+// idempotent replay, latency, fail-after-N), and crowd.FaultyPlatform can
+// wrap the served platform for question-level faults (transient errors,
+// short batches). Together they let the whole pipeline be hammered
+// end-to-end through a flaky deployment — see the package tests.
 //
 // The wire format is JSON over POST; see the endpoint constants.
 package crowdhttp
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
 	"net/http"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/crowd"
 	"repro/internal/domain"
@@ -37,9 +61,24 @@ const (
 	PathPricing   = "/v1/pricing"
 )
 
+// idemKey is the client-generated idempotency key every request embeds.
+// The server executes a key at most once and replays the recorded
+// response to retries, which is what makes a retried POST safe against
+// double-answering (and, with the client's reservation charging, against
+// double-pricing).
+type idemKey struct {
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+}
+
+func (k *idemKey) setIdempotencyKey(s string) { k.IdempotencyKey = s }
+
+// wireRequest is any request type carrying an idempotency key.
+type wireRequest interface{ setIdempotencyKey(string) }
+
 // Wire types.
 type (
 	valueRequest struct {
+		idemKey
 		ObjectID  int    `json:"object_id"`
 		Attribute string `json:"attribute"`
 		N         int    `json:"n"`
@@ -48,12 +87,14 @@ type (
 		Answers []float64 `json:"answers"`
 	}
 	dismantleRequest struct {
+		idemKey
 		Attribute string `json:"attribute"`
 	}
 	dismantleResponse struct {
 		Answer string `json:"answer"`
 	}
 	verifyRequest struct {
+		idemKey
 		Candidate string `json:"candidate"`
 		Target    string `json:"target"`
 	}
@@ -61,6 +102,7 @@ type (
 		Yes bool `json:"yes"`
 	}
 	examplesRequest struct {
+		idemKey
 		Targets []string `json:"targets"`
 		N       int      `json:"n"`
 	}
@@ -72,12 +114,14 @@ type (
 		Examples []exampleWire `json:"examples"`
 	}
 	canonicalRequest struct {
+		idemKey
 		Name string `json:"name"`
 	}
 	canonicalResponse struct {
 		Canonical string `json:"canonical"`
 	}
 	metaRequest struct {
+		idemKey
 		Attribute string `json:"attribute"`
 	}
 	metaResponse struct {
@@ -96,38 +140,216 @@ type (
 	}
 )
 
+// FaultOptions configures seeded request-level fault injection on the
+// server (see crowd.FaultyOptions for question-level injection on the
+// platform underneath).
+type FaultOptions struct {
+	// Seed drives the injection schedule.
+	Seed int64
+	// FailRate is the fraction of requests rejected with 503 *before*
+	// executing; the platform never sees them, so a retry observes
+	// unchanged state.
+	FailRate float64
+	// DropRate is the fraction of requests whose response is recorded
+	// under the idempotency key and then replaced with a 503 — the
+	// "executed, but the answer never reached the client" failure of real
+	// deployments; only the idempotent replay can recover the answer
+	// without re-executing.
+	DropRate float64
+	// FailAfter > 0 rejects every request after the first N with 503 (the
+	// platform-went-down shape, for exercising retry exhaustion).
+	FailAfter int
+	// Latency delays every request.
+	Latency time.Duration
+}
+
+// faultInjector makes the per-request fault decisions.
+type faultInjector struct {
+	opts     FaultOptions
+	calls    atomic.Int64
+	injected atomic.Int64
+}
+
+type faultDecision struct {
+	fail bool // reject before executing
+	drop bool // execute, record for replay, then lose the response
+}
+
+func (f *faultInjector) next() faultDecision {
+	if f == nil {
+		return faultDecision{}
+	}
+	idx := f.calls.Add(1)
+	if f.opts.Latency > 0 {
+		time.Sleep(f.opts.Latency)
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "srvfault|%d|%d", f.opts.Seed, idx)
+	r := rand.New(rand.NewSource(int64(h.Sum64())))
+	var d faultDecision
+	switch {
+	case f.opts.FailAfter > 0 && idx > int64(f.opts.FailAfter):
+		d.fail = true
+	case f.opts.FailRate > 0 && r.Float64() < f.opts.FailRate:
+		d.fail = true
+	case f.opts.DropRate > 0 && r.Float64() < f.opts.DropRate:
+		d.drop = true
+	}
+	if d.fail || d.drop {
+		f.injected.Add(1)
+	}
+	return d
+}
+
+// idemRecord is one recorded response body, ready for replay.
+type idemRecord struct {
+	status int
+	body   []byte
+}
+
 // Server adapts a crowd.Platform to the HTTP API. It neutralizes the
-// wrapped platform's budget enforcement (clients budget themselves) and
-// keeps a registry of the objects it has handed out so value questions can
-// reference them by id. The registry is read-mostly (every value question
-// looks an object up; only example questions and RegisterObject write), so
-// it sits behind an RWMutex and concurrent value questions never serialize
-// on it.
+// wrapped platform's budget enforcement (clients budget themselves),
+// keeps a registry of the objects it has handed out so value questions
+// can reference them by id, and records each idempotency key's response
+// so retried POSTs replay instead of re-executing. The registry is
+// read-mostly (every value question looks an object up; only example
+// questions and RegisterObject write), so it sits behind an RWMutex and
+// concurrent value questions never serialize on it.
 type Server struct {
 	platform crowd.Platform
+	faults   *faultInjector
 
 	mu      sync.RWMutex
 	objects map[int]*domain.Object
+
+	idemMu sync.Mutex
+	idem   map[string]idemRecord
 }
 
 // NewServer wraps a platform. The platform's ledger is replaced with an
 // unlimited one; budget enforcement is the client's job.
 func NewServer(p crowd.Platform) *Server {
 	p.SetLedger(crowd.NewLedger(0))
-	return &Server{platform: p, objects: make(map[int]*domain.Object)}
+	return &Server{
+		platform: p,
+		objects:  make(map[int]*domain.Object),
+		idem:     make(map[string]idemRecord),
+	}
+}
+
+// NewFaultyServer is NewServer plus seeded request-level fault injection.
+func NewFaultyServer(p crowd.Platform, f FaultOptions) *Server {
+	s := NewServer(p)
+	s.faults = &faultInjector{opts: f}
+	return s
+}
+
+// InjectedFaults reports how many requests had a fault injected.
+func (s *Server) InjectedFaults() int64 {
+	if s.faults == nil {
+		return 0
+	}
+	return s.faults.injected.Load()
 }
 
 // Handler returns the API's http.Handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc(PathValue, s.handleValue)
-	mux.HandleFunc(PathDismantle, s.handleDismantle)
-	mux.HandleFunc(PathVerify, s.handleVerify)
-	mux.HandleFunc(PathExamples, s.handleExamples)
-	mux.HandleFunc(PathCanonical, s.handleCanonical)
-	mux.HandleFunc(PathMeta, s.handleMeta)
-	mux.HandleFunc(PathPricing, s.handlePricing)
+	mux.HandleFunc(PathValue, s.wrap(s.handleValue))
+	mux.HandleFunc(PathDismantle, s.wrap(s.handleDismantle))
+	mux.HandleFunc(PathVerify, s.wrap(s.handleVerify))
+	mux.HandleFunc(PathExamples, s.wrap(s.handleExamples))
+	mux.HandleFunc(PathCanonical, s.wrap(s.handleCanonical))
+	mux.HandleFunc(PathMeta, s.wrap(s.handleMeta))
+	mux.HandleFunc(PathPricing, s.wrapPricing(s.handlePricing))
 	return mux
+}
+
+var errInjectedFault = errors.New("crowdhttp: injected transient fault")
+
+// responseRecorder buffers a handler's response so it can be stored for
+// idempotent replay (and dropped by fault injection) before any byte
+// reaches the client.
+type responseRecorder struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func newRecorder() *responseRecorder {
+	return &responseRecorder{header: make(http.Header), status: http.StatusOK}
+}
+
+func (r *responseRecorder) Header() http.Header         { return r.header }
+func (r *responseRecorder) WriteHeader(status int)      { r.status = status }
+func (r *responseRecorder) Write(b []byte) (int, error) { return r.body.Write(b) }
+
+func (r *responseRecorder) copyTo(w http.ResponseWriter) {
+	for k, vs := range r.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(r.status)
+	_, _ = w.Write(r.body.Bytes())
+}
+
+// wrap applies fault injection and idempotent replay around one POST
+// handler: a known key replays the recorded response without touching the
+// platform; a fresh key executes once, records a successful response,
+// and only then (possibly) loses it to an injected drop.
+func (s *Server) wrap(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		d := s.faults.next()
+		if d.fail {
+			writeError(w, http.StatusServiceUnavailable, errInjectedFault)
+			return
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("crowdhttp: reading request body: %w", err))
+			return
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		var key idemKey
+		_ = json.Unmarshal(body, &key)
+		if key.IdempotencyKey != "" {
+			s.idemMu.Lock()
+			rec, ok := s.idem[key.IdempotencyKey]
+			s.idemMu.Unlock()
+			if ok {
+				writeJSONBytes(w, rec.status, rec.body)
+				return
+			}
+		}
+		rec := newRecorder()
+		h(rec, r)
+		if key.IdempotencyKey != "" && rec.status == http.StatusOK {
+			s.idemMu.Lock()
+			s.idem[key.IdempotencyKey] = idemRecord{
+				status: rec.status,
+				body:   append([]byte(nil), rec.body.Bytes()...),
+			}
+			s.idemMu.Unlock()
+		}
+		if d.drop && rec.status == http.StatusOK {
+			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("%w: response dropped", errInjectedFault))
+			return
+		}
+		rec.copyTo(w)
+	}
+}
+
+// wrapPricing applies fault injection only (GET has no body, hence no
+// idempotency key; pricing is naturally idempotent).
+func (s *Server) wrapPricing(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if d := s.faults.next(); d.fail || d.drop {
+			writeError(w, http.StatusServiceUnavailable, errInjectedFault)
+			return
+		}
+		h(w, r)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -136,8 +358,24 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+func writeJSONBytes(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// statusFor maps platform errors onto the retryability contract: a
+// transient platform failure is 503 (retryable), everything else is a
+// terminal 400.
+func statusFor(err error) int {
+	if errors.Is(err, crowd.ErrTransient) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
 }
 
 func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
@@ -171,7 +409,7 @@ func (s *Server) handleValue(w http.ResponseWriter, r *http.Request) {
 	}
 	answers, err := s.platform.Value(obj, req.Attribute, req.N)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, valueResponse{Answers: answers})
@@ -184,7 +422,7 @@ func (s *Server) handleDismantle(w http.ResponseWriter, r *http.Request) {
 	}
 	ans, err := s.platform.Dismantle(req.Attribute)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, dismantleResponse{Answer: ans})
@@ -197,7 +435,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	}
 	yes, err := s.platform.Verify(req.Candidate, req.Target)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, verifyResponse{Yes: yes})
@@ -210,7 +448,7 @@ func (s *Server) handleExamples(w http.ResponseWriter, r *http.Request) {
 	}
 	examples, err := s.platform.Examples(req.Targets, req.N)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, statusFor(err), err)
 		return
 	}
 	out := examplesResponse{Examples: make([]exampleWire, len(examples))}

@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/crowd"
+)
+
+// TestRunWithStatsFaultInjection runs the same spec fault-free and
+// through the Faults/Retry wrapping and requires byte-identical results:
+// injected faults are pre-execution and retries recover them, so a flaky
+// crowd must not move a single number (Parallelism 1 keeps the injection
+// schedule itself deterministic too).
+func TestRunWithStatsFaultInjection(t *testing.T) {
+	spec := quickSpec()
+	spec.Reps = 2
+	spec.EvalObjects = 20
+	spec.Parallelism = 1
+
+	base, zero, err := RunWithStats(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero != (crowd.FaultStats{}) {
+		t.Fatalf("fault-free run reported fault stats %+v", zero)
+	}
+
+	faulty := spec
+	faulty.Platform.Faults = crowd.FaultyOptions{FailRate: 0.1, ShortRate: 0.05}
+	faulty.Platform.Retry = crowd.RetryOptions{
+		MaxRetries: 12,
+		Backoff:    time.Microsecond,
+		BackoffMax: 2 * time.Microsecond,
+	}
+	res, fstats, err := RunWithStats(faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fstats.Questions == 0 || fstats.InjectedErrors == 0 || fstats.Retries == 0 {
+		t.Fatalf("fault counters not populated: %+v", fstats)
+	}
+	for i := range base {
+		if res[i].Mean != base[i].Mean || res[i].StdErr != base[i].StdErr {
+			t.Fatalf("%s diverged under faults: mean %v vs %v",
+				base[i].Algorithm, res[i].Mean, base[i].Mean)
+		}
+		for rep := range base[i].RepErrs {
+			if res[i].RepErrs[rep] != base[i].RepErrs[rep] {
+				t.Fatalf("%s rep %d: %v vs %v", base[i].Algorithm, rep,
+					res[i].RepErrs[rep], base[i].RepErrs[rep])
+			}
+		}
+	}
+}

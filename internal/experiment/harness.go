@@ -37,6 +37,16 @@ type PlatformConfig struct {
 	IrrelevantRate float64
 	// Pricing overrides the payment scheme (zero value = paper default).
 	Pricing crowd.Pricing
+	// Faults, when non-zero, wraps each repetition's simulator in
+	// crowd.NewFaulty (seeded per repetition unless Faults.Seed is set)
+	// plus a crowd.NewRetry recovery layer, so algorithms run against a
+	// flaky crowd with transparent retries — the deployment shape the
+	// crowdhttp transport handles remotely. Injected faults are
+	// pre-execution, so a fault-injected run converges to the same
+	// answers (and the same results) as a fault-free one.
+	Faults crowd.FaultyOptions
+	// Retry tunes the recovery layer used with Faults (zero = defaults).
+	Retry crowd.RetryOptions
 }
 
 // Build creates the universe and platform for one repetition seed.
@@ -63,6 +73,19 @@ func (pc PlatformConfig) Build(seed int64) (*crowd.SimPlatform, error) {
 		DisableUnification: pc.DisableUnification,
 		IrrelevantRate:     pc.IrrelevantRate,
 	})
+}
+
+// wrap applies the configured fault + retry layers to one repetition's
+// simulator (identity when no faults are configured).
+func (pc PlatformConfig) wrap(p *crowd.SimPlatform, seed int64) crowd.Platform {
+	if pc.Faults == (crowd.FaultyOptions{}) {
+		return p
+	}
+	f := pc.Faults
+	if f.Seed == 0 {
+		f.Seed = seed
+	}
+	return crowd.NewRetry(crowd.NewFaulty(p, f), pc.Retry)
 }
 
 // Spec is one experiment configuration: a query over a domain, the two
@@ -130,11 +153,22 @@ func repSeed(name string, base int64, rep int) int64 {
 // be compared in equivalent settings"), evaluated on the same objects with
 // the paper's weighted error ω_t = 1/Var(O.a_t).
 func Run(spec Spec) ([]AlgResult, error) {
+	results, _, err := RunWithStats(spec)
+	return results, err
+}
+
+// RunWithStats is Run plus the aggregated fault/retry counters of all
+// repetitions' platforms — zero when the spec injects no faults. The
+// counters report how flaky the (simulated) crowd was and how much retry
+// work recovering from it took, the operational half of a fault-injected
+// experiment.
+func RunWithStats(spec Spec) ([]AlgResult, crowd.FaultStats, error) {
+	var fstats crowd.FaultStats
 	if len(spec.Algorithms) == 0 {
-		return nil, errors.New("experiment: no algorithms")
+		return nil, fstats, errors.New("experiment: no algorithms")
 	}
 	if len(spec.Targets) == 0 {
-		return nil, errors.New("experiment: no targets")
+		return nil, fstats, errors.New("experiment: no targets")
 	}
 	reps := spec.Reps
 	if reps == 0 {
@@ -146,13 +180,14 @@ func Run(spec Spec) ([]AlgResult, error) {
 	}
 
 	type repOut struct {
-		errs []float64 // per algorithm; NaN = failure
-		err  error
+		errs  []float64 // per algorithm; NaN = failure
+		stats crowd.FaultStats
+		err   error
 	}
 	outs := make([]repOut, reps)
 	core.ForEach(reps, spec.parallelism(), func(rep int) {
-		errs, err := runOneRep(spec, repSeed(spec.Name, spec.BaseSeed, rep), evalN)
-		outs[rep] = repOut{errs: errs, err: err}
+		errs, st, err := runOneRep(spec, repSeed(spec.Name, spec.BaseSeed, rep), evalN)
+		outs[rep] = repOut{errs: errs, stats: st, err: err}
 	})
 
 	results := make([]AlgResult, len(spec.Algorithms))
@@ -162,8 +197,9 @@ func Run(spec Spec) ([]AlgResult, error) {
 	}
 	for rep, out := range outs {
 		if out.err != nil {
-			return nil, fmt.Errorf("experiment: rep %d: %w", rep, out.err)
+			return nil, fstats, fmt.Errorf("experiment: rep %d: %w", rep, out.err)
 		}
+		fstats.Merge(out.stats)
 		for i, e := range out.errs {
 			results[i].RepErrs[rep] = e
 			if e != e { // NaN marks an algorithm failure for this rep
@@ -184,23 +220,27 @@ func Run(spec Spec) ([]AlgResult, error) {
 			r.StdErr = sd / math.Sqrt(float64(len(r.PerRep)))
 		}
 	}
-	return results, nil
+	return results, fstats, nil
 }
 
-// runOneRep builds the shared platform, computes oracle weights, runs all
-// algorithms and returns the per-algorithm weighted errors.
-func runOneRep(spec Spec, seed int64, evalN int) ([]float64, error) {
+// runOneRep builds the shared platform (wrapped in the configured
+// fault/retry layers), computes oracle weights, runs all algorithms and
+// returns the per-algorithm weighted errors plus the rep's fault
+// counters.
+func runOneRep(spec Spec, seed int64, evalN int) ([]float64, crowd.FaultStats, error) {
+	var fstats crowd.FaultStats
 	p, err := spec.Platform.Build(seed)
 	if err != nil {
-		return nil, err
+		return nil, fstats, err
 	}
+	plat := spec.Platform.wrap(p, seed)
 	u := p.Universe()
 	// Canonical target names.
 	targets := make([]string, len(spec.Targets))
 	for i, t := range spec.Targets {
 		c, err := u.Canonical(t)
 		if err != nil {
-			return nil, err
+			return nil, fstats, err
 		}
 		targets[i] = c
 	}
@@ -237,20 +277,23 @@ func runOneRep(spec Spec, seed int64, evalN int) ([]float64, error) {
 	q := core.Query{Targets: targets, Weights: weights}
 	out := make([]float64, len(spec.Algorithms))
 	for ai, alg := range spec.Algorithms {
-		ev, err := alg.Prepare(p, q, spec.BObj, spec.BPrc)
+		ev, err := alg.Prepare(plat, q, spec.BObj, spec.BPrc)
 		if err != nil {
 			// An algorithm that cannot operate at this budget point is a
 			// data point ("budget buys nothing"), not a harness failure.
 			out[ai] = nan()
 			continue
 		}
-		werr, err := WeightedError(p, ev, evalObjs, targets, weights, truths, spec.parallelism())
+		werr, err := WeightedError(plat, ev, evalObjs, targets, weights, truths, spec.parallelism())
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", alg.Name(), err)
+			return nil, fstats, fmt.Errorf("%s: %w", alg.Name(), err)
 		}
 		out[ai] = werr
 	}
-	return out, nil
+	if fr, ok := plat.(crowd.FaultReporter); ok {
+		fstats = fr.FaultStats()
+	}
+	return out, fstats, nil
 }
 
 func nan() float64 { return math.NaN() }
