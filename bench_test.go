@@ -12,7 +12,10 @@ package disq_test
 
 import (
 	"math/rand"
+	"net/http/httptest"
+	"reflect"
 	"testing"
+	"time"
 
 	disq "repro"
 	"repro/internal/baselines"
@@ -216,6 +219,155 @@ func BenchmarkOnlineEvaluation(b *testing.B) {
 		}
 	}
 }
+
+// --- Remote (crowdhttp) online evaluation -------------------------------------
+
+// remotePlan is a wide hand-built plan (12 support attributes over the
+// recipes domain) so the batched-vs-unbatched round-trip ratio is the
+// support size — the worst case for the per-attribute wire protocol.
+func remotePlan() *disq.Plan {
+	attrs := []string{
+		"Calories", "Protein", "Number Of Eggs", "Number Of Ingredients",
+		"Fat Amount", "Sugar", "Low Calories", "Dessert", "Healthy",
+		"Vegetarian", "Has Eggs", "Has Meat",
+	}
+	counts := make(map[string]int, len(attrs))
+	coefs := make([]float64, len(attrs))
+	for i, a := range attrs {
+		counts[a] = 1 + i%2
+		coefs[i] = 0.1 * float64(i+1)
+	}
+	return &disq.Plan{
+		Targets:     []string{"Protein"},
+		Budget:      disq.Assignment{Counts: counts},
+		Regressions: map[string]*disq.Regression{"Protein": {Attributes: attrs, Coefficients: coefs, Intercept: 2.5}},
+	}
+}
+
+// remoteEval evaluates objs through a fresh same-seed client/server pair
+// and reports the estimates, the steady-state transport counters (the
+// warm-up object's traffic is excluded) and the wall time.
+func remoteEval(tb testing.TB, seed int64, objs, warm []*disq.Object, unbatched bool) ([]map[string]float64, disq.TransportStats, time.Duration) {
+	tb.Helper()
+	plan := remotePlan()
+	sim, err := disq.NewSimPlatform(disq.Recipes(), disq.SimOptions{Seed: seed})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	srv := disq.NewCrowdServer(sim)
+	ts := httptest.NewServer(srv.Handler())
+	tb.Cleanup(ts.Close)
+	client := disq.NewCrowdClient(ts.URL, ts.Client())
+	platform := disq.Platform(client)
+	if unbatched {
+		platform = disq.NewBatchedPlatform(client, -1)
+	}
+	for _, o := range append(warm, objs...) {
+		srv.RegisterObject(o)
+	}
+	for _, o := range warm {
+		if _, err := plan.EstimateObject(platform, disq.RefObject(o.ID)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	base := client.TransportStats()
+	start := time.Now()
+	out := make([]map[string]float64, len(objs))
+	for i, o := range objs {
+		est, err := plan.EstimateObject(platform, disq.RefObject(o.ID))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out[i] = est
+	}
+	elapsed := time.Since(start)
+	st := client.TransportStats()
+	st.Requests -= base.Requests
+	st.Batches -= base.Batches
+	st.BatchItems -= base.BatchItems
+	return out, st, elapsed
+}
+
+// TestRemoteBatchedEvaluation is the acceptance test for the batched
+// wire protocol: evaluating 32 objects through an httptest crowdhttp
+// server must cost ≥10× fewer HTTP round trips (and less wall time) than
+// the unbatched per-attribute protocol, with estimates bit-equal to
+// driving the simulator directly.
+func TestRemoteBatchedEvaluation(t *testing.T) {
+	const seed = 71
+	plan := remotePlan()
+	ref, err := disq.NewSimPlatform(disq.Recipes(), disq.SimOptions{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := ref.Universe().NewObjects(rand.New(rand.NewSource(72)), 32)
+	warm := ref.Universe().NewObjects(rand.New(rand.NewSource(73)), 1)
+	want := make([]map[string]float64, len(objs))
+	for i, o := range objs {
+		if want[i], err = plan.EstimateObject(ref, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	batched, batchedSt, batchedTime := remoteEval(t, seed, objs, warm, false)
+	unbatched, unbatchedSt, unbatchedTime := remoteEval(t, seed, objs, warm, true)
+
+	if !reflect.DeepEqual(batched, want) {
+		t.Fatalf("batched remote estimates diverge from direct evaluation:\nremote %v\ndirect %v", batched, want)
+	}
+	if !reflect.DeepEqual(unbatched, want) {
+		t.Fatalf("unbatched remote estimates diverge from direct evaluation:\nremote %v\ndirect %v", unbatched, want)
+	}
+	if unbatchedSt.Requests < 10*batchedSt.Requests {
+		t.Fatalf("round trips: unbatched %d vs batched %d — want ≥10× reduction",
+			unbatchedSt.Requests, batchedSt.Requests)
+	}
+	if batchedSt.Batches != int64(len(objs)) {
+		t.Fatalf("batched evaluation sent %d batch requests for %d objects", batchedSt.Batches, len(objs))
+	}
+	if batchedTime >= unbatchedTime {
+		t.Fatalf("batched evaluation was not faster: %v vs %v (requests %d vs %d)",
+			batchedTime, unbatchedTime, batchedSt.Requests, unbatchedSt.Requests)
+	}
+	t.Logf("32 objects: batched %d requests in %v, unbatched %d requests in %v",
+		batchedSt.Requests, batchedTime, unbatchedSt.Requests, unbatchedTime)
+}
+
+// benchRemoteEvaluation measures one remote object evaluation per
+// iteration, each against uncached objects (the steady state of scoring
+// a database through a crowdhttp deployment).
+func benchRemoteEvaluation(b *testing.B, unbatched bool) {
+	plan := remotePlan()
+	sim, err := disq.NewSimPlatform(disq.Recipes(), disq.SimOptions{Seed: 81})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := disq.NewCrowdServer(sim)
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	client := disq.NewCrowdClient(ts.URL, ts.Client())
+	platform := disq.Platform(client)
+	if unbatched {
+		platform = disq.NewBatchedPlatform(client, -1)
+	}
+	objs := sim.Universe().NewObjects(rand.New(rand.NewSource(82)), b.N+1)
+	for _, o := range objs {
+		srv.RegisterObject(o)
+	}
+	// Warm pricing/meta/canonical caches outside the timed loop.
+	if _, err := plan.EstimateObject(platform, disq.RefObject(objs[b.N].ID)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.EstimateObject(platform, disq.RefObject(objs[i].ID)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRemoteOnlineBatched(b *testing.B)   { benchRemoteEvaluation(b, false) }
+func BenchmarkRemoteOnlineUnbatched(b *testing.B) { benchRemoteEvaluation(b, true) }
 
 // BenchmarkSimValueQuestion measures raw simulated crowd throughput.
 func BenchmarkSimValueQuestion(b *testing.B) {

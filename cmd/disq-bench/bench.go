@@ -10,6 +10,7 @@ import (
 
 	disq "repro"
 	"repro/internal/baselines"
+	"repro/internal/core"
 	"repro/internal/crowd"
 	"repro/internal/experiment"
 )
@@ -31,11 +32,18 @@ type benchReport struct {
 	Reps        int `json:"reps"`
 	EvalObjects int `json:"eval_objects"`
 	// SweepSpeedup is sequential / parallel wall-clock of the figure-level
-	// sweep benchmark — the end-to-end parallel-throughput figure. It is
-	// ~1 on a single-CPU machine and should approach min(GOMAXPROCS,
-	// #budget points × reps) on multi-core hardware.
-	SweepSpeedup float64      `json:"sweep_speedup"`
-	Benchmarks   []benchEntry `json:"benchmarks"`
+	// sweep benchmark, measured pinned to one processor so the number is
+	// comparable across machines (and against BENCH_baseline.json). With
+	// only one processor the parallel path falls back to the serial loop,
+	// so this must sit at ~1.0 — below 1.0 means the harness is paying
+	// scheduling overhead for no gain.
+	SweepSpeedup float64 `json:"sweep_speedup"`
+	// SweepSpeedupNCPU repeats the measurement at GOMAXPROCS=NumCPU — the
+	// real parallel-throughput figure, which should approach
+	// min(NumCPU, #budget points × reps) on multi-core hardware.
+	SweepSpeedupNCPU float64      `json:"sweep_speedup_ncpu"`
+	NumCPU           int          `json:"num_cpu"`
+	Benchmarks       []benchEntry `json:"benchmarks"`
 }
 
 // runBench executes the benchmark suite and writes the JSON report to
@@ -72,6 +80,11 @@ func runBench(jsonPath string, reps, evalN int, seed int64) error {
 	runSweepBench := func(parallelism int) (int64, float64, error) {
 		s := sweepSpec
 		s.Parallelism = parallelism
+		// Start every measurement from a collected heap: the sweep
+		// allocates heavily, and without the barrier whichever mode runs
+		// later pays the previous mode's GC debt (the seed baseline's
+		// sweep_speedup < 1 was partly this ordering bias).
+		runtime.GC()
 		start := time.Now()
 		sw, err := experiment.RunSweep(s, experiment.VaryBPrc, grid)
 		if err != nil {
@@ -93,21 +106,73 @@ func runBench(jsonPath string, reps, evalN int, seed int64) error {
 		}
 		return elapsed, sum / float64(n), nil
 	}
-	seqNs, seqErr, err := runSweepBench(1)
-	if err != nil {
+	// The sweep is timed twice: pinned to one processor (the
+	// apples-to-apples number against older reports, where the serial
+	// fallback keeps the ratio at ~1.0) and at full width (the genuine
+	// parallel-throughput figure). Both restore the scheduler and the
+	// shared worker pool before the per-phase benchmarks below.
+	prevProcs := runtime.GOMAXPROCS(1)
+	prevPool := core.SetPoolParallelism(1)
+	restore := func() {
+		runtime.GOMAXPROCS(prevProcs)
+		core.SetPoolParallelism(prevPool)
+	}
+	// One discarded warm-up sweep absorbs first-run effects (heap growth,
+	// lazy initialization) that would otherwise bias the first mode.
+	if _, _, err := runSweepBench(1); err != nil {
+		restore()
 		return err
 	}
-	parNs, parErr, err := runSweepBench(0)
+	// Each mode is measured twice in ABBA order and the minimum kept:
+	// counterbalancing cancels the slow monotonic drift a shared box
+	// shows between otherwise identical runs, which is what pushed the
+	// seed baseline's one-slot speedup below 1.0.
+	seqA, seqErr, err := runSweepBench(1)
+	if err != nil {
+		restore()
+		return err
+	}
+	parA, parErr, err := runSweepBench(0)
+	if err != nil {
+		restore()
+		return err
+	}
+	parB, _, err := runSweepBench(0)
+	if err != nil {
+		restore()
+		return err
+	}
+	seqB, _, err := runSweepBench(1)
+	if err != nil {
+		restore()
+		return err
+	}
+	seqNs, parNs := min(seqA, seqB), min(parA, parB)
+	runtime.GOMAXPROCS(runtime.NumCPU())
+	core.SetPoolParallelism(runtime.NumCPU())
+	seqNsN, _, err := runSweepBench(1)
+	if err != nil {
+		restore()
+		return err
+	}
+	parNsN, _, err := runSweepBench(0)
+	restore()
 	if err != nil {
 		return err
 	}
 	report.Benchmarks = append(report.Benchmarks,
 		benchEntry{Name: "sweep-fig1a", Parallelism: 1, NsPerOp: seqNs, Err: seqErr},
 		benchEntry{Name: "sweep-fig1a", Parallelism: 0, NsPerOp: parNs, Err: parErr},
+		benchEntry{Name: "sweep-fig1a-ncpu", Parallelism: 1, NsPerOp: seqNsN},
+		benchEntry{Name: "sweep-fig1a-ncpu", Parallelism: 0, NsPerOp: parNsN},
 	)
 	if parNs > 0 {
 		report.SweepSpeedup = float64(seqNs) / float64(parNs)
 	}
+	if parNsN > 0 {
+		report.SweepSpeedupNCPU = float64(seqNsN) / float64(parNsN)
+	}
+	report.NumCPU = runtime.NumCPU()
 
 	// Headline quality point: DisQ alone on recipes/Protein at 4¢.
 	pointSpec := experiment.Spec{
@@ -184,7 +249,7 @@ func runBench(jsonPath string, reps, evalN int, seed int64) error {
 	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("benchmark report written to %s (sweep speedup %.2fx on %d CPUs)\n",
-		jsonPath, report.SweepSpeedup, report.GoMaxProcs)
+	fmt.Printf("benchmark report written to %s (sweep speedup %.2fx at 1 proc, %.2fx at %d CPUs)\n",
+		jsonPath, report.SweepSpeedup, report.SweepSpeedupNCPU, report.NumCPU)
 	return nil
 }

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// readReport loads a -bench -json document.
+func readReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// compareKey identifies one benchmark across reports.
+type compareKey struct {
+	name        string
+	parallelism int
+}
+
+func (k compareKey) String() string {
+	return fmt.Sprintf("%s/p%d", k.name, k.parallelism)
+}
+
+// compareReports prints per-benchmark ns/op deltas between two -bench
+// JSON reports and returns whether any benchmark regressed by more than
+// maxRegress (fractional; 0.10 = 10% slower). This is how the
+// BENCH_*.json trajectory stays diffable: CI compares every run against
+// BENCH_baseline.json, and a hand run compares any two snapshots.
+func compareReports(w io.Writer, old, new *benchReport, maxRegress float64) bool {
+	oldBy := make(map[compareKey]benchEntry, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldBy[compareKey{b.Name, b.Parallelism}] = b
+	}
+	regressed := false
+	fmt.Fprintf(w, "%-28s %15s %15s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	seen := make(map[compareKey]bool, len(new.Benchmarks))
+	for _, nb := range new.Benchmarks {
+		k := compareKey{nb.Name, nb.Parallelism}
+		seen[k] = true
+		ob, ok := oldBy[k]
+		if !ok {
+			fmt.Fprintf(w, "%-28s %15s %15d %9s\n", k, "-", nb.NsPerOp, "new")
+			continue
+		}
+		delta := 0.0
+		if ob.NsPerOp > 0 {
+			delta = float64(nb.NsPerOp)/float64(ob.NsPerOp) - 1
+		}
+		mark := ""
+		if delta > maxRegress {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(w, "%-28s %15d %15d %+8.1f%%%s\n", k, ob.NsPerOp, nb.NsPerOp, 100*delta, mark)
+		if ob.Err != 0 && nb.Err != ob.Err {
+			fmt.Fprintf(w, "%-28s   err %.4f -> %.4f\n", "", ob.Err, nb.Err)
+		}
+	}
+	for _, ob := range old.Benchmarks {
+		k := compareKey{ob.Name, ob.Parallelism}
+		if !seen[k] {
+			fmt.Fprintf(w, "%-28s %15d %15s %9s\n", k, ob.NsPerOp, "-", "gone")
+		}
+	}
+	if old.SweepSpeedup > 0 && new.SweepSpeedup > 0 {
+		fmt.Fprintf(w, "sweep speedup (1 proc): %.2fx -> %.2fx\n", old.SweepSpeedup, new.SweepSpeedup)
+	}
+	return regressed
+}
+
+// runCompare is the -compare entry point: old.json vs new.json, nonzero
+// exit (via the returned flag) on a regression beyond maxRegress.
+func runCompare(oldPath, newPath string, maxRegress float64) (regressed bool, err error) {
+	old, err := readReport(oldPath)
+	if err != nil {
+		return false, err
+	}
+	new, err := readReport(newPath)
+	if err != nil {
+		return false, err
+	}
+	regressed = compareReports(os.Stdout, old, new, maxRegress)
+	if regressed {
+		fmt.Printf("FAIL: at least one benchmark regressed more than %.0f%%\n", 100*maxRegress)
+	}
+	return regressed, nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func compareFixtures() (*benchReport, *benchReport) {
+	old := &benchReport{SweepSpeedup: 0.97, Benchmarks: []benchEntry{
+		{Name: "sweep", Parallelism: 1, NsPerOp: 1000, Err: 0.20},
+		{Name: "online", NsPerOp: 2000, Err: 0.20},
+		{Name: "retired", NsPerOp: 10},
+	}}
+	new := &benchReport{SweepSpeedup: 1.01, Benchmarks: []benchEntry{
+		{Name: "sweep", Parallelism: 1, NsPerOp: 1050, Err: 0.20}, // +5%: noise
+		{Name: "online", NsPerOp: 2500, Err: 0.21},                // +25%: regression
+		{Name: "fresh", NsPerOp: 5},
+	}}
+	return old, new
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	old, new := compareFixtures()
+	var buf strings.Builder
+	if !compareReports(&buf, old, new, 0.10) {
+		t.Fatal("the 25% regression was not flagged at a 10% threshold")
+	}
+	out := buf.String()
+	for _, want := range []string{"REGRESSION", "online/p0", "fresh/p0", "retired/p0", "new", "gone", "sweep speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "REGRESSION") != 1 {
+		t.Fatalf("want exactly one flagged regression:\n%s", out)
+	}
+}
+
+func TestCompareLooseThresholdPasses(t *testing.T) {
+	old, new := compareFixtures()
+	var buf strings.Builder
+	if compareReports(&buf, old, new, 1.0) {
+		t.Fatalf("a 25%% delta must pass a 100%% (2x) threshold:\n%s", buf.String())
+	}
+}
+
+func TestRunCompareFiles(t *testing.T) {
+	old, new := compareFixtures()
+	dir := t.TempDir()
+	write := func(name string, r *benchReport) string {
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath, newPath := write("old.json", old), write("new.json", new)
+	regressed, err := runCompare(oldPath, newPath, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("runCompare missed the regression")
+	}
+	if _, err := runCompare(oldPath, filepath.Join(dir, "missing.json"), 0.10); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

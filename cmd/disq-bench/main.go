@@ -9,6 +9,11 @@
 //	disq-bench -all                  # regenerate everything (slow)
 //	disq-bench -experiment fig1e -reps 10 -csv out/   # fewer reps, CSV dump
 //	disq-bench -bench -json BENCH.json                # machine-readable benchmarks
+//	disq-bench -compare old.json new.json             # diff two -bench reports
+//
+// -compare exits nonzero when any benchmark regressed by more than
+// -max-regress (default 10%); CI runs it with a loose threshold so only
+// order-of-magnitude regressions fail the build.
 //
 // The paper uses 30 repetitions per configuration; -reps trades fidelity
 // for speed.
@@ -33,8 +38,27 @@ func main() {
 		out   = flag.String("out", "", "directory to also write each result as <id>.txt")
 		bench = flag.Bool("bench", false, "run the benchmark suite instead of regenerating figures")
 		jsonP = flag.String("json", "", "with -bench: write the JSON report here (default stdout)")
+
+		compare    = flag.Bool("compare", false, "compare two -bench JSON reports: -compare old.json new.json")
+		maxRegress = flag.Float64("max-regress", 0.10, "with -compare: fail when ns/op regresses by more than this fraction")
 	)
 	flag.Parse()
+	if *compare {
+		args := flag.Args()
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, "disq-bench: -compare takes exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		regressed, err := runCompare(args[0], args[1], *maxRegress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "disq-bench:", err)
+			os.Exit(1)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
 	if *bench {
 		if err := runBench(*jsonP, *reps, *evalN, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "disq-bench:", err)

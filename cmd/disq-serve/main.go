@@ -10,10 +10,15 @@
 // request, -fail-after N makes every request after the first N fail, and
 // -short-rate truncates value/example batches at the platform.
 //
+// Observability: GET /v1/stats reports request counts per endpoint,
+// batch/replay counters and injected faults; -pprof-addr serves
+// net/http/pprof on a separate (loopback by default) listener.
+//
 // Usage:
 //
 //	disq-serve -domain recipes -addr :8080 -seed 42
 //	disq-serve -domain recipes -fail-rate 0.1 -drop-rate 0.05 -latency 20ms
+//	disq-serve -domain recipes -pprof-addr 127.0.0.1:6060
 //	# elsewhere: client := disq.NewCrowdClient("http://host:8080", nil)
 package main
 
@@ -23,6 +28,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux, served via -pprof-addr
 	"os"
 
 	"repro/internal/crowd"
@@ -45,6 +51,8 @@ func main() {
 		latency   = flag.Duration("latency", 0, "inject: added latency per request")
 		shortRate = flag.Float64("short-rate", 0, "inject: fraction of value/example batches truncated at the platform")
 		faultSeed = flag.Int64("fault-seed", 0, "fault-injection seed (default: platform seed)")
+
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
 	)
 	flag.Parse()
 	faults := crowdhttp.FaultOptions{
@@ -57,14 +65,14 @@ func main() {
 	if faults.Seed == 0 {
 		faults.Seed = *seed
 	}
-	if err := run(*domainName, *addr, *seed, *spam, *filterEff, *register, faults, *shortRate); err != nil {
+	if err := run(*domainName, *addr, *seed, *spam, *filterEff, *register, faults, *shortRate, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "disq-serve:", err)
 		os.Exit(1)
 	}
 }
 
 func run(domainName, addr string, seed int64, spam, filterEff float64, register int,
-	faults crowdhttp.FaultOptions, shortRate float64) error {
+	faults crowdhttp.FaultOptions, shortRate float64, pprofAddr string) error {
 	build, ok := domain.Registry()[domainName]
 	if !ok {
 		return fmt.Errorf("unknown domain %q", domainName)
@@ -100,7 +108,17 @@ func run(domainName, addr string, seed int64, spam, filterEff float64, register 
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving %q crowd platform on http://%s\n", domainName, listener.Addr())
+	if pprofAddr != "" {
+		pprofListener, err := net.Listen("tcp", pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", pprofListener.Addr())
+		// The pprof import registers on the default mux; serve it on its
+		// own listener so profiling stays off the public API address.
+		go func() { _ = http.Serve(pprofListener, http.DefaultServeMux) }()
+	}
+	fmt.Printf("serving %q crowd platform on http://%s (stats at /v1/stats)\n", domainName, listener.Addr())
 	if injecting {
 		fmt.Printf("fault injection: fail-rate %.2f drop-rate %.2f fail-after %d latency %s short-rate %.2f (seed %d)\n",
 			faults.FailRate, faults.DropRate, faults.FailAfter, faults.Latency, shortRate, faults.Seed)

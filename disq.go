@@ -94,7 +94,20 @@ type (
 	// Recorder wraps a Platform and records all answers into a data table
 	// (the paper's recorded-answer methodology).
 	Recorder = crowd.Recorder
+	// ValueQuestion is one (attribute, answer count) pair of an object's
+	// online evaluation; Plan.Questions enumerates them.
+	ValueQuestion = crowd.ValueQuestion
+	// ValueBatcher is the optional Platform extension for answering all of
+	// an object's value questions in one round trip; the online evaluator
+	// uses it automatically when present.
+	ValueBatcher = crowd.ValueBatcher
 )
+
+// NewBatchedPlatform adapts a platform's batching: size > 0 chunks value
+// batches to at most size questions, size < 0 disables batching entirely
+// (the unbatched control for benchmarks), size 0 returns p unchanged.
+// Answers are byte-identical in every mode.
+func NewBatchedPlatform(p Platform, size int) Platform { return crowd.NewBatched(p, size) }
 
 // NewRecorder wraps a platform with answer recording.
 func NewRecorder(p Platform) *Recorder { return crowd.NewRecorder(p) }
@@ -244,6 +257,12 @@ type (
 	// CrowdFaultOptions configures request-level fault injection on a
 	// CrowdServer (503s, dropped responses, latency, fail-after-N).
 	CrowdFaultOptions = crowdhttp.FaultOptions
+	// TransportStats are a CrowdClient's transport counters (requests,
+	// retries, batches, coalesced flushes) — the observability hooks the
+	// round-trip benchmarks assert against.
+	TransportStats = crowdhttp.TransportStats
+	// ServerStats are a CrowdServer's counters, also served at /v1/stats.
+	ServerStats = crowdhttp.ServerStats
 )
 
 // NewCrowdServer wraps a platform for serving; mount Handler() on an

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/crowd"
+	"repro/internal/domain"
+	"repro/internal/stats"
+)
+
+// compiledPlan is the flat, allocation-free form of a Plan's online
+// phase. Compilation resolves every map lookup once: the budget support
+// becomes an attribute slice with per-attribute counts, and each target's
+// regression becomes index/coefficient slices into the shared means
+// buffer. The term order of Regression.Predict is preserved exactly
+// (linear terms in Regression.Attributes order, then square terms), so a
+// compiled prediction is bit-identical to the interpreted one — the
+// golden and e2e tests rely on that.
+type compiledPlan struct {
+	// err is a plan-shape error (e.g. a target without a regression),
+	// surfaced on every evaluation exactly as the interpreted path did.
+	err error
+
+	// attrs is the budget support (counts > 0), sorted for determinism;
+	// counts and questions are aligned with it.
+	attrs     []string
+	counts    []int
+	questions []crowd.ValueQuestion
+
+	// Per-target prediction program, aligned with targets: estimate t =
+	// intercepts[t] + Σ linCoef[t][k]·means[linIdx[t][k]]
+	//              + Σ sqCoef[t][k]·means[sqIdx[t][k]]².
+	targets    []string
+	intercepts []float64
+	linIdx     [][]int
+	linCoef    [][]float64
+	sqIdx      [][]int
+	sqCoef     [][]float64
+}
+
+// compilePlan flattens a plan. A nil regression is recorded as cp.err
+// rather than returned, so the (rare) broken plan keeps failing with the
+// same error on every call while the cache stays valid.
+func compilePlan(pl *Plan) *compiledPlan {
+	cp := &compiledPlan{targets: append([]string(nil), pl.Targets...)}
+	cp.attrs = make([]string, 0, len(pl.Budget.Counts))
+	for a, n := range pl.Budget.Counts {
+		if n > 0 {
+			cp.attrs = append(cp.attrs, a)
+		}
+	}
+	sort.Strings(cp.attrs)
+	index := make(map[string]int, len(cp.attrs))
+	cp.counts = make([]int, len(cp.attrs))
+	cp.questions = make([]crowd.ValueQuestion, len(cp.attrs))
+	for i, a := range cp.attrs {
+		index[a] = i
+		cp.counts[i] = pl.Budget.Counts[a]
+		cp.questions[i] = crowd.ValueQuestion{Attr: a, N: cp.counts[i]}
+	}
+	nt := len(cp.targets)
+	cp.intercepts = make([]float64, 0, nt)
+	cp.linIdx = make([][]int, 0, nt)
+	cp.linCoef = make([][]float64, 0, nt)
+	cp.sqIdx = make([][]int, 0, nt)
+	cp.sqCoef = make([][]float64, 0, nt)
+	for _, t := range cp.targets {
+		reg := pl.Regressions[t]
+		if reg == nil {
+			cp.err = fmt.Errorf("core: plan has no regression for target %q", t)
+			return cp
+		}
+		var li []int
+		var lc []float64
+		for i, a := range reg.Attributes {
+			if j, ok := index[a]; ok {
+				li = append(li, j)
+				lc = append(lc, reg.Coefficients[i])
+			}
+		}
+		var si []int
+		var sc []float64
+		for i, a := range reg.SquareAttributes {
+			if j, ok := index[a]; ok {
+				si = append(si, j)
+				sc = append(sc, reg.SquareCoefficients[i])
+			}
+		}
+		cp.intercepts = append(cp.intercepts, reg.Intercept)
+		cp.linIdx = append(cp.linIdx, li)
+		cp.linCoef = append(cp.linCoef, lc)
+		cp.sqIdx = append(cp.sqIdx, si)
+		cp.sqCoef = append(cp.sqCoef, sc)
+	}
+	return cp
+}
+
+// compiled returns the plan's compiled form, building it at most once.
+// The cache is an atomic pointer rather than a sync.Once so Plan values
+// stay assignable (UnmarshalJSON resets fields in place); a racing
+// duplicate compilation is harmless and the CAS keeps one winner.
+func (pl *Plan) compiled() *compiledPlan {
+	if cp := pl.compiledCache.Load(); cp != nil {
+		return cp
+	}
+	cp := compilePlan(pl)
+	if !pl.compiledCache.CompareAndSwap(nil, cp) {
+		return pl.compiledCache.Load()
+	}
+	return cp
+}
+
+// Questions enumerates every value question the plan's budget assignment
+// asks per object — the statically known question set that makes online
+// evaluation batchable. The paper's b is uniform across objects, so the
+// set is object-independent; the returned slice is a copy the caller may
+// hand to crowd.ValueBatcher implementations as-is.
+func (pl *Plan) Questions() ([]crowd.ValueQuestion, error) {
+	cp := pl.compiled()
+	if cp.err != nil {
+		return nil, cp.err
+	}
+	return append([]crowd.ValueQuestion(nil), cp.questions...), nil
+}
+
+// collectMeans fills means (len == len(cp.attrs)) with the per-attribute
+// answer averages for one object, preferring the platform's batching
+// capability — one exchange for the whole question set — and falling
+// back to the classic one-call-per-attribute loop.
+func (cp *compiledPlan) collectMeans(p crowd.Platform, o *domain.Object, means []float64) error {
+	if vb, ok := p.(crowd.ValueBatcher); ok && len(cp.questions) > 1 {
+		answers, err := vb.ValueBatch(o, cp.questions)
+		if err != nil {
+			return fmt.Errorf("core: online value questions: %w", err)
+		}
+		if len(answers) != len(cp.questions) {
+			return fmt.Errorf("core: value batch returned %d answer sets, want %d", len(answers), len(cp.questions))
+		}
+		for i, ans := range answers {
+			means[i] = stats.Mean(ans)
+		}
+		return nil
+	}
+	for i, q := range cp.questions {
+		ans, err := p.Value(o, q.Attr, q.N)
+		if err != nil {
+			return fmt.Errorf("core: online value questions for %q: %w", q.Attr, err)
+		}
+		means[i] = stats.Mean(ans)
+	}
+	return nil
+}
+
+// predictInto applies every target's compiled formula to the collected
+// means. It is the zero-allocation hot path of the online phase
+// (testing.AllocsPerRun pins that); out must have len(cp.targets).
+func (cp *compiledPlan) predictInto(means, out []float64) {
+	for t := range cp.targets {
+		y := cp.intercepts[t]
+		idx, coef := cp.linIdx[t], cp.linCoef[t]
+		for k, j := range idx {
+			y += coef[k] * means[j]
+		}
+		sidx, scoef := cp.sqIdx[t], cp.sqCoef[t]
+		for k, j := range sidx {
+			v := means[j]
+			y += scoef[k] * v * v
+		}
+		out[t] = y
+	}
+}

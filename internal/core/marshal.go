@@ -66,16 +66,18 @@ func (pl *Plan) UnmarshalJSON(data []byte) error {
 	if pj.BudgetCounts == nil {
 		pj.BudgetCounts = map[string]int{}
 	}
-	*pl = Plan{
-		Targets:          pj.Targets,
-		Weights:          pj.Weights,
-		Budget:           Assignment{Counts: pj.BudgetCounts, Cost: pj.BudgetCost},
-		Regressions:      pj.Regressions,
-		Discovered:       pj.Discovered,
-		Dismantles:       pj.Dismantles,
-		PreprocessCost:   pj.PreprocessCost,
-		TrainingExamples: pj.TrainingExamples,
-	}
+	// Field-wise assignment (not *pl = Plan{...}): Plan carries an atomic
+	// compiled-plan cache that must be reset, not copied.
+	pl.Targets = pj.Targets
+	pl.Weights = pj.Weights
+	pl.Budget = Assignment{Counts: pj.BudgetCounts, Cost: pj.BudgetCost}
+	pl.Regressions = pj.Regressions
+	pl.Discovered = pj.Discovered
+	pl.Dismantles = pj.Dismantles
+	pl.PreprocessCost = pj.PreprocessCost
+	pl.TrainingExamples = pj.TrainingExamples
+	pl.Stats = nil
+	pl.compiledCache.Store(nil)
 	return nil
 }
 

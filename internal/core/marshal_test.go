@@ -27,7 +27,8 @@ func TestPlanJSONRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got.Targets[0] != "Bmi" || got.Dismantles != 42 || got.PreprocessCost != crowd.Dollars(21) {
-		t.Fatalf("round trip lost fields: %+v", got)
+		t.Fatalf("round trip lost fields: targets=%v dismantles=%d cost=%v",
+			got.Targets, got.Dismantles, got.PreprocessCost)
 	}
 	if got.Budget.Counts["Heavy"] != 10 || got.Budget.Cost != crowd.Cents(4) {
 		t.Fatalf("budget lost: %+v", got.Budget)

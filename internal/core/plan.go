@@ -5,10 +5,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/crowd"
 	"repro/internal/domain"
-	"repro/internal/stats"
 )
 
 // Plan is the output of the preprocessing phase: the budget distribution b
@@ -34,6 +34,12 @@ type Plan struct {
 	TrainingExamples map[string]int
 	// Stats is the final statistics snapshot (may be nil for baselines).
 	Stats *Statistics
+
+	// compiledCache holds the lazily compiled flat form of the online
+	// phase (see compiled.go); an atomic pointer makes the lazy build
+	// race-free without a lock. Plans must not be copied by value once
+	// in use (they never are: the API traffics in *Plan).
+	compiledCache atomic.Pointer[compiledPlan]
 }
 
 // PerObjectCost returns what evaluating one object costs online.
@@ -42,28 +48,29 @@ func (pl *Plan) PerObjectCost() crowd.Cost { return pl.Budget.Cost }
 // EstimateObject runs the online phase for one object: ask b(a) value
 // questions per selected attribute, average, and apply each target's
 // regression. The returned map has one estimate per target.
+//
+// The plan is lazily compiled to a flat form on first use (no map
+// iteration or lookup per call; see compiled.go), and when the platform
+// implements crowd.ValueBatcher the whole question set goes out as one
+// batch — over crowdhttp that is one round trip per object instead of
+// one per attribute. Estimates are bit-identical on every path.
 func (pl *Plan) EstimateObject(p crowd.Platform, o *domain.Object) (map[string]float64, error) {
 	if o == nil {
 		return nil, errors.New("core: nil object")
 	}
-	means := make(map[string]float64, len(pl.Budget.Counts))
-	for attr, n := range pl.Budget.Counts {
-		if n <= 0 {
-			continue
-		}
-		ans, err := p.Value(o, attr, n)
-		if err != nil {
-			return nil, fmt.Errorf("core: online value questions for %q: %w", attr, err)
-		}
-		means[attr] = stats.Mean(ans)
+	cp := pl.compiled()
+	if cp.err != nil {
+		return nil, cp.err
 	}
-	out := make(map[string]float64, len(pl.Targets))
-	for _, t := range pl.Targets {
-		reg := pl.Regressions[t]
-		if reg == nil {
-			return nil, fmt.Errorf("core: plan has no regression for target %q", t)
-		}
-		out[t] = reg.Predict(means)
+	means := make([]float64, len(cp.attrs))
+	if err := cp.collectMeans(p, o, means); err != nil {
+		return nil, err
+	}
+	ests := make([]float64, len(cp.targets))
+	cp.predictInto(means, ests)
+	out := make(map[string]float64, len(cp.targets))
+	for i, t := range cp.targets {
+		out[t] = ests[i]
 	}
 	return out, nil
 }

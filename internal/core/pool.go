@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool bounds the number of concurrently *computing* goroutines across
@@ -47,8 +48,24 @@ func (p *Pool) TryAcquire() bool {
 // Release returns a slot.
 func (p *Pool) Release() { <-p.sem }
 
-// sharedPool is the process-wide computation pool.
-var sharedPool = NewPool(DefaultParallelism())
+// Cap returns how many concurrent computations the pool admits.
+func (p *Pool) Cap() int { return cap(p.sem) }
+
+// sharedPool is the process-wide computation pool, swappable so
+// benchmarks can measure scaling at widths other than GOMAXPROCS.
+var sharedPool atomic.Pointer[Pool]
+
+func init() { sharedPool.Store(NewPool(DefaultParallelism())) }
+
+// SetPoolParallelism resizes the shared computation pool and returns the
+// previous width. It exists for benchmarks that pin the pool to a
+// specific width (disq-bench measures the sweep at one slot and at
+// NumCPU); in-flight ForEach calls keep draining the pool they acquired
+// from, so a resize is safe but should happen between workloads, not
+// during one.
+func SetPoolParallelism(n int) int {
+	return sharedPool.Swap(NewPool(n)).Cap()
+}
 
 // DefaultParallelism is the fan-out width used when a caller does not
 // request a specific one: the number of CPUs the scheduler may use.
@@ -71,7 +88,14 @@ func ForEach(n, parallelism int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
-	if parallelism == 1 || n == 1 {
+	// Capture the pool once so acquire and release pair up even if the
+	// shared pool is swapped mid-call. A one-slot pool means the only
+	// possible extra worker would share the single CPU with the caller —
+	// the channel handoff then costs more than it buys (the seed
+	// BENCH_baseline.json recorded sweep_speedup < 1 exactly this way),
+	// so fall back to the plain sequential loop.
+	pool := sharedPool.Load()
+	if parallelism == 1 || n == 1 || pool.Cap() == 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
@@ -88,11 +112,11 @@ func ForEach(n, parallelism int, fn func(i int)) {
 		close(next)
 	}()
 	var wg sync.WaitGroup
-	for w := 1; w < parallelism && sharedPool.TryAcquire(); w++ {
+	for w := 1; w < parallelism && pool.TryAcquire(); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			defer sharedPool.Release()
+			defer pool.Release()
 			for i := range next {
 				fn(i)
 			}

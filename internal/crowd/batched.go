@@ -1,0 +1,91 @@
+package crowd
+
+import (
+	"repro/internal/domain"
+)
+
+// NewBatched adapts a platform's batching behaviour without changing its
+// answers:
+//
+//   - size == 0 returns p unchanged (use whatever capability it has);
+//   - size < 0 hides any ValueBatcher capability, forcing callers onto
+//     the one-question-per-call path (the unbatched control in
+//     experiments and benchmarks);
+//   - size > 0 exposes a ValueBatcher that splits every batch into chunks
+//     of at most size questions, delegating each chunk to the inner
+//     platform's ValueBatcher when it has one and to sequential Value
+//     calls otherwise.
+//
+// Because Platform memoizes per question identity, all three shapes
+// produce byte-identical answers and charges — only the exchange
+// granularity differs. The experiment harness threads
+// PlatformConfig.BatchSize through here.
+func NewBatched(p Platform, size int) Platform {
+	if size == 0 {
+		return p
+	}
+	if size < 0 {
+		return &unbatchedPlatform{p}
+	}
+	return &batchedPlatform{Platform: p, size: size}
+}
+
+// unbatchedPlatform embeds a Platform in a concrete struct, so the
+// ValueBatcher capability of the wrapped platform is no longer visible
+// through type assertions on the wrapper.
+type unbatchedPlatform struct {
+	Platform
+}
+
+// FaultStats forwards the wrapped platform's fault counters (zero when it
+// reports none).
+func (u *unbatchedPlatform) FaultStats() FaultStats {
+	if fr, ok := u.Platform.(FaultReporter); ok {
+		return fr.FaultStats()
+	}
+	return FaultStats{}
+}
+
+// batchedPlatform chunks ValueBatch calls to a maximum size.
+type batchedPlatform struct {
+	Platform
+	size int
+}
+
+// ValueBatch implements ValueBatcher with chunking.
+func (b *batchedPlatform) ValueBatch(o *domain.Object, qs []ValueQuestion) ([][]float64, error) {
+	out := make([][]float64, 0, len(qs))
+	inner, hasBatch := b.Platform.(ValueBatcher)
+	for start := 0; start < len(qs); start += b.size {
+		end := start + b.size
+		if end > len(qs) {
+			end = len(qs)
+		}
+		chunk := qs[start:end]
+		if hasBatch {
+			ans, err := inner.ValueBatch(o, chunk)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ans...)
+			continue
+		}
+		for _, q := range chunk {
+			ans, err := b.Platform.Value(o, q.Attr, q.N)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ans)
+		}
+	}
+	return out, nil
+}
+
+// FaultStats forwards the wrapped platform's fault counters (zero when it
+// reports none).
+func (b *batchedPlatform) FaultStats() FaultStats {
+	if fr, ok := b.Platform.(FaultReporter); ok {
+		return fr.FaultStats()
+	}
+	return FaultStats{}
+}

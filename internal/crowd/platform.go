@@ -67,3 +67,22 @@ type Platform interface {
 	// and online phases) and returns the previous one. Caches survive.
 	SetLedger(l *Ledger) *Ledger
 }
+
+// ValueQuestion names one value question of a batch: the first N answers
+// about Attr. The per-question memoization contract of Platform.Value
+// applies to each entry independently.
+type ValueQuestion struct {
+	Attr string
+	N    int
+}
+
+// ValueBatcher is the optional batching capability of a Platform:
+// answering many value questions about one object in a single exchange.
+// Answers[i] corresponds to qs[i]. Implementations must be answer-wise
+// indistinguishable from len(qs) sequential Value calls — same
+// memoization, same charging, same answers — so callers may use whichever
+// path is cheaper. The plan evaluator prefers it when present, which is
+// what collapses a remote object evaluation into one round trip.
+type ValueBatcher interface {
+	ValueBatch(o *domain.Object, qs []ValueQuestion) ([][]float64, error)
+}

@@ -254,6 +254,22 @@ func (p *SimPlatform) Value(o *domain.Object, attr string, n int) ([]float64, er
 	return out, nil
 }
 
+// ValueBatch implements ValueBatcher. Simulated answers are a pure
+// function of the seed and the question identity, so the batch is exactly
+// the sequential Value calls — same answers, same charges — and exists so
+// in-process runs exercise the batched code path the remote client uses.
+func (p *SimPlatform) ValueBatch(o *domain.Object, qs []ValueQuestion) ([][]float64, error) {
+	out := make([][]float64, len(qs))
+	for i, q := range qs {
+		ans, err := p.Value(o, q.Attr, q.N)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ans
+	}
+	return out, nil
+}
+
 // DetailedAnswer is one worker answer with its (simulated) worker identity
 // — what a real platform reports and what quality management [19] needs.
 type DetailedAnswer struct {

@@ -35,6 +35,16 @@ type Options struct {
 	// jitter so synchronized clients do not stampede a recovering server.
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// BatchWindow is the micro-batching window of ValueBatch: how long
+	// enqueued questions may wait for concurrent callers to join the
+	// batch before a flush is forced (default 2ms; negative = flush at
+	// every enqueue). The window is only an upper bound — a batch
+	// flushes immediately once no caller is left preparing questions, so
+	// sequential callers never pay it.
+	BatchWindow time.Duration
+	// MaxBatch caps the questions per /v1/batch request (default 64,
+	// server limit 1024); larger batches are split.
+	MaxBatch int
 }
 
 func (o Options) withDefaults() Options {
@@ -53,6 +63,15 @@ func (o Options) withDefaults() Options {
 	if o.BackoffMax <= 0 {
 		o.BackoffMax = 2 * time.Second
 	}
+	if o.BatchWindow == 0 {
+		o.BatchWindow = 2 * time.Millisecond
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.MaxBatch > maxBatchItems {
+		o.MaxBatch = maxBatchItems
+	}
 	return o
 }
 
@@ -67,6 +86,14 @@ type TransportStats struct {
 	TransientErrors int64
 	// ShortResponses counts answer/example batches shorter than asked.
 	ShortResponses int64
+	// Batches counts /v1/batch requests sent; BatchItems counts the
+	// questions they carried (BatchItems/Batches is the achieved batch
+	// size).
+	Batches    int64
+	BatchItems int64
+	// Coalesced counts ValueBatch calls whose questions joined another
+	// caller's in-flight batch instead of opening their own.
+	Coalesced int64
 }
 
 // Client implements crowd.Platform over the crowdhttp API. It owns the
@@ -121,6 +148,18 @@ type Client struct {
 	retries        atomic.Int64
 	transientErrs  atomic.Int64
 	shortResponses atomic.Int64
+	batchCount     atomic.Int64
+	batchItemCount atomic.Int64
+	coalescedCount atomic.Int64
+
+	// batchMu guards the micro-batching coalescer (see coalesce.go).
+	batchMu      sync.Mutex
+	pending      []*pendingItem
+	pendingTimer *time.Timer
+	// preparing counts ValueBatch callers between entry and enqueue; the
+	// pending batch flushes the moment it drops to zero, so the window
+	// timer is only a staleness bound, never the common-case latency.
+	preparing int
 }
 
 type valueKey struct {
@@ -178,6 +217,9 @@ func (c *Client) TransportStats() TransportStats {
 		Retries:         c.retries.Load(),
 		TransientErrors: c.transientErrs.Load(),
 		ShortResponses:  c.shortResponses.Load(),
+		Batches:         c.batchCount.Load(),
+		BatchItems:      c.batchItemCount.Load(),
+		Coalesced:       c.coalescedCount.Load(),
 	}
 }
 

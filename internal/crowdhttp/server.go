@@ -50,7 +50,7 @@ import (
 	"repro/internal/domain"
 )
 
-// API endpoints (all POST except /v1/pricing).
+// API endpoints (all POST except the GET /v1/pricing and /v1/stats).
 const (
 	PathValue     = "/v1/value"
 	PathDismantle = "/v1/dismantle"
@@ -59,7 +59,15 @@ const (
 	PathCanonical = "/v1/canonical"
 	PathMeta      = "/v1/meta"
 	PathPricing   = "/v1/pricing"
+	PathBatch     = "/v1/batch"
+	PathStats     = "/v1/stats"
 )
+
+// servedPaths lists every endpoint, for the per-path request counters.
+var servedPaths = []string{
+	PathValue, PathDismantle, PathVerify, PathExamples,
+	PathCanonical, PathMeta, PathPricing, PathBatch, PathStats,
+}
 
 // idemKey is the client-generated idempotency key every request embeds.
 // The server executes a key at most once and replays the recorded
@@ -224,17 +232,31 @@ type Server struct {
 
 	idemMu sync.Mutex
 	idem   map[string]idemRecord
+
+	// Observability counters, served at /v1/stats. reqCounts is keyed by
+	// endpoint path and fully populated at construction, so handlers only
+	// ever touch atomics.
+	reqCounts        map[string]*atomic.Int64
+	replayHits       atomic.Int64
+	batches          atomic.Int64
+	batchItemCount   atomic.Int64
+	batchItemReplays atomic.Int64
 }
 
 // NewServer wraps a platform. The platform's ledger is replaced with an
 // unlimited one; budget enforcement is the client's job.
 func NewServer(p crowd.Platform) *Server {
 	p.SetLedger(crowd.NewLedger(0))
-	return &Server{
-		platform: p,
-		objects:  make(map[int]*domain.Object),
-		idem:     make(map[string]idemRecord),
+	s := &Server{
+		platform:  p,
+		objects:   make(map[int]*domain.Object),
+		idem:      make(map[string]idemRecord),
+		reqCounts: make(map[string]*atomic.Int64, len(servedPaths)),
 	}
+	for _, path := range servedPaths {
+		s.reqCounts[path] = new(atomic.Int64)
+	}
+	return s
 }
 
 // NewFaultyServer is NewServer plus seeded request-level fault injection.
@@ -255,13 +277,15 @@ func (s *Server) InjectedFaults() int64 {
 // Handler returns the API's http.Handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc(PathValue, s.wrap(s.handleValue))
-	mux.HandleFunc(PathDismantle, s.wrap(s.handleDismantle))
-	mux.HandleFunc(PathVerify, s.wrap(s.handleVerify))
-	mux.HandleFunc(PathExamples, s.wrap(s.handleExamples))
-	mux.HandleFunc(PathCanonical, s.wrap(s.handleCanonical))
-	mux.HandleFunc(PathMeta, s.wrap(s.handleMeta))
+	mux.HandleFunc(PathValue, s.wrap(PathValue, s.handleValue))
+	mux.HandleFunc(PathDismantle, s.wrap(PathDismantle, s.handleDismantle))
+	mux.HandleFunc(PathVerify, s.wrap(PathVerify, s.handleVerify))
+	mux.HandleFunc(PathExamples, s.wrap(PathExamples, s.handleExamples))
+	mux.HandleFunc(PathCanonical, s.wrap(PathCanonical, s.handleCanonical))
+	mux.HandleFunc(PathMeta, s.wrap(PathMeta, s.handleMeta))
+	mux.HandleFunc(PathBatch, s.wrap(PathBatch, s.handleBatch))
 	mux.HandleFunc(PathPricing, s.wrapPricing(s.handlePricing))
+	mux.HandleFunc(PathStats, s.handleStats)
 	return mux
 }
 
@@ -298,8 +322,9 @@ func (r *responseRecorder) copyTo(w http.ResponseWriter) {
 // handler: a known key replays the recorded response without touching the
 // platform; a fresh key executes once, records a successful response,
 // and only then (possibly) loses it to an injected drop.
-func (s *Server) wrap(h http.HandlerFunc) http.HandlerFunc {
+func (s *Server) wrap(path string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		s.reqCounts[path].Add(1)
 		d := s.faults.next()
 		if d.fail {
 			writeError(w, http.StatusServiceUnavailable, errInjectedFault)
@@ -318,6 +343,7 @@ func (s *Server) wrap(h http.HandlerFunc) http.HandlerFunc {
 			rec, ok := s.idem[key.IdempotencyKey]
 			s.idemMu.Unlock()
 			if ok {
+				s.replayHits.Add(1)
 				writeJSONBytes(w, rec.status, rec.body)
 				return
 			}
@@ -344,6 +370,7 @@ func (s *Server) wrap(h http.HandlerFunc) http.HandlerFunc {
 // idempotency key; pricing is naturally idempotent).
 func (s *Server) wrapPricing(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		s.reqCounts[PathPricing].Add(1)
 		if d := s.faults.next(); d.fail || d.drop {
 			writeError(w, http.StatusServiceUnavailable, errInjectedFault)
 			return

@@ -1,0 +1,38 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunDeterministicAcrossBatchSize runs the same experiment with
+// batching disabled, native, and chunked small, and requires the rendered
+// results to be byte-identical. Batching only changes how value questions
+// travel — the platform memoizes per question identity — so BatchSize
+// must be unobservable in the output.
+func TestRunDeterministicAcrossBatchSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	render := func(batchSize int) string {
+		s := parallelSpec()
+		s.Reps = 2
+		s.Platform.BatchSize = batchSize
+		res, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := RenderResults(&b, s.Name, res); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	unbatched := render(-1)
+	native := render(0)
+	chunked := render(2)
+	if unbatched != native || native != chunked {
+		t.Fatalf("results depend on BatchSize.\nunbatched:\n%s\nnative:\n%s\nchunked:\n%s",
+			unbatched, native, chunked)
+	}
+}

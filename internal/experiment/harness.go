@@ -47,6 +47,14 @@ type PlatformConfig struct {
 	Faults crowd.FaultyOptions
 	// Retry tunes the recovery layer used with Faults (zero = defaults).
 	Retry crowd.RetryOptions
+	// BatchSize shapes the value-question batching of each repetition's
+	// platform (crowd.NewBatched): 0 leaves the platform's native
+	// capability, < 0 disables batching (the unbatched control), > 0
+	// batches up to that many questions per exchange. Any setting yields
+	// byte-identical results — answers are memoized per question
+	// identity — so experiments can compare exchange granularities
+	// without perturbing the science.
+	BatchSize int
 }
 
 // Build creates the universe and platform for one repetition seed.
@@ -76,16 +84,19 @@ func (pc PlatformConfig) Build(seed int64) (*crowd.SimPlatform, error) {
 }
 
 // wrap applies the configured fault + retry layers to one repetition's
-// simulator (identity when no faults are configured).
+// simulator (identity when no faults are configured), then the batching
+// shape outermost so evaluation exercises the requested exchange
+// granularity.
 func (pc PlatformConfig) wrap(p *crowd.SimPlatform, seed int64) crowd.Platform {
-	if pc.Faults == (crowd.FaultyOptions{}) {
-		return p
+	out := crowd.Platform(p)
+	if pc.Faults != (crowd.FaultyOptions{}) {
+		f := pc.Faults
+		if f.Seed == 0 {
+			f.Seed = seed
+		}
+		out = crowd.NewRetry(crowd.NewFaulty(p, f), pc.Retry)
 	}
-	f := pc.Faults
-	if f.Seed == 0 {
-		f.Seed = seed
-	}
-	return crowd.NewRetry(crowd.NewFaulty(p, f), pc.Retry)
+	return crowd.NewBatched(out, pc.BatchSize)
 }
 
 // Spec is one experiment configuration: a query over a domain, the two
