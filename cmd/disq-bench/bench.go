@@ -24,6 +24,9 @@ type benchEntry struct {
 	Parallelism int     `json:"parallelism"` // 0 = as wide as GOMAXPROCS allows
 	NsPerOp     int64   `json:"ns_per_op"`
 	Err         float64 `json:"err,omitempty"`
+	// Phases carries the per-phase preprocessing profile (wall time,
+	// questions, cost) on the preprocess benchmark.
+	Phases []core.PhaseStats `json:"phases,omitempty"`
 }
 
 // benchReport is the top-level JSON document written by -bench.
@@ -41,9 +44,15 @@ type benchReport struct {
 	// SweepSpeedupNCPU repeats the measurement at GOMAXPROCS=NumCPU — the
 	// real parallel-throughput figure, which should approach
 	// min(NumCPU, #budget points × reps) on multi-core hardware.
-	SweepSpeedupNCPU float64      `json:"sweep_speedup_ncpu"`
-	NumCPU           int          `json:"num_cpu"`
-	Benchmarks       []benchEntry `json:"benchmarks"`
+	SweepSpeedupNCPU float64 `json:"sweep_speedup_ncpu"`
+	// SweepSharedGain is rebuild-per-point / shared-snapshot wall-clock of
+	// the sequential pinned sweep: how much the copy-on-write answer-stream
+	// layer (RunSweep forking one per-repetition platform per budget point)
+	// saves over rebuilding the simulation at every point. The contract is
+	// ≥1.5 — below that the sharing layer has stopped paying for itself.
+	SweepSharedGain float64      `json:"sweep_shared_gain"`
+	NumCPU          int          `json:"num_cpu"`
+	Benchmarks      []benchEntry `json:"benchmarks"`
 }
 
 // runBench executes the benchmark suite and writes the JSON report to
@@ -77,7 +86,13 @@ func runBench(jsonPath string, reps, evalN int, seed int64) error {
 		Reps: reps, EvalObjects: evalN, BaseSeed: seed,
 	}
 	grid := []crowd.Cost{crowd.Dollars(10), crowd.Dollars(15), crowd.Dollars(20), crowd.Dollars(25)}
-	runSweepBench := func(parallelism int) (int64, float64, error) {
+	// Two sweep implementations share the measurement harness: the
+	// rebuild-per-point path (a fresh simulation per budget point, the
+	// pre-snapshot behavior and the apples-to-apples number against older
+	// reports) and the shared path (every point forks one per-repetition
+	// snapshot, the RunSweep default).
+	type sweepFn func(experiment.Spec, experiment.SweepVariable, []crowd.Cost) (*experiment.Sweep, error)
+	runSweepBench := func(parallelism int, run sweepFn) (int64, float64, error) {
 		s := sweepSpec
 		s.Parallelism = parallelism
 		// Start every measurement from a collected heap: the sweep
@@ -86,7 +101,7 @@ func runBench(jsonPath string, reps, evalN int, seed int64) error {
 		// sweep_speedup < 1 was partly this ordering bias).
 		runtime.GC()
 		start := time.Now()
-		sw, err := experiment.RunSweep(s, experiment.VaryBPrc, grid)
+		sw, err := run(s, experiment.VaryBPrc, grid)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -106,9 +121,9 @@ func runBench(jsonPath string, reps, evalN int, seed int64) error {
 		}
 		return elapsed, sum / float64(n), nil
 	}
-	// The sweep is timed twice: pinned to one processor (the
-	// apples-to-apples number against older reports, where the serial
-	// fallback keeps the ratio at ~1.0) and at full width (the genuine
+	// The sweep is timed pinned to one processor (the apples-to-apples
+	// number against older reports, where the serial fallback keeps the
+	// speedup ratio at ~1.0) and at full width (the genuine
 	// parallel-throughput figure). Both restore the scheduler and the
 	// shared worker pool before the per-phase benchmarks below.
 	prevProcs := runtime.GOMAXPROCS(1)
@@ -119,43 +134,65 @@ func runBench(jsonPath string, reps, evalN int, seed int64) error {
 	}
 	// One discarded warm-up sweep absorbs first-run effects (heap growth,
 	// lazy initialization) that would otherwise bias the first mode.
-	if _, _, err := runSweepBench(1); err != nil {
+	if _, _, err := runSweepBench(1, experiment.RunSweepRebuild); err != nil {
 		restore()
 		return err
 	}
 	// Each mode is measured twice in ABBA order and the minimum kept:
 	// counterbalancing cancels the slow monotonic drift a shared box
 	// shows between otherwise identical runs, which is what pushed the
-	// seed baseline's one-slot speedup below 1.0.
-	seqA, seqErr, err := runSweepBench(1)
+	// seed baseline's one-slot speedup below 1.0. The shared path rides
+	// inside the same palindrome so drift cancels for the gain ratio too.
+	seqA, seqErr, err := runSweepBench(1, experiment.RunSweepRebuild)
 	if err != nil {
 		restore()
 		return err
 	}
-	parA, parErr, err := runSweepBench(0)
+	shSeqA, shSeqErr, err := runSweepBench(1, experiment.RunSweep)
 	if err != nil {
 		restore()
 		return err
 	}
-	parB, _, err := runSweepBench(0)
+	parA, parErr, err := runSweepBench(0, experiment.RunSweepRebuild)
 	if err != nil {
 		restore()
 		return err
 	}
-	seqB, _, err := runSweepBench(1)
+	shParA, shParErr, err := runSweepBench(0, experiment.RunSweep)
+	if err != nil {
+		restore()
+		return err
+	}
+	shParB, _, err := runSweepBench(0, experiment.RunSweep)
+	if err != nil {
+		restore()
+		return err
+	}
+	parB, _, err := runSweepBench(0, experiment.RunSweepRebuild)
+	if err != nil {
+		restore()
+		return err
+	}
+	shSeqB, _, err := runSweepBench(1, experiment.RunSweep)
+	if err != nil {
+		restore()
+		return err
+	}
+	seqB, _, err := runSweepBench(1, experiment.RunSweepRebuild)
 	if err != nil {
 		restore()
 		return err
 	}
 	seqNs, parNs := min(seqA, seqB), min(parA, parB)
+	shSeqNs, shParNs := min(shSeqA, shSeqB), min(shParA, shParB)
 	runtime.GOMAXPROCS(runtime.NumCPU())
 	core.SetPoolParallelism(runtime.NumCPU())
-	seqNsN, _, err := runSweepBench(1)
+	seqNsN, _, err := runSweepBench(1, experiment.RunSweepRebuild)
 	if err != nil {
 		restore()
 		return err
 	}
-	parNsN, _, err := runSweepBench(0)
+	parNsN, _, err := runSweepBench(0, experiment.RunSweepRebuild)
 	restore()
 	if err != nil {
 		return err
@@ -163,6 +200,8 @@ func runBench(jsonPath string, reps, evalN int, seed int64) error {
 	report.Benchmarks = append(report.Benchmarks,
 		benchEntry{Name: "sweep-fig1a", Parallelism: 1, NsPerOp: seqNs, Err: seqErr},
 		benchEntry{Name: "sweep-fig1a", Parallelism: 0, NsPerOp: parNs, Err: parErr},
+		benchEntry{Name: "sweep-fig1a-shared", Parallelism: 1, NsPerOp: shSeqNs, Err: shSeqErr},
+		benchEntry{Name: "sweep-fig1a-shared", Parallelism: 0, NsPerOp: shParNs, Err: shParErr},
 		benchEntry{Name: "sweep-fig1a-ncpu", Parallelism: 1, NsPerOp: seqNsN},
 		benchEntry{Name: "sweep-fig1a-ncpu", Parallelism: 0, NsPerOp: parNsN},
 	)
@@ -171,6 +210,9 @@ func runBench(jsonPath string, reps, evalN int, seed int64) error {
 	}
 	if parNsN > 0 {
 		report.SweepSpeedupNCPU = float64(seqNsN) / float64(parNsN)
+	}
+	if shSeqNs > 0 {
+		report.SweepSharedGain = float64(seqNs) / float64(shSeqNs)
 	}
 	report.NumCPU = runtime.NumCPU()
 
@@ -198,19 +240,26 @@ func runBench(jsonPath string, reps, evalN int, seed int64) error {
 		Name: "point-protein-4c", NsPerOp: time.Since(start).Nanoseconds(), Err: pointErr,
 	})
 
-	// Offline phase: one full preprocessing run (optimizer-dominated).
+	// Offline phase: one full preprocessing run (optimizer-dominated),
+	// with the per-phase breakdown Preprocess emits on its trace.
+	var phases []core.PhaseStats
 	start = time.Now()
 	p, err := disq.NewSimPlatform(disq.Recipes(), disq.SimOptions{Seed: seed + 1})
 	if err != nil {
 		return err
 	}
 	plan, err := disq.Preprocess(p, disq.Query{Targets: []string{"Protein"}},
-		disq.Cents(4), disq.Dollars(25), disq.Options{})
+		disq.Cents(4), disq.Dollars(25), disq.Options{Trace: func(e disq.TraceEvent) {
+			if e.Kind == disq.TracePhase {
+				phases = append(phases, *e.Phase)
+			}
+		}})
 	if err != nil {
 		return err
 	}
 	report.Benchmarks = append(report.Benchmarks, benchEntry{
 		Name: "preprocess-single-target", NsPerOp: time.Since(start).Nanoseconds(),
+		Phases: phases,
 	})
 
 	// Online phase: per-object estimation cost, amortized.
@@ -249,7 +298,7 @@ func runBench(jsonPath string, reps, evalN int, seed int64) error {
 	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("benchmark report written to %s (sweep speedup %.2fx at 1 proc, %.2fx at %d CPUs)\n",
-		jsonPath, report.SweepSpeedup, report.SweepSpeedupNCPU, report.NumCPU)
+	fmt.Printf("benchmark report written to %s (sweep speedup %.2fx at 1 proc, %.2fx at %d CPUs, shared-snapshot gain %.2fx)\n",
+		jsonPath, report.SweepSpeedup, report.SweepSpeedupNCPU, report.NumCPU, report.SweepSharedGain)
 	return nil
 }

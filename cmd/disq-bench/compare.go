@@ -74,6 +74,23 @@ func compareReports(w io.Writer, old, new *benchReport, maxRegress float64) bool
 	if old.SweepSpeedup > 0 && new.SweepSpeedup > 0 {
 		fmt.Fprintf(w, "sweep speedup (1 proc): %.2fx -> %.2fx\n", old.SweepSpeedup, new.SweepSpeedup)
 	}
+	if new.SweepSharedGain > 0 {
+		mark := ""
+		// The shared-snapshot sweep must keep paying for itself: gate on
+		// both the absolute contract (≥1.5× over rebuild-per-point) and a
+		// relative slide beyond the regression threshold.
+		if new.SweepSharedGain < 1.5 ||
+			(old.SweepSharedGain > 0 && new.SweepSharedGain < old.SweepSharedGain*(1-maxRegress)) {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		if old.SweepSharedGain > 0 {
+			fmt.Fprintf(w, "shared-snapshot gain (1 proc): %.2fx -> %.2fx%s\n",
+				old.SweepSharedGain, new.SweepSharedGain, mark)
+		} else {
+			fmt.Fprintf(w, "shared-snapshot gain (1 proc): %.2fx%s\n", new.SweepSharedGain, mark)
+		}
+	}
 	return regressed
 }
 

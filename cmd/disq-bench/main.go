@@ -24,10 +24,18 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain carries the actual entry point so the profiling defers run
+// before the process exits (os.Exit skips defers).
+func realMain() int {
 	var (
 		list  = flag.Bool("list", false, "list experiment ids and exit")
 		expID = flag.String("experiment", "", "experiment id to regenerate")
@@ -41,35 +49,68 @@ func main() {
 
 		compare    = flag.Bool("compare", false, "compare two -bench JSON reports: -compare old.json new.json")
 		maxRegress = flag.Float64("max-regress", 0.10, "with -compare: fail when ns/op regresses by more than this fraction")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "disq-bench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "disq-bench:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "disq-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "disq-bench:", err)
+			}
+		}()
+	}
 	if *compare {
 		args := flag.Args()
 		if len(args) != 2 {
 			fmt.Fprintln(os.Stderr, "disq-bench: -compare takes exactly two arguments: old.json new.json")
-			os.Exit(2)
+			return 2
 		}
 		regressed, err := runCompare(args[0], args[1], *maxRegress)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "disq-bench:", err)
-			os.Exit(1)
+			return 1
 		}
 		if regressed {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *bench {
 		if err := runBench(*jsonP, *reps, *evalN, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "disq-bench:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if err := run(*list, *expID, *all, *reps, *evalN, *seed, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "disq-bench:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func run(list bool, expID string, all bool, reps, evalN int, seed int64, out string) error {

@@ -61,7 +61,15 @@ type (
 	// TraceEvent is one preprocessing decision (set Options.Trace to
 	// receive them).
 	TraceEvent = core.TraceEvent
+	// PhaseStats profiles one preprocessing phase (wall time, questions,
+	// cost); delivered on TracePhase events.
+	PhaseStats = core.PhaseStats
 )
+
+// TracePhase marks the per-phase profile events Preprocess emits at the
+// end of a run (one per phase: collect, dismantle, verify, optimize,
+// train; see PhaseStats).
+const TracePhase = core.TracePhase
 
 // Collection and estimation policies for multi-attribute queries
 // (Section 4 of the paper).

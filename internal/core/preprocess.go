@@ -57,26 +57,31 @@ func Preprocess(p crowd.Platform, q Query, bObj, bPrc crowd.Cost, opts Options) 
 	prev := p.SetLedger(ledger)
 	defer p.SetLedger(prev)
 	tr := tracer{fn: opts.Trace, ledger: ledger}
+	rec := newPhaseRecorder(ledger)
 
 	col := newCollector(p, opts, targets, bPrc)
-	if err := col.init(); err != nil {
-		return nil, err
-	}
-	tr.emit(TraceExamples, "", "collected %d examples per target (N1)", col.n1)
-	// A_0 = A(Q): the query attributes are the initial attribute set.
-	for _, t := range targets {
-		if col.has(t) {
-			continue
+	var st *Statistics
+	if err := rec.during(PhaseCollect, func() error {
+		if err := col.init(); err != nil {
+			return err
 		}
-		if err := col.addAttribute(t, []string{t}); err != nil {
-			return nil, err
+		tr.emit(TraceExamples, "", "collected %d examples per target (N1)", col.n1)
+		// A_0 = A(Q): the query attributes are the initial attribute set.
+		for _, t := range targets {
+			if col.has(t) {
+				continue
+			}
+			if err := col.addAttribute(t, []string{t}); err != nil {
+				return err
+			}
 		}
-	}
-	if len(weights) == 0 {
-		weights = col.defaultWeights()
-	}
-	st, err := col.compute()
-	if err != nil {
+		if len(weights) == 0 {
+			weights = col.defaultWeights()
+		}
+		var err error
+		st, err = col.compute()
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	price := priceOf(p)
@@ -89,34 +94,48 @@ func Preprocess(p crowd.Platform, q Query, bObj, bPrc crowd.Cost, opts Options) 
 			candidates = targets
 		}
 		for len(col.attributes()) < opts.MaxAttributes && dismantles < opts.MaxDismantles {
+			// Dismantling slice: affordability check, candidate scoring and
+			// the dismantling question itself.
+			endDismantle := rec.begin(PhaseDismantle)
 			if !canContinueDismantling(p, ledger, col, targets, bObj) {
+				endDismantle()
 				tr.emit(TraceStop, "", "remaining budget (%v) no longer covers an iteration plus the training reserve", ledger.Remaining())
 				break
 			}
 			res, err := NextAttribute(st, weights, price, bObj, counts, candidates, opts.RhoPrior)
 			if err != nil {
+				endDismantle()
 				return nil, err
 			}
 			if res.Attribute == "" || res.Score <= 0 {
+				endDismantle()
 				tr.emit(TraceStop, "", "no dismantling question has positive expected gain (best %.4g)", res.Score)
 				break
 			}
 			raw, err := p.Dismantle(res.Attribute)
 			if errors.Is(err, crowd.ErrBudgetExhausted) {
+				endDismantle()
 				tr.emit(TraceStop, "", "budget exhausted mid-dismantle")
 				break
 			}
 			if err != nil {
+				endDismantle()
 				return nil, err
 			}
 			dismantles++
 			counts[res.Attribute]++
 			name := p.Canonical(raw)
+			endDismantle()
 			tr.emit(TraceDismantle, res.Attribute, "worker suggested %q (score %.4g)", name, res.Score)
 			if name == "" || col.has(name) {
 				continue
 			}
-			ok, err := verifyAttribute(p, name, res.Attribute, opts.Verify)
+			var ok bool
+			err = rec.during(PhaseVerify, func() error {
+				var err error
+				ok, err = verifyAttribute(p, name, res.Attribute, opts.Verify)
+				return err
+			})
 			if errors.Is(err, crowd.ErrBudgetExhausted) {
 				tr.emit(TraceStop, "", "budget exhausted mid-verification")
 				break
@@ -129,41 +148,66 @@ func Preprocess(p crowd.Platform, q Query, bObj, bPrc crowd.Cost, opts Options) 
 				continue
 			}
 			tr.emit(TraceVerify, name, "confirmed as helpful for %q", res.Attribute)
-			pairs := choosePairs(st, res.Attribute, targets, opts.Collection)
-			cost := col.costOfSamples(name, 1+len(pairs))
-			if !ledger.CanAfford(cost + trainingReserve(p, col, targets, bObj, len(col.attributes())+1)) {
-				// Statistics for this attribute would eat into the budget
-				// reserved for regression learning; stop discovering.
-				tr.emit(TraceStop, name, "statistics would eat the regression reserve")
-				break
-			}
-			if err := col.addAttribute(name, pairs); err != nil {
-				if errors.Is(err, crowd.ErrBudgetExhausted) {
-					tr.emit(TraceStop, name, "budget exhausted mid-collection")
-					break
+			// Collection slice: choosing the statistics to buy and buying
+			// them.
+			stopped := false
+			if err := rec.during(PhaseCollect, func() error {
+				pairs := choosePairs(st, res.Attribute, targets, opts.Collection)
+				cost := col.costOfSamples(name, 1+len(pairs))
+				if !ledger.CanAfford(cost + trainingReserve(p, col, targets, bObj, len(col.attributes())+1)) {
+					// Statistics for this attribute would eat into the budget
+					// reserved for regression learning; stop discovering.
+					tr.emit(TraceStop, name, "statistics would eat the regression reserve")
+					stopped = true
+					return nil
 				}
+				if err := col.addAttribute(name, pairs); err != nil {
+					if errors.Is(err, crowd.ErrBudgetExhausted) {
+						tr.emit(TraceStop, name, "budget exhausted mid-collection")
+						stopped = true
+						return nil
+					}
+					return err
+				}
+				tr.emit(TraceAttribute, name, "admitted with %d extra target pairings", len(pairs))
+				var err error
+				st, err = col.compute()
+				return err
+			}); err != nil {
 				return nil, err
 			}
-			tr.emit(TraceAttribute, name, "admitted with %d extra target pairings", len(pairs))
-			st, err = col.compute()
-			if err != nil {
-				return nil, err
+			if stopped {
+				break
 			}
 		}
 	}
 
-	asg, err := FindBudgetDistribution(st, weights, price, bObj)
-	if err != nil {
+	var asg Assignment
+	if err := rec.during(PhaseOptimize, func() error {
+		var err error
+		asg, err = FindBudgetDistribution(st, weights, price, bObj)
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	tr.emit(TraceBudget, "", "b = %v (per-object cost %v)", asg.Counts, asg.Cost)
-	regs, n2s, err := trainRegressions(p, col, asg, targets, opts)
-	if err != nil {
+	var (
+		regs map[string]*Regression
+		n2s  map[string]int
+	)
+	if err := rec.during(PhaseTrain, func() error {
+		var err error
+		regs, n2s, err = trainRegressions(p, col, asg, targets, opts)
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	for _, t := range targets {
 		tr.emit(TraceRegression, t, "learned over %d examples (training MSE %.4g)",
 			regs[t].Examples, regs[t].TrainingError)
+	}
+	for _, ps := range rec.profile() {
+		tr.emitPhase(ps)
 	}
 
 	return &Plan{

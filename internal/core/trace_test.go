@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/crowd"
+	"repro/internal/domain"
+)
+
+// TestTracePhaseProfile pins the per-phase profiler contract: one
+// TracePhase event per phase, in canonical order, with question and cost
+// deltas that add up exactly to the run's total preprocessing spend.
+func TestTracePhaseProfile(t *testing.T) {
+	p := simPlatform(t, domain.Recipes(), 15)
+	var phases []PhaseStats
+	plan, err := Preprocess(p, Query{Targets: []string{"Protein"}},
+		crowd.Cents(4), crowd.Dollars(20),
+		Options{Trace: func(e TraceEvent) {
+			if e.Kind == TracePhase {
+				if e.Phase == nil {
+					t.Fatal("TracePhase event with nil Phase payload")
+				}
+				phases = append(phases, *e.Phase)
+			} else if e.Phase != nil {
+				t.Fatalf("%q event carries a phase payload", e.Kind)
+			}
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != len(phaseOrder) {
+		t.Fatalf("got %d phase events, want %d", len(phases), len(phaseOrder))
+	}
+	var cost crowd.Cost
+	questions := 0
+	for i, ps := range phases {
+		if ps.Phase != phaseOrder[i] {
+			t.Fatalf("phase %d is %q, want %q", i, ps.Phase, phaseOrder[i])
+		}
+		if ps.Questions < 0 || ps.Cost < 0 || ps.Wall < 0 {
+			t.Fatalf("negative profile for %q: %+v", ps.Phase, ps)
+		}
+		if ps.String() == "" {
+			t.Fatalf("empty rendering for %q", ps.Phase)
+		}
+		cost += ps.Cost
+		questions += ps.Questions
+	}
+	// Every mill spent during preprocessing is attributed to some phase.
+	if cost != plan.PreprocessCost {
+		t.Fatalf("phase costs sum to %v, plan spent %v", cost, plan.PreprocessCost)
+	}
+	if questions == 0 {
+		t.Fatal("no questions attributed to any phase")
+	}
+	// The phases that always run did measurable work.
+	for _, ps := range phases {
+		switch ps.Phase {
+		case PhaseCollect, PhaseTrain:
+			if ps.Questions == 0 || ps.Cost == 0 {
+				t.Fatalf("%q reported no work: %+v", ps.Phase, ps)
+			}
+		case PhaseOptimize:
+			if ps.Wall == 0 {
+				t.Fatalf("optimize reported zero wall time")
+			}
+		}
+	}
+}
+
+// TestTracePhaseProfileDisabledDismantling verifies phases that never run
+// still appear, zeroed, so consumers always see the full breakdown.
+func TestTracePhaseProfileDisabledDismantling(t *testing.T) {
+	p := simPlatform(t, domain.Recipes(), 8)
+	var phases []PhaseStats
+	_, err := Preprocess(p, Query{Targets: []string{"Protein"}},
+		crowd.Cents(4), crowd.Dollars(12),
+		Options{DisableDismantling: true, Trace: func(e TraceEvent) {
+			if e.Kind == TracePhase {
+				phases = append(phases, *e.Phase)
+			}
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != len(phaseOrder) {
+		t.Fatalf("got %d phase events, want %d", len(phases), len(phaseOrder))
+	}
+	for _, ps := range phases {
+		if ps.Phase == PhaseDismantle || ps.Phase == PhaseVerify {
+			if ps.Questions != 0 || ps.Cost != 0 || ps.Wall != 0 {
+				t.Fatalf("%q ran with dismantling disabled: %+v", ps.Phase, ps)
+			}
+		}
+	}
+}

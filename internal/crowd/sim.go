@@ -4,14 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"math/rand"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/domain"
-	"repro/internal/stats"
 )
 
 // ErrUnknownAttribute is returned when a value question targets a name the
@@ -54,14 +52,29 @@ type SimOptions struct {
 // experiment harness saturates.
 const numShards = 32
 
-// objShard holds the per-object value-answer caches of one shard.
+// objShard holds one shard of a platform's object-keyed fork-local state:
+// how many answers of each (object, attribute) stream this platform has
+// charged its ledger for, and the provenance of objects this platform
+// materialized from example-stream prototypes.
 type objShard struct {
-	mu      sync.Mutex
-	values  map[valueKey][]float64
-	workers map[valueKey][]int // worker id per cached answer
+	mu   sync.Mutex
+	paid map[valueKey]int
+	prov map[int]provEntry
 }
 
-// streamShard holds the string-keyed question-stream cursors of one shard.
+// provEntry records that a platform handed out obj (a materialized view of
+// an example-stream prototype) under its id. The pointer is checked on
+// lookup so an unrelated object that happens to carry the same id (e.g.
+// allocated from the universe after this platform's snapshot) is not
+// confused with the stream object.
+type provEntry struct {
+	obj *domain.Object
+	key string // "streamKey\x00pos"
+}
+
+// streamShard holds one shard of a platform's string-keyed fork-local
+// state: materialized example streams and the dismantling/verification
+// cursors.
 type streamShard struct {
 	mu       sync.Mutex
 	examples map[string][]Example
@@ -73,35 +86,52 @@ type streamShard struct {
 // It implements Platform and is safe for concurrent use. See the package
 // comment for the fidelity argument.
 //
+// A SimPlatform is a *view* over a shared answer store: the store holds
+// every answer ever generated (each a pure function of the seed and the
+// full question identity — object, attribute, stream position), while the
+// platform holds what this view has paid for: its ledger, per-question
+// charge counts and stream cursors. Snapshot/Fork create further views
+// over the same store (see snapshot.go), which is how a budget sweep
+// re-runs the same seeded crowd many times while simulating each answer
+// once.
+//
 // Concurrency design: all mutable state is split into fixed shards, each
 // guarded by its own mutex; the ledger uses atomic adds; read-mostly
 // metadata (pricing, attribute meta, canonicalization) is immutable after
 // construction, and the dismantling-distribution cache sits behind an
 // RWMutex. Shards carry no RNG state: every answer derives an independent
-// generator from the platform seed and the full question identity
-// (object, attribute, stream position), which is what makes the answer
-// stream per (object, attribute) deterministic regardless of question
-// order, interleaving or parallelism — the paper's recorded-answers
-// methodology, preserved under concurrency.
+// generator from the platform seed and the full question identity, which
+// is what makes the answer stream per (object, attribute) deterministic
+// regardless of question order, interleaving or parallelism — the paper's
+// recorded-answers methodology, preserved under concurrency.
 type SimPlatform struct {
-	u    *domain.Universe
-	opts SimOptions
+	store *simStore
 
 	ledger atomic.Pointer[Ledger]
 
+	// ids allocates object ids for materialized example objects: the root
+	// platform draws from the universe's live counter, forks from a
+	// private counter starting at the snapshot's base — so a fork assigns
+	// exactly the ids a freshly built platform would, without perturbing
+	// its siblings.
+	ids idAllocator
+
 	objShards    [numShards]objShard
 	streamShards [numShards]streamShard
-
-	distMu sync.RWMutex
-	dist   map[string]*dismantleDist
 }
 
+// valueKey identifies one value-answer stream. prov is "" for objects the
+// caller brought (their id is their identity within the shared universe)
+// and "streamKey\x00pos" for objects the simulator created as examples —
+// forks can assign the same id to different stream objects, so the
+// provenance disambiguates which latent state an id refers to.
 type valueKey struct {
 	objID int
+	prov  string
 	attr  string // canonical
 }
 
-// objShard returns the shard guarding the object's value-answer cache.
+// objShard returns the shard guarding the object's fork-local value state.
 func (p *SimPlatform) objShard(objID int) *objShard {
 	return &p.objShards[uint(objID)%numShards]
 }
@@ -111,11 +141,6 @@ func (p *SimPlatform) streamShard(key string) *streamShard {
 	h := fnv.New32a()
 	h.Write([]byte(key))
 	return &p.streamShards[h.Sum32()%numShards]
-}
-
-type dismantleDist struct {
-	names []string
-	cat   *stats.Categorical
 }
 
 // NewSim builds a simulated platform over the universe.
@@ -144,60 +169,41 @@ func NewSim(u *domain.Universe, opts SimOptions) (*SimPlatform, error) {
 	if opts.IrrelevantRate < 0 || opts.IrrelevantRate > 1 {
 		return nil, fmt.Errorf("crowd: irrelevant rate %v out of [0,1]", opts.IrrelevantRate)
 	}
-	p := &SimPlatform{
-		u:    u,
-		opts: opts,
-		dist: make(map[string]*dismantleDist),
-	}
-	p.ledger.Store(NewLedger(opts.BudgetLimit))
+	p := newView(newSimStore(u, opts))
+	p.ids.u = u
+	return p, nil
+}
+
+// newView builds an empty platform view over a store (no questions asked,
+// fresh ledger). The caller wires the id allocator.
+func newView(store *simStore) *SimPlatform {
+	p := &SimPlatform{store: store}
+	p.ledger.Store(NewLedger(store.opts.BudgetLimit))
 	for i := range p.objShards {
-		p.objShards[i].values = make(map[valueKey][]float64)
-		p.objShards[i].workers = make(map[valueKey][]int)
+		p.objShards[i].paid = make(map[valueKey]int)
+		p.objShards[i].prov = make(map[int]provEntry)
 	}
 	for i := range p.streamShards {
 		p.streamShards[i].examples = make(map[string][]Example)
 		p.streamShards[i].nextAsk = make(map[string]int)
 		p.streamShards[i].nVerify = make(map[string]int)
 	}
-	return p, nil
+	return p
 }
 
 // Universe exposes the underlying universe (used by experiment harnesses to
 // compute true errors; algorithms must not peek).
-func (p *SimPlatform) Universe() *domain.Universe { return p.u }
+func (p *SimPlatform) Universe() *domain.Universe { return p.store.u }
 
-// subRand derives an independent deterministic generator from the platform
-// seed and a question identity, making answers order-independent.
-func (p *SimPlatform) subRand(parts ...string) *rand.Rand {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%d", p.opts.Seed)
-	for _, s := range parts {
-		h.Write([]byte{0})
-		h.Write([]byte(s))
+// provOf resolves the value-stream identity of an object under the shard
+// lock: the provenance key when this platform materialized the object from
+// an example prototype, "" (the shared-universe id is the identity) for
+// everything else.
+func (sh *objShard) provOf(o *domain.Object) string {
+	if e, ok := sh.prov[o.ID]; ok && e.obj == o {
+		return e.key
 	}
-	return rand.New(rand.NewSource(int64(h.Sum64())))
-}
-
-// worker models one crowd member's quality, derived deterministically from
-// a worker id.
-type worker struct {
-	noiseScale float64
-	bias       float64
-	spam       bool
-}
-
-func (p *SimPlatform) worker(id int) worker {
-	r := p.subRand("worker", fmt.Sprint(id))
-	w := worker{
-		noiseScale: 0.6 + 0.9*r.Float64(),
-		bias:       0.3 * r.NormFloat64(),
-	}
-	if p.opts.SpamRate > 0 {
-		// A worker is an *unfiltered* spammer when they spam AND the
-		// filter misses them.
-		w.spam = r.Float64() < p.opts.SpamRate*(1-p.opts.FilterEfficiency)
-	}
-	return w
+	return ""
 }
 
 // Value implements Platform. Answers are cached per (object, attribute);
@@ -209,49 +215,43 @@ func (p *SimPlatform) Value(o *domain.Object, attr string, n int) ([]float64, er
 	if n < 0 {
 		return nil, fmt.Errorf("crowd: negative answer count %d", n)
 	}
-	canon, err := p.u.Canonical(attr)
+	canon, err := p.store.u.Canonical(attr)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownAttribute, attr)
 	}
-	meta, err := p.u.Attribute(canon)
+	meta, err := p.store.u.Attribute(canon)
 	if err != nil {
 		return nil, err
 	}
 	// Workers answer around the crowd consensus, which carries the
 	// attribute's systematic per-object distortion away from the truth.
-	consensus, err := p.u.Consensus(o, canon)
+	consensus, err := p.store.u.Consensus(o, canon)
 	if err != nil {
 		return nil, err
 	}
-	price := p.opts.Pricing.NumericValue
+	price := p.store.opts.Pricing.NumericValue
 	kind := NumericValue
 	if meta.Binary {
-		price = p.opts.Pricing.BinaryValue
+		price = p.store.opts.Pricing.BinaryValue
 		kind = BinaryValue
 	}
 
 	sh := p.objShard(o.ID)
 	ledger := p.ledger.Load()
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	key := valueKey{objID: o.ID, attr: canon}
-	answers := sh.values[key]
-	for len(answers) < n {
+	key := valueKey{objID: o.ID, prov: sh.provOf(o), attr: canon}
+	paid := sh.paid[key]
+	for paid < n {
 		if err := ledger.Charge(kind, price); err != nil {
-			sh.values[key] = answers
+			sh.paid[key] = paid
+			sh.mu.Unlock()
 			return nil, err
 		}
-		idx := len(answers)
-		r := p.subRand("value", fmt.Sprint(o.ID), canon, fmt.Sprint(idx))
-		workerID := r.Intn(p.opts.PoolSize)
-		w := p.worker(workerID)
-		answers = append(answers, p.generateAnswer(r, w, meta, consensus))
-		sh.workers[key] = append(sh.workers[key], workerID)
+		paid++
 	}
-	sh.values[key] = answers
-	out := make([]float64, n)
-	copy(out, answers[:n])
-	return out, nil
+	sh.paid[key] = paid
+	sh.mu.Unlock()
+	return p.store.valueAnswers(key, n, meta, consensus), nil
 }
 
 // ValueBatch implements ValueBatcher. Simulated answers are a pure
@@ -286,14 +286,15 @@ func (p *SimPlatform) ValueDetailed(o *domain.Object, attr string, n int) ([]Det
 	if err != nil {
 		return nil, err
 	}
-	canon, err := p.u.Canonical(attr)
+	canon, err := p.store.u.Canonical(attr)
 	if err != nil {
 		return nil, err
 	}
 	sh := p.objShard(o.ID)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	ids := sh.workers[valueKey{objID: o.ID, attr: canon}]
+	key := valueKey{objID: o.ID, prov: sh.provOf(o), attr: canon}
+	sh.mu.Unlock()
+	ids := p.store.workerIDs(key, n)
 	out := make([]DetailedAnswer, n)
 	for i := range out {
 		out[i] = DetailedAnswer{Worker: ids[i], Value: values[i]}
@@ -301,45 +302,18 @@ func (p *SimPlatform) ValueDetailed(o *domain.Object, attr string, n int) ([]Det
 	return out, nil
 }
 
-// generateAnswer draws one worker answer for an attribute with the given
-// crowd-consensus value. Numeric answers are consensus + worker-scaled
-// Gaussian noise; binary answers are a Bernoulli draw of the
-// noise-perturbed consensus probability. Spam workers answer
-// uninformatively.
-func (p *SimPlatform) generateAnswer(r *rand.Rand, w worker, meta domain.Attribute, consensus float64) float64 {
-	if meta.Binary {
-		if w.spam {
-			return float64(r.Intn(2))
-		}
-		prob := consensus + meta.Noise*w.noiseScale*r.NormFloat64() + 0.1*w.bias
-		if prob < 0 {
-			prob = 0
-		} else if prob > 1 {
-			prob = 1
-		}
-		if r.Float64() < prob {
-			return 1
-		}
-		return 0
-	}
-	if w.spam {
-		return meta.Mean + meta.Sigma*(6*r.Float64()-3)
-	}
-	return consensus + meta.Noise*(w.noiseScale*r.NormFloat64()+0.3*w.bias)
-}
-
 // Dismantle implements Platform: one worker's answer to "which attribute
 // may help estimate attr?", drawn from the universe's dismantling-answer
 // distribution (optionally polluted by IrrelevantRate).
 func (p *SimPlatform) Dismantle(attr string) (string, error) {
-	canon, err := p.u.Canonical(attr)
+	canon, err := p.store.u.Canonical(attr)
 	if err != nil {
 		return "", fmt.Errorf("%w: %q", ErrUnknownAttribute, attr)
 	}
-	if err := p.ledger.Load().Charge(Dismantling, p.opts.Pricing.Dismantling); err != nil {
+	if err := p.ledger.Load().Charge(Dismantling, p.store.opts.Pricing.Dismantling); err != nil {
 		return "", err
 	}
-	d, err := p.distribution(canon)
+	d, err := p.store.distribution(canon)
 	if err != nil {
 		return "", err
 	}
@@ -348,53 +322,7 @@ func (p *SimPlatform) Dismantle(attr string) (string, error) {
 	idx := sh.nextAsk[canon]
 	sh.nextAsk[canon]++
 	sh.mu.Unlock()
-	r := p.subRand("dismantle", canon, fmt.Sprint(idx))
-	if p.opts.IrrelevantRate > 0 && r.Float64() < p.opts.IrrelevantRate {
-		all := p.u.Attributes()
-		return all[r.Intn(len(all))], nil
-	}
-	if d == nil {
-		// Attribute with no related answers at all: workers shrug and name
-		// a random attribute.
-		all := p.u.Attributes()
-		return all[r.Intn(len(all))], nil
-	}
-	return d.names[d.cat.Sample(r)], nil
-}
-
-func (p *SimPlatform) distribution(canon string) (*dismantleDist, error) {
-	p.distMu.RLock()
-	d, ok := p.dist[canon]
-	p.distMu.RUnlock()
-	if ok {
-		return d, nil
-	}
-	table, err := p.u.DismantleDistribution(canon)
-	if err != nil {
-		return nil, err
-	}
-	d = nil
-	if len(table) > 0 {
-		names := make([]string, len(table))
-		weights := make([]float64, len(table))
-		for i, a := range table {
-			names[i] = a.Name
-			weights[i] = a.Weight
-		}
-		cat, err := stats.NewCategorical(weights)
-		if err != nil {
-			return nil, err
-		}
-		d = &dismantleDist{names: names, cat: cat}
-	}
-	p.distMu.Lock()
-	if exist, ok := p.dist[canon]; ok {
-		d = exist // lost a build race; keep the first cached value
-	} else {
-		p.dist[canon] = d
-	}
-	p.distMu.Unlock()
-	return d, nil
+	return p.store.dismantleAnswer(canon, d, idx), nil
 }
 
 // Verify implements Platform: one worker's yes/no on whether knowing
@@ -404,15 +332,15 @@ func (p *SimPlatform) distribution(canon string) (*dismantleDist, error) {
 // a human's "of course height helps BMI" is modeled even where the
 // marginal correlation vanishes, while junk like "is_black" is rejected.
 func (p *SimPlatform) Verify(candidate, target string) (bool, error) {
-	tCanon, err := p.u.Canonical(target)
+	tCanon, err := p.store.u.Canonical(target)
 	if err != nil {
 		return false, fmt.Errorf("%w: target %q", ErrUnknownAttribute, target)
 	}
 	var rho float64
-	if cCanon, err := p.u.Canonical(candidate); err == nil {
-		rho, _ = p.u.Relatedness(cCanon, tCanon)
+	if cCanon, err := p.store.u.Canonical(candidate); err == nil {
+		rho, _ = p.store.u.Relatedness(cCanon, tCanon)
 	}
-	if err := p.ledger.Load().Charge(Verification, p.opts.Pricing.Verification); err != nil {
+	if err := p.ledger.Load().Charge(Verification, p.store.opts.Pricing.Verification); err != nil {
 		return false, err
 	}
 	key := candidate + "\x00" + tCanon
@@ -421,14 +349,13 @@ func (p *SimPlatform) Verify(candidate, target string) (bool, error) {
 	idx := sh.nVerify[key]
 	sh.nVerify[key]++
 	sh.mu.Unlock()
-	r := p.subRand("verify", candidate, tCanon, fmt.Sprint(idx))
 	pYes := 0.12 + 0.8*rho
 	if pYes < 0.05 {
 		pYes = 0.05
 	} else if pYes > 0.95 {
 		pYes = 0.95
 	}
-	return r.Float64() < pYes, nil
+	return p.store.verifyAnswer(candidate, tCanon, pYes, idx), nil
 }
 
 // Examples implements Platform: the first n examples of the stream for the
@@ -443,7 +370,7 @@ func (p *SimPlatform) Examples(targets []string, n int) ([]Example, error) {
 	}
 	canon := make([]string, len(targets))
 	for i, t := range targets {
-		c, err := p.u.Canonical(t)
+		c, err := p.store.u.Canonical(t)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %q", ErrUnknownAttribute, t)
 		}
@@ -459,24 +386,25 @@ func (p *SimPlatform) Examples(targets []string, n int) ([]Example, error) {
 	defer sh.mu.Unlock()
 	stream := sh.examples[streamKey]
 	for len(stream) < n {
-		if err := ledger.Charge(ExampleQuestion, p.opts.Pricing.Example); err != nil {
+		if err := ledger.Charge(ExampleQuestion, p.store.opts.Pricing.Example); err != nil {
 			sh.examples[streamKey] = stream
 			return nil, err
 		}
-		// Each stream position gets its own deterministic generator, so
-		// the example sequence for a target set is independent of when
-		// other streams were consumed.
-		r := p.subRand("example", streamKey, fmt.Sprint(len(stream)))
-		obj := p.u.NewObjects(r, 1)[0]
-		values := make(map[string]float64, len(canon))
-		for _, c := range canon {
-			v, err := p.u.Truth(obj, c)
-			if err != nil {
-				return nil, err
-			}
-			values[c] = v
+		pos := len(stream)
+		proto, err := p.store.exampleProto(streamKey, canon, pos)
+		if err != nil {
+			return nil, err
 		}
-		stream = append(stream, Example{Object: obj, Values: values})
+		// Materialize this view's identified object for the prototype: the
+		// latent state is shared, the id comes from this platform's own
+		// allocator — so the id sequence replays what a freshly built
+		// platform would assign.
+		obj := proto.obj.WithID(p.ids.alloc())
+		osh := p.objShard(obj.ID)
+		osh.mu.Lock()
+		osh.prov[obj.ID] = provEntry{obj: obj, key: streamKey + "\x00" + fmt.Sprint(pos)}
+		osh.mu.Unlock()
+		stream = append(stream, Example{Object: obj, Values: proto.values})
 	}
 	sh.examples[streamKey] = stream
 	out := make([]Example, n)
@@ -486,10 +414,10 @@ func (p *SimPlatform) Examples(targets []string, n int) ([]Example, error) {
 
 // Canonical implements Platform.
 func (p *SimPlatform) Canonical(name string) string {
-	if p.opts.DisableUnification {
+	if p.store.opts.DisableUnification {
 		return strings.TrimSpace(name)
 	}
-	if c, err := p.u.Canonical(name); err == nil {
+	if c, err := p.store.u.Canonical(name); err == nil {
 		return c
 	}
 	return strings.TrimSpace(name)
@@ -497,7 +425,7 @@ func (p *SimPlatform) Canonical(name string) string {
 
 // Sigma implements Platform; unknown names get a neutral 1.
 func (p *SimPlatform) Sigma(attr string) float64 {
-	if s, err := p.u.TrueSigma(attr); err == nil {
+	if s, err := p.store.u.TrueSigma(attr); err == nil {
 		return s
 	}
 	return 1
@@ -506,12 +434,12 @@ func (p *SimPlatform) Sigma(attr string) float64 {
 // IsBinary implements Platform; unknown names are treated as numeric (the
 // conservative, more expensive assumption).
 func (p *SimPlatform) IsBinary(attr string) bool {
-	a, err := p.u.Attribute(attr)
+	a, err := p.store.u.Attribute(attr)
 	return err == nil && a.Binary
 }
 
 // Pricing implements Platform.
-func (p *SimPlatform) Pricing() Pricing { return p.opts.Pricing }
+func (p *SimPlatform) Pricing() Pricing { return p.store.opts.Pricing }
 
 // Ledger implements Platform.
 func (p *SimPlatform) Ledger() *Ledger {

@@ -1,0 +1,323 @@
+package crowd
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/domain"
+	"repro/internal/stats"
+)
+
+// simStore is the shared answer pool behind one family of SimPlatforms (a
+// root and all forks taken from it). Every entry is the memoized result of
+// a pure function of (seed, question identity), so the store is append-only
+// and never invalidated: a platform that "asks" a question the store has
+// already generated reuses the computation but still charges its own
+// ledger, which is what makes forked sweeps bit-identical to rebuilding a
+// fresh platform per budget point while paying the simulation cost once.
+//
+// Concurrency: pools are sharded like the platform's cursor state, each
+// shard behind its own mutex; the worker cache uses per-slot atomic
+// pointers. Concurrent forks extending the same pool serialize only on the
+// shard; whoever generates first wins and everyone reads the same answers.
+type simStore struct {
+	u    *domain.Universe
+	opts SimOptions
+
+	valShards [numShards]valShard
+	genShards [numShards]genShard
+
+	distMu sync.RWMutex
+	dist   map[string]*dismantleDist
+
+	// workers caches the derived worker models (a pure function of the
+	// seed and the worker id). Deriving a worker seeds a fresh generator —
+	// the single hottest operation of a sweep before caching — so each
+	// store derives each of the PoolSize workers at most once.
+	workers []atomic.Pointer[worker]
+}
+
+// valShard holds the generated value-answer pools of one shard.
+type valShard struct {
+	mu    sync.Mutex
+	pools map[valueKey]*valuePool
+}
+
+// valuePool is the generated answer stream of one (object, attribute).
+type valuePool struct {
+	answers []float64
+	workers []int // worker id per answer
+}
+
+// genShard holds the string-keyed generated streams of one shard: example
+// prototypes per stream key, dismantling answers per attribute and
+// verification answers per (candidate, target).
+type genShard struct {
+	mu        sync.Mutex
+	protos    map[string][]exampleProto
+	dismantle map[string][]string
+	verify    map[string][]bool
+}
+
+// exampleProto is the fork-independent part of one example-stream position:
+// the sampled latent object (id -1; each platform materializes its own
+// identified view) and its true target values. The values map is shared
+// read-only by every Example handed out for this position.
+type exampleProto struct {
+	obj    *domain.Object
+	values map[string]float64
+}
+
+type dismantleDist struct {
+	names []string
+	cat   *stats.Categorical
+}
+
+func newSimStore(u *domain.Universe, opts SimOptions) *simStore {
+	s := &simStore{
+		u:       u,
+		opts:    opts,
+		dist:    make(map[string]*dismantleDist),
+		workers: make([]atomic.Pointer[worker], opts.PoolSize),
+	}
+	for i := range s.valShards {
+		s.valShards[i].pools = make(map[valueKey]*valuePool)
+	}
+	for i := range s.genShards {
+		s.genShards[i].protos = make(map[string][]exampleProto)
+		s.genShards[i].dismantle = make(map[string][]string)
+		s.genShards[i].verify = make(map[string][]bool)
+	}
+	return s
+}
+
+// valShard returns the shard guarding an object's value-answer pools.
+func (s *simStore) valShard(objID int) *valShard {
+	return &s.valShards[uint(objID)%numShards]
+}
+
+// genShard returns the shard guarding a string-keyed generated stream.
+func (s *simStore) genShard(key string) *genShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &s.genShards[h.Sum32()%numShards]
+}
+
+// subRand derives an independent deterministic generator from the platform
+// seed and a question identity, making answers order-independent.
+func (s *simStore) subRand(parts ...string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", s.opts.Seed)
+	for _, p := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// worker models one crowd member's quality, derived deterministically from
+// a worker id.
+type worker struct {
+	noiseScale float64
+	bias       float64
+	spam       bool
+}
+
+func (s *simStore) worker(id int) worker {
+	if w := s.workers[id].Load(); w != nil {
+		return *w
+	}
+	r := s.subRand("worker", fmt.Sprint(id))
+	w := worker{
+		noiseScale: 0.6 + 0.9*r.Float64(),
+		bias:       0.3 * r.NormFloat64(),
+	}
+	if s.opts.SpamRate > 0 {
+		// A worker is an *unfiltered* spammer when they spam AND the
+		// filter misses them.
+		w.spam = r.Float64() < s.opts.SpamRate*(1-s.opts.FilterEfficiency)
+	}
+	s.workers[id].Store(&w)
+	return w
+}
+
+// valueAnswers extends the pool for key to at least n answers and returns
+// a copy of the first n. meta and consensus are pure functions of the key
+// (the attribute's metadata and the object's crowd consensus), passed in
+// so the store does not re-resolve them.
+func (s *simStore) valueAnswers(key valueKey, n int, meta domain.Attribute, consensus float64) []float64 {
+	sh := s.valShard(key.objID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	pool := sh.pools[key]
+	if pool == nil {
+		pool = &valuePool{}
+		sh.pools[key] = pool
+	}
+	for len(pool.answers) < n {
+		idx := len(pool.answers)
+		r := s.subRand("value", fmt.Sprint(key.objID), key.attr, fmt.Sprint(idx))
+		workerID := r.Intn(s.opts.PoolSize)
+		w := s.worker(workerID)
+		pool.answers = append(pool.answers, s.generateAnswer(r, w, meta, consensus))
+		pool.workers = append(pool.workers, workerID)
+	}
+	out := make([]float64, n)
+	copy(out, pool.answers[:n])
+	return out
+}
+
+// workerIDs returns the worker identities behind the first n answers of a
+// pool; valueAnswers must have generated them already.
+func (s *simStore) workerIDs(key valueKey, n int) []int {
+	sh := s.valShard(key.objID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make([]int, n)
+	copy(out, sh.pools[key].workers[:n])
+	return out
+}
+
+// generateAnswer draws one worker answer for an attribute with the given
+// crowd-consensus value. Numeric answers are consensus + worker-scaled
+// Gaussian noise; binary answers are a Bernoulli draw of the
+// noise-perturbed consensus probability. Spam workers answer
+// uninformatively.
+func (s *simStore) generateAnswer(r *rand.Rand, w worker, meta domain.Attribute, consensus float64) float64 {
+	if meta.Binary {
+		if w.spam {
+			return float64(r.Intn(2))
+		}
+		prob := consensus + meta.Noise*w.noiseScale*r.NormFloat64() + 0.1*w.bias
+		if prob < 0 {
+			prob = 0
+		} else if prob > 1 {
+			prob = 1
+		}
+		if r.Float64() < prob {
+			return 1
+		}
+		return 0
+	}
+	if w.spam {
+		return meta.Mean + meta.Sigma*(6*r.Float64()-3)
+	}
+	return consensus + meta.Noise*(w.noiseScale*r.NormFloat64()+0.3*w.bias)
+}
+
+// exampleProto extends the prototype stream for streamKey to cover pos and
+// returns that position's prototype. canon is the canonical target set the
+// stream is keyed by (any ordering; the truth-value map contents depend
+// only on the set).
+func (s *simStore) exampleProto(streamKey string, canon []string, pos int) (exampleProto, error) {
+	sh := s.genShard(streamKey)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	protos := sh.protos[streamKey]
+	for len(protos) <= pos {
+		// Each stream position gets its own deterministic generator, so
+		// the example sequence for a target set is independent of when
+		// other streams were consumed.
+		r := s.subRand("example", streamKey, fmt.Sprint(len(protos)))
+		obj := s.u.SampleLatentObject(r)
+		values := make(map[string]float64, len(canon))
+		for _, c := range canon {
+			v, err := s.u.Truth(obj, c)
+			if err != nil {
+				sh.protos[streamKey] = protos
+				return exampleProto{}, err
+			}
+			values[c] = v
+		}
+		protos = append(protos, exampleProto{obj: obj, values: values})
+	}
+	sh.protos[streamKey] = protos
+	return protos[pos], nil
+}
+
+// dismantleAnswer extends the dismantling-answer pool for canon to cover
+// idx and returns that answer. d is the attribute's dismantling
+// distribution (nil when the universe has none).
+func (s *simStore) dismantleAnswer(canon string, d *dismantleDist, idx int) string {
+	sh := s.genShard(canon)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	pool := sh.dismantle[canon]
+	for len(pool) <= idx {
+		r := s.subRand("dismantle", canon, fmt.Sprint(len(pool)))
+		pool = append(pool, s.drawDismantle(r, d))
+	}
+	sh.dismantle[canon] = pool
+	return pool[idx]
+}
+
+func (s *simStore) drawDismantle(r *rand.Rand, d *dismantleDist) string {
+	if s.opts.IrrelevantRate > 0 && r.Float64() < s.opts.IrrelevantRate {
+		all := s.u.Attributes()
+		return all[r.Intn(len(all))]
+	}
+	if d == nil {
+		// Attribute with no related answers at all: workers shrug and name
+		// a random attribute.
+		all := s.u.Attributes()
+		return all[r.Intn(len(all))]
+	}
+	return d.names[d.cat.Sample(r)]
+}
+
+// verifyAnswer extends the verification pool for (candidate, tCanon) to
+// cover idx and returns that answer. pYes is a pure function of the pair
+// (derived from the domain's relatedness), passed in by the caller.
+func (s *simStore) verifyAnswer(candidate, tCanon string, pYes float64, idx int) bool {
+	key := candidate + "\x00" + tCanon
+	sh := s.genShard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	pool := sh.verify[key]
+	for len(pool) <= idx {
+		r := s.subRand("verify", candidate, tCanon, fmt.Sprint(len(pool)))
+		pool = append(pool, r.Float64() < pYes)
+	}
+	sh.verify[key] = pool
+	return pool[idx]
+}
+
+// distribution resolves (and caches) the dismantling-answer distribution
+// of a canonical attribute.
+func (s *simStore) distribution(canon string) (*dismantleDist, error) {
+	s.distMu.RLock()
+	d, ok := s.dist[canon]
+	s.distMu.RUnlock()
+	if ok {
+		return d, nil
+	}
+	table, err := s.u.DismantleDistribution(canon)
+	if err != nil {
+		return nil, err
+	}
+	d = nil
+	if len(table) > 0 {
+		names := make([]string, len(table))
+		weights := make([]float64, len(table))
+		for i, a := range table {
+			names[i] = a.Name
+			weights[i] = a.Weight
+		}
+		cat, err := stats.NewCategorical(weights)
+		if err != nil {
+			return nil, err
+		}
+		d = &dismantleDist{names: names, cat: cat}
+	}
+	s.distMu.Lock()
+	if exist, ok := s.dist[canon]; ok {
+		d = exist // lost a build race; keep the first cached value
+	} else {
+		s.dist[canon] = d
+	}
+	s.distMu.Unlock()
+	return d, nil
+}

@@ -339,28 +339,63 @@ func RefObject(id int) *Object { return &Object{ID: id} }
 // latent state of each object depends only on the caller's rng.
 func (u *Universe) NewObjects(rng *rand.Rand, n int) []*Object {
 	out := make([]*Object, n)
-	nf := len(u.factorIdx)
 	for i := 0; i < n; i++ {
-		f := make([]float64, nf)
-		for k := range f {
-			f[k] = rng.NormFloat64()
-		}
-		z := make([]float64, len(u.attrs))
-		d := make([]float64, len(u.attrs))
-		for ai := range u.attrs {
-			var s float64
-			for k, l := range u.loadings[ai] {
-				if l != 0 {
-					s += l * f[k]
-				}
-			}
-			z[ai] = s + u.residual[ai]*rng.NormFloat64()
-			d[ai] = rng.NormFloat64()
-		}
-		out[i] = &Object{ID: int(u.nextID.Add(1) - 1), z: z, d: d}
+		z, d := u.sampleLatent(rng)
+		out[i] = &Object{ID: u.AllocID(), z: z, d: d}
 	}
 	return out
 }
+
+// sampleLatent draws one object's latent state. The rng consumption order
+// (factors, then per attribute the residual and distortion draws) is part
+// of the determinism contract: it fixes the latent state per rng position.
+func (u *Universe) sampleLatent(rng *rand.Rand) (z, d []float64) {
+	f := make([]float64, len(u.factorIdx))
+	for k := range f {
+		f[k] = rng.NormFloat64()
+	}
+	z = make([]float64, len(u.attrs))
+	d = make([]float64, len(u.attrs))
+	for ai := range u.attrs {
+		var s float64
+		for k, l := range u.loadings[ai] {
+			if l != 0 {
+				s += l * f[k]
+			}
+		}
+		z[ai] = s + u.residual[ai]*rng.NormFloat64()
+		d[ai] = rng.NormFloat64()
+	}
+	return z, d
+}
+
+// SampleLatentObject draws one object without reserving an id (ID = -1);
+// the rng consumption is exactly one NewObjects step. It exists for
+// answer-pool sharing: the crowd simulator's forked platforms generate an
+// example object's latent state once, then materialize per-fork views of
+// it with WithID, so the universe's id counter only advances for objects
+// that are actually handed out.
+func (u *Universe) SampleLatentObject(rng *rand.Rand) *Object {
+	z, d := u.sampleLatent(rng)
+	return &Object{ID: -1, z: z, d: d}
+}
+
+// WithID returns a view of the object under a different id, sharing the
+// (immutable) latent state. Truth and Consensus answers are identical for
+// every view; only the id — and anything keyed by it, like the simulator's
+// per-object answer streams — differs.
+func (o *Object) WithID(id int) *Object {
+	return &Object{ID: id, z: o.z, d: o.d}
+}
+
+// AllocID reserves and returns the next object id (what NewObjects uses
+// internally).
+func (u *Universe) AllocID() int { return int(u.nextID.Add(1) - 1) }
+
+// PeekID returns the id the next allocation will receive, without
+// reserving it. Platform snapshots record it so forks can replay the id
+// sequence a freshly built twin would produce.
+func (u *Universe) PeekID() int { return int(u.nextID.Load()) }
 
 // Truth returns the true value of the attribute for the object:
 // Mean + Sigma·z for numeric attributes, and the logistic squashing

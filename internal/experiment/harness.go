@@ -190,27 +190,39 @@ func RunWithStats(spec Spec) ([]AlgResult, crowd.FaultStats, error) {
 		evalN = 100
 	}
 
-	type repOut struct {
-		errs  []float64 // per algorithm; NaN = failure
-		stats crowd.FaultStats
-		err   error
-	}
 	outs := make([]repOut, reps)
 	core.ForEach(reps, spec.parallelism(), func(rep int) {
-		errs, st, err := runOneRep(spec, repSeed(spec.Name, spec.BaseSeed, rep), evalN)
-		outs[rep] = repOut{errs: errs, stats: st, err: err}
+		outs[rep] = runOneRep(spec, repSeed(spec.Name, spec.BaseSeed, rep), evalN)
 	})
+	results, fstats, _, err := assembleResults(spec.Algorithms, outs)
+	return results, fstats, err
+}
 
-	results := make([]AlgResult, len(spec.Algorithms))
-	for i, alg := range spec.Algorithms {
+// repOut is the outcome of one repetition at one budget point.
+type repOut struct {
+	errs  []float64 // per algorithm; NaN = failure
+	stats crowd.FaultStats
+	spent crowd.Cost // platform base-ledger spend after all algorithms
+	err   error
+}
+
+// assembleResults aggregates the per-repetition outcomes into per-algorithm
+// statistics, merged fault counters and the per-rep platform spends. The
+// first failed repetition (in rep order) fails the whole set.
+func assembleResults(algs []baselines.Algorithm, outs []repOut) ([]AlgResult, crowd.FaultStats, []crowd.Cost, error) {
+	var fstats crowd.FaultStats
+	results := make([]AlgResult, len(algs))
+	for i, alg := range algs {
 		results[i].Algorithm = alg.Name()
-		results[i].RepErrs = make([]float64, reps)
+		results[i].RepErrs = make([]float64, len(outs))
 	}
+	spends := make([]crowd.Cost, len(outs))
 	for rep, out := range outs {
 		if out.err != nil {
-			return nil, fstats, fmt.Errorf("experiment: rep %d: %w", rep, out.err)
+			return nil, fstats, nil, fmt.Errorf("experiment: rep %d: %w", rep, out.err)
 		}
 		fstats.Merge(out.stats)
+		spends[rep] = out.spent
 		for i, e := range out.errs {
 			results[i].RepErrs[rep] = e
 			if e != e { // NaN marks an algorithm failure for this rep
@@ -231,27 +243,39 @@ func RunWithStats(spec Spec) ([]AlgResult, crowd.FaultStats, error) {
 			r.StdErr = sd / math.Sqrt(float64(len(r.PerRep)))
 		}
 	}
-	return results, fstats, nil
+	return results, fstats, spends, nil
 }
 
-// runOneRep builds the shared platform (wrapped in the configured
-// fault/retry layers), computes oracle weights, runs all algorithms and
-// returns the per-algorithm weighted errors plus the rep's fault
-// counters.
-func runOneRep(spec Spec, seed int64, evalN int) ([]float64, crowd.FaultStats, error) {
-	var fstats crowd.FaultStats
+// repEnv is one repetition's budget-independent environment: the seeded
+// platform, canonical targets, oracle weights, shared evaluation objects
+// and their truths, plus a copy-on-write snapshot of the platform's answer
+// store taken after all of those objects exist. A sweep builds the
+// environment once per repetition and forks the snapshot per budget point;
+// every fork replays the identical answer streams (and object ids) a
+// freshly built platform would produce, while the simulation work is paid
+// once.
+type repEnv struct {
+	root     *crowd.SimPlatform
+	snap     *crowd.SimSnapshot
+	targets  []string
+	weights  map[string]float64
+	evalObjs []*domain.Object
+	truths   map[string][]float64
+}
+
+// buildRepEnv constructs one repetition's environment from its seed.
+func buildRepEnv(spec Spec, seed int64, evalN int) (*repEnv, error) {
 	p, err := spec.Platform.Build(seed)
 	if err != nil {
-		return nil, fstats, err
+		return nil, err
 	}
-	plat := spec.Platform.wrap(p, seed)
 	u := p.Universe()
 	// Canonical target names.
 	targets := make([]string, len(spec.Targets))
 	for i, t := range spec.Targets {
 		c, err := u.Canonical(t)
 		if err != nil {
-			return nil, fstats, err
+			return nil, err
 		}
 		targets[i] = c
 	}
@@ -284,8 +308,25 @@ func runOneRep(spec Spec, seed int64, evalN int) ([]float64, crowd.FaultStats, e
 		}
 		truths[t] = col
 	}
+	// Snapshot after every shared object exists, so forks allocate example
+	// ids from the same watermark a rebuilt platform would.
+	return &repEnv{
+		root:     p,
+		snap:     p.Snapshot(),
+		targets:  targets,
+		weights:  weights,
+		evalObjs: evalObjs,
+		truths:   truths,
+	}, nil
+}
 
-	q := core.Query{Targets: targets, Weights: weights}
+// runRepOn wraps the repetition's platform view in the configured
+// fault/retry/batch layers, runs all algorithms and returns the
+// per-algorithm weighted errors plus the rep's fault counters and total
+// platform spend.
+func runRepOn(spec Spec, sim *crowd.SimPlatform, seed int64, env *repEnv) repOut {
+	plat := spec.Platform.wrap(sim, seed)
+	q := core.Query{Targets: env.targets, Weights: env.weights}
 	out := make([]float64, len(spec.Algorithms))
 	for ai, alg := range spec.Algorithms {
 		ev, err := alg.Prepare(plat, q, spec.BObj, spec.BPrc)
@@ -295,16 +336,27 @@ func runOneRep(spec Spec, seed int64, evalN int) ([]float64, crowd.FaultStats, e
 			out[ai] = nan()
 			continue
 		}
-		werr, err := WeightedError(plat, ev, evalObjs, targets, weights, truths, spec.parallelism())
+		werr, err := WeightedError(plat, ev, env.evalObjs, env.targets, env.weights, env.truths, spec.parallelism())
 		if err != nil {
-			return nil, fstats, fmt.Errorf("%s: %w", alg.Name(), err)
+			return repOut{err: fmt.Errorf("%s: %w", alg.Name(), err)}
 		}
 		out[ai] = werr
 	}
+	ro := repOut{errs: out, spent: sim.Ledger().Spent()}
 	if fr, ok := plat.(crowd.FaultReporter); ok {
-		fstats = fr.FaultStats()
+		ro.stats = fr.FaultStats()
 	}
-	return out, fstats, nil
+	return ro
+}
+
+// runOneRep builds the repetition's environment and runs all algorithms on
+// its root platform (the rebuild-per-point path).
+func runOneRep(spec Spec, seed int64, evalN int) repOut {
+	env, err := buildRepEnv(spec, seed, evalN)
+	if err != nil {
+		return repOut{err: err}
+	}
+	return runRepOn(spec, env.root, seed, env)
 }
 
 func nan() float64 { return math.NaN() }
@@ -374,6 +426,12 @@ func (v SweepVariable) String() string {
 type SweepPoint struct {
 	Budget  crowd.Cost
 	Results []AlgResult
+	// RepSpend is each repetition's total platform spend (base ledger:
+	// preprocessing plus evaluation charges) at this budget point, indexed
+	// by repetition. The shared-snapshot and rebuild-per-point sweep paths
+	// must agree on it exactly — each fork charges its own ledger for
+	// every answer it consumes, cached or not.
+	RepSpend []crowd.Cost
 }
 
 // Sweep is an error-vs-budget curve set (one series per algorithm).
@@ -383,36 +441,132 @@ type Sweep struct {
 	Points []SweepPoint
 }
 
+// withBudget returns the spec with the varied budget set to b.
+func (s Spec) withBudget(vary SweepVariable, b crowd.Cost) Spec {
+	if vary == VaryBPrc {
+		s.BPrc = b
+	} else {
+		s.BObj = b
+	}
+	return s
+}
+
+// joinSweepErrors wraps each failed budget point's error with its budget
+// and aggregates them, so a sweep reports every failing point rather than
+// just the first.
+func joinSweepErrors(vary SweepVariable, budgets []crowd.Cost, errs []error) error {
+	for i, err := range errs {
+		if err != nil {
+			errs[i] = fmt.Errorf("experiment: sweep %v=%v: %w", vary, budgets[i], err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
 // RunSweep runs the spec once per budget value. Platform seeds depend only
 // on the repetition, so the same answer streams are reused across budget
-// points (the paper's recorded-answer methodology). Budget points run
-// concurrently over the shared computation pool (each point's repetitions
-// fan out below it); results are assembled in budget order, and with
+// points (the paper's recorded-answer methodology) — literally: each
+// repetition builds its platform once and every budget point runs on a
+// copy-on-write fork of it (crowd.SimSnapshot), so an answer is simulated
+// once per repetition no matter how many budget points consume it, while
+// every fork keeps its own ledger and the results stay bit-identical to
+// rebuilding per point (RunSweepRebuild, pinned by test). Repetitions run
+// concurrently over the shared computation pool with the budget points
+// fanning out below them; results are assembled in budget order, and with
 // Spec.Parallelism == 1 the whole sweep is strictly sequential.
 func RunSweep(spec Spec, vary SweepVariable, budgets []crowd.Cost) (*Sweep, error) {
 	if len(budgets) == 0 {
 		return nil, errors.New("experiment: empty budget grid")
 	}
+	if len(spec.Algorithms) == 0 {
+		return nil, errors.New("experiment: no algorithms")
+	}
+	if len(spec.Targets) == 0 {
+		return nil, errors.New("experiment: no targets")
+	}
+	reps := spec.Reps
+	if reps == 0 {
+		reps = 30
+	}
+	evalN := spec.EvalObjects
+	if evalN == 0 {
+		evalN = 100
+	}
+	outs := make([][]repOut, len(budgets)) // [budget point][repetition]
+	for i := range outs {
+		outs[i] = make([]repOut, reps)
+	}
+	core.ForEach(reps, spec.parallelism(), func(rep int) {
+		seed := repSeed(spec.Name, spec.BaseSeed, rep)
+		env, err := buildRepEnv(spec, seed, evalN)
+		if err != nil {
+			for i := range outs {
+				outs[i][rep] = repOut{err: err}
+			}
+			return
+		}
+		core.ForEach(len(budgets), spec.parallelism(), func(i int) {
+			outs[i][rep] = runRepOn(spec.withBudget(vary, budgets[i]), env.snap.Fork(), seed, env)
+		})
+	})
+	sw := &Sweep{Name: spec.Name, Vary: vary, Points: make([]SweepPoint, len(budgets))}
+	errs := make([]error, len(budgets))
+	for i := range budgets {
+		res, _, spends, err := assembleResults(spec.Algorithms, outs[i])
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		sw.Points[i] = SweepPoint{Budget: budgets[i], Results: res, RepSpend: spends}
+	}
+	if err := joinSweepErrors(vary, budgets, errs); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+// RunSweepRebuild is RunSweep without answer sharing: every (budget point,
+// repetition) builds its platform from scratch, the paper's original
+// methodology restated naively. It exists as the reference implementation
+// the shared path is verified against (TestSweepSharedDeterminism) and as
+// the rebuild baseline the sweep benchmarks compare to.
+func RunSweepRebuild(spec Spec, vary SweepVariable, budgets []crowd.Cost) (*Sweep, error) {
+	if len(budgets) == 0 {
+		return nil, errors.New("experiment: empty budget grid")
+	}
+	reps := spec.Reps
+	if reps == 0 {
+		reps = 30
+	}
+	evalN := spec.EvalObjects
+	if evalN == 0 {
+		evalN = 100
+	}
 	sw := &Sweep{Name: spec.Name, Vary: vary, Points: make([]SweepPoint, len(budgets))}
 	errs := make([]error, len(budgets))
 	core.ForEach(len(budgets), spec.parallelism(), func(i int) {
-		pt := spec
-		if vary == VaryBPrc {
-			pt.BPrc = budgets[i]
-		} else {
-			pt.BObj = budgets[i]
-		}
-		res, err := Run(pt)
-		if err != nil {
-			errs[i] = fmt.Errorf("experiment: sweep %v=%v: %w", vary, budgets[i], err)
+		pt := spec.withBudget(vary, budgets[i])
+		if len(pt.Algorithms) == 0 {
+			errs[i] = errors.New("experiment: no algorithms")
 			return
 		}
-		sw.Points[i] = SweepPoint{Budget: budgets[i], Results: res}
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		if len(pt.Targets) == 0 {
+			errs[i] = errors.New("experiment: no targets")
+			return
 		}
+		outs := make([]repOut, reps)
+		core.ForEach(reps, pt.parallelism(), func(rep int) {
+			outs[rep] = runOneRep(pt, repSeed(pt.Name, pt.BaseSeed, rep), evalN)
+		})
+		res, _, spends, err := assembleResults(pt.Algorithms, outs)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		sw.Points[i] = SweepPoint{Budget: budgets[i], Results: res, RepSpend: spends}
+	})
+	if err := joinSweepErrors(vary, budgets, errs); err != nil {
+		return nil, err
 	}
 	return sw, nil
 }

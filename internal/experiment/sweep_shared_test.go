@@ -1,0 +1,177 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/crowd"
+)
+
+// requireSweepsEqual compares two sweeps bit-for-bit: per-rep errors
+// (NaN-safe via the float bit pattern), the derived statistics, failure
+// counts and the per-rep platform spends.
+func requireSweepsEqual(t *testing.T, shared, rebuild *Sweep) {
+	t.Helper()
+	if len(shared.Points) != len(rebuild.Points) {
+		t.Fatalf("point count %d vs %d", len(shared.Points), len(rebuild.Points))
+	}
+	for pi := range shared.Points {
+		sp, rp := shared.Points[pi], rebuild.Points[pi]
+		if sp.Budget != rp.Budget {
+			t.Fatalf("point %d budget %v vs %v", pi, sp.Budget, rp.Budget)
+		}
+		if len(sp.RepSpend) != len(rp.RepSpend) {
+			t.Fatalf("point %d rep-spend count %d vs %d", pi, len(sp.RepSpend), len(rp.RepSpend))
+		}
+		for rep := range sp.RepSpend {
+			if sp.RepSpend[rep] != rp.RepSpend[rep] {
+				t.Fatalf("point %d rep %d spent %v shared, %v rebuilt",
+					pi, rep, sp.RepSpend[rep], rp.RepSpend[rep])
+			}
+		}
+		if len(sp.Results) != len(rp.Results) {
+			t.Fatalf("point %d result count %d vs %d", pi, len(sp.Results), len(rp.Results))
+		}
+		for ai := range sp.Results {
+			sr, rr := sp.Results[ai], rp.Results[ai]
+			if sr.Algorithm != rr.Algorithm || sr.Failures != rr.Failures {
+				t.Fatalf("point %d alg %q/%d vs %q/%d", pi, sr.Algorithm, sr.Failures, rr.Algorithm, rr.Failures)
+			}
+			if math.Float64bits(sr.Mean) != math.Float64bits(rr.Mean) ||
+				math.Float64bits(sr.StdErr) != math.Float64bits(rr.StdErr) {
+				t.Fatalf("point %d %s mean/stderr %v±%v shared, %v±%v rebuilt",
+					pi, sr.Algorithm, sr.Mean, sr.StdErr, rr.Mean, rr.StdErr)
+			}
+			if len(sr.RepErrs) != len(rr.RepErrs) || len(sr.PerRep) != len(rr.PerRep) {
+				t.Fatalf("point %d %s rep lengths diverged", pi, sr.Algorithm)
+			}
+			for rep := range sr.RepErrs {
+				if math.Float64bits(sr.RepErrs[rep]) != math.Float64bits(rr.RepErrs[rep]) {
+					t.Fatalf("point %d %s rep %d err %v shared, %v rebuilt",
+						pi, sr.Algorithm, rep, sr.RepErrs[rep], rr.RepErrs[rep])
+				}
+			}
+		}
+	}
+}
+
+// TestSweepSharedDeterminism pins the tentpole contract: RunSweep (every
+// budget point on a copy-on-write fork of one per-repetition platform)
+// produces byte-identical output — per-rep errors AND per-rep ledger
+// spend — to RunSweepRebuild (a fresh platform per point), sequentially
+// and at full parallelism.
+func TestSweepSharedDeterminism(t *testing.T) {
+	spec := Spec{
+		Name:     "shared-determinism",
+		Platform: PlatformConfig{Domain: "pictures"},
+		Targets:  []string{"Bmi"},
+		BObj:     crowd.Cents(4), BPrc: crowd.Dollars(30),
+		Algorithms: []baselines.Algorithm{
+			baselines.NaiveAverage{}, baselines.SimpleDisQ(), baselines.DisQ{},
+		},
+		Reps: 3, EvalObjects: 20, BaseSeed: 17, Parallelism: 1,
+	}
+	grid := []crowd.Cost{crowd.Dollars(8), crowd.Dollars(15), crowd.Dollars(25)}
+
+	rebuild, err := RunSweepRebuild(spec, VaryBPrc, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := RunSweep(spec, VaryBPrc, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSweepsEqual(t, shared, rebuild)
+
+	par := spec
+	par.Parallelism = 0
+	sharedPar, err := RunSweep(par, VaryBPrc, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSweepsEqual(t, sharedPar, rebuild)
+}
+
+// TestSweepSharedDeterminismMultiTarget repeats the pin on a multi-target
+// query varying B_obj, where budget points interleave example streams
+// differently — the case provenance-keyed answer pools exist for.
+func TestSweepSharedDeterminismMultiTarget(t *testing.T) {
+	spec := Spec{
+		Name:     "shared-determinism-multi",
+		Platform: PlatformConfig{Domain: "pictures", SpamRate: 0.1, FilterEfficiency: 0.5},
+		Targets:  []string{"Bmi", "Age"},
+		BObj:     crowd.Cents(4), BPrc: crowd.Dollars(20),
+		Algorithms: []baselines.Algorithm{
+			baselines.NaiveAverage{}, baselines.DisQ{},
+		},
+		Reps: 2, EvalObjects: 15, BaseSeed: 5, Parallelism: 1,
+	}
+	grid := []crowd.Cost{crowd.Cents(2), crowd.Cents(6)}
+
+	rebuild, err := RunSweepRebuild(spec, VaryBObj, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := RunSweep(spec, VaryBObj, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSweepsEqual(t, shared, rebuild)
+}
+
+// TestSweepSharedFaultWrapped pins the wrapper composition on forks: a
+// fault-injected, retried sweep over shared snapshots still converges to
+// the fault-free rebuild results (injected faults are pre-execution).
+func TestSweepSharedFaultWrapped(t *testing.T) {
+	spec := Spec{
+		Name:     "shared-faults",
+		Platform: PlatformConfig{Domain: "recipes"},
+		Targets:  []string{"Protein"},
+		BObj:     crowd.Cents(4), BPrc: crowd.Dollars(12),
+		Algorithms: []baselines.Algorithm{baselines.DisQ{}},
+		Reps:       2, EvalObjects: 10, BaseSeed: 23, Parallelism: 1,
+	}
+	grid := []crowd.Cost{crowd.Dollars(8), crowd.Dollars(12)}
+	clean, err := RunSweep(spec, VaryBPrc, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := spec
+	faulty.Platform.Faults = crowd.FaultyOptions{FailRate: 0.1, ShortRate: 0.05}
+	faulty.Platform.Retry = crowd.RetryOptions{MaxRetries: 12}
+	injected, err := RunSweep(faulty, VaryBPrc, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSweepsEqual(t, injected, clean)
+}
+
+// TestRunSweepErrorAggregation verifies a failing sweep reports every
+// failing budget point (errors.Join), not just the first, on both sweep
+// paths.
+func TestRunSweepErrorAggregation(t *testing.T) {
+	spec := Spec{
+		Name:       "all-points-fail",
+		Platform:   PlatformConfig{Domain: "no-such-domain"},
+		Targets:    []string{"Bmi"},
+		BObj:       crowd.Cents(4), BPrc: crowd.Dollars(10),
+		Algorithms: []baselines.Algorithm{baselines.NaiveAverage{}},
+		Reps:       1, EvalObjects: 5, Parallelism: 1,
+	}
+	grid := []crowd.Cost{crowd.Dollars(5), crowd.Dollars(10), crowd.Dollars(15)}
+	for name, run := range map[string]func(Spec, SweepVariable, []crowd.Cost) (*Sweep, error){
+		"shared": RunSweep, "rebuild": RunSweepRebuild,
+	} {
+		_, err := run(spec, VaryBPrc, grid)
+		if err == nil {
+			t.Fatalf("%s: sweep over unknown domain succeeded", name)
+		}
+		for _, budget := range []string{"$5.000", "$10.000", "$15.000"} {
+			if !strings.Contains(err.Error(), "B_prc="+budget) {
+				t.Fatalf("%s: aggregated error is missing point %s:\n%v", name, budget, err)
+			}
+		}
+	}
+}
