@@ -74,6 +74,17 @@ func compareReports(w io.Writer, old, new *benchReport, maxRegress float64) bool
 	if old.SweepSpeedup > 0 && new.SweepSpeedup > 0 {
 		fmt.Fprintf(w, "sweep speedup (1 proc): %.2fx -> %.2fx\n", old.SweepSpeedup, new.SweepSpeedup)
 	}
+	// The NumCPU-wide measurement is informational and absent on
+	// single-CPU hosts (either side of the comparison), so it is never
+	// gated — only reported when present.
+	switch {
+	case old.SweepSpeedupNCPU > 0 && new.SweepSpeedupNCPU > 0:
+		fmt.Fprintf(w, "sweep speedup (NumCPU): %.2fx -> %.2fx\n", old.SweepSpeedupNCPU, new.SweepSpeedupNCPU)
+	case new.SweepSpeedupNCPU > 0:
+		fmt.Fprintf(w, "sweep speedup (NumCPU): %.2fx (not in old report)\n", new.SweepSpeedupNCPU)
+	case old.SweepSpeedupNCPU > 0:
+		fmt.Fprintf(w, "sweep speedup (NumCPU): skipped in new report (single-CPU host)\n")
+	}
 	if new.SweepSharedGain > 0 {
 		mark := ""
 		// The shared-snapshot sweep must keep paying for itself: gate on
@@ -89,6 +100,25 @@ func compareReports(w io.Writer, old, new *benchReport, maxRegress float64) bool
 				old.SweepSharedGain, new.SweepSharedGain, mark)
 		} else {
 			fmt.Fprintf(w, "shared-snapshot gain (1 proc): %.2fx%s\n", new.SweepSharedGain, mark)
+		}
+	}
+	if new.CollectBatchGain > 0 {
+		mark := ""
+		// The batched wire collect must keep paying for itself: gate on the
+		// absolute contract (≥1.3× over the per-question path) and on a
+		// relative slide beyond the regression threshold. Old reports that
+		// predate the measurement (field absent / 0) only skip the relative
+		// half.
+		if new.CollectBatchGain < 1.3 ||
+			(old.CollectBatchGain > 0 && new.CollectBatchGain < old.CollectBatchGain*(1-maxRegress)) {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		if old.CollectBatchGain > 0 {
+			fmt.Fprintf(w, "collect batch gain (remote): %.2fx -> %.2fx%s\n",
+				old.CollectBatchGain, new.CollectBatchGain, mark)
+		} else {
+			fmt.Fprintf(w, "collect batch gain (remote): %.2fx%s\n", new.CollectBatchGain, mark)
 		}
 	}
 	return regressed

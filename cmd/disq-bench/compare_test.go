@@ -73,3 +73,48 @@ func TestRunCompareFiles(t *testing.T) {
 		t.Fatal("missing file must error")
 	}
 }
+
+func TestCompareCollectBatchGainGate(t *testing.T) {
+	old := &benchReport{CollectBatchGain: 2.0}
+	// Below the 1.3 absolute contract: regression even vs. an empty old.
+	var buf strings.Builder
+	if !compareReports(&buf, &benchReport{}, &benchReport{CollectBatchGain: 1.1}, 0.10) {
+		t.Fatalf("collect batch gain 1.1x must fail the ≥1.3 contract:\n%s", buf.String())
+	}
+	// Above the contract but sliding more than the threshold vs. old.
+	buf.Reset()
+	if !compareReports(&buf, old, &benchReport{CollectBatchGain: 1.5}, 0.10) {
+		t.Fatalf("a 25%% slide of the collect batch gain must be flagged:\n%s", buf.String())
+	}
+	// Healthy: above contract, within threshold of old.
+	buf.Reset()
+	if compareReports(&buf, old, &benchReport{CollectBatchGain: 1.9}, 0.10) {
+		t.Fatalf("healthy collect batch gain flagged:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "collect batch gain") {
+		t.Fatalf("gain not reported:\n%s", buf.String())
+	}
+	// Reports predating the measurement are tolerated silently.
+	buf.Reset()
+	if compareReports(&buf, &benchReport{}, &benchReport{}, 0.10) {
+		t.Fatal("empty reports must not regress")
+	}
+	if strings.Contains(buf.String(), "collect batch gain") {
+		t.Fatalf("absent gain must not be reported:\n%s", buf.String())
+	}
+}
+
+func TestCompareToleratesMissingNCPUSpeedup(t *testing.T) {
+	// A single-CPU host omits sweep_speedup_ncpu; comparing against an old
+	// multi-core report must note the absence, not regress.
+	old := &benchReport{SweepSpeedupNCPU: 3.5, Benchmarks: []benchEntry{
+		{Name: "sweep-fig1a-ncpu", Parallelism: 1, NsPerOp: 1000},
+	}}
+	var buf strings.Builder
+	if compareReports(&buf, old, &benchReport{}, 0.10) {
+		t.Fatalf("missing NumCPU measurement must not be a regression:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "skipped in new report") {
+		t.Fatalf("absence of the NumCPU measurement not noted:\n%s", buf.String())
+	}
+}

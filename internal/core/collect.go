@@ -23,6 +23,11 @@ type collector struct {
 
 	attrs   []string
 	attrSet map[string]struct{}
+
+	// memo carries the incremental moment accumulators across the
+	// dismantling loop's compute() calls; samples are append-only, so
+	// every memoized entry stays valid for the collector's lifetime.
+	memo *statMemo
 }
 
 // newCollector sizes the example streams for the available budget: the
@@ -57,6 +62,7 @@ func newCollector(p crowd.Platform, opts Options, targets []string, bPrc crowd.C
 		base:      make(map[string]*rawSamples),
 		perTarget: make(map[string]map[string]*rawSamples),
 		attrSet:   make(map[string]struct{}),
+		memo:      newStatMemo(),
 	}
 }
 
@@ -106,48 +112,79 @@ func (c *collector) addAttribute(attr string, pairs []string) error {
 	if c.has(attr) {
 		return fmt.Errorf("core: attribute %q already collected", attr)
 	}
-	baseSamples, err := c.sampleOnStream(attr, c.targets[0])
-	if err != nil {
-		return err
-	}
-	collected := make(map[string]*rawSamples, len(pairs))
+	streams := make([]string, 0, 1+len(pairs))
+	streams = append(streams, c.targets[0])
 	for _, t := range pairs {
-		if t == c.targets[0] {
-			continue // the base stream already covers the base target
+		if t != c.targets[0] { // the base stream already covers the base target
+			streams = append(streams, t)
 		}
-		rs, err := c.sampleOnStream(attr, t)
-		if err != nil {
-			return err
+	}
+	results := make([]*rawSamples, len(streams))
+	// Independent streams fan out over the shared pool — but only when
+	// the whole attribute is affordable up front. Nothing else charges
+	// the preprocessing ledger while addAttribute runs, so an up-front
+	// CanAfford makes mid-flight exhaustion impossible on the parallel
+	// path; when the check fails, the sequential loop preserves exactly
+	// today's exhaustion point (which question fails, what was charged).
+	if len(streams) > 1 && c.p.Ledger().CanAfford(c.costOfSamples(attr, len(streams))) {
+		errs := make([]error, len(streams))
+		ForEach(len(streams), 0, func(i int) {
+			results[i], errs[i] = c.sampleOnStream(attr, streams[i])
+		})
+		// Report the first failing stream in stream order, matching the
+		// sequential path's error selection.
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
 		}
-		collected[t] = rs
+	} else {
+		for i, t := range streams {
+			rs, err := c.sampleOnStream(attr, t)
+			if err != nil {
+				return err
+			}
+			results[i] = rs
+		}
 	}
 	// Commit only after every stream succeeded, so a budget failure
 	// mid-collection does not leave a half-measured attribute behind.
-	c.base[attr] = baseSamples
-	for t, rs := range collected {
-		c.perTarget[t][attr] = rs
+	c.base[attr] = results[0]
+	for i := 1; i < len(streams); i++ {
+		c.perTarget[streams[i]][attr] = results[i]
 	}
 	c.attrs = append(c.attrs, attr)
 	c.attrSet[attr] = struct{}{}
 	return nil
 }
 
+// sampleOnStream asks the k value questions per example for one
+// (attribute × stream) as a single multi-object batch — one wire round
+// trip on platforms with a batching transport — falling back to the
+// sequential Value loop (bit-identically, per the batching contract)
+// when the platform has no MultiValueBatcher.
 func (c *collector) sampleOnStream(attr, target string) (*rawSamples, error) {
 	stream := c.streams[target][:c.n1]
-	rs := &rawSamples{answers: make([][]float64, len(stream))}
+	qs := make([]crowd.ObjectValueQuestion, len(stream))
 	for i, e := range stream {
-		ans, err := c.p.Value(e.Object, attr, c.opts.K)
-		if err != nil {
-			return nil, fmt.Errorf("core: sampling %q on %q stream: %w", attr, target, err)
-		}
-		rs.answers[i] = ans
+		qs[i] = crowd.ObjectValueQuestion{Object: e.Object, Attr: attr, N: c.opts.K}
+	}
+	answers, err := crowd.MultiValueBatch(c.p, qs)
+	if err != nil {
+		return nil, fmt.Errorf("core: sampling %q on %q stream: %w", attr, target, err)
+	}
+	rs := newRawSamples(len(stream), c.opts.K)
+	for _, ans := range answers {
+		rs.appendExample(ans)
 	}
 	return rs, nil
 }
 
 // compute derives the Statistics trio from everything collected so far.
+// The collector-owned memo turns every call after the first into matrix
+// assembly over the already-accumulated moments.
 func (c *collector) compute() (*Statistics, error) {
-	return computeStatistics(c.attrs, c.targets, c.base, c.perTarget, c.truth, c.opts.K, c.opts.Estimation)
+	return computeStatisticsMemo(c.attrs, c.targets, c.base, c.perTarget, c.truth, c.opts.K, c.opts.Estimation, c.memo)
 }
 
 // defaultWeights returns the paper's ω_t = 1/Var(O.a_t), estimated from

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/crowd"
+	"repro/internal/domain"
 	"repro/internal/sprt"
 	"repro/internal/stats"
 )
@@ -57,7 +58,7 @@ func Preprocess(p crowd.Platform, q Query, bObj, bPrc crowd.Cost, opts Options) 
 	prev := p.SetLedger(ledger)
 	defer p.SetLedger(prev)
 	tr := tracer{fn: opts.Trace, ledger: ledger}
-	rec := newPhaseRecorder(ledger)
+	rec := newPhaseRecorder(ledger, p)
 
 	col := newCollector(p, opts, targets, bPrc)
 	var st *Statistics
@@ -305,18 +306,17 @@ func trainRegressions(p crowd.Platform, col *collector, asg Assignment, targets 
 		}
 		var rows [][]float64
 		var ys []float64
-	examples:
 		for _, e := range ex {
+			answers, err := trainingRow(p, e.Object, support, asg.Counts)
+			if errors.Is(err, crowd.ErrBudgetExhausted) {
+				break
+			}
+			if err != nil {
+				return nil, nil, err
+			}
 			row := make([]float64, len(support))
-			for j, a := range support {
-				ans, err := p.Value(e.Object, a, asg.Counts[a])
-				if errors.Is(err, crowd.ErrBudgetExhausted) {
-					break examples
-				}
-				if err != nil {
-					return nil, nil, err
-				}
-				row[j] = stats.Mean(ans)
+			for j := range support {
+				row[j] = stats.Mean(answers[j])
 			}
 			rows = append(rows, row)
 			ys = append(ys, e.Values[t])
@@ -334,4 +334,30 @@ func trainRegressions(p crowd.Platform, col *collector, asg Assignment, targets 
 		n2s[t] = len(rows)
 	}
 	return regs, n2s, nil
+}
+
+// trainingRow collects one training example's answers for every support
+// attribute: a single ValueBatch exchange when the platform batches (one
+// round trip per example instead of one per attribute), the sequential
+// Value loop otherwise. The example stays the batching unit — not the
+// whole training set — so a budget exhaustion still degrades per example
+// exactly as before: the failing example contributes nothing, every
+// earlier example stands.
+func trainingRow(p crowd.Platform, o *domain.Object, support []string, counts map[string]int) ([][]float64, error) {
+	if vb, ok := p.(crowd.ValueBatcher); ok && len(support) > 1 {
+		qs := make([]crowd.ValueQuestion, len(support))
+		for j, a := range support {
+			qs[j] = crowd.ValueQuestion{Attr: a, N: counts[a]}
+		}
+		return vb.ValueBatch(o, qs)
+	}
+	out := make([][]float64, len(support))
+	for j, a := range support {
+		ans, err := p.Value(o, a, counts[a])
+		if err != nil {
+			return nil, err
+		}
+		out[j] = ans
+	}
+	return out, nil
 }

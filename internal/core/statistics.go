@@ -114,9 +114,115 @@ func (s *Statistics) SigmaTruth(target string) (float64, error) {
 }
 
 // rawSamples is the collected crowd data for one attribute on one example
-// stream: per example, the k single-worker answers.
+// stream. Answers are stored example-major in one flat backing slice
+// (off[i]:off[i+1] bounds example i's answers) instead of a [][]float64,
+// so a whole stream's samples are one allocation and scanning them walks
+// contiguous memory. The per-example answer means — the only thing the
+// downstream estimators ever read per example besides VarEst_k — are
+// computed once on append and cached.
 type rawSamples struct {
-	answers [][]float64 // len == stream length, each len k
+	flat  []float64 // all answers, example-major
+	off   []int     // len n+1; example i's answers are flat[off[i]:off[i+1]]
+	means []float64 // cached stats.Mean of each example's answers
+}
+
+// newRawSamples returns an empty sample set sized for n examples of k
+// answers each.
+func newRawSamples(n, k int) *rawSamples {
+	rs := &rawSamples{
+		flat:  make([]float64, 0, n*k),
+		off:   make([]int, 1, n+1),
+		means: make([]float64, 0, n),
+	}
+	return rs
+}
+
+// appendExample records one example's answers (and caches their mean).
+func (rs *rawSamples) appendExample(ans []float64) {
+	rs.flat = append(rs.flat, ans...)
+	rs.off = append(rs.off, len(rs.flat))
+	rs.means = append(rs.means, stats.Mean(ans))
+}
+
+// n returns the number of examples recorded.
+func (rs *rawSamples) n() int { return len(rs.off) - 1 }
+
+// example returns example i's answers (borrowed from the backing slice).
+func (rs *rawSamples) example(i int) []float64 {
+	return rs.flat[rs.off[i]:rs.off[i+1]]
+}
+
+// statMemo caches the expensive moment computations of computeStatistics
+// across the dismantling loop's recomputations. Sample sets are frozen
+// once collected (the collector only ever adds whole attributes), so
+// each per-attribute accumulator (S_c Welford mean, variance of the
+// answer means), per-pair base-stream co-moment and per-(target, attr)
+// S_o co-moment is computed exactly once — by the same code, in the same
+// order, so memoized assembly is bit-identical to a full rescan — and
+// every later computeStatistics call is O(|A|²) matrix assembly over the
+// cached moments. A fresh memo (what the bare computeStatistics entry
+// point uses) degrades to the full rescan.
+type statMemo struct {
+	base  map[string]*baseMoments
+	cov   map[covKey]float64
+	so    map[soKey]*soMoments
+	sigma map[string]float64 // per target: truth standard deviation (floored)
+	tVar  map[string]float64 // per target: truth population variance
+	tMean map[string]float64 // per target: truth mean (CoMoment center)
+}
+
+// baseMoments are the per-attribute moments over the base stream.
+type baseMoments struct {
+	mean   float64 // mean of the per-example answer means (co-moment center)
+	sc     float64 // S_c: Welford mean of the per-example VarEst_k
+	rawVar float64 // uncorrected variance of the answer means
+}
+
+// covKey orders a base-stream attribute pair by discovery index (earlier
+// attribute first), matching the i ≤ j traversal of the S_a loop.
+type covKey struct{ a, b string }
+
+// soKey identifies one measured S_o entry.
+type soKey struct{ target, attr string }
+
+// soMoments are the per-(target, attribute) moments behind one measured
+// S_o entry.
+type soMoments struct {
+	cov  float64 // covariance of answer means vs. the target's truth
+	aVar float64 // variance of the answer means on the target's stream
+}
+
+func newStatMemo() *statMemo {
+	return &statMemo{
+		base:  make(map[string]*baseMoments),
+		cov:   make(map[covKey]float64),
+		so:    make(map[soKey]*soMoments),
+		sigma: make(map[string]float64),
+		tVar:  make(map[string]float64),
+		tMean: make(map[string]float64),
+	}
+}
+
+// baseMomentsOf returns (computing at most once) the attribute's base
+// stream moments.
+func (m *statMemo) baseMomentsOf(a string, rs *rawSamples) (*baseMoments, error) {
+	if bm, ok := m.base[a]; ok {
+		return bm, nil
+	}
+	var scAcc stats.Welford
+	for j := 0; j < rs.n(); j++ {
+		if v, err := stats.VarEstK(rs.example(j)); err == nil {
+			scAcc.Add(v)
+		}
+	}
+	mu := stats.Mean(rs.means)
+	rv, err := stats.CovarianceAt(rs.means, rs.means, mu, mu)
+	if err != nil {
+		return nil, fmt.Errorf("core: variance of %q: %w", a, err)
+	}
+	bm := &baseMoments{mean: mu, sc: scAcc.Mean(), rawVar: rv}
+	m.base[a] = bm
+	return bm, nil
 }
 
 // computeStatistics derives the Statistics trio from raw collected data.
@@ -131,6 +237,10 @@ type rawSamples struct {
 //     samples.
 //
 // Missing S_o entries are filled per the estimation policy.
+//
+// This entry point computes everything from scratch (a fresh memo); the
+// collector calls computeStatisticsMemo with a persistent memo instead,
+// which turns the per-iteration recomputation into O(|A|²) assembly.
 func computeStatistics(
 	attrs, targets []string,
 	base map[string]*rawSamples,
@@ -138,6 +248,26 @@ func computeStatistics(
 	truth map[string][]float64,
 	k int,
 	policy EstimationPolicy,
+) (*Statistics, error) {
+	return computeStatisticsMemo(attrs, targets, base, perTarget, truth, k, policy, newStatMemo())
+}
+
+// computeStatisticsMemo is computeStatistics with caller-owned moment
+// memoization: every expensive entry (per-attribute moments, per-pair
+// co-moments, per-target truth moments) is looked up before being
+// computed, and computed entries are stored back, so a collector that
+// adds one attribute per dismantling iteration pays O(|A|·N1) for the
+// new attribute's moments and O(|A|²) for the assembly — never the full
+// O(|A|²·N1·K) rescan. The memoized values are produced by exactly the
+// code the fresh path runs, so the two are bit-identical.
+func computeStatisticsMemo(
+	attrs, targets []string,
+	base map[string]*rawSamples,
+	perTarget map[string]map[string]*rawSamples,
+	truth map[string][]float64,
+	k int,
+	policy EstimationPolicy,
+	memo *statMemo,
 ) (*Statistics, error) {
 	n := len(attrs)
 	if n == 0 {
@@ -159,31 +289,26 @@ func computeStatistics(
 		s.index[a] = i
 	}
 
-	// Mean answers per attribute on the base stream.
-	baseMeans := make([][]float64, n)
+	// Per-attribute moments on the base stream (answer means are cached
+	// on the samples; S_c and the mean variance are memoized).
+	baseRS := make([]*rawSamples, n)
+	moments := make([]*baseMoments, n)
 	rawVar := make([]float64, n) // uncorrected Var of answer means
 	for i, a := range attrs {
 		rs, ok := base[a]
 		if !ok {
 			return nil, fmt.Errorf("core: attribute %q missing from base stream", a)
 		}
-		means := make([]float64, len(rs.answers))
-		var scAcc stats.Welford
-		for j, ans := range rs.answers {
-			means[j] = stats.Mean(ans)
-			if v, err := stats.VarEstK(ans); err == nil {
-				scAcc.Add(v)
-			}
-		}
-		baseMeans[i] = means
-		s.sc[i] = scAcc.Mean()
-		rv, err := stats.Variance(means)
+		bm, err := memo.baseMomentsOf(a, rs)
 		if err != nil {
-			return nil, fmt.Errorf("core: variance of %q: %w", a, err)
+			return nil, err
 		}
-		rawVar[i] = rv
+		baseRS[i] = rs
+		moments[i] = bm
+		s.sc[i] = bm.sc
+		rawVar[i] = bm.rawVar
 	}
-	nEx := float64(len(baseMeans[0]))
+	nEx := float64(baseRS[0].n())
 
 	// S_a: absolute covariances of base-stream answer means. Off-diagonal
 	// entries are soft-thresholded by the covariance estimator's standard
@@ -193,9 +318,14 @@ func computeStatistics(
 	// corrected for worker noise instead.
 	for i := 0; i < n; i++ {
 		for j := i; j < n; j++ {
-			cov, err := stats.Covariance(baseMeans[i], baseMeans[j])
-			if err != nil {
-				return nil, fmt.Errorf("core: S_a[%s,%s]: %w", attrs[i], attrs[j], err)
+			cov, ok := memo.cov[covKey{attrs[i], attrs[j]}]
+			if !ok {
+				var err error
+				cov, err = stats.CovarianceAt(baseRS[i].means, baseRS[j].means, moments[i].mean, moments[j].mean)
+				if err != nil {
+					return nil, fmt.Errorf("core: S_a[%s,%s]: %w", attrs[i], attrs[j], err)
+				}
+				memo.cov[covKey{attrs[i], attrs[j]}] = cov
 			}
 			var v float64
 			if i == j {
@@ -221,18 +351,24 @@ func computeStatistics(
 		s.sigmaAnswer[i] = math.Sqrt(s.sa.At(i, i))
 	}
 
-	// Target truth sigmas.
+	// Target truth sigmas (the truth streams are frozen at collection
+	// time, so the sigma, population variance and mean memoize cleanly).
 	for _, t := range targets {
 		tv, ok := truth[t]
 		if !ok || len(tv) < 2 {
 			return nil, fmt.Errorf("core: missing true values for target %q", t)
 		}
-		sd, err := stats.StdDev(tv)
-		if err != nil {
-			return nil, err
-		}
-		if sd == 0 {
-			sd = 1e-9 // constant target: avoid division by zero downstream
+		sd, ok := memo.sigma[t]
+		if !ok {
+			var err error
+			sd, err = stats.StdDev(tv)
+			if err != nil {
+				return nil, err
+			}
+			if sd == 0 {
+				sd = 1e-9 // constant target: avoid division by zero downstream
+			}
+			memo.sigma[t] = sd
 		}
 		s.sigmaTruth[t] = sd
 	}
@@ -244,7 +380,13 @@ func computeStatistics(
 		col := make([]float64, n)
 		measured := make([]bool, n)
 		tv := truth[t]
-		tVar := stats.PopulationVariance(tv)
+		tVar, ok := memo.tVar[t]
+		if !ok {
+			tVar = stats.PopulationVariance(tv)
+			memo.tVar[t] = tVar
+			memo.tMean[t] = stats.Mean(tv)
+		}
+		tMean := memo.tMean[t]
 		for i, a := range attrs {
 			var rs *rawSamples
 			if ti == 0 {
@@ -255,24 +397,26 @@ func computeStatistics(
 			if rs == nil {
 				continue
 			}
-			if len(rs.answers) != len(tv) {
+			if rs.n() != len(tv) {
 				return nil, fmt.Errorf("core: S_o[%s][%s]: %d samples vs %d truths",
-					t, a, len(rs.answers), len(tv))
+					t, a, rs.n(), len(tv))
 			}
-			means := make([]float64, len(rs.answers))
-			for j, ans := range rs.answers {
-				means[j] = stats.Mean(ans)
+			sm, ok := memo.so[soKey{t, a}]
+			if !ok {
+				mu := stats.Mean(rs.means)
+				cov, err := stats.CovarianceAt(rs.means, tv, mu, tMean)
+				if err != nil {
+					return nil, fmt.Errorf("core: S_o[%s][%s]: %w", t, a, err)
+				}
+				aVar, err := stats.CovarianceAt(rs.means, rs.means, mu, mu)
+				if err != nil {
+					return nil, err
+				}
+				sm = &soMoments{cov: cov, aVar: aVar}
+				memo.so[soKey{t, a}] = sm
 			}
-			cov, err := stats.Covariance(means, tv)
-			if err != nil {
-				return nil, fmt.Errorf("core: S_o[%s][%s]: %w", t, a, err)
-			}
-			aVar, err := stats.Variance(means)
-			if err != nil {
-				return nil, err
-			}
-			se := math.Sqrt(aVar * tVar / float64(len(tv)))
-			v := math.Abs(cov) - se
+			se := math.Sqrt(sm.aVar * tVar / float64(len(tv)))
+			v := math.Abs(sm.cov) - se
 			if v < 0 {
 				v = 0
 			}

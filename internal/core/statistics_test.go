@@ -9,13 +9,13 @@ import (
 // synthRaw builds raw samples for one attribute: per example, k answers
 // equal to signal[i] + noise·N(0,1).
 func synthRaw(rng *rand.Rand, signal []float64, noise float64, k int) *rawSamples {
-	rs := &rawSamples{answers: make([][]float64, len(signal))}
-	for i, s := range signal {
+	rs := newRawSamples(len(signal), k)
+	for _, s := range signal {
 		ans := make([]float64, k)
 		for j := range ans {
 			ans[j] = s + noise*rng.NormFloat64()
 		}
-		rs.answers[i] = ans
+		rs.appendExample(ans)
 	}
 	return rs
 }

@@ -62,10 +62,22 @@ type PhaseStats struct {
 	Wall      time.Duration `json:"wall_ns"`
 	Questions int           `json:"questions"`
 	Cost      crowd.Cost    `json:"cost_mills"`
+	// Requests counts the wire round trips the phase performed —
+	// distinct from Questions, since a batched transport carries many
+	// questions per request. It is populated from the platform's
+	// crowd.RequestReporter capability (crowdhttp clients report HTTP
+	// attempts) and stays 0 on in-process platforms, which is what makes
+	// the batching win visible per phase: collect asks thousands of
+	// questions in ~|A| requests.
+	Requests int64 `json:"requests,omitempty"`
 }
 
 // String renders the profile for logs.
 func (s PhaseStats) String() string {
+	if s.Requests > 0 {
+		return fmt.Sprintf("%s: %d questions (%d requests), %v in %v",
+			s.Phase, s.Questions, s.Requests, s.Cost, s.Wall.Round(time.Microsecond))
+	}
 	return fmt.Sprintf("%s: %d questions, %v in %v", s.Phase, s.Questions, s.Cost, s.Wall.Round(time.Microsecond))
 }
 
@@ -74,11 +86,18 @@ func (s PhaseStats) String() string {
 // locking) is enough.
 type phaseRecorder struct {
 	ledger *crowd.Ledger
-	stats  map[string]*PhaseStats
+	// requests reads the platform's wire round-trip counter (nil when the
+	// platform reports none); per-phase request counts are deltas of it.
+	requests func() int64
+	stats    map[string]*PhaseStats
 }
 
-func newPhaseRecorder(ledger *crowd.Ledger) *phaseRecorder {
-	return &phaseRecorder{ledger: ledger, stats: make(map[string]*PhaseStats)}
+func newPhaseRecorder(ledger *crowd.Ledger, p crowd.Platform) *phaseRecorder {
+	r := &phaseRecorder{ledger: ledger, stats: make(map[string]*PhaseStats)}
+	if rr, ok := p.(crowd.RequestReporter); ok {
+		r.requests = rr.RequestCount
+	}
+	return r
 }
 
 // totalAsked sums the ledger's question counts over every kind.
@@ -98,6 +117,10 @@ func totalAsked(l *crowd.Ledger) int {
 // deltas. Call it exactly once, on every path out of the measured region.
 func (r *phaseRecorder) begin(phase string) func() {
 	spent0, asked0 := r.ledger.Spent(), totalAsked(r.ledger)
+	var req0 int64
+	if r.requests != nil {
+		req0 = r.requests()
+	}
 	start := time.Now()
 	return func() {
 		st := r.stats[phase]
@@ -108,6 +131,9 @@ func (r *phaseRecorder) begin(phase string) func() {
 		st.Wall += time.Since(start)
 		st.Questions += totalAsked(r.ledger) - asked0
 		st.Cost += r.ledger.Spent() - spent0
+		if r.requests != nil {
+			st.Requests += r.requests() - req0
+		}
 	}
 }
 

@@ -46,6 +46,16 @@ func (u *unbatchedPlatform) FaultStats() FaultStats {
 	return FaultStats{}
 }
 
+// RequestCount forwards the wrapped platform's wire round-trip counter:
+// the unbatched control still talks to the same transport, it just sends
+// one question per request.
+func (u *unbatchedPlatform) RequestCount() int64 {
+	if rr, ok := u.Platform.(RequestReporter); ok {
+		return rr.RequestCount()
+	}
+	return 0
+}
+
 // batchedPlatform chunks ValueBatch calls to a maximum size.
 type batchedPlatform struct {
 	Platform
@@ -79,6 +89,34 @@ func (b *batchedPlatform) ValueBatch(o *domain.Object, qs []ValueQuestion) ([][]
 		}
 	}
 	return out, nil
+}
+
+// ValueBatchMulti implements MultiValueBatcher with the same chunking as
+// ValueBatch; each chunk delegates through MultiValueBatch, so the inner
+// platform's capability (or its absence) decides the final exchange
+// shape.
+func (b *batchedPlatform) ValueBatchMulti(qs []ObjectValueQuestion) ([][]float64, error) {
+	out := make([][]float64, 0, len(qs))
+	for start := 0; start < len(qs); start += b.size {
+		end := start + b.size
+		if end > len(qs) {
+			end = len(qs)
+		}
+		res, err := MultiValueBatch(b.Platform, qs[start:end])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res...)
+	}
+	return out, nil
+}
+
+// RequestCount forwards the wrapped platform's wire round-trip counter.
+func (b *batchedPlatform) RequestCount() int64 {
+	if rr, ok := b.Platform.(RequestReporter); ok {
+		return rr.RequestCount()
+	}
+	return 0
 }
 
 // FaultStats forwards the wrapped platform's fault counters (zero when it

@@ -155,6 +155,32 @@ func (f *FaultyPlatform) Value(o *domain.Object, attr string, n int) ([]float64,
 	return ans, nil
 }
 
+// ValueBatchMulti implements MultiValueBatcher: the batch is one
+// exchange, so it runs the fault schedule once — a pre-execution failure
+// rejects the whole batch before the wrapped platform sees it (nothing
+// charged, nothing advanced), and a short injection truncates one item's
+// answers, the per-item partial completion a real platform returns. The
+// wrapped platform answers through its own batching capability when it
+// has one.
+func (f *FaultyPlatform) ValueBatchMulti(qs []ObjectValueQuestion) ([][]float64, error) {
+	r, err := f.begin()
+	if err != nil {
+		return nil, err
+	}
+	out, err := MultiValueBatch(f.inner, qs)
+	if err != nil {
+		return nil, err
+	}
+	if len(qs) > 0 && f.opts.ShortRate > 0 && r.Float64() < f.opts.ShortRate {
+		i := r.Intn(len(qs))
+		if n := len(out[i]); n > 0 {
+			f.injectedShort.Add(1)
+			out[i] = out[i][:r.Intn(n)]
+		}
+	}
+	return out, nil
+}
+
 // Dismantle implements Platform with injected faults.
 func (f *FaultyPlatform) Dismantle(attr string) (string, error) {
 	if _, err := f.begin(); err != nil {
@@ -187,6 +213,15 @@ func (f *FaultyPlatform) Examples(targets []string, n int) ([]Example, error) {
 		return ex[:r.Intn(n)], nil
 	}
 	return ex, nil
+}
+
+// RequestCount forwards the wrapped platform's wire round-trip counter
+// (fault injection itself performs no wire traffic).
+func (f *FaultyPlatform) RequestCount() int64 {
+	if rr, ok := f.inner.(RequestReporter); ok {
+		return rr.RequestCount()
+	}
+	return 0
 }
 
 // Canonical implements Platform (pass-through; metadata is not faulted).
@@ -296,6 +331,41 @@ func (p *RetryPlatform) Value(o *domain.Object, attr string, n int) ([]float64, 
 	return out, err
 }
 
+// ValueBatchMulti implements MultiValueBatcher; a transient failure or a
+// short item re-asks the whole batch (answer memoization in the wrapped
+// platform makes the replay free — only the faulted item actually
+// re-executes). Without an inner batching capability it degrades to
+// per-question retried Value calls, which is the same recovery at finer
+// granularity.
+func (p *RetryPlatform) ValueBatchMulti(qs []ObjectValueQuestion) ([][]float64, error) {
+	if _, ok := p.inner.(MultiValueBatcher); !ok {
+		out := make([][]float64, len(qs))
+		for i, q := range qs {
+			ans, err := p.Value(q.Object, q.Attr, q.N)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = ans
+		}
+		return out, nil
+	}
+	var out [][]float64
+	err := p.do(func() error {
+		res, err := MultiValueBatch(p.inner, qs)
+		if err != nil {
+			return err
+		}
+		for i, q := range qs {
+			if len(res[i]) < q.N {
+				return fmt.Errorf("%w: short value batch %d/%d (item %d)", ErrTransient, len(res[i]), q.N, i)
+			}
+		}
+		out = res
+		return nil
+	})
+	return out, err
+}
+
 // Dismantle implements Platform with retries.
 func (p *RetryPlatform) Dismantle(attr string) (string, error) {
 	var out string
@@ -333,6 +403,14 @@ func (p *RetryPlatform) Examples(targets []string, n int) ([]Example, error) {
 		return nil
 	})
 	return out, err
+}
+
+// RequestCount forwards the wrapped platform's wire round-trip counter.
+func (p *RetryPlatform) RequestCount() int64 {
+	if rr, ok := p.inner.(RequestReporter); ok {
+		return rr.RequestCount()
+	}
+	return 0
 }
 
 // Canonical implements Platform (pass-through).

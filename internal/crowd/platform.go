@@ -86,3 +86,52 @@ type ValueQuestion struct {
 type ValueBatcher interface {
 	ValueBatch(o *domain.Object, qs []ValueQuestion) ([][]float64, error)
 }
+
+// ObjectValueQuestion names one value question of a multi-object batch:
+// the first N answers about Attr on Object.
+type ObjectValueQuestion struct {
+	Object *domain.Object
+	Attr   string
+	N      int
+}
+
+// MultiValueBatcher is the optional capability of answering value
+// questions that span many objects in one exchange — the shape of
+// statistics collection, where one attribute is sampled across a whole
+// example stream. The ValueBatcher contract applies unchanged: answers[i]
+// corresponds to qs[i], and the batch must be answer-wise
+// indistinguishable from len(qs) sequential Value calls (same
+// memoization, same charging, same answers). Callers should go through
+// MultiValueBatch, which falls back to sequential Value calls when the
+// platform lacks the capability.
+type MultiValueBatcher interface {
+	ValueBatchMulti(qs []ObjectValueQuestion) ([][]float64, error)
+}
+
+// MultiValueBatch answers the questions through p's MultiValueBatcher
+// when it has one and through sequential Value calls otherwise. Both
+// paths are byte-identical by the batching contract; only the exchange
+// granularity differs.
+func MultiValueBatch(p Platform, qs []ObjectValueQuestion) ([][]float64, error) {
+	if mb, ok := p.(MultiValueBatcher); ok {
+		return mb.ValueBatchMulti(qs)
+	}
+	out := make([][]float64, len(qs))
+	for i, q := range qs {
+		ans, err := p.Value(q.Object, q.Attr, q.N)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ans
+	}
+	return out, nil
+}
+
+// RequestReporter is the optional capability of counting wire round
+// trips (HTTP attempts for crowdhttp.Client — distinct from questions,
+// since one batched request can carry many questions). In-process
+// platforms perform none and simply do not implement it; wrappers
+// forward the inner platform's count.
+type RequestReporter interface {
+	RequestCount() int64
+}

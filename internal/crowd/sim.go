@@ -270,6 +270,24 @@ func (p *SimPlatform) ValueBatch(o *domain.Object, qs []ValueQuestion) ([][]floa
 	return out, nil
 }
 
+// ValueBatchMulti implements MultiValueBatcher. As with ValueBatch,
+// simulated answers are a pure function of the seed and the question
+// identity, so the multi-object batch is exactly the sequential Value
+// calls — same answers, same charges (including partial charges when the
+// budget runs out mid-batch) — and exists so in-process runs exercise
+// the batched collect path the remote client uses.
+func (p *SimPlatform) ValueBatchMulti(qs []ObjectValueQuestion) ([][]float64, error) {
+	out := make([][]float64, len(qs))
+	for i, q := range qs {
+		ans, err := p.Value(q.Object, q.Attr, q.N)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ans
+	}
+	return out, nil
+}
+
 // DetailedAnswer is one worker answer with its (simulated) worker identity
 // — what a real platform reports and what quality management [19] needs.
 type DetailedAnswer struct {

@@ -223,6 +223,14 @@ func (c *Client) TransportStats() TransportStats {
 	}
 }
 
+// RequestCount implements crowd.RequestReporter: the number of HTTP
+// attempts this client has sent (including retries). core.Preprocess
+// reads deltas of it to report per-phase wire round trips, which is how
+// the phase trace proves the batching win.
+func (c *Client) RequestCount() int64 {
+	return c.requests.Load()
+}
+
 // FaultStats implements crowd.FaultReporter, mapping the transport
 // counters onto the shared fault-accounting shape.
 func (c *Client) FaultStats() crowd.FaultStats {

@@ -124,10 +124,26 @@ func (c *Client) sendBatch(items []*pendingItem) {
 }
 
 // ValueBatch implements crowd.ValueBatcher: answer every question about
-// one object in (at most) one round trip, with the same caching,
-// single-flight and transactional-charging guarantees as len(qs) Value
-// calls — and byte-identical answers, since the server memoizes per
-// question identity either way.
+// one object in (at most) one round trip. It is the single-object form
+// of ValueBatchMulti.
+func (c *Client) ValueBatch(o *domain.Object, qs []crowd.ValueQuestion) ([][]float64, error) {
+	if o == nil {
+		return nil, errors.New("crowdhttp: nil object")
+	}
+	mqs := make([]crowd.ObjectValueQuestion, len(qs))
+	for i, q := range qs {
+		mqs[i] = crowd.ObjectValueQuestion{Object: o, Attr: q.Attr, N: q.N}
+	}
+	return c.ValueBatchMulti(mqs)
+}
+
+// ValueBatchMulti implements crowd.MultiValueBatcher: answer value
+// questions spanning many objects in (at most) one round trip, with the
+// same caching, single-flight and transactional-charging guarantees as
+// len(qs) Value calls — and byte-identical answers, since the server
+// memoizes per question identity either way. This is the shape of
+// statistics collection (one attribute × a whole example stream), which
+// it collapses from one request per example to one request per stream.
 //
 // The call locks every distinct question key in sorted order (Value holds
 // one key at a time, so ordered acquisition cannot deadlock against it),
@@ -137,11 +153,11 @@ func (c *Client) sendBatch(items []*pendingItem) {
 // short answer batches fall back to the single-question path (fresh
 // idempotency keys, its own retry budget); any terminal failure releases
 // the whole reservation and fails the call, like Value.
-func (c *Client) ValueBatch(o *domain.Object, qs []crowd.ValueQuestion) ([][]float64, error) {
-	if o == nil {
-		return nil, errors.New("crowdhttp: nil object")
-	}
+func (c *Client) ValueBatchMulti(qs []crowd.ObjectValueQuestion) ([][]float64, error) {
 	for _, q := range qs {
+		if q.Object == nil {
+			return nil, errors.New("crowdhttp: nil object")
+		}
 		if q.N < 0 {
 			return nil, fmt.Errorf("crowdhttp: negative answer count %d", q.N)
 		}
@@ -169,7 +185,7 @@ func (c *Client) ValueBatch(o *domain.Object, qs []crowd.ValueQuestion) ([][]flo
 	// Distinct question keys with the longest prefix each needs.
 	need := make(map[valueKey]int, len(qs))
 	for i, q := range qs {
-		k := valueKey{objID: o.ID, attr: canon[i]}
+		k := valueKey{objID: q.Object.ID, attr: canon[i]}
 		if q.N > need[k] {
 			need[k] = q.N
 		}
@@ -178,7 +194,12 @@ func (c *Client) ValueBatch(o *domain.Object, qs []crowd.ValueQuestion) ([][]flo
 	for k := range need {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i].attr < keys[j].attr })
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].objID != keys[j].objID {
+			return keys[i].objID < keys[j].objID
+		}
+		return keys[i].attr < keys[j].attr
+	})
 
 	unlocks := make([]func(), 0, len(keys))
 	defer func() {
@@ -242,7 +263,7 @@ func (c *Client) ValueBatch(o *domain.Object, qs []crowd.ValueQuestion) ([][]flo
 		items := make([]*pendingItem, len(miss))
 		for i, m := range miss {
 			items[i] = &pendingItem{
-				item: batchItem{Kind: "value", ObjectID: o.ID, Attribute: m.key.attr, N: m.n},
+				item: batchItem{Kind: "value", ObjectID: m.key.objID, Attribute: m.key.attr, N: m.n},
 				done: make(chan batchOutcome, 1),
 			}
 		}
@@ -272,7 +293,7 @@ func (c *Client) ValueBatch(o *domain.Object, qs []crowd.ValueQuestion) ([][]flo
 				} else {
 					c.shortResponses.Add(1)
 				}
-				resp, err := c.fetchValues(o.ID, m.key.attr, m.n)
+				resp, err := c.fetchValues(m.key.objID, m.key.attr, m.n)
 				if err != nil {
 					termErr = err
 					continue
@@ -303,7 +324,7 @@ func (c *Client) ValueBatch(o *domain.Object, qs []crowd.ValueQuestion) ([][]flo
 	defer c.mu.Unlock()
 	out := make([][]float64, len(qs))
 	for i, q := range qs {
-		vals := c.values[valueKey{objID: o.ID, attr: canon[i]}]
+		vals := c.values[valueKey{objID: q.Object.ID, attr: canon[i]}]
 		out[i] = make([]float64, q.N)
 		copy(out[i], vals[:q.N])
 	}

@@ -153,10 +153,10 @@ func TestSweepSharedFaultWrapped(t *testing.T) {
 // paths.
 func TestRunSweepErrorAggregation(t *testing.T) {
 	spec := Spec{
-		Name:       "all-points-fail",
-		Platform:   PlatformConfig{Domain: "no-such-domain"},
-		Targets:    []string{"Bmi"},
-		BObj:       crowd.Cents(4), BPrc: crowd.Dollars(10),
+		Name:     "all-points-fail",
+		Platform: PlatformConfig{Domain: "no-such-domain"},
+		Targets:  []string{"Bmi"},
+		BObj:     crowd.Cents(4), BPrc: crowd.Dollars(10),
 		Algorithms: []baselines.Algorithm{baselines.NaiveAverage{}},
 		Reps:       1, EvalObjects: 5, Parallelism: 1,
 	}

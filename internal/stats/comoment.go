@@ -1,0 +1,92 @@
+package stats
+
+// CoMoment accumulates the centered cross-moment Σᵢ (xᵢ−cx)·(yᵢ−cy)
+// around fixed, caller-supplied centers. It is the pairwise building
+// block of the incremental statistics pipeline: when the centers are the
+// final means of the two series and observations are fed in index order,
+// the accumulated sum performs exactly the additions and multiplications
+// of the two-pass Covariance / Variance estimators, so the results are
+// bit-identical — which is what lets collected samples be folded into
+// running accumulators once and reassembled later without changing a
+// single bit of the derived Statistics.
+//
+// Fixed centers (rather than Welford-style running means) are the right
+// trade here: the sample sets the collector accumulates over are frozen
+// once collected, their means are cached, and bit-equality with the
+// reference estimators is a hard contract.
+type CoMoment struct {
+	cx, cy float64
+	n      int
+	sum    float64
+}
+
+// NewCoMoment returns an accumulator centered at (cx, cy).
+func NewCoMoment(cx, cy float64) CoMoment {
+	return CoMoment{cx: cx, cy: cy}
+}
+
+// Add feeds one observation pair.
+func (c *CoMoment) Add(x, y float64) {
+	c.n++
+	c.sum += (x - c.cx) * (y - c.cy)
+}
+
+// AddSlice feeds paired slices in index order (the order that reproduces
+// the two-pass estimators exactly).
+func (c *CoMoment) AddSlice(xs, ys []float64) {
+	for i := range xs {
+		c.Add(xs[i], ys[i])
+	}
+}
+
+// N returns the number of pairs seen.
+func (c *CoMoment) N() int { return c.n }
+
+// Sum returns the raw accumulated cross-moment.
+func (c *CoMoment) Sum() float64 { return c.sum }
+
+// Covariance returns the unbiased (n−1 denominator) covariance estimate.
+// With centers equal to the sample means it is bit-identical to
+// Covariance on the same data; it returns ErrInsufficientData for fewer
+// than two pairs.
+func (c *CoMoment) Covariance() (float64, error) {
+	if c.n < 2 {
+		return 0, ErrInsufficientData
+	}
+	return c.sum / float64(c.n-1), nil
+}
+
+// PopulationCovariance returns the biased (n denominator) estimate, or 0
+// before any observation. With centers equal to the sample means it is
+// bit-identical to PopulationVariance when fed (x, x) pairs.
+func (c *CoMoment) PopulationCovariance() float64 {
+	if c.n == 0 {
+		return 0
+	}
+	return c.sum / float64(c.n)
+}
+
+// Merge folds another accumulator into c. Both must share the same
+// centers; merging accumulators over disjoint index ranges of the same
+// series reorders the additions, so the merged sum is mathematically
+// equal but not necessarily bit-identical to single-pass accumulation —
+// callers that need the bit-equality contract must accumulate in index
+// order.
+func (c *CoMoment) Merge(o *CoMoment) {
+	c.n += o.n
+	c.sum += o.sum
+}
+
+// CovarianceAt is the convenience form used by the statistics assembly:
+// the unbiased covariance of xs and ys around the given centers, with
+// the same length/size validation as Covariance. Passing the sample
+// means as centers makes it bit-identical to Covariance(xs, ys), and
+// CovarianceAt(xs, xs, m, m) bit-identical to Variance(xs).
+func CovarianceAt(xs, ys []float64, cx, cy float64) (float64, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, ErrInsufficientData
+	}
+	cm := NewCoMoment(cx, cy)
+	cm.AddSlice(xs, ys)
+	return cm.Covariance()
+}

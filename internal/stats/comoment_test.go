@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestCoMomentBitEqualsTwoPassEstimators pins the contract the incremental
+// statistics pipeline rests on: a CoMoment centered at the sample means and
+// fed in index order reproduces the two-pass estimators bit for bit, not
+// merely within tolerance.
+func TestCoMomentBitEqualsTwoPassEstimators(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(300)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		scale := 1 + 1000*rng.Float64()
+		for i := range xs {
+			xs[i] = scale * rng.NormFloat64()
+			ys[i] = 0.3*xs[i] + scale*rng.NormFloat64()
+		}
+		mx := Mean(xs)
+		my := Mean(ys)
+
+		wantCov, err := Covariance(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotCov, err := CovarianceAt(xs, ys, mx, my)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotCov != wantCov {
+			t.Fatalf("trial %d (n=%d): CovarianceAt = %x, Covariance = %x — not bit-identical",
+				trial, n, gotCov, wantCov)
+		}
+
+		wantVar, err := Variance(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotVar, err := CovarianceAt(xs, xs, mx, mx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotVar != wantVar {
+			t.Fatalf("trial %d (n=%d): CovarianceAt(x,x) = %x, Variance = %x — not bit-identical",
+				trial, n, gotVar, wantVar)
+		}
+
+		cm := NewCoMoment(mx, mx)
+		cm.AddSlice(xs, xs)
+		if got, want := cm.PopulationCovariance(), PopulationVariance(xs); got != want {
+			t.Fatalf("trial %d: PopulationCovariance = %x, PopulationVariance = %x", trial, got, want)
+		}
+		if cm.N() != n {
+			t.Fatalf("N = %d, want %d", cm.N(), n)
+		}
+	}
+}
+
+func TestCoMomentIncrementalAppendMatchesRescan(t *testing.T) {
+	// The collector's usage pattern: samples arrive once, the accumulator
+	// grows by Add, and the final result must equal a from-scratch AddSlice
+	// over the same data in the same order.
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64()
+	}
+	mx := Mean(xs)
+	my := Mean(ys)
+	inc := NewCoMoment(mx, my)
+	for i := range xs {
+		inc.Add(xs[i], ys[i])
+	}
+	scan := NewCoMoment(mx, my)
+	scan.AddSlice(xs, ys)
+	if inc.Sum() != scan.Sum() || inc.N() != scan.N() {
+		t.Fatalf("incremental (%x, %d) != rescan (%x, %d)", inc.Sum(), inc.N(), scan.Sum(), scan.N())
+	}
+}
+
+func TestCoMomentMergePreservesMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 60)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	m := Mean(xs)
+	a := NewCoMoment(m, m)
+	a.AddSlice(xs[:25], xs[:25])
+	b := NewCoMoment(m, m)
+	b.AddSlice(xs[25:], xs[25:])
+	a.Merge(&b)
+	if a.N() != len(xs) {
+		t.Fatalf("merged N = %d, want %d", a.N(), len(xs))
+	}
+	// Merging is documented as mathematically equal, not bit-identical.
+	want, _ := Variance(xs)
+	got, err := a.Covariance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("merged covariance %v, want %v", got, want)
+	}
+}
+
+func TestCoMomentErrors(t *testing.T) {
+	var cm CoMoment
+	if _, err := cm.Covariance(); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("empty Covariance err = %v", err)
+	}
+	if got := cm.PopulationCovariance(); got != 0 {
+		t.Fatalf("empty population covariance = %v, want 0", got)
+	}
+	cm.Add(1, 1)
+	if _, err := cm.Covariance(); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("single-pair Covariance err = %v", err)
+	}
+	if _, err := CovarianceAt([]float64{1, 2}, []float64{1}, 0, 0); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("mismatched lengths err = %v", err)
+	}
+	if _, err := CovarianceAt([]float64{1}, []float64{1}, 0, 0); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("short input err = %v", err)
+	}
+}
