@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/crowd"
 	"repro/internal/experiment"
+	"repro/internal/serve"
 )
 
 // benchEntry is one machine-readable benchmark result. NsPerOp mirrors
@@ -59,9 +60,20 @@ type benchReport struct {
 	// multi-object value batches (one round trip per attribute × stream
 	// instead of one per example) save on a real transport. The contract is
 	// ≥1.3 — below that the batched wire path has stopped paying for itself.
-	CollectBatchGain float64      `json:"collect_batch_gain,omitempty"`
-	NumCPU           int          `json:"num_cpu"`
-	Benchmarks       []benchEntry `json:"benchmarks"`
+	CollectBatchGain float64 `json:"collect_batch_gain,omitempty"`
+	// QPS/P50Ns/P99Ns are the serving-tier headline: closed-loop
+	// throughput and tail latency of a two-backend serve.Tier driven by
+	// the shared load harness (warm plan cache, mixed statements).
+	QPS   float64 `json:"qps,omitempty"`
+	P50Ns int64   `json:"p50_ns,omitempty"`
+	P99Ns int64   `json:"p99_ns,omitempty"`
+	// PlanCacheGain is cold / warm median query latency on the serving
+	// tier (a cache-missing plan key vs a pre-warmed one, ABBA-measured):
+	// what the plan cache saves a repeated query. The contract is ≥3 —
+	// below that the cache has stopped paying for itself.
+	PlanCacheGain float64      `json:"plan_cache_gain,omitempty"`
+	NumCPU        int          `json:"num_cpu"`
+	Benchmarks    []benchEntry `json:"benchmarks"`
 }
 
 // runBench executes the benchmark suite and writes the JSON report to
@@ -375,6 +387,15 @@ func runBench(jsonPath string, reps, evalN int, seed int64) error {
 		Name: "sim-value-question", NsPerOp: time.Since(start).Nanoseconds() / questions,
 	})
 
+	// Serving tier: a two-backend serve.Tier (shared universe, plan cache,
+	// plan-affinity routing) under the closed-loop load harness, then the
+	// plan-cache cold/warm split. RunLoad and MeasureCacheGain are the
+	// same code paths cmd/disq-load drives over HTTP, so this headline and
+	// the CI smoke measure the same machinery in-process.
+	if err := runServeBench(&report, seed); err != nil {
+		return err
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -391,7 +412,86 @@ func runBench(jsonPath string, reps, evalN int, seed int64) error {
 	if report.SweepSpeedupNCPU > 0 {
 		ncpu = fmt.Sprintf("%.2fx at %d CPUs", report.SweepSpeedupNCPU, report.NumCPU)
 	}
-	fmt.Printf("benchmark report written to %s (sweep speedup %.2fx at 1 proc, %s, shared-snapshot gain %.2fx, collect batch gain %.2fx)\n",
-		jsonPath, report.SweepSpeedup, ncpu, report.SweepSharedGain, report.CollectBatchGain)
+	fmt.Printf("benchmark report written to %s (sweep speedup %.2fx at 1 proc, %s, shared-snapshot gain %.2fx, collect batch gain %.2fx, serve %.0f qps, plan cache gain %.2fx)\n",
+		jsonPath, report.SweepSpeedup, ncpu, report.SweepSharedGain, report.CollectBatchGain,
+		report.QPS, report.PlanCacheGain)
+	return nil
+}
+
+// runServeBench measures the serving tier's throughput/latency headline
+// and the plan-cache gain, filling the report's QPS/P50Ns/P99Ns/
+// PlanCacheGain fields.
+func runServeBench(report *benchReport, seed int64) error {
+	newTier := func() (*serve.Tier, error) {
+		u := disq.Recipes()
+		objs := u.NewObjects(rand.New(rand.NewSource(seed+6)), 64)
+		cfg := serve.Config{
+			Domain:      "recipes",
+			Objects:     objs,
+			DefaultBObj: crowd.Cents(4),
+			DefaultBPrc: crowd.Dollars(6),
+		}
+		for i := 0; i < 2; i++ {
+			sim, err := disq.NewSimPlatform(u, disq.SimOptions{Seed: seed + 4 + int64(i)})
+			if err != nil {
+				return nil, err
+			}
+			cfg.Backends = append(cfg.Backends, serve.Backend{
+				Name: fmt.Sprintf("bench-%d", i), Platform: sim,
+			})
+		}
+		return serve.New(cfg)
+	}
+
+	// Throughput: closed loop, mixed statements, warm after the first
+	// arrival per shape.
+	tier, err := newTier()
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	load, err := serve.RunLoad(tier, serve.LoadConfig{
+		Statements:  []string{"SELECT Protein", "SELECT Calories"},
+		Concurrency: 4,
+		Duration:    2 * time.Second,
+		MaxObjects:  16,
+	})
+	if err != nil {
+		return err
+	}
+	if load.Errors > 0 {
+		return fmt.Errorf("serve bench: %d load errors", load.Errors)
+	}
+	report.QPS = load.QPS
+	report.P50Ns = int64(load.P50)
+	report.P99Ns = int64(load.P99)
+	report.Benchmarks = append(report.Benchmarks,
+		benchEntry{Name: "serve-query-p50", NsPerOp: int64(load.P50)},
+		benchEntry{Name: "serve-query-p99", NsPerOp: int64(load.P99)},
+	)
+
+	// Plan-cache gain on a fresh tier (the load run above already warmed
+	// every key this tier has, which would starve the cold side of fresh
+	// keys' first-touch allocation costs).
+	tier, err = newTier()
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	gain, err := serve.MeasureCacheGain(tier, serve.GainConfig{
+		Statement:  "SELECT Protein",
+		Probes:     4,
+		MaxObjects: 16,
+		BObj:       crowd.Cents(4),
+		BPrc:       crowd.Dollars(6),
+	})
+	if err != nil {
+		return err
+	}
+	report.PlanCacheGain = gain.Gain
+	report.Benchmarks = append(report.Benchmarks,
+		benchEntry{Name: "serve-query-cold", NsPerOp: int64(gain.ColdP50)},
+		benchEntry{Name: "serve-query-warm", NsPerOp: int64(gain.WarmP50)},
+	)
 	return nil
 }

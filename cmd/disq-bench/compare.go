@@ -121,6 +121,44 @@ func compareReports(w io.Writer, old, new *benchReport, maxRegress float64) bool
 			fmt.Fprintf(w, "collect batch gain (remote): %.2fx%s\n", new.CollectBatchGain, mark)
 		}
 	}
+	if new.QPS > 0 {
+		mark := ""
+		// Throughput: higher is better, so the regression direction flips —
+		// new qps sliding below old by more than the threshold fails. There
+		// is no absolute floor (the number is hardware-bound); CI's live
+		// smoke run enforces its own -min-qps.
+		if old.QPS > 0 && new.QPS < old.QPS*(1-maxRegress) {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		if old.QPS > 0 {
+			fmt.Fprintf(w, "serve throughput: %.0f -> %.0f qps%s\n", old.QPS, new.QPS, mark)
+		} else {
+			fmt.Fprintf(w, "serve throughput: %.0f qps%s\n", new.QPS, mark)
+		}
+		if old.P99Ns > 0 && new.P99Ns > 0 {
+			fmt.Fprintf(w, "serve latency: p50 %d -> %d ns, p99 %d -> %d ns\n",
+				old.P50Ns, new.P50Ns, old.P99Ns, new.P99Ns)
+		}
+	}
+	if new.PlanCacheGain > 0 {
+		mark := ""
+		// The plan cache must keep paying for itself: gate on the absolute
+		// contract (≥3× cold over warm) and on a relative slide beyond the
+		// regression threshold. Old reports that predate the measurement
+		// only skip the relative half.
+		if new.PlanCacheGain < 3 ||
+			(old.PlanCacheGain > 0 && new.PlanCacheGain < old.PlanCacheGain*(1-maxRegress)) {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		if old.PlanCacheGain > 0 {
+			fmt.Fprintf(w, "plan cache gain (serve): %.2fx -> %.2fx%s\n",
+				old.PlanCacheGain, new.PlanCacheGain, mark)
+		} else {
+			fmt.Fprintf(w, "plan cache gain (serve): %.2fx%s\n", new.PlanCacheGain, mark)
+		}
+	}
 	return regressed
 }
 

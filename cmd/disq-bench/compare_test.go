@@ -104,6 +104,53 @@ func TestCompareCollectBatchGainGate(t *testing.T) {
 	}
 }
 
+func TestCompareServeGates(t *testing.T) {
+	// qps: higher is better, so only a slide below old fails.
+	var buf strings.Builder
+	if !compareReports(&buf, &benchReport{QPS: 100}, &benchReport{QPS: 80}, 0.10) {
+		t.Fatalf("a 20%% qps drop must be flagged at a 10%% threshold:\n%s", buf.String())
+	}
+	buf.Reset()
+	if compareReports(&buf, &benchReport{QPS: 100}, &benchReport{QPS: 95}, 0.10) {
+		t.Fatalf("a 5%% qps drop must pass a 10%% threshold:\n%s", buf.String())
+	}
+	buf.Reset()
+	if compareReports(&buf, &benchReport{QPS: 100}, &benchReport{QPS: 200}, 0.10) {
+		t.Fatalf("a qps improvement flagged as regression:\n%s", buf.String())
+	}
+	// A new report without the measurement never gates (and vice versa).
+	buf.Reset()
+	if compareReports(&buf, &benchReport{QPS: 100}, &benchReport{}, 0.10) {
+		t.Fatalf("absent qps must not regress:\n%s", buf.String())
+	}
+
+	// plan_cache_gain: absolute ≥3 contract plus the relative slide.
+	buf.Reset()
+	if !compareReports(&buf, &benchReport{}, &benchReport{PlanCacheGain: 2.5}, 0.10) {
+		t.Fatalf("plan cache gain 2.5x must fail the ≥3 contract:\n%s", buf.String())
+	}
+	buf.Reset()
+	if !compareReports(&buf, &benchReport{PlanCacheGain: 8}, &benchReport{PlanCacheGain: 5}, 0.10) {
+		t.Fatalf("a 37%% slide of the plan cache gain must be flagged:\n%s", buf.String())
+	}
+	buf.Reset()
+	if compareReports(&buf, &benchReport{PlanCacheGain: 8}, &benchReport{PlanCacheGain: 7.5}, 0.10) {
+		t.Fatalf("healthy plan cache gain flagged:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "plan cache gain") {
+		t.Fatalf("gain not reported:\n%s", buf.String())
+	}
+	// Latency is informational only.
+	buf.Reset()
+	if compareReports(&buf, &benchReport{QPS: 100, P50Ns: 1000, P99Ns: 5000},
+		&benchReport{QPS: 100, P50Ns: 9000, P99Ns: 90000}, 0.10) {
+		t.Fatalf("latency shifts must not gate:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "serve latency") {
+		t.Fatalf("latency not reported:\n%s", buf.String())
+	}
+}
+
 func TestCompareToleratesMissingNCPUSpeedup(t *testing.T) {
 	// A single-CPU host omits sweep_speedup_ncpu; comparing against an old
 	// multi-core report must note the absence, not regress.

@@ -1,0 +1,150 @@
+package crowdhttp
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/crowd"
+	"repro/internal/domain"
+	"repro/internal/serve"
+)
+
+// newQueryFixture builds a tier over n simulated backends (one shared
+// universe) and serves its query API from an httptest server.
+func newQueryFixture(t *testing.T, n int, cfg serve.Config) (*QueryClient, *httptest.Server) {
+	t.Helper()
+	u := domain.Recipes()
+	objs := u.NewObjects(testRand(), 6)
+	for i := 0; i < n; i++ {
+		sim, err := crowd.NewSim(u, crowd.SimOptions{Seed: int64(100 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Backends = append(cfg.Backends, serve.Backend{Platform: sim})
+	}
+	cfg.Domain = "recipes"
+	cfg.Objects = objs
+	if cfg.DefaultBPrc == 0 {
+		cfg.DefaultBPrc = crowd.Dollars(6)
+	}
+	tier, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewQueryServer(tier).Handler())
+	t.Cleanup(ts.Close)
+	return NewQueryClient(ts.URL, ts.Client()), ts
+}
+
+func TestQueryAPIRoundTrip(t *testing.T) {
+	client, _ := newQueryFixture(t, 2, serve.Config{})
+	ctx := context.Background()
+
+	res, err := client.Execute(ctx, serve.Request{Statement: "SELECT Protein", MaxObjects: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (no WHERE filter)", len(res.Rows))
+	}
+	if res.CacheHit {
+		t.Fatal("first query reported a cache hit")
+	}
+	for _, r := range res.Rows {
+		if _, ok := r.Values["Protein"]; !ok {
+			t.Fatalf("row %d missing Protein value: %v", r.ObjectID, r.Values)
+		}
+	}
+
+	// The same statement again is a wire-visible cache hit, bit-equal rows.
+	res2, err := client.Execute(ctx, serve.Request{Statement: "SELECT Protein", MaxObjects: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.CacheHit {
+		t.Fatal("repeat query missed the plan cache")
+	}
+	for i, r := range res2.Rows {
+		if r.ObjectID != res.Rows[i].ObjectID || r.Values["Protein"] != res.Rows[i].Values["Protein"] {
+			t.Fatalf("repeat row %d diverged: %v vs %v", i, r, res.Rows[i])
+		}
+	}
+
+	st, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Fatalf("cache stats = %+v", st.Cache)
+	}
+	cs, ok := st.Classes[serve.DefaultClass]
+	if !ok || cs.Sessions != 2 {
+		t.Fatalf("class stats = %+v", st.Classes)
+	}
+}
+
+func TestQueryAPIBudgetsCrossTheWire(t *testing.T) {
+	client, _ := newQueryFixture(t, 1, serve.Config{})
+	res, err := client.Execute(context.Background(), serve.Request{
+		Statement:  "SELECT Protein",
+		MaxObjects: 2,
+		BObj:       crowd.Cents(5),
+		BPrc:       crowd.Dollars(6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PreprocessCost <= 0 || res.OnlineSpent <= 0 {
+		t.Fatalf("costs not reported: %+v", res)
+	}
+}
+
+func TestQueryAPIParseErrorIsTerminal(t *testing.T) {
+	client, _ := newQueryFixture(t, 1, serve.Config{})
+	_, err := client.Execute(context.Background(), serve.Request{Statement: "SELECT"})
+	if err == nil {
+		t.Fatal("bad statement did not error")
+	}
+	if errors.Is(err, serve.ErrRejected) {
+		t.Fatalf("parse error misreported as admission rejection: %v", err)
+	}
+	if !strings.Contains(err.Error(), "400") {
+		t.Fatalf("err = %v, want terminal 400", err)
+	}
+}
+
+func TestQueryAPIRejectionKeepsIdentity(t *testing.T) {
+	client, _ := newQueryFixture(t, 1, serve.Config{
+		Admission: map[string]serve.BucketConfig{
+			"batch": {Rate: 0.0001, Burst: 1},
+		},
+	})
+	ctx := context.Background()
+	if _, err := client.Execute(ctx, serve.Request{Statement: "SELECT Protein", Class: "batch", MaxObjects: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := client.Execute(ctx, serve.Request{Statement: "SELECT Protein", Class: "batch", MaxObjects: 1})
+	if !errors.Is(err, serve.ErrRejected) {
+		t.Fatalf("err = %v, want serve.ErrRejected through the wire", err)
+	}
+}
+
+func TestQueryClientDrivesLoadHarness(t *testing.T) {
+	client, _ := newQueryFixture(t, 2, serve.Config{})
+	rep, err := serve.RunLoad(client, serve.LoadConfig{
+		Statements:  []string{"SELECT Protein"},
+		Concurrency: 2,
+		Duration:    300 * time.Millisecond,
+		MaxObjects:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries == 0 || rep.Errors != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}

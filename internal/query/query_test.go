@@ -1,10 +1,12 @@
 package query
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/crowd"
@@ -76,6 +78,58 @@ func TestParseErrors(t *testing.T) {
 		if _, err := Parse(q); err == nil {
 			t.Errorf("Parse(%q): expected error", q)
 		}
+	}
+}
+
+// TestParseErrorMessages pins the diagnostic each malformed statement
+// produces — a served tier surfaces these verbatim to remote clients, so
+// they must name the actual problem, not just fail.
+func TestParseErrorMessages(t *testing.T) {
+	cases := []struct {
+		stmt string
+		want string
+	}{
+		{"SELECT a WHERE b <", "missing value"},           // unterminated condition
+		{"SELECT a WHERE b ~ 1", "missing operator"},      // unknown operator
+		{"SELECT a WHERE", "missing attribute"},           // empty WHERE clause
+		{"SELECT a WHERE b 1", "missing operator"},        // operator skipped
+		{"SELECT a WHERE b < 1 c > 2", "expected AND"},    // missing conjunction
+		{"SELECT a WHERE b < 1 AND", "dangling AND"},      // trailing conjunction
+		{"SELECT a, , b", "empty name"},                   // empty select entry
+		{"WHERE a > 1", "expected SELECT"},                // no select clause
+		{"SELECT a WHERE b = maybe", `bad value "maybe"`}, // unparsable literal
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.stmt)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error", tc.stmt)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(%q) = %q, want it to mention %q", tc.stmt, err, tc.want)
+		}
+	}
+}
+
+// TestAttributesDuplicateAcrossClauses pins deduplication when the same
+// attribute appears several times in SELECT and WHERE — the plan-cache
+// key builder depends on Attributes() collapsing these.
+func TestAttributesDuplicateAcrossClauses(t *testing.T) {
+	st, err := Parse("SELECT Protein, Protein, Calories WHERE Protein > 10 AND Calories < 400 AND Protein < 40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := st.Attributes()
+	if len(attrs) != 2 {
+		t.Fatalf("Attributes = %v, want the 2 distinct names", attrs)
+	}
+	for i := 1; i < len(attrs); i++ {
+		if attrs[i-1] >= attrs[i] {
+			t.Fatalf("Attributes not sorted: %v", attrs)
+		}
+	}
+	if q := st.Query(); len(q.Targets) != 2 {
+		t.Fatalf("Query targets = %v", q.Targets)
 	}
 }
 
@@ -221,6 +275,78 @@ func TestEngineValidation(t *testing.T) {
 	st2, _ := Parse("SELECT Protein Amount")
 	if _, err := NewEngine(p, plan, st2); err != nil {
 		t.Fatalf("synonym should be covered: %v", err)
+	}
+}
+
+// TestEngineExecuteOverFaultyPlatform drives the online phase through
+// seeded transient faults: with a retry layer the rows are bit-equal to
+// the fault-free run (pre-execution injection + memoized answers make
+// faults invisible once recovered); without one, the transient error
+// surfaces out of Execute.
+func TestEngineExecuteOverFaultyPlatform(t *testing.T) {
+	p, err := crowd.NewSim(domain.Recipes(), crowd.SimOptions{Seed: 57})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Parse("SELECT Calories, Protein WHERE Protein > 15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.Preprocess(p, st.Query(), crowd.Cents(4), crowd.Dollars(30), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := p.Universe().NewObjects(rand.New(rand.NewSource(9)), 30)
+
+	// Fault-free baseline.
+	eng, err := NewEngine(p, plan, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Execute(st, objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("baseline returned no rows")
+	}
+
+	// Faulty + retry: same rows, and faults really were injected.
+	faulty := crowd.NewFaulty(p, crowd.FaultyOptions{Seed: 91, FailRate: 0.3, ShortRate: 0.2})
+	retry := crowd.NewRetry(faulty, crowd.RetryOptions{MaxRetries: 20, Backoff: time.Microsecond})
+	engRetry, err := NewEngine(retry, plan, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := engRetry.Execute(st, objs)
+	if err != nil {
+		t.Fatalf("retried execution failed: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Object.ID != want[i].Object.ID {
+			t.Fatalf("row %d: object %d vs %d", i, got[i].Object.ID, want[i].Object.ID)
+		}
+		for a, v := range want[i].Values {
+			if got[i].Values[a] != v {
+				t.Fatalf("row %d attr %q: %v vs %v", i, a, got[i].Values[a], v)
+			}
+		}
+	}
+	if s := retry.FaultStats(); s.InjectedErrors == 0 || s.Retries == 0 {
+		t.Fatalf("fault schedule never fired: %+v", s)
+	}
+
+	// Faulty without retry: the transient error reaches the caller.
+	dead := crowd.NewFaulty(p, crowd.FaultyOptions{Seed: 92, FailAfter: 1})
+	engDead, err := NewEngine(dead, plan, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engDead.Execute(st, objs); !errors.Is(err, crowd.ErrTransient) {
+		t.Fatalf("err = %v, want crowd.ErrTransient to surface", err)
 	}
 }
 

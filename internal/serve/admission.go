@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BucketConfig is one SLO class's token bucket. A session consumes one
+// token; tokens refill continuously at Rate per second up to Burst.
+// Sessions arriving to an empty bucket queue (FIFO by arrival) until a
+// token accrues, bounded by MaxQueue waiters and MaxWait per waiter;
+// beyond either bound the session is rejected with ErrRejected.
+//
+// The math: with tokens(t₀)=k and a session arriving at t, admission is
+// immediate iff k + Rate·(t−t₀) ≥ 1; otherwise its queue position q
+// admits it after (1 + q − k)/Rate seconds, so a class's steady-state
+// throughput is exactly Rate sessions/sec with bursts of up to Burst
+// absorbed without queueing.
+type BucketConfig struct {
+	// Rate is sustained sessions per second. Rate <= 0 disables the
+	// bucket entirely (the class is unlimited).
+	Rate float64
+	// Burst is the bucket capacity (minimum 1 when Rate > 0).
+	Burst int
+	// MaxQueue bounds how many sessions may wait for a token; 0 sheds
+	// immediately when the bucket is empty.
+	MaxQueue int
+	// MaxWait caps one session's queueing time (0 = no cap).
+	MaxWait time.Duration
+}
+
+// bucket is the running state of one class's token bucket.
+type bucket struct {
+	cfg BucketConfig
+	now func() time.Time
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+	queued int
+}
+
+func newBucket(cfg BucketConfig, now func() time.Time) *bucket {
+	if cfg.Burst < 1 {
+		cfg.Burst = 1
+	}
+	return &bucket{cfg: cfg, now: now, tokens: float64(cfg.Burst), last: now()}
+}
+
+// refillLocked advances the bucket to t.
+func (b *bucket) refillLocked(t time.Time) {
+	if dt := t.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.cfg.Rate
+		if max := float64(b.cfg.Burst); b.tokens > max {
+			b.tokens = max
+		}
+		b.last = t
+	}
+}
+
+// admit takes one token, waiting in queue when necessary. It returns
+// ErrRejected (wrapped) when the queue bound or wait cap would be
+// exceeded, and the context error if ctx ends first. queuedFn is invoked
+// when the session had to queue, so the caller can count it.
+func (b *bucket) admit(ctx context.Context, queuedFn func(wait time.Duration)) error {
+	b.mu.Lock()
+	t := b.now()
+	b.refillLocked(t)
+	if b.tokens >= 1 {
+		b.tokens--
+		b.mu.Unlock()
+		return nil
+	}
+	if b.queued >= b.cfg.MaxQueue {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: bucket empty and queue full (%d waiting)", ErrRejected, b.cfg.MaxQueue)
+	}
+	// Reserve the token this waiter will consume: going one token into
+	// debt serializes the queue FIFO by arrival and makes each waiter's
+	// delay a pure function of its queue position.
+	b.queued++
+	b.tokens--
+	wait := time.Duration((-b.tokens) / b.cfg.Rate * float64(time.Second))
+	if b.cfg.MaxWait > 0 && wait > b.cfg.MaxWait {
+		b.queued--
+		b.tokens++
+		b.mu.Unlock()
+		return fmt.Errorf("%w: token %s away exceeds max wait %s", ErrRejected, wait, b.cfg.MaxWait)
+	}
+	b.mu.Unlock()
+	if queuedFn != nil {
+		queuedFn(wait)
+	}
+
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		b.mu.Lock()
+		b.queued--
+		b.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+		b.mu.Lock()
+		b.queued--
+		b.tokens++ // return the reserved token
+		b.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// admission holds the per-class buckets. Classes without a configured
+// bucket (or with Rate <= 0) are unlimited.
+type admission struct {
+	buckets map[string]*bucket
+}
+
+func newAdmission(cfgs map[string]BucketConfig, now func() time.Time) *admission {
+	a := &admission{buckets: make(map[string]*bucket, len(cfgs))}
+	for class, cfg := range cfgs {
+		if cfg.Rate > 0 {
+			a.buckets[class] = newBucket(cfg, now)
+		}
+	}
+	return a
+}
+
+func (a *admission) admit(ctx context.Context, class string, cm *classMetrics) error {
+	b, ok := a.buckets[class]
+	if !ok {
+		return nil
+	}
+	return b.admit(ctx, func(wait time.Duration) { cm.queued.Add(1) })
+}

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is an adjustable now() for bucket-math tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time { return c.t }
+
+func TestBucketBurstAndRefill(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBucket(BucketConfig{Rate: 2, Burst: 3}, clk.now)
+	ctx := context.Background()
+
+	// The full burst admits immediately.
+	for i := 0; i < 3; i++ {
+		if err := b.admit(ctx, nil); err != nil {
+			t.Fatalf("burst admit %d: %v", i, err)
+		}
+	}
+	// Empty bucket, no queue: shed.
+	if err := b.admit(ctx, nil); !errors.Is(err, ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected", err)
+	}
+	// 1.5s at 2 tokens/s refills 3 tokens, capped at burst.
+	clk.t = clk.t.Add(1500 * time.Millisecond)
+	for i := 0; i < 3; i++ {
+		if err := b.admit(ctx, nil); err != nil {
+			t.Fatalf("post-refill admit %d: %v", i, err)
+		}
+	}
+	if err := b.admit(ctx, nil); !errors.Is(err, ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected after cap", err)
+	}
+}
+
+func TestBucketQueueing(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	// 100 tokens/s → a queued session waits ~10ms.
+	b := newBucket(BucketConfig{Rate: 100, Burst: 1, MaxQueue: 2}, clk.now)
+	ctx := context.Background()
+	if err := b.admit(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	queued := 0
+	start := time.Now()
+	if err := b.admit(ctx, func(wait time.Duration) {
+		queued++
+		if wait <= 0 || wait > 100*time.Millisecond {
+			t.Errorf("computed wait = %v", wait)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if queued != 1 {
+		t.Fatalf("queued callback ran %d times", queued)
+	}
+	if real := time.Since(start); real < 5*time.Millisecond {
+		t.Fatalf("queued admit returned after %v, expected ~10ms wait", real)
+	}
+}
+
+func TestBucketQueueBoundAndMaxWait(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBucket(BucketConfig{Rate: 0.5, Burst: 1, MaxQueue: 1, MaxWait: time.Millisecond}, clk.now)
+	ctx := context.Background()
+	if err := b.admit(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The bucket is empty; a 2s token wait exceeds MaxWait.
+	if err := b.admit(ctx, nil); !errors.Is(err, ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected via MaxWait", err)
+	}
+}
+
+func TestBucketContextCancelReturnsToken(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBucket(BucketConfig{Rate: 0.1, Burst: 1, MaxQueue: 1}, clk.now)
+	if err := b.admit(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	if err := b.admit(ctx, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The canceled waiter returned its reserved token and queue slot:
+	// another waiter may take both.
+	b.mu.Lock()
+	tokens, queued := b.tokens, b.queued
+	b.mu.Unlock()
+	if queued != 0 {
+		t.Fatalf("queued = %d after cancel", queued)
+	}
+	if tokens < -1e-9 {
+		t.Fatalf("tokens = %v after cancel, want >= 0 (token returned)", tokens)
+	}
+}
+
+func TestAdmissionUnlimitedClasses(t *testing.T) {
+	a := newAdmission(map[string]BucketConfig{
+		"batch":    {Rate: 1, Burst: 1},
+		"disabled": {Rate: 0, Burst: 5},
+	}, time.Now)
+	cm := &classMetrics{lat: newLatencyRing(4)}
+	ctx := context.Background()
+	// Unknown class and Rate<=0 class are both unlimited.
+	for i := 0; i < 10; i++ {
+		if err := a.admit(ctx, "interactive", cm); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.admit(ctx, "disabled", cm); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunLoadClosedLoop(t *testing.T) {
+	tier := newTestTier(t, 2, 4, Config{})
+	rep, err := RunLoad(tier, LoadConfig{
+		Statements:  []string{"SELECT Protein", "SELECT Calories"},
+		Classes:     []string{"interactive", "batch"},
+		Concurrency: 4,
+		Duration:    400 * time.Millisecond,
+		MaxObjects:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries == 0 {
+		t.Fatal("closed-loop run completed zero queries")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("load run hit %d errors", rep.Errors)
+	}
+	if rep.QPS <= 0 {
+		t.Fatalf("qps = %v", rep.QPS)
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 {
+		t.Fatalf("quantiles p50=%v p99=%v", rep.P50, rep.P99)
+	}
+	// Two statement shapes → two misses, the rest hits.
+	if rep.CacheHits != rep.Queries-2 {
+		t.Fatalf("cache hits = %d of %d queries", rep.CacheHits, rep.Queries)
+	}
+}
+
+func TestRunLoadOpenLoop(t *testing.T) {
+	tier := newTestTier(t, 1, 2, Config{})
+	rep, err := RunLoad(tier, LoadConfig{
+		Statements:  []string{"SELECT Protein"},
+		Concurrency: 4,
+		Rate:        200,
+		Duration:    400 * time.Millisecond,
+		MaxObjects:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries == 0 {
+		t.Fatal("open-loop run completed zero queries")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("load run hit %d errors", rep.Errors)
+	}
+}
+
+func TestRunLoadValidation(t *testing.T) {
+	tier := newTestTier(t, 1, 1, Config{})
+	if _, err := RunLoad(tier, LoadConfig{}); err == nil {
+		t.Fatal("empty statement list must error")
+	}
+}
+
+func TestMeasureCacheGain(t *testing.T) {
+	tier := newTestTier(t, 2, 4, Config{})
+	g, err := MeasureCacheGain(tier, GainConfig{
+		Statement:  "SELECT Protein",
+		Probes:     2,
+		MaxObjects: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.ColdP50 <= 0 || g.WarmP50 <= 0 {
+		t.Fatalf("gain sides: cold=%v warm=%v", g.ColdP50, g.WarmP50)
+	}
+	// Cold pays a full preprocess; warm is a cache hit over memoized
+	// answers. Any healthy tier clears 1x by a wide margin.
+	if g.Gain <= 1 {
+		t.Fatalf("plan cache gain = %.2f, want > 1", g.Gain)
+	}
+}

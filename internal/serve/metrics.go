@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/crowd"
+)
+
+// latencyRing keeps the most recent cap latency samples (a ring, so the
+// quantiles track recent behavior under long-running load without
+// unbounded memory).
+type latencyRing struct {
+	mu  sync.Mutex
+	buf []int64
+	n   int64 // total samples ever added
+}
+
+func newLatencyRing(cap int) *latencyRing {
+	return &latencyRing{buf: make([]int64, 0, cap)}
+}
+
+func (r *latencyRing) add(ns int64) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ns)
+	} else {
+		r.buf[r.n%int64(cap(r.buf))] = ns
+	}
+	r.n++
+	r.mu.Unlock()
+}
+
+// quantiles returns the requested quantiles (nearest-rank) over the
+// retained window, zeros when empty.
+func (r *latencyRing) quantiles(qs ...float64) []int64 {
+	r.mu.Lock()
+	snap := append([]int64(nil), r.buf...)
+	r.mu.Unlock()
+	out := make([]int64, len(qs))
+	if len(snap) == 0 {
+		return out
+	}
+	sort.Slice(snap, func(i, j int) bool { return snap[i] < snap[j] })
+	for i, q := range qs {
+		idx := int(q * float64(len(snap)-1))
+		out[i] = snap[idx]
+	}
+	return out
+}
+
+// classMetrics accumulates one SLO class's counters.
+type classMetrics struct {
+	sessions    atomic.Int64
+	errors      atomic.Int64
+	rejected    atomic.Int64
+	queued      atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	spendMills  atomic.Int64
+	questions   atomic.Int64
+	lat         *latencyRing
+}
+
+func (cm *classMetrics) observe(lat time.Duration, spend crowd.Cost, questions int64) {
+	cm.sessions.Add(1)
+	cm.spendMills.Add(int64(spend))
+	cm.questions.Add(questions)
+	cm.lat.add(lat.Nanoseconds())
+}
+
+// metrics is the tier-wide registry of per-class metrics.
+type metrics struct {
+	now   func() time.Time
+	start time.Time
+
+	mu      sync.RWMutex
+	classes map[string]*classMetrics
+}
+
+func newMetrics(now func() time.Time) *metrics {
+	return &metrics{now: now, start: now(), classes: make(map[string]*classMetrics)}
+}
+
+func (m *metrics) class(name string) *classMetrics {
+	m.mu.RLock()
+	cm, ok := m.classes[name]
+	m.mu.RUnlock()
+	if ok {
+		return cm
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cm, ok = m.classes[name]; ok {
+		return cm
+	}
+	cm = &classMetrics{lat: newLatencyRing(1 << 14)}
+	m.classes[name] = cm
+	return cm
+}
+
+// ClassStats is one SLO class's snapshot, the /v1/serve/stats payload per
+// class.
+type ClassStats struct {
+	Sessions    int64 `json:"sessions"`
+	Errors      int64 `json:"errors"`
+	Rejected    int64 `json:"rejected"`
+	Queued      int64 `json:"queued"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// CacheHitRate is hits / (hits + misses); 0 with no lookups.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	P50Ns        int64   `json:"p50_ns"`
+	P99Ns        int64   `json:"p99_ns"`
+	// SessionsPerSec and QuestionsPerSec are averaged over the tier's
+	// uptime.
+	SessionsPerSec  float64 `json:"sessions_per_sec"`
+	QuestionsPerSec float64 `json:"questions_per_sec"`
+	// SpendPerQueryMills is the mean online crowd spend per completed
+	// session, in mills.
+	SpendPerQueryMills float64 `json:"spend_per_query_mills"`
+}
+
+// Stats is the tier snapshot served at /v1/serve/stats.
+type Stats struct {
+	Policy   string                `json:"policy"`
+	UptimeNs int64                 `json:"uptime_ns"`
+	Cache    CacheStats            `json:"plan_cache"`
+	Backends []BackendStats        `json:"backends"`
+	Classes  map[string]ClassStats `json:"classes"`
+}
+
+func (m *metrics) snapshot() Stats {
+	uptime := m.now().Sub(m.start)
+	secs := uptime.Seconds()
+	s := Stats{UptimeNs: uptime.Nanoseconds(), Classes: make(map[string]ClassStats)}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for name, cm := range m.classes {
+		q := cm.lat.quantiles(0.50, 0.99)
+		cs := ClassStats{
+			Sessions:    cm.sessions.Load(),
+			Errors:      cm.errors.Load(),
+			Rejected:    cm.rejected.Load(),
+			Queued:      cm.queued.Load(),
+			CacheHits:   cm.cacheHits.Load(),
+			CacheMisses: cm.cacheMisses.Load(),
+			P50Ns:       q[0],
+			P99Ns:       q[1],
+		}
+		if lookups := cs.CacheHits + cs.CacheMisses; lookups > 0 {
+			cs.CacheHitRate = float64(cs.CacheHits) / float64(lookups)
+		}
+		if secs > 0 {
+			cs.SessionsPerSec = float64(cs.Sessions) / secs
+			cs.QuestionsPerSec = float64(cm.questions.Load()) / secs
+		}
+		if cs.Sessions > 0 {
+			cs.SpendPerQueryMills = float64(cm.spendMills.Load()) / float64(cs.Sessions)
+		}
+		s.Classes[name] = cs
+	}
+	return s
+}

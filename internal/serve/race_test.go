@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSessionsHammer drives 16 concurrent sessions — mixed
+// statements, classes and budgets — over two backends. Under -race this
+// is the safety pin for the plan cache (single-flight + LRU), the
+// routers' load counters, the admission buckets and the per-class
+// metrics; functionally it asserts every session of one statement shape
+// returns identical rows (the memoized answer streams make concurrency
+// invisible in the results).
+func TestConcurrentSessionsHammer(t *testing.T) {
+	tier := newTestTier(t, 2, 6, Config{
+		Policy:    PolicyPlanAffinity,
+		CacheSize: 4,
+		Admission: map[string]BucketConfig{
+			"batch": {Rate: 1000, Burst: 64, MaxQueue: 64},
+		},
+	})
+	statements := []string{
+		"SELECT Protein",
+		"SELECT Calories",
+		"SELECT Protein, Calories WHERE Dessert > 0.5",
+	}
+	const workers = 16
+	const perWorker = 3
+
+	var mu sync.Mutex
+	rowsByStmt := make(map[string][]Row)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				stmt := statements[(w+i)%len(statements)]
+				class := DefaultClass
+				if (w+i)%2 == 1 {
+					class = "batch"
+				}
+				res, err := tier.Execute(context.Background(), Request{
+					Statement: stmt, Class: class, MaxObjects: 4,
+				})
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: %w", w, err)
+					return
+				}
+				mu.Lock()
+				if prev, ok := rowsByStmt[stmt]; !ok {
+					rowsByStmt[stmt] = res.Rows
+				} else if !rowsEqual(prev, res.Rows) {
+					errs <- fmt.Errorf("worker %d: rows diverged for %q", w, stmt)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := tier.Stats()
+	if st.Cache.Misses != int64(len(statements)) {
+		t.Fatalf("cache misses = %d, want %d (one preprocess per statement shape)",
+			st.Cache.Misses, len(statements))
+	}
+	total := int64(0)
+	for _, cs := range st.Classes {
+		total += cs.Sessions
+	}
+	if total != workers*perWorker {
+		t.Fatalf("sessions = %d, want %d", total, workers*perWorker)
+	}
+	for i, b := range st.Backends {
+		if b.InflightSessions != 0 || b.InflightQuestions != 0 {
+			t.Fatalf("backend %d leaked in-flight load: %+v", i, b)
+		}
+	}
+}
+
+func rowsEqual(a, b []Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ObjectID != b[i].ObjectID || len(a[i].Values) != len(b[i].Values) {
+			return false
+		}
+		for k, v := range a[i].Values {
+			if b[i].Values[k] != v {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,449 @@
+// Package serve is the multi-tenant query-serving tier: it sits between
+// parsed query.Statements and one or more crowd.Platform backends and
+// turns the paper's one-shot preprocess-then-evaluate pipeline into a
+// long-lived service that amortizes crowd work across queries.
+//
+// The three mechanisms, in request order:
+//
+//   - Admission control: every session first passes a per-SLO-class
+//     (interactive/batch) token bucket. Over-limit sessions queue up to a
+//     bound and are rejected beyond it, so a burst of batch traffic cannot
+//     starve interactive queries of crowd capacity.
+//   - Plan cache: preprocessing output is cached under
+//     (domain, sorted target-attribute set, B_obj, B_prc) with
+//     single-flight semantics — N concurrent identical queries trigger ONE
+//     core.Preprocess and all share the compiled plan. Repeated queries
+//     skip the entire offline phase (tens of milliseconds and thousands of
+//     paid questions per plan).
+//   - Routing: sessions are multiplexed over the backends by a pluggable
+//     policy (round-robin, least-loaded by in-flight questions, or
+//     plan-affinity, which sticks a cached plan to the backend whose
+//     answer streams built it so memoized answers are reused).
+//
+// Each session runs on a private fork of its backend when the platform
+// supports copy-on-write snapshots (crowd.SimPlatform does): the fork has
+// its own ledger — every tenant pays its own crowd bill — while sharing
+// the backend's memoized answer streams, so repeated evaluation of the
+// same objects is served from memory. Platforms without forking are
+// serialized per backend with the same accounting.
+//
+// The single-query degenerate configuration (one backend, cold cache,
+// unlimited buckets) is determinism-pinned: it produces bit-equal plans,
+// estimates and spend to driving core.Preprocess + query.Engine by hand.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/domain"
+	"repro/internal/query"
+)
+
+// Backend names one crowd platform the tier multiplexes sessions over.
+type Backend struct {
+	// Name identifies the backend in routing decisions and stats.
+	Name string
+	// Platform answers the crowd questions. When it supports
+	// copy-on-write snapshots (crowd.SimPlatform), each session runs on a
+	// private fork; otherwise sessions serialize on the backend.
+	Platform crowd.Platform
+}
+
+// Config assembles a Tier.
+type Config struct {
+	// Domain names the attribute universe served; it is part of every
+	// plan-cache key.
+	Domain string
+	// Backends are the crowd platforms to multiplex over (at least one).
+	Backends []Backend
+	// Objects is the database the tier evaluates statements against.
+	// Register them before the first query; the set is fixed for the
+	// tier's lifetime.
+	Objects []*domain.Object
+	// Policy picks the routing policy by name: "round-robin",
+	// "least-loaded" or "plan-affinity" (the default).
+	Policy string
+	// CacheSize bounds the plan cache (LRU-evicted beyond it; default 64).
+	CacheSize int
+	// DefaultBObj/DefaultBPrc apply when a request leaves its budgets
+	// zero (defaults: 4 cents / 10 dollars).
+	DefaultBObj crowd.Cost
+	DefaultBPrc crowd.Cost
+	// Admission configures one token bucket per SLO class. Classes
+	// without an entry are unlimited.
+	Admission map[string]BucketConfig
+	// Options tunes preprocessing (zero value = paper configuration).
+	Options core.Options
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// Request is one query session.
+type Request struct {
+	// Statement is the SELECT/WHERE text to evaluate.
+	Statement string
+	// Class is the SLO class ("interactive" when empty).
+	Class string
+	// ObjectIDs restricts evaluation to these registered objects
+	// (nil = every registered object).
+	ObjectIDs []int
+	// MaxObjects truncates evaluation to the first n registered objects
+	// (0 = no limit). Ignored when ObjectIDs is set.
+	MaxObjects int
+	// BObj/BPrc override the tier's default budgets when nonzero.
+	BObj crowd.Cost
+	BPrc crowd.Cost
+}
+
+// Row is one object that passed the statement's WHERE filter.
+type Row struct {
+	ObjectID int                `json:"object_id"`
+	Values   map[string]float64 `json:"values"`
+}
+
+// Result is one completed session.
+type Result struct {
+	Rows []Row `json:"rows"`
+	// CacheHit reports whether the plan came from the cache (including
+	// joining another session's in-flight build).
+	CacheHit bool `json:"cache_hit"`
+	// Backend is the name of the backend the session ran on.
+	Backend string `json:"backend"`
+	// PreprocessCost is what building the plan cost the crowd (charged
+	// once per cache miss, reported on every session using the plan).
+	PreprocessCost crowd.Cost `json:"preprocess_cost_mills"`
+	// OnlineSpent is what this session's online evaluation cost.
+	OnlineSpent crowd.Cost `json:"online_spent_mills"`
+	// Latency is the end-to-end session wall time (admission included).
+	Latency time.Duration `json:"latency_ns"`
+}
+
+// DefaultClass is the SLO class assumed when a request names none.
+const DefaultClass = "interactive"
+
+// ErrRejected is returned (wrapped) when admission control sheds a
+// session instead of queueing it.
+var ErrRejected = errors.New("serve: admission rejected")
+
+// snapshotter is the copy-on-write capability sessions prefer.
+type snapshotter interface {
+	Snapshot() *crowd.SimSnapshot
+}
+
+// backend is the tier's view of one configured Backend.
+type backend struct {
+	name string
+	p    crowd.Platform
+	snap *crowd.SimSnapshot // non-nil when the platform forks
+
+	// mu serializes sessions on non-forkable platforms (SetLedger is
+	// platform-wide, so concurrent sessions would corrupt accounting).
+	mu sync.Mutex
+
+	load backendLoad
+}
+
+// session is one query's private view of a backend.
+type session struct {
+	platform crowd.Platform
+	ledger   *crowd.Ledger
+	release  func()
+}
+
+// acquire opens a session: a fork with its own fresh ledger when the
+// platform snapshots, the backend itself (ledger swapped in, sessions
+// serialized) otherwise.
+func (b *backend) acquire() *session {
+	if b.snap != nil {
+		f := b.snap.Fork()
+		return &session{platform: f, ledger: f.Ledger(), release: func() {}}
+	}
+	b.mu.Lock()
+	ledger := crowd.NewLedger(0)
+	prev := b.p.SetLedger(ledger)
+	return &session{
+		platform: b.p,
+		ledger:   ledger,
+		release: func() {
+			b.p.SetLedger(prev)
+			b.mu.Unlock()
+		},
+	}
+}
+
+// Tier is the serving layer. Safe for concurrent use.
+type Tier struct {
+	domain   string
+	backends []*backend
+	router   Router
+	cache    *planCache
+	adm      *admission
+	metrics  *metrics
+	opts     core.Options
+
+	defBObj, defBPrc crowd.Cost
+
+	objMu   sync.RWMutex
+	objects []*domain.Object
+	byID    map[int]*domain.Object
+}
+
+// New builds a Tier from the config.
+func New(cfg Config) (*Tier, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("serve: no backends")
+	}
+	router, err := NewRouter(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 64
+	}
+	if cfg.DefaultBObj <= 0 {
+		cfg.DefaultBObj = crowd.Cents(4)
+	}
+	if cfg.DefaultBPrc <= 0 {
+		cfg.DefaultBPrc = crowd.Dollars(10)
+	}
+	now := cfg.now
+	if now == nil {
+		now = time.Now
+	}
+	t := &Tier{
+		domain:  cfg.Domain,
+		router:  router,
+		cache:   newPlanCache(cfg.CacheSize),
+		adm:     newAdmission(cfg.Admission, now),
+		metrics: newMetrics(now),
+		opts:    cfg.Options,
+		defBObj: cfg.DefaultBObj,
+		defBPrc: cfg.DefaultBPrc,
+		byID:    make(map[int]*domain.Object, len(cfg.Objects)),
+	}
+	for i, b := range cfg.Backends {
+		name := b.Name
+		if name == "" {
+			name = fmt.Sprintf("backend-%d", i)
+		}
+		if b.Platform == nil {
+			return nil, fmt.Errorf("serve: backend %q has no platform", name)
+		}
+		bk := &backend{name: name, p: b.Platform}
+		// Snapshot AFTER all objects exist: forks pin the universe's
+		// object-id watermark at snapshot time.
+		if s, ok := b.Platform.(snapshotter); ok {
+			bk.snap = s.Snapshot()
+		}
+		t.backends = append(t.backends, bk)
+	}
+	t.RegisterObjects(cfg.Objects)
+	return t, nil
+}
+
+// RegisterObjects adds objects to the evaluation database.
+func (t *Tier) RegisterObjects(objs []*domain.Object) {
+	t.objMu.Lock()
+	defer t.objMu.Unlock()
+	for _, o := range objs {
+		if o == nil {
+			continue
+		}
+		if _, dup := t.byID[o.ID]; dup {
+			continue
+		}
+		t.byID[o.ID] = o
+		t.objects = append(t.objects, o)
+	}
+}
+
+// resolveObjects materializes the request's object list in registration
+// order.
+func (t *Tier) resolveObjects(req Request) ([]*domain.Object, error) {
+	t.objMu.RLock()
+	defer t.objMu.RUnlock()
+	if len(req.ObjectIDs) > 0 {
+		out := make([]*domain.Object, 0, len(req.ObjectIDs))
+		for _, id := range req.ObjectIDs {
+			o, ok := t.byID[id]
+			if !ok {
+				return nil, fmt.Errorf("serve: unknown object %d", id)
+			}
+			out = append(out, o)
+		}
+		return out, nil
+	}
+	objs := t.objects
+	if req.MaxObjects > 0 && req.MaxObjects < len(objs) {
+		objs = objs[:req.MaxObjects]
+	}
+	return append([]*domain.Object(nil), objs...), nil
+}
+
+// planKey canonicalizes the cache identity of a statement at given
+// budgets: the domain, the sorted deduplicated target-attribute set and
+// both budgets. Two statements selecting/filtering the same attributes
+// share a plan regardless of SELECT order or WHERE constants.
+func (t *Tier) planKey(st *query.Statement, bObj, bPrc crowd.Cost) string {
+	attrs := st.Attributes() // already deduplicated and sorted
+	return fmt.Sprintf("%s|%s|%d|%d", t.domain, joinAttrs(attrs), bObj, bPrc)
+}
+
+func joinAttrs(attrs []string) string {
+	sorted := append([]string(nil), attrs...)
+	sort.Strings(sorted)
+	out := ""
+	for i, a := range sorted {
+		if i > 0 {
+			out += ","
+		}
+		out += a
+	}
+	return out
+}
+
+// Execute runs one query session end to end: admission, parse, routing,
+// plan lookup/build, online evaluation. It implements Executor.
+func (t *Tier) Execute(ctx context.Context, req Request) (*Result, error) {
+	start := t.metrics.now()
+	class := req.Class
+	if class == "" {
+		class = DefaultClass
+	}
+	cm := t.metrics.class(class)
+
+	if err := t.adm.admit(ctx, class, cm); err != nil {
+		cm.rejected.Add(1)
+		return nil, err
+	}
+
+	st, err := query.Parse(req.Statement)
+	if err != nil {
+		cm.errors.Add(1)
+		return nil, err
+	}
+	objs, err := t.resolveObjects(req)
+	if err != nil {
+		cm.errors.Add(1)
+		return nil, err
+	}
+	bObj, bPrc := req.BObj, req.BPrc
+	if bObj <= 0 {
+		bObj = t.defBObj
+	}
+	if bPrc <= 0 {
+		bPrc = t.defBPrc
+	}
+	key := t.planKey(st, bObj, bPrc)
+
+	// Route: a plan already (being) built sticks to its backend under
+	// plan-affinity; otherwise the policy picks.
+	affinity := t.cache.builder(key)
+	idx := t.router.Pick(t.backends, key, affinity)
+	if idx < 0 || idx >= len(t.backends) {
+		idx = 0
+	}
+	b := t.backends[idx]
+	b.load.startSession()
+	defer b.load.endSession()
+
+	sess := b.acquire()
+	defer sess.release()
+
+	plan, hit, err := t.cache.getOrBuild(key, idx, func() (*core.Plan, error) {
+		b.load.startBuild()
+		defer b.load.endBuild()
+		return core.Preprocess(sess.platform, st.Query(), bObj, bPrc, t.opts)
+	})
+	if err != nil {
+		cm.errors.Add(1)
+		return nil, err
+	}
+	if hit {
+		cm.cacheHits.Add(1)
+	} else {
+		cm.cacheMisses.Add(1)
+	}
+
+	// Weigh the session's remaining work for least-loaded routing: the
+	// plan names every value question an object costs.
+	if qs, qerr := plan.Questions(); qerr == nil {
+		n := int64(len(qs) * len(objs))
+		b.load.addQuestions(n)
+		defer b.load.addQuestions(-n)
+	}
+
+	engine, err := query.NewEngine(sess.platform, plan, st)
+	if err != nil {
+		cm.errors.Add(1)
+		return nil, err
+	}
+	rows, err := engine.Execute(st, objs)
+	if err != nil {
+		cm.errors.Add(1)
+		return nil, err
+	}
+
+	out := &Result{
+		Rows:           make([]Row, len(rows)),
+		CacheHit:       hit,
+		Backend:        b.name,
+		PreprocessCost: plan.PreprocessCost,
+		OnlineSpent:    sess.ledger.Spent(),
+		Latency:        t.metrics.now().Sub(start),
+	}
+	for i, r := range rows {
+		out.Rows[i] = Row{ObjectID: r.Object.ID, Values: r.Values}
+	}
+	cm.observe(out.Latency, out.OnlineSpent, questionsAsked(sess.ledger))
+	return out, nil
+}
+
+// questionsAsked totals the ledger's per-kind question counts.
+func questionsAsked(l *crowd.Ledger) int64 {
+	var n int64
+	for _, k := range []crowd.QuestionKind{
+		crowd.BinaryValue, crowd.NumericValue, crowd.Dismantling,
+		crowd.Verification, crowd.ExampleQuestion,
+	} {
+		n += int64(l.Asked(k))
+	}
+	return n
+}
+
+// CachedPlan peeks at the plan the cache holds for a statement at the
+// given budgets (tier defaults applied when zero) without counting a
+// lookup — introspection for tests and tooling.
+func (t *Tier) CachedPlan(statement string, bObj, bPrc crowd.Cost) (*core.Plan, bool) {
+	st, err := query.Parse(statement)
+	if err != nil {
+		return nil, false
+	}
+	if bObj <= 0 {
+		bObj = t.defBObj
+	}
+	if bPrc <= 0 {
+		bPrc = t.defBPrc
+	}
+	return t.cache.peek(t.planKey(st, bObj, bPrc))
+}
+
+// Stats snapshots the tier's observability counters.
+func (t *Tier) Stats() Stats {
+	s := t.metrics.snapshot()
+	s.Policy = t.router.Name()
+	s.Cache = t.cache.stats()
+	s.Backends = make([]BackendStats, len(t.backends))
+	for i, b := range t.backends {
+		s.Backends[i] = b.load.stats(b.name)
+	}
+	return s
+}
