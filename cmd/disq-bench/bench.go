@@ -10,6 +10,7 @@ import (
 	"time"
 
 	disq "repro"
+	"repro/internal/adaptive"
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/crowd"
@@ -71,7 +72,18 @@ type benchReport struct {
 	// tier (a cache-missing plan key vs a pre-warmed one, ABBA-measured):
 	// what the plan cache saves a repeated query. The contract is ≥3 —
 	// below that the cache has stopped paying for itself.
-	PlanCacheGain float64      `json:"plan_cache_gain,omitempty"`
+	PlanCacheGain float64 `json:"plan_cache_gain,omitempty"`
+	// AdaptiveSpendGain is fixed / adaptive online crowd spend of the
+	// same plan evaluated over the same answer streams (forks of one
+	// snapshot), with the adaptive evaluator in its stopping-only
+	// headline tuning. This is money, not wall-clock, and the comparison
+	// is deterministic. The contract is ≥1.2 — equal-quality estimates at
+	// ≥20% lower online spend.
+	AdaptiveSpendGain float64 `json:"adaptive_spend_gain,omitempty"`
+	// AdaptiveErr / FixedErr carry the two modes' mean weighted errors so
+	// the spend gain can't quietly be bought with accuracy.
+	AdaptiveErr float64      `json:"adaptive_err,omitempty"`
+	FixedErr    float64      `json:"fixed_err,omitempty"`
 	NumCPU        int          `json:"num_cpu"`
 	Benchmarks    []benchEntry `json:"benchmarks"`
 }
@@ -387,6 +399,29 @@ func runBench(jsonPath string, reps, evalN int, seed int64) error {
 		Name: "sim-value-question", NsPerOp: time.Since(start).Nanoseconds() / questions,
 	})
 
+	// Adaptive online budgets: fixed vs adaptive evaluation of the same
+	// plan over forked answer streams (experiment.AdaptiveGain). The gain
+	// is a spend ratio, not a timing, so one deterministic run suffices —
+	// no ABBA dance.
+	adRes, err := experiment.AdaptiveGain(experiment.AdaptiveSpec{
+		Name:     "bench-adaptive",
+		Platform: experiment.PlatformConfig{Domain: "recipes"},
+		Targets:  []string{"Protein"},
+		BObj:     crowd.Cents(4), BPrc: crowd.Dollars(20),
+		Config: stopOnlyAdaptive(),
+		Reps:   reps, EvalObjects: evalN, BaseSeed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	report.AdaptiveSpendGain = adRes.SpendGain
+	report.FixedErr = adRes.Fixed.Err
+	report.AdaptiveErr = adRes.Adapt.Err
+	report.Benchmarks = append(report.Benchmarks,
+		benchEntry{Name: "online-spend-fixed-mills", NsPerOp: int64(adRes.Fixed.Spend), Err: adRes.Fixed.Err},
+		benchEntry{Name: "online-spend-adaptive-mills", NsPerOp: int64(adRes.Adapt.Spend), Err: adRes.Adapt.Err},
+	)
+
 	// Serving tier: a two-backend serve.Tier (shared universe, plan cache,
 	// plan-affinity routing) under the closed-loop load harness, then the
 	// plan-cache cold/warm split. RunLoad and MeasureCacheGain are the
@@ -412,10 +447,20 @@ func runBench(jsonPath string, reps, evalN int, seed int64) error {
 	if report.SweepSpeedupNCPU > 0 {
 		ncpu = fmt.Sprintf("%.2fx at %d CPUs", report.SweepSpeedupNCPU, report.NumCPU)
 	}
-	fmt.Printf("benchmark report written to %s (sweep speedup %.2fx at 1 proc, %s, shared-snapshot gain %.2fx, collect batch gain %.2fx, serve %.0f qps, plan cache gain %.2fx)\n",
+	fmt.Printf("benchmark report written to %s (sweep speedup %.2fx at 1 proc, %s, shared-snapshot gain %.2fx, collect batch gain %.2fx, serve %.0f qps, plan cache gain %.2fx, adaptive spend gain %.2fx)\n",
 		jsonPath, report.SweepSpeedup, ncpu, report.SweepSharedGain, report.CollectBatchGain,
-		report.QPS, report.PlanCacheGain)
+		report.QPS, report.PlanCacheGain, report.AdaptiveSpendGain)
 	return nil
+}
+
+// stopOnlyAdaptive is the adaptive evaluator's headline tuning for the
+// spend-gain benchmark: sequential stopping with the savings kept (no
+// reliability pilot, no reallocation), so the whole gain shows up as
+// reduced spend.
+func stopOnlyAdaptive() adaptive.Config {
+	cfg := adaptive.Defaults()
+	cfg.Weight, cfg.Reallocate = false, false
+	return cfg
 }
 
 // runServeBench measures the serving tier's throughput/latency headline

@@ -159,6 +159,30 @@ func compareReports(w io.Writer, old, new *benchReport, maxRegress float64) bool
 			fmt.Fprintf(w, "plan cache gain (serve): %.2fx%s\n", new.PlanCacheGain, mark)
 		}
 	}
+	if new.AdaptiveSpendGain > 0 {
+		mark := ""
+		// The adaptive evaluator must keep delivering its headline: gate on
+		// the absolute contract (≥1.2× — equal-quality estimates at ≥20%
+		// lower online spend) and on a relative slide beyond the regression
+		// threshold. The ratio is deterministic money, not wall-clock, so a
+		// slide here is a behavior change, never machine noise. Old reports
+		// that predate the measurement only skip the relative half.
+		if new.AdaptiveSpendGain < 1.2 ||
+			(old.AdaptiveSpendGain > 0 && new.AdaptiveSpendGain < old.AdaptiveSpendGain*(1-maxRegress)) {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		if old.AdaptiveSpendGain > 0 {
+			fmt.Fprintf(w, "adaptive spend gain (online): %.2fx -> %.2fx%s\n",
+				old.AdaptiveSpendGain, new.AdaptiveSpendGain, mark)
+		} else {
+			fmt.Fprintf(w, "adaptive spend gain (online): %.2fx%s\n", new.AdaptiveSpendGain, mark)
+		}
+		if new.FixedErr > 0 && new.AdaptiveErr > 0 {
+			fmt.Fprintf(w, "adaptive accuracy: fixed err %.4f, adaptive err %.4f\n",
+				new.FixedErr, new.AdaptiveErr)
+		}
+	}
 	return regressed
 }
 

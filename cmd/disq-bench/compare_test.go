@@ -165,3 +165,27 @@ func TestCompareToleratesMissingNCPUSpeedup(t *testing.T) {
 		t.Fatalf("absence of the NumCPU measurement not noted:\n%s", buf.String())
 	}
 }
+
+func TestCompareAdaptiveSpendGainGate(t *testing.T) {
+	var buf strings.Builder
+	// Absolute contract: below 1.2x fails even with no old measurement.
+	if !compareReports(&buf, &benchReport{}, &benchReport{AdaptiveSpendGain: 1.1}, 0.10) {
+		t.Fatal("adaptive spend gain 1.1x passed the >=1.2x contract")
+	}
+	// Above the absolute bar with no old measurement: passes.
+	if compareReports(&buf, &benchReport{}, &benchReport{AdaptiveSpendGain: 1.4}, 0.10) {
+		t.Fatal("adaptive spend gain 1.4x failed without an old report")
+	}
+	// Relative slide beyond the threshold fails even above the bar.
+	if !compareReports(&buf, &benchReport{AdaptiveSpendGain: 1.8}, &benchReport{AdaptiveSpendGain: 1.3}, 0.10) {
+		t.Fatal("28% adaptive gain slide passed")
+	}
+	// A slide within the threshold passes.
+	if compareReports(&buf, &benchReport{AdaptiveSpendGain: 1.5}, &benchReport{AdaptiveSpendGain: 1.45}, 0.10) {
+		t.Fatal("3% adaptive gain slide failed")
+	}
+	// A report without the measurement does not trip the gate.
+	if compareReports(&buf, &benchReport{AdaptiveSpendGain: 1.5}, &benchReport{}, 0.10) {
+		t.Fatal("missing adaptive measurement tripped the gate")
+	}
+}

@@ -61,6 +61,7 @@ func main() {
 		maxObjects  = flag.Int("max-objects", 16, "objects evaluated per query (0 = all registered)")
 		bObjCents   = flag.Float64("bobj-cents", 0, "per-object budget override, cents (0 = server default)")
 		bPrcDollars = flag.Float64("bprc-dollars", 0, "preprocessing budget override, dollars (0 = server default)")
+		adaptiveOn  = flag.Bool("adaptive", false, "opt every session into the server's adaptive online evaluator")
 
 		gain       = flag.Bool("gain", false, "also measure the plan-cache cold/warm gain (first statement)")
 		gainProbes = flag.Int("gain-probes", 3, "cold/warm probe pairs for -gain")
@@ -73,14 +74,14 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(*addr, *statements, *classes, *concurrency, *rate, *duration, *maxObjects,
-		*bObjCents, *bPrcDollars, *gain, *gainProbes, *jsonPath, *minQPS, *maxErrors, *minGain, *skipLoad); err != nil {
+		*bObjCents, *bPrcDollars, *adaptiveOn, *gain, *gainProbes, *jsonPath, *minQPS, *maxErrors, *minGain, *skipLoad); err != nil {
 		fmt.Fprintln(os.Stderr, "disq-load:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, statements, classes string, concurrency int, rate float64, duration time.Duration,
-	maxObjects int, bObjCents, bPrcDollars float64, gain bool, gainProbes int,
+	maxObjects int, bObjCents, bPrcDollars float64, adaptiveOn, gain bool, gainProbes int,
 	jsonPath string, minQPS float64, maxErrors int64, minGain float64, skipLoad bool) error {
 	stmts := splitList(statements, ";")
 	if len(stmts) == 0 {
@@ -107,6 +108,7 @@ func run(addr, statements, classes string, concurrency int, rate float64, durati
 			MaxObjects:  maxObjects,
 			BObj:        bObj,
 			BPrc:        bPrc,
+			Adaptive:    adaptiveOn,
 		})
 		if err != nil {
 			return err

@@ -33,6 +33,7 @@ import (
 	"math/rand"
 	"net/http"
 
+	"repro/internal/adaptive"
 	"repro/internal/core"
 	"repro/internal/crowd"
 	"repro/internal/crowdhttp"
@@ -327,3 +328,29 @@ func NewRetryPlatform(p Platform, opts RetryOptions) *RetryPlatform {
 // RefObject returns a reference-only object for addressing server-side
 // objects by id through a CrowdClient.
 func RefObject(id int) *Object { return domain.RefObject(id) }
+
+// Adaptive online budgets (sequential stopping, reliability weighting,
+// bandit reallocation; see internal/adaptive and DESIGN.md §9).
+type (
+	// AdaptiveConfig tunes the adaptive online evaluator.
+	AdaptiveConfig = adaptive.Config
+	// AdaptiveEvaluator evaluates plan objects with adaptive per-object
+	// spend; with stopping disabled it replays the fixed path bit-for-bit.
+	AdaptiveEvaluator = adaptive.Evaluator
+	// AdaptiveStats counts an evaluator's asked/saved/boosted questions.
+	AdaptiveStats = adaptive.Stats
+)
+
+// AdaptiveDefaults is the everything-on adaptive tuning.
+func AdaptiveDefaults() AdaptiveConfig { return adaptive.Defaults() }
+
+// AdaptiveDisabled is the determinism-pinned tuning: the evaluator
+// replays the fixed-budget path exactly.
+func AdaptiveDisabled() AdaptiveConfig { return adaptive.Disabled() }
+
+// NewAdaptiveEvaluator builds an adaptive evaluator over a preprocessed
+// plan. Call Calibrate before Estimate to enable reliability weighting
+// on platforms that report worker identities.
+func NewAdaptiveEvaluator(p Platform, plan *Plan, cfg AdaptiveConfig) (*AdaptiveEvaluator, error) {
+	return adaptive.New(p, plan, cfg)
+}

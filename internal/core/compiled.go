@@ -124,6 +124,43 @@ func (pl *Plan) Questions() ([]crowd.ValueQuestion, error) {
 	return append([]crowd.ValueQuestion(nil), cp.questions...), nil
 }
 
+// Support returns the plan's budget support: the attributes with
+// positive counts, in the compiled (sorted) order, aligned with their
+// per-object answer counts b(a). The order is exactly the means layout
+// PredictFromMeans expects; the slices are copies the caller may keep.
+func (pl *Plan) Support() (attrs []string, counts []int, err error) {
+	cp := pl.compiled()
+	if cp.err != nil {
+		return nil, nil, cp.err
+	}
+	return append([]string(nil), cp.attrs...), append([]int(nil), cp.counts...), nil
+}
+
+// PredictFromMeans applies the compiled per-target regressions to
+// per-attribute answer means laid out in Support order. It runs the
+// same compiled program as EstimateObject — same term order, same FP
+// summation order — so a caller that collects answers under a different
+// asking policy (sequential stopping, reliability weighting) produces
+// bit-identical estimates whenever it produces identical means. That is
+// the determinism contract the adaptive evaluator's pinned fixed-budget
+// mode is built on.
+func (pl *Plan) PredictFromMeans(means []float64) (map[string]float64, error) {
+	cp := pl.compiled()
+	if cp.err != nil {
+		return nil, cp.err
+	}
+	if len(means) != len(cp.attrs) {
+		return nil, fmt.Errorf("core: got %d means, plan support has %d attributes", len(means), len(cp.attrs))
+	}
+	ests := make([]float64, len(cp.targets))
+	cp.predictInto(means, ests)
+	out := make(map[string]float64, len(cp.targets))
+	for i, t := range cp.targets {
+		out[t] = ests[i]
+	}
+	return out, nil
+}
+
 // collectMeans fills means (len == len(cp.attrs)) with the per-attribute
 // answer averages for one object, preferring the platform's batching
 // capability — one exchange for the whole question set — and falling

@@ -46,6 +46,15 @@ func (u *unbatchedPlatform) FaultStats() FaultStats {
 	return FaultStats{}
 }
 
+// ValueDetailed forwards the wrapped platform's worker-identity
+// capability (batch-shape adaptation does not hide provenance).
+func (u *unbatchedPlatform) ValueDetailed(o *domain.Object, attr string, n int) ([]DetailedAnswer, error) {
+	if dv, ok := u.Platform.(DetailedValuer); ok {
+		return dv.ValueDetailed(o, attr, n)
+	}
+	return nil, ErrNoWorkerDetail
+}
+
 // RequestCount forwards the wrapped platform's wire round-trip counter:
 // the unbatched control still talks to the same transport, it just sends
 // one question per request.
@@ -109,6 +118,15 @@ func (b *batchedPlatform) ValueBatchMulti(qs []ObjectValueQuestion) ([][]float64
 		out = append(out, res...)
 	}
 	return out, nil
+}
+
+// ValueDetailed forwards the wrapped platform's worker-identity
+// capability (chunking applies to batches, not single questions).
+func (b *batchedPlatform) ValueDetailed(o *domain.Object, attr string, n int) ([]DetailedAnswer, error) {
+	if dv, ok := b.Platform.(DetailedValuer); ok {
+		return dv.ValueDetailed(o, attr, n)
+	}
+	return nil, ErrNoWorkerDetail
 }
 
 // RequestCount forwards the wrapped platform's wire round-trip counter.

@@ -155,6 +155,31 @@ func (f *FaultyPlatform) Value(o *domain.Object, attr string, n int) ([]float64,
 	return ans, nil
 }
 
+// ValueDetailed implements DetailedValuer with the same fault schedule
+// as Value (detailed answers are one exchange too); short batches return
+// a strict prefix. A wrapped platform without the capability surfaces
+// ErrNoWorkerDetail without consuming a fault slot — capability probing
+// must not perturb the seeded injection schedule.
+func (f *FaultyPlatform) ValueDetailed(o *domain.Object, attr string, n int) ([]DetailedAnswer, error) {
+	dv, ok := f.inner.(DetailedValuer)
+	if !ok {
+		return nil, ErrNoWorkerDetail
+	}
+	r, err := f.begin()
+	if err != nil {
+		return nil, err
+	}
+	ans, err := dv.ValueDetailed(o, attr, n)
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 && f.opts.ShortRate > 0 && r.Float64() < f.opts.ShortRate {
+		f.injectedShort.Add(1)
+		return ans[:r.Intn(n)], nil
+	}
+	return ans, nil
+}
+
 // ValueBatchMulti implements MultiValueBatcher: the batch is one
 // exchange, so it runs the fault schedule once — a pre-execution failure
 // rejects the whole batch before the wrapped platform sees it (nothing
@@ -324,6 +349,29 @@ func (p *RetryPlatform) Value(o *domain.Object, attr string, n int) ([]float64, 
 		}
 		if len(ans) < n {
 			return fmt.Errorf("%w: short value batch %d/%d", ErrTransient, len(ans), n)
+		}
+		out = ans
+		return nil
+	})
+	return out, err
+}
+
+// ValueDetailed implements DetailedValuer; short batches are treated as
+// transient and re-asked, mirroring Value. ErrNoWorkerDetail is terminal
+// (retrying cannot grow a capability).
+func (p *RetryPlatform) ValueDetailed(o *domain.Object, attr string, n int) ([]DetailedAnswer, error) {
+	dv, ok := p.inner.(DetailedValuer)
+	if !ok {
+		return nil, ErrNoWorkerDetail
+	}
+	var out []DetailedAnswer
+	err := p.do(func() error {
+		ans, err := dv.ValueDetailed(o, attr, n)
+		if err != nil {
+			return err
+		}
+		if len(ans) < n {
+			return fmt.Errorf("%w: short detailed batch %d/%d", ErrTransient, len(ans), n)
 		}
 		out = ans
 		return nil

@@ -1,6 +1,8 @@
 package crowd
 
 import (
+	"errors"
+
 	"repro/internal/domain"
 )
 
@@ -126,6 +128,22 @@ func MultiValueBatch(p Platform, qs []ObjectValueQuestion) ([][]float64, error) 
 	}
 	return out, nil
 }
+
+// DetailedValuer is the optional capability of answering value questions
+// with per-answer worker identities — Value plus provenance. The
+// memoization contract is Value's (the answers ARE Value's answers);
+// only the identity metadata is extra. Quality-weighted aggregation
+// (internal/adaptive, internal/quality) needs it; the DisQ algorithm
+// itself never does. Wrappers forward it and return ErrNoWorkerDetail
+// when the wrapped platform lacks the capability, so callers can probe
+// once and degrade to the flat mean.
+type DetailedValuer interface {
+	ValueDetailed(o *domain.Object, attr string, n int) ([]DetailedAnswer, error)
+}
+
+// ErrNoWorkerDetail reports that a platform (or the platform at the
+// bottom of a wrapper stack) does not expose worker identities.
+var ErrNoWorkerDetail = errors.New("crowd: platform does not report worker identities")
 
 // RequestReporter is the optional capability of counting wire round
 // trips (HTTP attempts for crowdhttp.Client — distinct from questions,

@@ -36,6 +36,7 @@ type queryWire struct {
 	MaxObjects int    `json:"max_objects,omitempty"`
 	BObjMills  int64  `json:"b_obj_mills,omitempty"`
 	BPrcMills  int64  `json:"b_prc_mills,omitempty"`
+	Adaptive   bool   `json:"adaptive,omitempty"`
 }
 
 // QueryServer adapts a serve.Tier to the query API.
@@ -82,6 +83,7 @@ func (s *QueryServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 		MaxObjects: wire.MaxObjects,
 		BObj:       crowd.Cost(wire.BObjMills),
 		BPrc:       crowd.Cost(wire.BPrcMills),
+		Adaptive:   wire.Adaptive,
 	})
 	if err != nil {
 		writeError(w, queryStatusFor(err), err)
@@ -130,6 +132,7 @@ func (c *QueryClient) Execute(ctx context.Context, req serve.Request) (*serve.Re
 		MaxObjects: req.MaxObjects,
 		BObjMills:  int64(req.BObj),
 		BPrcMills:  int64(req.BPrc),
+		Adaptive:   req.Adaptive,
 	})
 	if err != nil {
 		return nil, err

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/adaptive"
 	"repro/internal/crowd"
 	"repro/internal/domain"
 	"repro/internal/serve"
@@ -146,5 +147,46 @@ func TestQueryClientDrivesLoadHarness(t *testing.T) {
 	}
 	if rep.Queries == 0 || rep.Errors != 0 {
 		t.Fatalf("report = %+v", rep)
+	}
+}
+
+// TestQueryAPIAdaptiveCrossesTheWire runs a fixed and an adaptive
+// session through the remote tier and checks the flag, the savings and
+// the per-class counters all survive the round trip.
+func TestQueryAPIAdaptiveCrossesTheWire(t *testing.T) {
+	// A roomier per-object budget gives every attribute enough answers
+	// that the sequential test has room to stop early; stopping-only
+	// tuning (no reallocation) makes the savings visible as spend.
+	acfg := adaptive.Defaults()
+	acfg.Weight, acfg.Reallocate = false, false
+	client, _ := newQueryFixture(t, 1, serve.Config{
+		DefaultBObj: crowd.Cents(8),
+		Adaptive:    &acfg,
+	})
+	ctx := context.Background()
+
+	fixed, err := client.Execute(ctx, serve.Request{Statement: "SELECT Protein"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adap, err := client.Execute(ctx, serve.Request{Statement: "SELECT Protein", Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adap.Adaptive {
+		t.Fatal("Result.Adaptive lost on the wire")
+	}
+	if adap.QuestionsSaved <= 0 {
+		t.Fatalf("QuestionsSaved = %d, want > 0", adap.QuestionsSaved)
+	}
+	if adap.OnlineSpent >= fixed.OnlineSpent {
+		t.Fatalf("adaptive session spent %v, fixed %v", adap.OnlineSpent, fixed.OnlineSpent)
+	}
+	st, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Classes[serve.DefaultClass].AdaptiveSessions; got != 1 {
+		t.Fatalf("remote AdaptiveSessions = %d, want 1", got)
 	}
 }

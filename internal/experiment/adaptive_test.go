@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adaptive"
+	"repro/internal/crowd"
+)
+
+func adaptiveTestSpec() AdaptiveSpec {
+	// Stopping-only tuning is the headline configuration: all savings are
+	// kept as spend reduction rather than reinvested, so the ≥20% gain is
+	// directly visible. (Weighting adds a pilot cost and reallocation
+	// re-spends part of the savings on unstable attributes.)
+	cfg := adaptive.Defaults()
+	cfg.Weight, cfg.Reallocate = false, false
+	return AdaptiveSpec{
+		Name:     "adaptive-test",
+		Platform: PlatformConfig{Domain: "recipes"},
+		Targets:  []string{"Protein"},
+		BObj:     crowd.Cents(4), BPrc: crowd.Dollars(20),
+		Config:      cfg,
+		Reps:        3,
+		EvalObjects: 40,
+		Parallelism: 1,
+	}
+}
+
+// TestAdaptiveGainHeadline is the acceptance check of the adaptive
+// evaluator: equal-quality estimates at ≥20% lower online spend on the
+// recipes domain.
+func TestAdaptiveGainHeadline(t *testing.T) {
+	res, err := AdaptiveGain(adaptiveTestSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpendGain < 1.2 {
+		t.Fatalf("spend gain = %.3f, want >= 1.2 (fixed %v vs adaptive %v)",
+			res.SpendGain, res.Fixed.Spend, res.Adapt.Spend)
+	}
+	// "Equal accuracy": the adaptive error stays within the fixed error
+	// plus a few standard errors of the rep-to-rep noise.
+	band := res.Fixed.Err*0.15 + 3*(res.Fixed.StdErr+res.Adapt.StdErr)
+	if res.Adapt.Err > res.Fixed.Err+band {
+		t.Fatalf("adaptive error %.5f exceeds fixed %.5f by more than the %.5f band",
+			res.Adapt.Err, res.Fixed.Err, band)
+	}
+	if res.Saved <= 0 {
+		t.Fatalf("Saved = %d, want > 0", res.Saved)
+	}
+	if res.Adapt.Spend > res.Fixed.Spend {
+		t.Fatalf("adaptive spend %v exceeds fixed %v", res.Adapt.Spend, res.Fixed.Spend)
+	}
+	t.Logf("gain %.2fx: fixed (err %.5f, %v) vs adaptive (err %.5f, %v), saved %d boosted %d",
+		res.SpendGain, res.Fixed.Err, res.Fixed.Spend, res.Adapt.Err, res.Adapt.Spend,
+		res.Saved, res.Boosted)
+}
+
+// TestAdaptiveGainDeterministic pins that the comparison is reproducible
+// at Parallelism 1: identical results across runs.
+func TestAdaptiveGainDeterministic(t *testing.T) {
+	a, err := AdaptiveGain(adaptiveTestSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AdaptiveGain(adaptiveTestSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fixed != b.Fixed || a.Adapt != b.Adapt || a.Saved != b.Saved || a.Boosted != b.Boosted {
+		t.Fatalf("adaptive comparison not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestAdaptiveFigureRegisteredAndRenders smoke-runs the registry entry at
+// a tiny scale.
+func TestAdaptiveFigureRegisteredAndRenders(t *testing.T) {
+	fig, ok := Lookup("adaptive")
+	if !ok {
+		t.Fatal("figure \"adaptive\" not registered")
+	}
+	out, err := fig.Run(RunOptions{Reps: 2, EvalObjects: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"recipes/Protein", "pictures/Bmi", "gain"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered figure missing %q:\n%s", want, out)
+		}
+	}
+}

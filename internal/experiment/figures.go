@@ -154,6 +154,7 @@ func Registry() []Figure {
 		ablationQuadratic(),
 		advisorFigure(),
 		syntheticFigure(),
+		adaptiveFigure(),
 	}
 	return figs
 }

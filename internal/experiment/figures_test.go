@@ -17,7 +17,7 @@ func TestRegistryCoversDesignIndex(t *testing.T) {
 		"coverage", "classify",
 		"ablation-quality", "ablation-unification", "ablation-rho", "ablation-pricing",
 		"ablation-quadratic", "advisor",
-		"synthetic",
+		"synthetic", "adaptive",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

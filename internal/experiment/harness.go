@@ -375,9 +375,24 @@ func WeightedError(
 	truths map[string][]float64,
 	parallelism int,
 ) (float64, error) {
-	ests, err := core.EvaluateBatchFunc(objs, parallelism, func(o *domain.Object) (map[string]float64, error) {
-		return ev.Estimate(p, o)
-	})
+	return WeightedErrorFunc(objs, targets, weights, truths, parallelism,
+		func(o *domain.Object) (map[string]float64, error) {
+			return ev.Estimate(p, o)
+		})
+}
+
+// WeightedErrorFunc is WeightedError over a bare estimate function, for
+// evaluators that are not baselines.Algorithm-shaped (e.g. the adaptive
+// online evaluator).
+func WeightedErrorFunc(
+	objs []*domain.Object,
+	targets []string,
+	weights map[string]float64,
+	truths map[string][]float64,
+	parallelism int,
+	estimate func(*domain.Object) (map[string]float64, error),
+) (float64, error) {
+	ests, err := core.EvaluateBatchFunc(objs, parallelism, estimate)
 	if err != nil {
 		return 0, err
 	}

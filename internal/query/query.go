@@ -20,6 +20,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/adaptive"
 	"repro/internal/core"
 	"repro/internal/crowd"
 	"repro/internal/domain"
@@ -308,6 +309,10 @@ type ResultRow struct {
 type Engine struct {
 	platform crowd.Platform
 	plan     *core.Plan
+	adaptive *adaptive.Config
+	// stats carries the last adaptive execution's counters (zero value
+	// when the fixed path ran).
+	stats adaptive.Stats
 }
 
 // NewEngine validates that the plan covers every attribute the statement
@@ -332,14 +337,39 @@ func NewEngine(p crowd.Platform, plan *core.Plan, st *Statement) (*Engine, error
 	return &Engine{platform: p, plan: plan}, nil
 }
 
+// SetAdaptive switches the engine onto the adaptive online evaluator
+// (internal/adaptive): sequential stopping, reliability weighting and
+// budget reallocation per the config. Call with nil to restore the
+// fixed-budget path. The adaptive evaluator (and its savings pool) is
+// scoped to one Execute call — the natural session boundary.
+func (e *Engine) SetAdaptive(cfg *adaptive.Config) { e.adaptive = cfg }
+
+// AdaptiveStats returns the counters of the last adaptive Execute (the
+// zero value when the engine ran fixed-budget).
+func (e *Engine) AdaptiveStats() adaptive.Stats { return e.stats }
+
 // Execute estimates the statement's attributes for every object (spending
 // the plan's per-object budget each) and returns the rows whose estimates
 // satisfy every WHERE condition, with the SELECTed values.
 func (e *Engine) Execute(st *Statement, objects []*domain.Object) ([]ResultRow, error) {
 	canon := func(name string) string { return e.platform.Canonical(name) }
+	estimate := func(o *domain.Object) (map[string]float64, error) {
+		return e.plan.EstimateObject(e.platform, o)
+	}
+	if e.adaptive != nil {
+		ev, err := adaptive.New(e.platform, e.plan, *e.adaptive)
+		if err != nil {
+			return nil, err
+		}
+		if err := ev.Calibrate(objects); err != nil {
+			return nil, err
+		}
+		estimate = ev.Estimate
+		defer func() { e.stats = ev.Stats() }()
+	}
 	var rows []ResultRow
 	for _, o := range objects {
-		est, err := e.plan.EstimateObject(e.platform, o)
+		est, err := estimate(o)
 		if err != nil {
 			return nil, err
 		}

@@ -65,6 +65,31 @@ func TestBucketQueueing(t *testing.T) {
 	}
 }
 
+// TestBucketFractionalTokenWait pins the q=0 fractional-token case of
+// the (1+q−k)/Rate wait formula: a waiter arriving with k=0.6 tokens in
+// the bucket owes only the 0.4-token remainder — 4ms at 100 tokens/s —
+// not a full 10ms refill period.
+func TestBucketFractionalTokenWait(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBucket(BucketConfig{Rate: 100, Burst: 1, MaxQueue: 1}, clk.now)
+	ctx := context.Background()
+	if err := b.admit(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	// 6ms at 100 tokens/s accrues 0.6 of a token.
+	clk.t = clk.t.Add(6 * time.Millisecond)
+	var wait time.Duration
+	if err := b.admit(ctx, func(w time.Duration) { wait = w }); err != nil {
+		t.Fatal(err)
+	}
+	if wait <= 0 || wait >= 10*time.Millisecond {
+		t.Fatalf("computed wait = %v, want the 4ms fractional remainder, not a full 10ms period", wait)
+	}
+	if d := wait - 4*time.Millisecond; d < -100*time.Microsecond || d > 100*time.Microsecond {
+		t.Fatalf("computed wait = %v, want ~4ms ((1+0-0.6)/100 s)", wait)
+	}
+}
+
 func TestBucketQueueBoundAndMaxWait(t *testing.T) {
 	clk := &fakeClock{t: time.Unix(1000, 0)}
 	b := newBucket(BucketConfig{Rate: 0.5, Burst: 1, MaxQueue: 1, MaxWait: time.Millisecond}, clk.now)

@@ -40,6 +40,9 @@ type LoadConfig struct {
 	// BObj/BPrc override the target's default budgets when nonzero.
 	BObj crowd.Cost
 	BPrc crowd.Cost
+	// Adaptive opts every generated session into the adaptive online
+	// evaluator (Request.Adaptive).
+	Adaptive bool
 }
 
 // LoadReport is the outcome of one load run.
@@ -93,6 +96,7 @@ func RunLoad(ex Executor, cfg LoadConfig) (*LoadReport, error) {
 			MaxObjects: cfg.MaxObjects,
 			BObj:       cfg.BObj,
 			BPrc:       cfg.BPrc,
+			Adaptive:   cfg.Adaptive,
 		}
 		start := time.Now()
 		res, err := ex.Execute(ctx, req)

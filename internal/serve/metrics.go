@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -45,7 +46,16 @@ func (r *latencyRing) quantiles(qs ...float64) []int64 {
 	}
 	sort.Slice(snap, func(i, j int) bool { return snap[i] < snap[j] })
 	for i, q := range qs {
-		idx := int(q * float64(len(snap)-1))
+		// Nearest-rank with ceiling: the smallest sample that at least a
+		// q-fraction of the window does not exceed. Flooring here biased
+		// the tail quantiles low (p99 of 100 samples picked index 98).
+		idx := int(math.Ceil(q * float64(len(snap)-1)))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx > len(snap)-1 {
+			idx = len(snap) - 1
+		}
 		out[i] = snap[idx]
 	}
 	return out
@@ -61,7 +71,13 @@ type classMetrics struct {
 	cacheMisses atomic.Int64
 	spendMills  atomic.Int64
 	questions   atomic.Int64
-	lat         *latencyRing
+
+	// adaptiveSessions counts sessions that ran the adaptive evaluator;
+	// questionsSaved accumulates the per-object questions it skipped.
+	adaptiveSessions atomic.Int64
+	questionsSaved   atomic.Int64
+
+	lat *latencyRing
 }
 
 func (cm *classMetrics) observe(lat time.Duration, spend crowd.Cost, questions int64) {
@@ -121,6 +137,11 @@ type ClassStats struct {
 	// SpendPerQueryMills is the mean online crowd spend per completed
 	// session, in mills.
 	SpendPerQueryMills float64 `json:"spend_per_query_mills"`
+	// AdaptiveSessions counts sessions that ran the adaptive online
+	// evaluator; QuestionsSaved is how many plan questions those sessions
+	// skipped in total.
+	AdaptiveSessions int64 `json:"adaptive_sessions"`
+	QuestionsSaved   int64 `json:"questions_saved"`
 }
 
 // Stats is the tier snapshot served at /v1/serve/stats.
@@ -149,6 +170,9 @@ func (m *metrics) snapshot() Stats {
 			CacheMisses: cm.cacheMisses.Load(),
 			P50Ns:       q[0],
 			P99Ns:       q[1],
+
+			AdaptiveSessions: cm.adaptiveSessions.Load(),
+			QuestionsSaved:   cm.questionsSaved.Load(),
 		}
 		if lookups := cs.CacheHits + cs.CacheMisses; lookups > 0 {
 			cs.CacheHitRate = float64(cs.CacheHits) / float64(lookups)

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/crowd"
+)
+
+// TestQuantilesNearestRankCeil pins the nearest-rank quantile over small
+// windows. The old floor-based index biased tail quantiles low: over 100
+// samples p99 returned the 99th-largest sample (index 98) instead of the
+// maximum (index 99).
+func TestQuantilesNearestRankCeil(t *testing.T) {
+	// Samples are inserted out of order; quantiles sort a snapshot.
+	cases := []struct {
+		name    string
+		samples []int64
+		q       []float64
+		want    []int64
+	}{
+		{"n=1", []int64{7}, []float64{0, 0.5, 0.9, 0.99, 1}, []int64{7, 7, 7, 7, 7}},
+		{"n=2", []int64{20, 10}, []float64{0, 0.5, 0.9, 0.99, 1}, []int64{10, 20, 20, 20, 20}},
+		{"n=3", []int64{30, 10, 20}, []float64{0, 0.5, 0.9, 0.99, 1}, []int64{10, 20, 30, 30, 30}},
+		{"n=4", []int64{40, 10, 30, 20}, []float64{0, 0.5, 0.9, 0.99, 1}, []int64{10, 30, 40, 40, 40}},
+		{"n=5", []int64{50, 20, 40, 10, 30}, []float64{0, 0.5, 0.9, 0.99, 1}, []int64{10, 30, 50, 50, 50}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := newLatencyRing(16)
+			for _, s := range tc.samples {
+				r.add(s)
+			}
+			got := r.quantiles(tc.q...)
+			for i := range tc.q {
+				if got[i] != tc.want[i] {
+					t.Errorf("q=%.2f over %v: got %d, want %d", tc.q[i], tc.samples, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestQuantileP99Of100IsMax is the regression the fix exists for: with
+// exactly 100 samples, p99 must pick index 99 (the maximum), not 98.
+func TestQuantileP99Of100IsMax(t *testing.T) {
+	r := newLatencyRing(128)
+	for i := int64(1); i <= 100; i++ {
+		r.add(i)
+	}
+	got := r.quantiles(0.99)
+	if got[0] != 100 {
+		t.Fatalf("p99 of 1..100 = %d, want 100 (the floor bias picked 99)", got[0])
+	}
+}
+
+// TestQuantilesEmptyWindow keeps the zero-value behavior.
+func TestQuantilesEmptyWindow(t *testing.T) {
+	r := newLatencyRing(4)
+	got := r.quantiles(0.5, 0.99)
+	if got[0] != 0 || got[1] != 0 {
+		t.Fatalf("empty window quantiles = %v, want zeros", got)
+	}
+}
+
+// TestAdaptiveCountersSurfaceInSnapshot checks the per-class adaptive
+// counters round-trip through snapshot().
+func TestAdaptiveCountersSurfaceInSnapshot(t *testing.T) {
+	m := newMetrics(time.Now)
+	cm := m.class("interactive")
+	cm.observe(time.Millisecond, crowd.Cents(1), 10)
+	cm.adaptiveSessions.Add(1)
+	cm.questionsSaved.Add(4)
+	cs := m.snapshot().Classes["interactive"]
+	if cs.AdaptiveSessions != 1 || cs.QuestionsSaved != 4 {
+		t.Fatalf("adaptive counters = %d/%d, want 1/4", cs.AdaptiveSessions, cs.QuestionsSaved)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/adaptive"
 	"repro/internal/core"
 	"repro/internal/crowd"
 	"repro/internal/domain"
@@ -79,6 +80,10 @@ type Config struct {
 	// Admission configures one token bucket per SLO class. Classes
 	// without an entry are unlimited.
 	Admission map[string]BucketConfig
+	// Adaptive tunes the adaptive online evaluator for sessions that
+	// request it (Request.Adaptive); nil applies adaptive.Defaults().
+	// Fixed-budget sessions are untouched either way.
+	Adaptive *adaptive.Config
 	// Options tunes preprocessing (zero value = paper configuration).
 	Options core.Options
 
@@ -101,6 +106,11 @@ type Request struct {
 	// BObj/BPrc override the tier's default budgets when nonzero.
 	BObj crowd.Cost
 	BPrc crowd.Cost
+	// Adaptive opts the session into the adaptive online evaluator:
+	// sequential stopping, reliability weighting and budget reallocation
+	// (internal/adaptive), tuned by the tier's Config.Adaptive. The
+	// fixed-budget path and its determinism pins are unaffected.
+	Adaptive bool
 }
 
 // Row is one object that passed the statement's WHERE filter.
@@ -122,6 +132,11 @@ type Result struct {
 	PreprocessCost crowd.Cost `json:"preprocess_cost_mills"`
 	// OnlineSpent is what this session's online evaluation cost.
 	OnlineSpent crowd.Cost `json:"online_spent_mills"`
+	// Adaptive reports whether the session ran the adaptive evaluator.
+	Adaptive bool `json:"adaptive,omitempty"`
+	// QuestionsSaved is how many of the plan's per-object questions the
+	// adaptive evaluator skipped (0 on the fixed path).
+	QuestionsSaved int64 `json:"questions_saved,omitempty"`
 	// Latency is the end-to-end session wall time (admission included).
 	Latency time.Duration `json:"latency_ns"`
 }
@@ -188,6 +203,7 @@ type Tier struct {
 	adm      *admission
 	metrics  *metrics
 	opts     core.Options
+	adaptive *adaptive.Config
 
 	defBObj, defBPrc crowd.Cost
 
@@ -219,15 +235,16 @@ func New(cfg Config) (*Tier, error) {
 		now = time.Now
 	}
 	t := &Tier{
-		domain:  cfg.Domain,
-		router:  router,
-		cache:   newPlanCache(cfg.CacheSize),
-		adm:     newAdmission(cfg.Admission, now),
-		metrics: newMetrics(now),
-		opts:    cfg.Options,
-		defBObj: cfg.DefaultBObj,
-		defBPrc: cfg.DefaultBPrc,
-		byID:    make(map[int]*domain.Object, len(cfg.Objects)),
+		domain:   cfg.Domain,
+		router:   router,
+		cache:    newPlanCache(cfg.CacheSize),
+		adm:      newAdmission(cfg.Admission, now),
+		metrics:  newMetrics(now),
+		opts:     cfg.Options,
+		adaptive: cfg.Adaptive,
+		defBObj:  cfg.DefaultBObj,
+		defBPrc:  cfg.DefaultBPrc,
+		byID:     make(map[int]*domain.Object, len(cfg.Objects)),
 	}
 	for i, b := range cfg.Backends {
 		name := b.Name
@@ -386,6 +403,15 @@ func (t *Tier) Execute(ctx context.Context, req Request) (*Result, error) {
 		cm.errors.Add(1)
 		return nil, err
 	}
+	if req.Adaptive {
+		acfg := t.adaptive
+		if acfg == nil {
+			d := adaptive.Defaults()
+			acfg = &d
+		}
+		engine.SetAdaptive(acfg)
+		cm.adaptiveSessions.Add(1)
+	}
 	rows, err := engine.Execute(st, objs)
 	if err != nil {
 		cm.errors.Add(1)
@@ -398,7 +424,13 @@ func (t *Tier) Execute(ctx context.Context, req Request) (*Result, error) {
 		Backend:        b.name,
 		PreprocessCost: plan.PreprocessCost,
 		OnlineSpent:    sess.ledger.Spent(),
+		Adaptive:       req.Adaptive,
 		Latency:        t.metrics.now().Sub(start),
+	}
+	if req.Adaptive {
+		saved := engine.AdaptiveStats().Saved
+		out.QuestionsSaved = saved
+		cm.questionsSaved.Add(saved)
 	}
 	for i, r := range rows {
 		out.Rows[i] = Row{ObjectID: r.Object.ID, Values: r.Values}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/adaptive"
 	"repro/internal/crowd"
 	"repro/internal/domain"
 )
@@ -265,5 +266,79 @@ func TestLeastLoadedPick(t *testing.T) {
 	backends[1].load.startSession()
 	if got := r.Pick(backends, "k", -1); got != 2 {
 		t.Fatalf("Pick = %d, want 2 (tie broken by sessions)", got)
+	}
+}
+
+// TestAdaptiveSessionSavesSpend runs one fixed and one adaptive session
+// over the same cached plan. Sessions fork the backend from its pristine
+// snapshot, so the answer streams are identical — any spend difference
+// is the adaptive evaluator stopping early. The adaptive session must
+// report it in the Result and in the per-class counters.
+func TestAdaptiveSessionSavesSpend(t *testing.T) {
+	tier := newTestTier(t, 1, 24, Config{})
+	ctx := context.Background()
+
+	fixed, err := tier.Execute(ctx, Request{Statement: "SELECT Protein"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Adaptive || fixed.QuestionsSaved != 0 {
+		t.Fatalf("fixed session flagged adaptive: %+v", fixed)
+	}
+
+	adap, err := tier.Execute(ctx, Request{Statement: "SELECT Protein", Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adap.CacheHit {
+		t.Fatal("adaptive session should reuse the cached plan")
+	}
+	if !adap.Adaptive {
+		t.Fatal("Result.Adaptive not set")
+	}
+	if adap.QuestionsSaved <= 0 {
+		t.Fatalf("QuestionsSaved = %d, want > 0", adap.QuestionsSaved)
+	}
+	if adap.OnlineSpent >= fixed.OnlineSpent {
+		t.Fatalf("adaptive session spent %v, fixed twin %v", adap.OnlineSpent, fixed.OnlineSpent)
+	}
+
+	cs := tier.Stats().Classes[DefaultClass]
+	if cs.AdaptiveSessions != 1 {
+		t.Fatalf("AdaptiveSessions = %d, want 1", cs.AdaptiveSessions)
+	}
+	if cs.QuestionsSaved != adap.QuestionsSaved {
+		t.Fatalf("class QuestionsSaved = %d, result says %d", cs.QuestionsSaved, adap.QuestionsSaved)
+	}
+}
+
+// TestAdaptiveTierConfigOverride checks Config.Adaptive tunes opting-in
+// sessions: stopping disabled at the tier level makes an adaptive
+// request spend exactly what the fixed path does.
+func TestAdaptiveTierConfigOverride(t *testing.T) {
+	off := adaptive.Disabled()
+	tier := newTestTier(t, 1, 12, Config{Adaptive: &off})
+	ctx := context.Background()
+
+	fixed, err := tier.Execute(ctx, Request{Statement: "SELECT Protein"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adap, err := tier.Execute(ctx, Request{Statement: "SELECT Protein", Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adap.OnlineSpent != fixed.OnlineSpent {
+		t.Fatalf("disabled adaptive spent %v, fixed %v — must be bit-equal", adap.OnlineSpent, fixed.OnlineSpent)
+	}
+	if adap.QuestionsSaved != 0 {
+		t.Fatalf("disabled adaptive saved %d questions", adap.QuestionsSaved)
+	}
+	for i := range fixed.Rows {
+		for k, v := range fixed.Rows[i].Values {
+			if adap.Rows[i].Values[k] != v {
+				t.Fatalf("row %d %s: %v != %v", i, k, adap.Rows[i].Values[k], v)
+			}
+		}
 	}
 }

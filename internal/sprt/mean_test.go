@@ -1,0 +1,153 @@
+package sprt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func validMeanCfg() MeanConfig {
+	return MeanConfig{Z: 1.96, Tol: 0.1, MinObservations: 3, MaxObservations: 50}
+}
+
+func TestNewMeanValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*MeanConfig)
+	}{
+		{"zero z", func(c *MeanConfig) { c.Z = 0 }},
+		{"negative z", func(c *MeanConfig) { c.Z = -1 }},
+		{"nan z", func(c *MeanConfig) { c.Z = math.NaN() }},
+		{"negative tol", func(c *MeanConfig) { c.Tol = -0.1 }},
+		{"nan tol", func(c *MeanConfig) { c.Tol = math.NaN() }},
+		{"negative cap", func(c *MeanConfig) { c.MaxObservations = -1 }},
+	}
+	for _, tc := range cases {
+		cfg := validMeanCfg()
+		tc.mut(&cfg)
+		if _, err := NewMean(cfg); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	if _, err := NewMean(validMeanCfg()); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	// +Inf Z is the documented disable value, not an error.
+	cfg := validMeanCfg()
+	cfg.Z = math.Inf(1)
+	if _, err := NewMean(cfg); err != nil {
+		t.Fatalf("Z=+Inf rejected: %v", err)
+	}
+}
+
+func TestMeanAcceptsWhenStable(t *testing.T) {
+	// A constant stream has zero spread: stable at MinObservations.
+	test, err := NewMean(validMeanCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Decision
+	for i := 0; i < 10 && d == Undecided; i++ {
+		d = test.Observe(5.0)
+	}
+	if d != AcceptH1 || !test.Stable() {
+		t.Fatalf("constant stream: decision = %v, want accept", d)
+	}
+	if test.Observations() != 3 {
+		t.Fatalf("constant stream stopped after %d observations, want MinObservations=3", test.Observations())
+	}
+	if test.Mean() != 5.0 {
+		t.Fatalf("Mean() = %v, want 5", test.Mean())
+	}
+}
+
+func TestMeanRejectsAtCap(t *testing.T) {
+	// High-variance stream against a tight tolerance: the cap binds.
+	cfg := MeanConfig{Z: 1.96, Tol: 1e-6, MinObservations: 3, MaxObservations: 7}
+	test, _ := NewMean(cfg)
+	rng := rand.New(rand.NewSource(7))
+	var d Decision
+	for i := 0; i < 7; i++ {
+		if d = test.Observe(rng.NormFloat64()); d != Undecided && i < 6 {
+			t.Fatalf("decided %v before the cap at observation %d", d, i+1)
+		}
+	}
+	if d != RejectH1 || test.Stable() {
+		t.Fatalf("decision at cap = %v, want reject", d)
+	}
+	if test.Observations() != 7 {
+		t.Fatalf("Observations() = %d, want 7", test.Observations())
+	}
+}
+
+func TestMeanInfiniteZNeverStabilizes(t *testing.T) {
+	// Z=+Inf must never accept — including on a zero-spread stream,
+	// where Inf·0 = NaN would otherwise sneak through a naive compare.
+	cfg := MeanConfig{Z: math.Inf(1), Tol: 1e9, MinObservations: 3}
+	test, _ := NewMean(cfg)
+	for i := 0; i < 100; i++ {
+		if d := test.Observe(1.0); d != Undecided {
+			t.Fatalf("Z=+Inf decided %v at observation %d", d, i+1)
+		}
+	}
+	// With a cap it still terminates — by rejection, never acceptance.
+	cfg.MaxObservations = 5
+	test2, _ := NewMean(cfg)
+	var d Decision
+	for i := 0; i < 5; i++ {
+		d = test2.Observe(1.0)
+	}
+	if d != RejectH1 {
+		t.Fatalf("Z=+Inf at cap decided %v, want reject", d)
+	}
+}
+
+func TestMeanObserveAfterDecisionIsNoop(t *testing.T) {
+	test, _ := NewMean(validMeanCfg())
+	for test.Decision() == Undecided {
+		test.Observe(2.5)
+	}
+	n, mean := test.Observations(), test.Mean()
+	if d := test.Observe(1e9); d != AcceptH1 {
+		t.Fatalf("post-decision Observe returned %v", d)
+	}
+	if test.Observations() != n || test.Mean() != mean {
+		t.Fatal("post-decision Observe mutated the accumulator")
+	}
+}
+
+func TestMeanStdErrShrinks(t *testing.T) {
+	// stderr must shrink ~1/√n so the halfwidth eventually fits any
+	// positive tolerance; pin that a noisy stream does stop.
+	cfg := MeanConfig{Z: 1.96, Tol: 0.05, MinObservations: 3}
+	test, _ := NewMean(cfg)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000 && test.Decision() == Undecided; i++ {
+		test.Observe(rng.NormFloat64() * 0.3)
+	}
+	if test.Decision() != AcceptH1 {
+		t.Fatalf("noisy stream never stabilized (n=%d, halfwidth=%v)", test.Observations(), test.Halfwidth())
+	}
+	if test.Observations() < 10 {
+		t.Fatalf("noisy stream stopped suspiciously early at n=%d", test.Observations())
+	}
+}
+
+func TestMeanMatchesWelfordMoments(t *testing.T) {
+	// The running mean must equal the batch mean of the same stream.
+	cfg := MeanConfig{Z: 1.96, Tol: 0, MinObservations: 3} // Tol 0: only an exactly constant stream stabilizes
+	test, _ := NewMean(cfg)
+	vals := []float64{1.5, -2, 0.25, 8, 3, 3, -1}
+	sum := 0.0
+	for _, v := range vals {
+		test.Observe(v)
+		sum += v
+	}
+	want := sum / float64(len(vals))
+	if math.Abs(test.Mean()-want) > 1e-12 {
+		t.Fatalf("Mean() = %v, want %v", test.Mean(), want)
+	}
+	if test.StdErr() <= 0 {
+		t.Fatal("StdErr() should be positive for a spread stream")
+	}
+}

@@ -114,6 +114,89 @@ func TestMajorityFallbackAtCap(t *testing.T) {
 	}
 }
 
+// TestDecisionExactlyAtCap pins the cap boundary: with boundaries too
+// far apart to cross, the test stays Undecided through observation
+// MaxQuestions−1 and decides at exactly observation == MaxQuestions.
+func TestDecisionExactlyAtCap(t *testing.T) {
+	for _, cap := range []int{1, 2, 3, 9, 10} {
+		cfg := Config{P1: 0.55, P0: 0.45, Alpha: 0.001, Beta: 0.001, MaxQuestions: cap}
+		test, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < cap-1; i++ {
+			if d := test.Observe(i%2 == 0); d != Undecided {
+				t.Fatalf("cap %d: decided %v at observation %d, want Undecided until the cap", cap, d, i+1)
+			}
+		}
+		d := test.Observe(cap%2 == 1)
+		if d == Undecided {
+			t.Fatalf("cap %d: still undecided at observation == MaxQuestions", cap)
+		}
+		if test.Observations() != cap {
+			t.Fatalf("cap %d: Observations() = %d, want exactly the cap", cap, test.Observations())
+		}
+	}
+}
+
+// TestTieAtCapRejects pins the tie semantics for every even cap in a
+// small range: exactly half yes must reject (conservative fallback).
+func TestTieAtCapRejects(t *testing.T) {
+	for _, cap := range []int{2, 4, 6, 8} {
+		cfg := Config{P1: 0.55, P0: 0.45, Alpha: 0.001, Beta: 0.001, MaxQuestions: cap}
+		test, _ := New(cfg)
+		var d Decision
+		for i := 0; i < cap; i++ {
+			d = test.Observe(i%2 == 0) // alternates → cap/2 yes
+		}
+		if d != RejectH1 {
+			t.Fatalf("cap %d: tie decided %v, want reject", cap, d)
+		}
+	}
+}
+
+// TestObserveAfterDecisionDoesNotMutateLLR is the white-box half of the
+// post-decision contract: a rejected Observe must leave the accumulated
+// log-likelihood ratio, the yes count and the observation count exactly
+// as they were — not just report the old decision.
+func TestObserveAfterDecisionDoesNotMutateLLR(t *testing.T) {
+	test, _ := New(validCfg())
+	for test.Decision() == Undecided {
+		test.Observe(true)
+	}
+	llr, yes, obs := test.llr, test.yes, test.observations
+	for i := 0; i < 5; i++ {
+		if d := test.Observe(i%2 == 0); d != AcceptH1 {
+			t.Fatalf("post-decision Observe returned %v, want the latched accept", d)
+		}
+	}
+	if test.llr != llr || test.yes != yes || test.observations != obs {
+		t.Fatalf("post-decision Observe mutated state: llr %v→%v yes %d→%d obs %d→%d",
+			llr, test.llr, yes, test.yes, obs, test.observations)
+	}
+}
+
+// TestBoundaryCrossingAtCapUsesLLR pins the precedence when the LLR
+// crosses a boundary on the same observation that reaches the cap: the
+// boundary decision wins (here a reject from a no-heavy stream whose
+// majority would also reject — and an accept from a yes that crosses
+// logA exactly at the cap even though majority alone would accept too).
+func TestBoundaryCrossingAtCapUsesLLR(t *testing.T) {
+	// Big steps: one yes crosses logA immediately; cap of 1 coincides.
+	cfg := Config{P1: 0.9, P0: 0.1, Alpha: 0.2, Beta: 0.2, MaxQuestions: 1}
+	test, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := test.Observe(true); d != AcceptH1 {
+		t.Fatalf("LLR crossing at the cap observation decided %v, want accept", d)
+	}
+	test2, _ := New(cfg)
+	if d := test2.Observe(false); d != RejectH1 {
+		t.Fatalf("LLR crossing at the cap observation decided %v, want reject", d)
+	}
+}
+
 func TestErrorRatesEmpirically(t *testing.T) {
 	// Under H1 (p=0.8), the test should accept in ≳95% of runs.
 	cfg := Config{P1: 0.8, P0: 0.3, Alpha: 0.05, Beta: 0.05}
