@@ -159,6 +159,41 @@ func compareReports(w io.Writer, old, new *benchReport, maxRegress float64) bool
 			fmt.Fprintf(w, "plan cache gain (serve): %.2fx%s\n", new.PlanCacheGain, mark)
 		}
 	}
+	if new.ShardScalingGain > 0 {
+		mark := ""
+		// The scatter-gather path must keep hiding crowd latency: gate on
+		// the absolute contract (≥1.5× for S=4 over S=1) and on a relative
+		// slide beyond the regression threshold. Old reports that predate
+		// the measurement only skip the relative half.
+		if new.ShardScalingGain < 1.5 ||
+			(old.ShardScalingGain > 0 && new.ShardScalingGain < old.ShardScalingGain*(1-maxRegress)) {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		if old.ShardScalingGain > 0 {
+			fmt.Fprintf(w, "shard scaling gain (serve): %.2fx -> %.2fx%s\n",
+				old.ShardScalingGain, new.ShardScalingGain, mark)
+		} else {
+			fmt.Fprintf(w, "shard scaling gain (serve): %.2fx%s\n", new.ShardScalingGain, mark)
+		}
+	}
+	if new.ShardQuestionsPerBackend > 0 {
+		mark := ""
+		// Lower is better here (each backend should answer ~1/S of the
+		// questions): gate on the absolute contract (≤0.5 at S=4) and on
+		// growth beyond the regression threshold.
+		if new.ShardQuestionsPerBackend > 0.5 ||
+			(old.ShardQuestionsPerBackend > 0 && new.ShardQuestionsPerBackend > old.ShardQuestionsPerBackend*(1+maxRegress)) {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		if old.ShardQuestionsPerBackend > 0 {
+			fmt.Fprintf(w, "shard questions/backend: %.2f -> %.2f%s\n",
+				old.ShardQuestionsPerBackend, new.ShardQuestionsPerBackend, mark)
+		} else {
+			fmt.Fprintf(w, "shard questions/backend: %.2f%s\n", new.ShardQuestionsPerBackend, mark)
+		}
+	}
 	if new.AdaptiveSpendGain > 0 {
 		mark := ""
 		// The adaptive evaluator must keep delivering its headline: gate on

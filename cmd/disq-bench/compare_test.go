@@ -166,6 +166,64 @@ func TestCompareToleratesMissingNCPUSpeedup(t *testing.T) {
 	}
 }
 
+func TestCompareShardScalingGainGate(t *testing.T) {
+	var buf strings.Builder
+	// Absolute contract: below 1.5x fails even with no old measurement.
+	if !compareReports(&buf, &benchReport{}, &benchReport{ShardScalingGain: 1.2}, 0.10) {
+		t.Fatal("shard scaling gain 1.2x passed the >=1.5x contract")
+	}
+	// Above the absolute bar with no old measurement: passes.
+	buf.Reset()
+	if compareReports(&buf, &benchReport{}, &benchReport{ShardScalingGain: 2.5}, 0.10) {
+		t.Fatal("shard scaling gain 2.5x failed without an old report")
+	}
+	if !strings.Contains(buf.String(), "shard scaling gain") {
+		t.Fatalf("gain not reported:\n%s", buf.String())
+	}
+	// Relative slide beyond the threshold fails even above the bar.
+	if !compareReports(&buf, &benchReport{ShardScalingGain: 3.0}, &benchReport{ShardScalingGain: 2.0}, 0.10) {
+		t.Fatal("33% shard gain slide passed")
+	}
+	// A slide within the threshold passes.
+	if compareReports(&buf, &benchReport{ShardScalingGain: 3.0}, &benchReport{ShardScalingGain: 2.9}, 0.10) {
+		t.Fatal("3% shard gain slide failed")
+	}
+	// A report without the measurement does not trip the gate.
+	if compareReports(&buf, &benchReport{ShardScalingGain: 3.0}, &benchReport{}, 0.10) {
+		t.Fatal("missing shard measurement tripped the gate")
+	}
+}
+
+func TestCompareShardQuestionsPerBackendGate(t *testing.T) {
+	var buf strings.Builder
+	// Lower is better: above the 0.5 absolute ceiling fails even with no
+	// old measurement (a backend answering >half the questions means the
+	// scatter is not spreading work).
+	if !compareReports(&buf, &benchReport{}, &benchReport{ShardQuestionsPerBackend: 0.6}, 0.10) {
+		t.Fatal("0.6 questions/backend passed the <=0.5 contract")
+	}
+	// Under the ceiling with no old measurement: passes and is reported.
+	buf.Reset()
+	if compareReports(&buf, &benchReport{}, &benchReport{ShardQuestionsPerBackend: 0.25}, 0.10) {
+		t.Fatal("0.25 questions/backend failed without an old report")
+	}
+	if !strings.Contains(buf.String(), "shard questions/backend") {
+		t.Fatalf("ratio not reported:\n%s", buf.String())
+	}
+	// Growth beyond the threshold fails even under the ceiling.
+	if !compareReports(&buf, &benchReport{ShardQuestionsPerBackend: 0.25}, &benchReport{ShardQuestionsPerBackend: 0.4}, 0.10) {
+		t.Fatal("60% questions/backend growth passed")
+	}
+	// Growth within the threshold passes.
+	if compareReports(&buf, &benchReport{ShardQuestionsPerBackend: 0.25}, &benchReport{ShardQuestionsPerBackend: 0.26}, 0.10) {
+		t.Fatal("4% questions/backend growth failed")
+	}
+	// A report without the measurement does not trip the gate.
+	if compareReports(&buf, &benchReport{ShardQuestionsPerBackend: 0.25}, &benchReport{}, 0.10) {
+		t.Fatal("missing questions/backend measurement tripped the gate")
+	}
+}
+
 func TestCompareAdaptiveSpendGainGate(t *testing.T) {
 	var buf strings.Builder
 	// Absolute contract: below 1.2x fails even with no old measurement.

@@ -45,6 +45,7 @@ type report struct {
 	Target     string            `json:"target"`
 	Statements []string          `json:"statements"`
 	Classes    []string          `json:"classes,omitempty"`
+	Shards     int               `json:"shards,omitempty"`
 	Load       *serve.LoadReport `json:"load,omitempty"`
 	Gain       *serve.CacheGain  `json:"gain,omitempty"`
 	Server     *serve.Stats      `json:"server,omitempty"`
@@ -62,6 +63,7 @@ func main() {
 		bObjCents   = flag.Float64("bobj-cents", 0, "per-object budget override, cents (0 = server default)")
 		bPrcDollars = flag.Float64("bprc-dollars", 0, "preprocessing budget override, dollars (0 = server default)")
 		adaptiveOn  = flag.Bool("adaptive", false, "opt every session into the server's adaptive online evaluator")
+		shards      = flag.Int("shards", 0, "per-session shard-count override (0 = server default)")
 
 		gain       = flag.Bool("gain", false, "also measure the plan-cache cold/warm gain (first statement)")
 		gainProbes = flag.Int("gain-probes", 3, "cold/warm probe pairs for -gain")
@@ -74,14 +76,14 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(*addr, *statements, *classes, *concurrency, *rate, *duration, *maxObjects,
-		*bObjCents, *bPrcDollars, *adaptiveOn, *gain, *gainProbes, *jsonPath, *minQPS, *maxErrors, *minGain, *skipLoad); err != nil {
+		*bObjCents, *bPrcDollars, *adaptiveOn, *shards, *gain, *gainProbes, *jsonPath, *minQPS, *maxErrors, *minGain, *skipLoad); err != nil {
 		fmt.Fprintln(os.Stderr, "disq-load:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, statements, classes string, concurrency int, rate float64, duration time.Duration,
-	maxObjects int, bObjCents, bPrcDollars float64, adaptiveOn, gain bool, gainProbes int,
+	maxObjects int, bObjCents, bPrcDollars float64, adaptiveOn bool, shards int, gain bool, gainProbes int,
 	jsonPath string, minQPS float64, maxErrors int64, minGain float64, skipLoad bool) error {
 	stmts := splitList(statements, ";")
 	if len(stmts) == 0 {
@@ -93,8 +95,11 @@ func run(addr, statements, classes string, concurrency int, rate float64, durati
 	if duration <= 0 {
 		return fmt.Errorf("-duration must be > 0, got %v", duration)
 	}
+	if shards < 0 {
+		return fmt.Errorf("-shards must be >= 0, got %d", shards)
+	}
 	client := crowdhttp.NewQueryClient(strings.TrimRight(addr, "/"), nil)
-	rep := &report{Target: addr, Statements: stmts, Classes: splitList(classes, ",")}
+	rep := &report{Target: addr, Statements: stmts, Classes: splitList(classes, ","), Shards: shards}
 	bObj := crowd.Cost(bObjCents * 10)
 	bPrc := crowd.Cost(bPrcDollars * 1000)
 
@@ -109,6 +114,7 @@ func run(addr, statements, classes string, concurrency int, rate float64, durati
 			BObj:        bObj,
 			BPrc:        bPrc,
 			Adaptive:    adaptiveOn,
+			Shards:      shards,
 		})
 		if err != nil {
 			return err

@@ -30,6 +30,7 @@
 //	disq-serve -domain recipes -addr :8080 -seed 42
 //	disq-serve -domain recipes -fail-rate 0.1 -drop-rate 0.05 -latency 20ms
 //	disq-serve -domain recipes -serve-queries -backends 4 -route least-loaded
+//	disq-serve -serve-queries -backends 4 -shards 4 -partition hash
 //	disq-serve -serve-queries -admission 'interactive=50:100,batch=5:10:64'
 //	# elsewhere: client := disq.NewCrowdClient("http://host:8080", nil)
 package main
@@ -72,6 +73,8 @@ type config struct {
 	serveQueries bool
 	backends     int
 	route        string
+	shards       int
+	partition    string
 	cacheSize    int
 	admission    string
 	bObjCents    float64
@@ -94,6 +97,8 @@ func main() {
 	flag.BoolVar(&cfg.serveQueries, "serve-queries", false, "serve the multi-tenant query API instead of the question-level API")
 	flag.IntVar(&cfg.backends, "backends", 2, "query mode: simulated crowd backends to multiplex sessions over")
 	flag.StringVar(&cfg.route, "route", "", "query mode: routing policy (round-robin, least-loaded, plan-affinity)")
+	flag.IntVar(&cfg.shards, "shards", 0, "query mode: object partitions evaluated in parallel per query (0/1 = unsharded; >1 makes the backends replicas)")
+	flag.StringVar(&cfg.partition, "partition", "", "query mode: shard-assignment policy (hash, range)")
 	flag.IntVar(&cfg.cacheSize, "cache-size", 64, "query mode: plan cache capacity (LRU beyond it)")
 	flag.StringVar(&cfg.admission, "admission", "", "query mode: per-class token buckets, 'class=rate:burst[:queue[:maxwait]]' comma-separated (e.g. 'batch=5:10:64')")
 	flag.Float64Var(&cfg.bObjCents, "bobj-cents", 4, "query mode: default per-object budget, cents")
@@ -163,6 +168,12 @@ func (c *config) validate() error {
 			return fmt.Errorf("-bobj-cents and -bprc-dollars must be > 0")
 		}
 		if _, err := serve.NewRouter(c.route); err != nil {
+			return err
+		}
+		if c.shards < 0 {
+			return fmt.Errorf("-shards must be >= 0, got %d", c.shards)
+		}
+		if _, err := serve.NewPartitioner(c.partition); err != nil {
 			return err
 		}
 		if _, err := parseAdmission(c.admission); err != nil {
@@ -345,14 +356,24 @@ func buildQueryTier(cfg config, u *domain.Universe) (http.Handler, func() interf
 		Domain:      cfg.domainName,
 		Objects:     objs,
 		Policy:      cfg.route,
+		Shards:      cfg.shards,
+		Partition:   cfg.partition,
 		CacheSize:   cfg.cacheSize,
 		DefaultBObj: crowd.Cost(cfg.bObjCents * 10),
 		DefaultBPrc: crowd.Cost(cfg.bPrcDollars * 1000),
 		Admission:   admission,
 	}
 	for i := 0; i < cfg.backends; i++ {
+		// Unsharded backends get distinct seeds (independent crowds);
+		// sharded tiers need replicas — every shard of a query must draw
+		// the same answer streams, or the scattered estimates would
+		// depend on which backend a shard landed on.
+		seed := cfg.seed + int64(i)
+		if cfg.shards > 1 {
+			seed = cfg.seed
+		}
 		sim, err := crowd.NewSim(u, crowd.SimOptions{
-			Seed:             cfg.seed + int64(i),
+			Seed:             seed,
 			SpamRate:         cfg.spam,
 			FilterEfficiency: cfg.filterEff,
 		})
@@ -368,8 +389,9 @@ func buildQueryTier(cfg config, u *domain.Universe) (http.Handler, func() interf
 	if err != nil {
 		return nil, nil, err
 	}
-	fmt.Printf("serving %q query tier on http://%s (%d backends, policy %s, stats at %s)\n",
-		cfg.domainName, cfg.addr, cfg.backends, tier.Stats().Policy, crowdhttp.PathServeStats)
+	st := tier.Stats()
+	fmt.Printf("serving %q query tier on http://%s (%d backends, policy %s, %d shard(s) via %s, stats at %s)\n",
+		cfg.domainName, cfg.addr, cfg.backends, st.Policy, st.Shards, st.Partition, crowdhttp.PathServeStats)
 	if cfg.register > 0 {
 		fmt.Printf("registered database objects: ids %d..%d\n", objs[0].ID, objs[len(objs)-1].ID)
 	}

@@ -65,6 +65,20 @@ func (u *unbatchedPlatform) RequestCount() int64 {
 	return 0
 }
 
+// ForkPlatform implements Forker by rewrapping a fork of the wrapped
+// platform with the same capability mask; nil when it cannot fork.
+func (u *unbatchedPlatform) ForkPlatform() Platform {
+	fk, ok := u.Platform.(Forker)
+	if !ok {
+		return nil
+	}
+	inner := fk.ForkPlatform()
+	if inner == nil {
+		return nil
+	}
+	return &unbatchedPlatform{inner}
+}
+
 // batchedPlatform chunks ValueBatch calls to a maximum size.
 type batchedPlatform struct {
 	Platform
@@ -144,4 +158,18 @@ func (b *batchedPlatform) FaultStats() FaultStats {
 		return fr.FaultStats()
 	}
 	return FaultStats{}
+}
+
+// ForkPlatform implements Forker by rewrapping a fork of the wrapped
+// platform with the same chunk size; nil when it cannot fork.
+func (b *batchedPlatform) ForkPlatform() Platform {
+	fk, ok := b.Platform.(Forker)
+	if !ok {
+		return nil
+	}
+	inner := fk.ForkPlatform()
+	if inner == nil {
+		return nil
+	}
+	return &batchedPlatform{Platform: inner, size: b.size}
 }

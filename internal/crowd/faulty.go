@@ -249,6 +249,24 @@ func (f *FaultyPlatform) RequestCount() int64 {
 	return 0
 }
 
+// ForkPlatform implements Forker by rewrapping a fork of the inner
+// platform with the same fault options. The fork's fault schedule
+// restarts from question zero (its counter is private), which preserves
+// the latency model exactly and keeps each forked session's injection
+// schedule deterministic in isolation; nil when the inner platform
+// cannot fork.
+func (f *FaultyPlatform) ForkPlatform() Platform {
+	fk, ok := f.inner.(Forker)
+	if !ok {
+		return nil
+	}
+	inner := fk.ForkPlatform()
+	if inner == nil {
+		return nil
+	}
+	return NewFaulty(inner, f.opts)
+}
+
 // Canonical implements Platform (pass-through; metadata is not faulted).
 func (f *FaultyPlatform) Canonical(name string) string { return f.inner.Canonical(name) }
 
@@ -459,6 +477,21 @@ func (p *RetryPlatform) RequestCount() int64 {
 		return rr.RequestCount()
 	}
 	return 0
+}
+
+// ForkPlatform implements Forker by rewrapping a fork of the inner
+// platform with the same retry policy (the fork gets its own retry
+// counter); nil when the inner platform cannot fork.
+func (p *RetryPlatform) ForkPlatform() Platform {
+	fk, ok := p.inner.(Forker)
+	if !ok {
+		return nil
+	}
+	inner := fk.ForkPlatform()
+	if inner == nil {
+		return nil
+	}
+	return NewRetry(inner, p.opts)
 }
 
 // Canonical implements Platform (pass-through).

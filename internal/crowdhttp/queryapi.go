@@ -37,6 +37,10 @@ type queryWire struct {
 	BObjMills  int64  `json:"b_obj_mills,omitempty"`
 	BPrcMills  int64  `json:"b_prc_mills,omitempty"`
 	Adaptive   bool   `json:"adaptive,omitempty"`
+	// Shards overrides the server tier's shard count for this session
+	// (0 = server default). The scatter happens tier-side: the client
+	// still sends one request and receives one merged row set.
+	Shards int `json:"shards,omitempty"`
 }
 
 // QueryServer adapts a serve.Tier to the query API.
@@ -84,6 +88,7 @@ func (s *QueryServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 		BObj:       crowd.Cost(wire.BObjMills),
 		BPrc:       crowd.Cost(wire.BPrcMills),
 		Adaptive:   wire.Adaptive,
+		Shards:     wire.Shards,
 	})
 	if err != nil {
 		writeError(w, queryStatusFor(err), err)
@@ -133,6 +138,7 @@ func (c *QueryClient) Execute(ctx context.Context, req serve.Request) (*serve.Re
 		BObjMills:  int64(req.BObj),
 		BPrcMills:  int64(req.BPrc),
 		Adaptive:   req.Adaptive,
+		Shards:     req.Shards,
 	})
 	if err != nil {
 		return nil, err

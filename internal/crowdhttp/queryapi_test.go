@@ -150,6 +150,52 @@ func TestQueryClientDrivesLoadHarness(t *testing.T) {
 	}
 }
 
+// TestQueryAPIShardsCrossTheWire runs the same statement unsharded and
+// scattered over 4 shards through a remote sharded tier: the shard count
+// must survive the round trip both ways (request override in, result
+// out), the rows must be bit-equal (scatter happens tier-side, invisible
+// on the wire), and the server stats must report the sharded session.
+func TestQueryAPIShardsCrossTheWire(t *testing.T) {
+	client, _ := newQueryFixture(t, 1, serve.Config{Shards: 4, Partition: serve.PartitionHash})
+	ctx := context.Background()
+
+	plain, err := client.Execute(ctx, serve.Request{Statement: "SELECT Protein", Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Shards != 1 {
+		t.Fatalf("Shards=1 override lost on the wire: result says %d", plain.Shards)
+	}
+	sharded, err := client.Execute(ctx, serve.Request{Statement: "SELECT Protein"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Shards != 4 {
+		t.Fatalf("Result.Shards = %d, want the tier default 4", sharded.Shards)
+	}
+	if len(sharded.Rows) != len(plain.Rows) {
+		t.Fatalf("row counts differ: sharded %d, unsharded %d", len(sharded.Rows), len(plain.Rows))
+	}
+	for i, r := range sharded.Rows {
+		if r.ObjectID != plain.Rows[i].ObjectID || r.Values["Protein"] != plain.Rows[i].Values["Protein"] {
+			t.Fatalf("sharded row %d diverged: %v vs %v", i, r, plain.Rows[i])
+		}
+	}
+	if sharded.OnlineSpent != plain.OnlineSpent {
+		t.Fatalf("sharded spend %v, unsharded %v", sharded.OnlineSpent, plain.OnlineSpent)
+	}
+	st, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 4 || st.Partition != serve.PartitionHash {
+		t.Fatalf("server stats shards/partition = %d/%q", st.Shards, st.Partition)
+	}
+	if got := st.Classes[serve.DefaultClass].ShardedSessions; got != 1 {
+		t.Fatalf("remote ShardedSessions = %d, want 1", got)
+	}
+}
+
 // TestQueryAPIAdaptiveCrossesTheWire runs a fixed and an adaptive
 // session through the remote tier and checks the flag, the savings and
 // the per-class counters all survive the round trip.

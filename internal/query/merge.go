@@ -1,0 +1,43 @@
+package query
+
+// MergeRows is the gather half of the serving tier's scatter-gather
+// executor: it merges per-shard row lists back into the unsharded
+// evaluation order. rank maps an object ID to its position in the full
+// evaluation set; each shard's rows must already be rank-ascending, which
+// Engine.Execute guarantees (it walks its objects in the order given, and
+// shards receive index-ascending partitions). The merge is therefore a
+// k-way head comparison — O(rows × shards) with no sort — and the output
+// is bit-identical to evaluating the whole set on one engine.
+//
+// Ordering is the only semantics a plain SELECT/WHERE needs today; a
+// top-k or ORDER BY gather (ROADMAP item 5) slots in here, replacing the
+// rank comparison with the sort key and early-terminating at k.
+func MergeRows(rank map[int]int, shards ...[]ResultRow) []ResultRow {
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]ResultRow, 0, total)
+	heads := make([]int, len(shards))
+	for len(out) < total {
+		best, bestRank := -1, 0
+		for i, s := range shards {
+			if heads[i] >= len(s) {
+				continue
+			}
+			r := rank[s[heads[i]].Object.ID]
+			if best < 0 || r < bestRank {
+				best, bestRank = i, r
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, shards[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}

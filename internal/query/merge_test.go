@@ -1,0 +1,69 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/domain"
+)
+
+func mergeRow(id int) ResultRow {
+	return ResultRow{Object: &domain.Object{ID: id}, Values: map[string]float64{"Protein": float64(id)}}
+}
+
+// TestMergeRowsRestoresEvaluationOrder pins the gather half of
+// scatter-gather: rank-ascending shard lists interleave back into the
+// exact unsharded evaluation order.
+func TestMergeRowsRestoresEvaluationOrder(t *testing.T) {
+	// Evaluation order: IDs 40, 10, 30, 20, 50 (rank is positional, not
+	// sorted by ID — the merge must follow rank, not ID).
+	ids := []int{40, 10, 30, 20, 50}
+	rank := make(map[int]int, len(ids))
+	for i, id := range ids {
+		rank[id] = i
+	}
+	shardA := []ResultRow{mergeRow(40), mergeRow(20)} // ranks 0, 3
+	shardB := []ResultRow{mergeRow(10), mergeRow(50)} // ranks 1, 4
+	shardC := []ResultRow{mergeRow(30)}               // rank 2
+
+	out := MergeRows(rank, shardA, shardB, shardC)
+	if len(out) != len(ids) {
+		t.Fatalf("merged %d rows, want %d", len(out), len(ids))
+	}
+	for i, id := range ids {
+		if out[i].Object.ID != id {
+			t.Fatalf("position %d holds object %d, want %d", i, out[i].Object.ID, id)
+		}
+		if out[i].Values["Protein"] != float64(id) {
+			t.Fatalf("row %d values not preserved: %v", i, out[i].Values)
+		}
+	}
+}
+
+// TestMergeRowsSkipsEmptyAndFilteredShards: WHERE clauses drop rows per
+// shard, so shard lists may be shorter than their partitions or empty.
+func TestMergeRowsSkipsEmptyAndFilteredShards(t *testing.T) {
+	rank := map[int]int{7: 0, 8: 1, 9: 2}
+	out := MergeRows(rank, nil, []ResultRow{mergeRow(9)}, []ResultRow{}, []ResultRow{mergeRow(7)})
+	if len(out) != 2 || out[0].Object.ID != 7 || out[1].Object.ID != 9 {
+		t.Fatalf("merge with empty shards = %+v, want [7 9]", out)
+	}
+}
+
+// TestMergeRowsNoRows keeps the zero-value behavior: all shards filtered
+// everything out → nil, matching an unsharded Execute with no matches.
+func TestMergeRowsNoRows(t *testing.T) {
+	if out := MergeRows(map[int]int{1: 0}, nil, []ResultRow{}); out != nil {
+		t.Fatalf("merge of no rows = %+v, want nil", out)
+	}
+}
+
+// TestMergeRowsSingleShardIsIdentity: the 1-shard degenerate case must
+// hand back the rows untouched (the bit-equal contract's gather half).
+func TestMergeRowsSingleShardIsIdentity(t *testing.T) {
+	rank := map[int]int{5: 0, 6: 1}
+	in := []ResultRow{mergeRow(5), mergeRow(6)}
+	out := MergeRows(rank, in)
+	if len(out) != 2 || out[0].Object.ID != 5 || out[1].Object.ID != 6 {
+		t.Fatalf("identity merge = %+v", out)
+	}
+}

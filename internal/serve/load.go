@@ -43,6 +43,9 @@ type LoadConfig struct {
 	// Adaptive opts every generated session into the adaptive online
 	// evaluator (Request.Adaptive).
 	Adaptive bool
+	// Shards sets every generated session's shard-count override
+	// (Request.Shards; 0 = target default).
+	Shards int
 }
 
 // LoadReport is the outcome of one load run.
@@ -97,6 +100,7 @@ func RunLoad(ex Executor, cfg LoadConfig) (*LoadReport, error) {
 			BObj:       cfg.BObj,
 			BPrc:       cfg.BPrc,
 			Adaptive:   cfg.Adaptive,
+			Shards:     cfg.Shards,
 		}
 		start := time.Now()
 		res, err := ex.Execute(ctx, req)

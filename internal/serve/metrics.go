@@ -77,6 +77,10 @@ type classMetrics struct {
 	adaptiveSessions atomic.Int64
 	questionsSaved   atomic.Int64
 
+	// shardedSessions counts sessions that took the scatter-gather path
+	// (effective shard count ≥ 2).
+	shardedSessions atomic.Int64
+
 	lat *latencyRing
 }
 
@@ -142,15 +146,27 @@ type ClassStats struct {
 	// skipped in total.
 	AdaptiveSessions int64 `json:"adaptive_sessions"`
 	QuestionsSaved   int64 `json:"questions_saved"`
+	// ShardedSessions counts sessions that took the scatter-gather path.
+	ShardedSessions int64 `json:"sharded_sessions"`
 }
 
 // Stats is the tier snapshot served at /v1/serve/stats.
 type Stats struct {
-	Policy   string                `json:"policy"`
-	UptimeNs int64                 `json:"uptime_ns"`
-	Cache    CacheStats            `json:"plan_cache"`
-	Backends []BackendStats        `json:"backends"`
-	Classes  map[string]ClassStats `json:"classes"`
+	Policy string `json:"policy"`
+	// Shards and Partition echo the tier's sharding configuration
+	// (shards = 1 means the unsharded path).
+	Shards    int    `json:"shards"`
+	Partition string `json:"partition"`
+	UptimeNs  int64  `json:"uptime_ns"`
+	// FairnessIndex is Jain's index over per-class served QPS:
+	// (Σx)²/(n·Σx²) across the n observed SLO classes. 1.0 means every
+	// class is served equally; a single class hogging the tier drives it
+	// toward 1/n. Uptime is common to all classes, so sessions stand in
+	// for QPS. 1.0 when nothing has been served yet.
+	FairnessIndex float64               `json:"fairness_index"`
+	Cache         CacheStats            `json:"plan_cache"`
+	Backends      []BackendStats        `json:"backends"`
+	Classes       map[string]ClassStats `json:"classes"`
 }
 
 func (m *metrics) snapshot() Stats {
@@ -159,6 +175,7 @@ func (m *metrics) snapshot() Stats {
 	s := Stats{UptimeNs: uptime.Nanoseconds(), Classes: make(map[string]ClassStats)}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
+	var sum, sumSq float64
 	for name, cm := range m.classes {
 		q := cm.lat.quantiles(0.50, 0.99)
 		cs := ClassStats{
@@ -173,6 +190,7 @@ func (m *metrics) snapshot() Stats {
 
 			AdaptiveSessions: cm.adaptiveSessions.Load(),
 			QuestionsSaved:   cm.questionsSaved.Load(),
+			ShardedSessions:  cm.shardedSessions.Load(),
 		}
 		if lookups := cs.CacheHits + cs.CacheMisses; lookups > 0 {
 			cs.CacheHitRate = float64(cs.CacheHits) / float64(lookups)
@@ -184,7 +202,16 @@ func (m *metrics) snapshot() Stats {
 		if cs.Sessions > 0 {
 			cs.SpendPerQueryMills = float64(cm.spendMills.Load()) / float64(cs.Sessions)
 		}
+		x := float64(cs.Sessions)
+		sum += x
+		sumSq += x * x
 		s.Classes[name] = cs
+	}
+	// Jain's fairness index over the tracked classes' session counts.
+	if n := len(s.Classes); n > 0 && sumSq > 0 {
+		s.FairnessIndex = sum * sum / (float64(n) * sumSq)
+	} else {
+		s.FairnessIndex = 1
 	}
 	return s
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -60,6 +61,63 @@ func TestQuantilesEmptyWindow(t *testing.T) {
 	got := r.quantiles(0.5, 0.99)
 	if got[0] != 0 || got[1] != 0 {
 		t.Fatalf("empty window quantiles = %v, want zeros", got)
+	}
+}
+
+// TestFairnessIndex pins Jain's index over per-class served QPS: 1.0
+// when every class is served equally, 1/n when a single class hogs the
+// tier, and 1.0 (not NaN) with nothing served.
+func TestFairnessIndex(t *testing.T) {
+	cases := []struct {
+		name     string
+		sessions map[string]int64
+		want     float64
+	}{
+		{"no-traffic", nil, 1.0},
+		{"one-class", map[string]int64{"interactive": 40}, 1.0},
+		{"all-equal", map[string]int64{"interactive": 25, "batch": 25, "best-effort": 25}, 1.0},
+		// Single hog among n=3 observed classes: (Σx)²/(n·Σx²) = 1/3.
+		{"single-hog", map[string]int64{"interactive": 60, "batch": 0, "best-effort": 0}, 1.0 / 3},
+		// Worked example: x = (4, 1, 1) → 36 / (3·18) = 2/3.
+		{"skewed", map[string]int64{"interactive": 4, "batch": 1, "best-effort": 1}, 2.0 / 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := newMetrics(time.Now)
+			for class, n := range tc.sessions {
+				cm := m.class(class)
+				for i := int64(0); i < n; i++ {
+					cm.observe(time.Millisecond, crowd.Cents(1), 1)
+				}
+			}
+			got := m.snapshot().FairnessIndex
+			if diff := got - tc.want; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("fairness index = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestFairnessIndexSurfacesInTierStats drives a real tier with a hogging
+// class mix and checks the index lands in Stats (zero-session classes
+// must be observed to count: admission tracks every class that shows up,
+// even if only to be rejected — here we just touch them with sessions).
+func TestFairnessIndexSurfacesInTierStats(t *testing.T) {
+	tier := newTestTier(t, 1, 4, Config{})
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if _, err := tier.Execute(ctx, Request{Statement: "SELECT Protein", Class: "interactive"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tier.Execute(ctx, Request{Statement: "SELECT Protein", Class: "batch"}); err != nil {
+		t.Fatal(err)
+	}
+	// x = (4, 1) → 25 / (2·17) ≈ 0.735.
+	got := tier.Stats().FairnessIndex
+	want := 25.0 / 34.0
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("tier fairness index = %v, want %v", got, want)
 	}
 }
 

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/domain"
+)
+
+// Partition policy names.
+const (
+	PartitionHash  = "hash"
+	PartitionRange = "range"
+)
+
+// PartitionPolicies lists the partition policies NewPartitioner accepts.
+func PartitionPolicies() []string {
+	return []string{PartitionHash, PartitionRange}
+}
+
+// Partitioner deterministically assigns each object of a query's
+// evaluation set to one shard. Partition returns exactly shards slices of
+// indices into objs: every input index appears in exactly one shard, and
+// each shard's indices are ascending, so concatenating the shards in
+// index-merge order reproduces the unsharded evaluation order. The
+// assignment is a pure function of the object IDs — the same object lands
+// on the same shard across queries, which is what lets a shard's backend
+// accumulate memoized answers for "its" objects.
+type Partitioner interface {
+	Name() string
+	Partition(objs []*domain.Object, shards int) [][]int
+}
+
+// NewPartitioner resolves a partition policy name ("" = hash).
+func NewPartitioner(policy string) (Partitioner, error) {
+	switch policy {
+	case "", PartitionHash:
+		return hashPartitioner{}, nil
+	case PartitionRange:
+		return rangePartitioner{}, nil
+	default:
+		return nil, fmt.Errorf("serve: unknown partition policy %q (want one of %v)", policy, PartitionPolicies())
+	}
+}
+
+// hashPartitioner shards by FNV-64a of the object ID modulo the shard
+// count: stateless, balanced in expectation, and insensitive to the ID
+// distribution (sequential IDs spread instead of clustering).
+type hashPartitioner struct{}
+
+func (hashPartitioner) Name() string { return PartitionHash }
+
+func (hashPartitioner) Partition(objs []*domain.Object, shards int) [][]int {
+	if shards < 1 {
+		shards = 1
+	}
+	out := make([][]int, shards)
+	for i, o := range objs {
+		s := hashShard(o.ID, shards)
+		out[s] = append(out[s], i)
+	}
+	return out
+}
+
+func hashShard(id, shards int) int {
+	if shards == 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(id)))
+	h.Write(buf[:])
+	return int(h.Sum64() % uint64(shards))
+}
+
+// rangePartitioner shards by contiguous ID ranges: the evaluation set is
+// ranked by object ID and split into shards equal-size runs. Contiguous
+// ranges keep ID-local objects co-resident — the layout a range index or
+// an ORDER BY merge (ROADMAP item 5) wants — at the price of imbalance
+// when queries slice the ID space unevenly.
+type rangePartitioner struct{}
+
+func (rangePartitioner) Name() string { return PartitionRange }
+
+func (rangePartitioner) Partition(objs []*domain.Object, shards int) [][]int {
+	if shards < 1 {
+		shards = 1
+	}
+	byID := make([]int, len(objs))
+	for i := range objs {
+		byID[i] = i
+	}
+	sort.Slice(byID, func(a, b int) bool { return objs[byID[a]].ID < objs[byID[b]].ID })
+	out := make([][]int, shards)
+	for rank, idx := range byID {
+		s := rank * shards / len(objs)
+		out[s] = append(out[s], idx)
+	}
+	// Restore ascending input order inside each shard (the rank walk
+	// ordered them by ID).
+	for s := range out {
+		sort.Ints(out[s])
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/domain"
+)
+
+func partitionObjects(t *testing.T, n int) []*domain.Object {
+	t.Helper()
+	u := domain.Recipes()
+	return u.NewObjects(rand.New(rand.NewSource(9)), n)
+}
+
+// checkPartition asserts the Partitioner contract: exactly shards
+// slices, every input index exactly once, each slice ascending.
+func checkPartition(t *testing.T, parts [][]int, n, shards int) {
+	t.Helper()
+	if len(parts) != shards {
+		t.Fatalf("got %d shards, want %d", len(parts), shards)
+	}
+	seen := make(map[int]bool, n)
+	for s, part := range parts {
+		for j, idx := range part {
+			if idx < 0 || idx >= n {
+				t.Fatalf("shard %d holds out-of-range index %d", s, idx)
+			}
+			if seen[idx] {
+				t.Fatalf("index %d assigned twice", idx)
+			}
+			seen[idx] = true
+			if j > 0 && part[j-1] >= idx {
+				t.Fatalf("shard %d not ascending: %v", s, part)
+			}
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("covered %d of %d indices", len(seen), n)
+	}
+}
+
+func TestPartitionersCoverEveryObjectOnce(t *testing.T) {
+	objs := partitionObjects(t, 23)
+	for _, policy := range PartitionPolicies() {
+		p, err := NewPartitioner(policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 2, 4, 7} {
+			checkPartition(t, p.Partition(objs, shards), len(objs), shards)
+		}
+	}
+}
+
+// TestPartitionersDeterministic pins that the assignment is a pure
+// function of the object IDs: repeated calls and a rebuilt partitioner
+// agree shard by shard.
+func TestPartitionersDeterministic(t *testing.T) {
+	objs := partitionObjects(t, 16)
+	for _, policy := range PartitionPolicies() {
+		p1, _ := NewPartitioner(policy)
+		p2, _ := NewPartitioner(policy)
+		a, b := p1.Partition(objs, 4), p2.Partition(objs, 4)
+		for s := range a {
+			if len(a[s]) != len(b[s]) {
+				t.Fatalf("%s shard %d sizes differ: %d vs %d", policy, s, len(a[s]), len(b[s]))
+			}
+			for j := range a[s] {
+				if a[s][j] != b[s][j] {
+					t.Fatalf("%s shard %d differs at %d: %d vs %d", policy, s, j, a[s][j], b[s][j])
+				}
+			}
+		}
+	}
+}
+
+// TestRangePartitionContiguousByID pins the range policy's layout: each
+// shard holds a contiguous run of the ID-sorted ranking, and the runs
+// are in ID order across shards.
+func TestRangePartitionContiguousByID(t *testing.T) {
+	objs := partitionObjects(t, 12)
+	p, _ := NewPartitioner(PartitionRange)
+	parts := p.Partition(objs, 3)
+	prevMax := -1
+	for s, part := range parts {
+		if len(part) != 4 {
+			t.Fatalf("shard %d holds %d objects, want 4 (even split)", s, len(part))
+		}
+		for _, idx := range part {
+			if objs[idx].ID <= prevMax {
+				t.Fatalf("shard %d object ID %d not above previous shard's max %d", s, objs[idx].ID, prevMax)
+			}
+		}
+		for _, idx := range part {
+			if objs[idx].ID > prevMax {
+				prevMax = objs[idx].ID
+			}
+		}
+	}
+}
+
+// TestPartitionMoreShardsThanObjects allows empty shards instead of
+// failing (the tier clamps first, but the partitioner must stay total).
+func TestPartitionMoreShardsThanObjects(t *testing.T) {
+	objs := partitionObjects(t, 3)
+	for _, policy := range PartitionPolicies() {
+		p, _ := NewPartitioner(policy)
+		checkPartition(t, p.Partition(objs, 8), len(objs), 8)
+	}
+}
+
+func TestNewPartitionerUnknownPolicy(t *testing.T) {
+	if _, err := NewPartitioner("bogus"); err == nil {
+		t.Fatal("unknown partition policy accepted")
+	} else if !strings.Contains(err.Error(), "bogus") || !strings.Contains(err.Error(), PartitionHash) {
+		t.Fatalf("error %q should name the bad policy and the valid ones", err)
+	}
+	p, err := NewPartitioner("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != PartitionHash {
+		t.Fatalf("default policy = %q, want %q", p.Name(), PartitionHash)
+	}
+}

@@ -49,6 +49,14 @@ type roundRobin struct {
 func (r *roundRobin) Name() string { return PolicyRoundRobin }
 
 func (r *roundRobin) Pick(backends []*backend, key string, affinity int) int {
+	// Guard the degenerate slices: an empty tier has no pick (-1), and a
+	// single backend needs no counter churn.
+	if len(backends) == 0 {
+		return -1
+	}
+	if len(backends) == 1 {
+		return 0
+	}
 	return int((r.next.Add(1) - 1) % int64(len(backends)))
 }
 
@@ -61,6 +69,12 @@ type leastLoaded struct{}
 func (leastLoaded) Name() string { return PolicyLeastLoaded }
 
 func (leastLoaded) Pick(backends []*backend, key string, affinity int) int {
+	if len(backends) == 0 {
+		return -1
+	}
+	if len(backends) == 1 {
+		return 0
+	}
 	best := 0
 	bestQ, bestS := backends[0].load.questions(), backends[0].load.sessions()
 	for i := 1; i < len(backends); i++ {
@@ -84,6 +98,9 @@ type planAffinity struct {
 func (p *planAffinity) Name() string { return PolicyPlanAffinity }
 
 func (p *planAffinity) Pick(backends []*backend, key string, affinity int) int {
+	if len(backends) == 0 {
+		return -1
+	}
 	if affinity >= 0 && affinity < len(backends) {
 		return affinity
 	}
@@ -97,6 +114,7 @@ type backendLoad struct {
 	totalSessions     atomic.Int64
 	plansBuilt        atomic.Int64
 	buildsInFlight    atomic.Int64
+	questionsAnswered atomic.Int64
 }
 
 func (l *backendLoad) startSession() {
@@ -113,6 +131,11 @@ func (l *backendLoad) endBuild()        { l.buildsInFlight.Add(-1) }
 func (l *backendLoad) questions() int64 { return l.inflightQuestions.Load() }
 func (l *backendLoad) sessions() int64  { return l.inflightSessions.Load() }
 
+// noteAnswered records online questions a completed session actually
+// asked on this backend — the per-backend work volume the sharding
+// benchmark divides by.
+func (l *backendLoad) noteAnswered(n int64) { l.questionsAnswered.Add(n) }
+
 // BackendStats is one backend's observability snapshot.
 type BackendStats struct {
 	Name              string `json:"name"`
@@ -120,6 +143,10 @@ type BackendStats struct {
 	InflightSessions  int64  `json:"inflight_sessions"`
 	InflightQuestions int64  `json:"inflight_questions"`
 	PlansBuilt        int64  `json:"plans_built"`
+	// QuestionsAnswered totals the online questions completed sessions
+	// asked this backend; under sharding each backend answers only for
+	// its object partitions, so this falls ~1/S per backend.
+	QuestionsAnswered int64 `json:"questions_answered"`
 }
 
 func (l *backendLoad) stats(name string) BackendStats {
@@ -129,5 +156,6 @@ func (l *backendLoad) stats(name string) BackendStats {
 		InflightSessions:  l.inflightSessions.Load(),
 		InflightQuestions: l.inflightQuestions.Load(),
 		PlansBuilt:        l.plansBuilt.Load(),
+		QuestionsAnswered: l.questionsAnswered.Load(),
 	}
 }

@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRouterPickDegenerateSlices pins the guards every policy shares: an
+// empty tier has no pick (-1, never a panic), and a single backend is
+// always index 0.
+func TestRouterPickDegenerateSlices(t *testing.T) {
+	single := []*backend{{name: "only"}}
+	for _, policy := range Policies() {
+		r, err := NewRouter(policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, affinity := range []int{-1, 0, 5} {
+			if got := r.Pick(nil, "k", affinity); got != -1 {
+				t.Fatalf("%s.Pick(empty, affinity=%d) = %d, want -1", policy, affinity, got)
+			}
+			if got := r.Pick(single, "k", affinity); got != 0 {
+				t.Fatalf("%s.Pick(single, affinity=%d) = %d, want 0", policy, affinity, got)
+			}
+		}
+	}
+}
+
+// TestRoundRobinSingleBackendSkipsCounter checks the one-element fast
+// path does not churn the shared counter, so a later multi-backend pick
+// sequence starts from a deterministic spot.
+func TestRoundRobinSingleBackendSkipsCounter(t *testing.T) {
+	r := &roundRobin{}
+	single := []*backend{{name: "a"}}
+	for i := 0; i < 5; i++ {
+		if got := r.Pick(single, "k", -1); got != 0 {
+			t.Fatalf("Pick(single) = %d, want 0", got)
+		}
+	}
+	pair := []*backend{{name: "a"}, {name: "b"}}
+	for i := 0; i < 4; i++ {
+		if got := r.Pick(pair, "k", -1); got != i%2 {
+			t.Fatalf("pick %d = %d, want %d (single-backend picks must not advance the counter)", i, got, i%2)
+		}
+	}
+}
+
+func TestNewRouterUnknownPolicy(t *testing.T) {
+	if _, err := NewRouter("bogus"); err == nil {
+		t.Fatal("unknown routing policy accepted")
+	} else if !strings.Contains(err.Error(), "bogus") || !strings.Contains(err.Error(), PolicyPlanAffinity) {
+		t.Fatalf("error %q should name the bad policy and the valid ones", err)
+	}
+	r, err := NewRouter("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != PolicyPlanAffinity {
+		t.Fatalf("default policy = %q, want %q", r.Name(), PolicyPlanAffinity)
+	}
+}

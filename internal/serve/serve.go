@@ -19,6 +19,13 @@
 //     policy (round-robin, least-loaded by in-flight questions, or
 //     plan-affinity, which sticks a cached plan to the backend whose
 //     answer streams built it so memoized answers are reused).
+//   - Sharding (optional): with ≥ 2 shards configured, each query's
+//     object set is partitioned deterministically (hash or range over
+//     object IDs) and scattered over per-shard COW sessions evaluated in
+//     parallel, the per-shard rows gathered back into evaluation order.
+//     One plan build serves all shards (the plan is shard-independent),
+//     and shards partition objects, never answers — per-object estimates
+//     are bit-equal to the unsharded run.
 //
 // Each session runs on a private fork of its backend when the platform
 // supports copy-on-write snapshots (crowd.SimPlatform does): the fork has
@@ -77,6 +84,14 @@ type Config struct {
 	// zero (defaults: 4 cents / 10 dollars).
 	DefaultBObj crowd.Cost
 	DefaultBPrc crowd.Cost
+	// Shards splits every query's evaluation set into this many object
+	// partitions evaluated in parallel, one COW session per shard
+	// (0 or 1 = the unsharded path, which stays bit-equal to the
+	// pre-sharding tier). Requests can override per session.
+	Shards int
+	// Partition picks the shard-assignment policy by name: "hash" (the
+	// default) or "range".
+	Partition string
 	// Admission configures one token bucket per SLO class. Classes
 	// without an entry are unlimited.
 	Admission map[string]BucketConfig
@@ -111,6 +126,10 @@ type Request struct {
 	// (internal/adaptive), tuned by the tier's Config.Adaptive. The
 	// fixed-budget path and its determinism pins are unaffected.
 	Adaptive bool
+	// Shards overrides the tier's configured shard count for this
+	// session (0 = tier default; 1 forces the unsharded path). The count
+	// is clamped to the evaluation set's size.
+	Shards int
 }
 
 // Row is one object that passed the statement's WHERE filter.
@@ -137,6 +156,9 @@ type Result struct {
 	// QuestionsSaved is how many of the plan's per-object questions the
 	// adaptive evaluator skipped (0 on the fixed path).
 	QuestionsSaved int64 `json:"questions_saved,omitempty"`
+	// Shards is how many object partitions the session's evaluation was
+	// scattered over (1 = the unsharded path).
+	Shards int `json:"shards,omitempty"`
 	// Latency is the end-to-end session wall time (admission included).
 	Latency time.Duration `json:"latency_ns"`
 }
@@ -174,12 +196,18 @@ type session struct {
 }
 
 // acquire opens a session: a fork with its own fresh ledger when the
-// platform snapshots, the backend itself (ledger swapped in, sessions
+// platform snapshots (or forks through a wrapper stack via
+// crowd.Forker), the backend itself (ledger swapped in, sessions
 // serialized) otherwise.
 func (b *backend) acquire() *session {
 	if b.snap != nil {
 		f := b.snap.Fork()
 		return &session{platform: f, ledger: f.Ledger(), release: func() {}}
+	}
+	if fk, ok := b.p.(crowd.Forker); ok {
+		if f := fk.ForkPlatform(); f != nil {
+			return &session{platform: f, ledger: f.Ledger(), release: func() {}}
+		}
 	}
 	b.mu.Lock()
 	ledger := crowd.NewLedger(0)
@@ -196,14 +224,16 @@ func (b *backend) acquire() *session {
 
 // Tier is the serving layer. Safe for concurrent use.
 type Tier struct {
-	domain   string
-	backends []*backend
-	router   Router
-	cache    *planCache
-	adm      *admission
-	metrics  *metrics
-	opts     core.Options
-	adaptive *adaptive.Config
+	domain      string
+	backends    []*backend
+	router      Router
+	cache       *planCache
+	adm         *admission
+	metrics     *metrics
+	opts        core.Options
+	adaptive    *adaptive.Config
+	shards      int
+	partitioner Partitioner
 
 	defBObj, defBPrc crowd.Cost
 
@@ -221,6 +251,13 @@ func New(cfg Config) (*Tier, error) {
 	if err != nil {
 		return nil, err
 	}
+	part, err := NewPartitioner(cfg.Partition)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("serve: negative shard count %d", cfg.Shards)
+	}
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = 64
 	}
@@ -235,16 +272,18 @@ func New(cfg Config) (*Tier, error) {
 		now = time.Now
 	}
 	t := &Tier{
-		domain:   cfg.Domain,
-		router:   router,
-		cache:    newPlanCache(cfg.CacheSize),
-		adm:      newAdmission(cfg.Admission, now),
-		metrics:  newMetrics(now),
-		opts:     cfg.Options,
-		adaptive: cfg.Adaptive,
-		defBObj:  cfg.DefaultBObj,
-		defBPrc:  cfg.DefaultBPrc,
-		byID:     make(map[int]*domain.Object, len(cfg.Objects)),
+		domain:      cfg.Domain,
+		router:      router,
+		cache:       newPlanCache(cfg.CacheSize),
+		adm:         newAdmission(cfg.Admission, now),
+		metrics:     newMetrics(now),
+		opts:        cfg.Options,
+		adaptive:    cfg.Adaptive,
+		shards:      cfg.Shards,
+		partitioner: part,
+		defBObj:     cfg.DefaultBObj,
+		defBPrc:     cfg.DefaultBPrc,
+		byID:        make(map[int]*domain.Object, len(cfg.Objects)),
 	}
 	for i, b := range cfg.Backends {
 		name := b.Name
@@ -361,6 +400,14 @@ func (t *Tier) Execute(ctx context.Context, req Request) (*Result, error) {
 	}
 	key := t.planKey(st, bObj, bPrc)
 
+	// Scatter-gather dispatch: with S ≥ 2 effective shards the session
+	// forks one COW sub-session per object partition and evaluates them
+	// in parallel. S ≤ 1 continues on the unsharded path below, which is
+	// pinned bit-equal to the pre-sharding tier.
+	if shards := t.effectiveShards(req, len(objs)); shards > 1 {
+		return t.executeSharded(req, st, objs, bObj, bPrc, key, shards, cm, start)
+	}
+
 	// Route: a plan already (being) built sticks to its backend under
 	// plan-affinity; otherwise the policy picks.
 	affinity := t.cache.builder(key)
@@ -425,6 +472,7 @@ func (t *Tier) Execute(ctx context.Context, req Request) (*Result, error) {
 		PreprocessCost: plan.PreprocessCost,
 		OnlineSpent:    sess.ledger.Spent(),
 		Adaptive:       req.Adaptive,
+		Shards:         1,
 		Latency:        t.metrics.now().Sub(start),
 	}
 	if req.Adaptive {
@@ -435,8 +483,27 @@ func (t *Tier) Execute(ctx context.Context, req Request) (*Result, error) {
 	for i, r := range rows {
 		out.Rows[i] = Row{ObjectID: r.Object.ID, Values: r.Values}
 	}
-	cm.observe(out.Latency, out.OnlineSpent, questionsAsked(sess.ledger))
+	asked := questionsAsked(sess.ledger)
+	b.load.noteAnswered(asked)
+	cm.observe(out.Latency, out.OnlineSpent, asked)
 	return out, nil
+}
+
+// effectiveShards resolves the session's shard count: the request's
+// override, else the tier's default, clamped to the evaluation set (an
+// empty shard would fork a session for nothing).
+func (t *Tier) effectiveShards(req Request, nObjs int) int {
+	s := req.Shards
+	if s == 0 {
+		s = t.shards
+	}
+	if s > nObjs {
+		s = nObjs
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 // questionsAsked totals the ledger's per-kind question counts.
@@ -472,6 +539,10 @@ func (t *Tier) CachedPlan(statement string, bObj, bPrc crowd.Cost) (*core.Plan, 
 func (t *Tier) Stats() Stats {
 	s := t.metrics.snapshot()
 	s.Policy = t.router.Name()
+	s.Partition = t.partitioner.Name()
+	if s.Shards = t.shards; s.Shards < 1 {
+		s.Shards = 1
+	}
 	s.Cache = t.cache.stats()
 	s.Backends = make([]BackendStats, len(t.backends))
 	for i, b := range t.backends {

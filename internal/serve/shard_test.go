@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/crowd"
+	"repro/internal/domain"
+)
+
+// newReplicaTier builds a recipes tier whose n backends are replicas —
+// the same simulator seed over the same universe — which is the
+// deployment shape disq-serve uses for shards > 1. newTestTier's
+// distinct per-backend seeds would break cross-backend bit-equality.
+func newReplicaTier(t *testing.T, n, nObjects int, cfg Config) *Tier {
+	t.Helper()
+	u := domain.Recipes()
+	objs := u.NewObjects(rand.New(rand.NewSource(7)), nObjects)
+	for i := 0; i < n; i++ {
+		sim, err := crowd.NewSim(u, crowd.SimOptions{Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Backends = append(cfg.Backends, Backend{Name: fmt.Sprintf("replica-%d", i), Platform: sim})
+	}
+	cfg.Domain = "recipes"
+	cfg.Objects = objs
+	if cfg.DefaultBObj == 0 {
+		cfg.DefaultBObj = crowd.Cents(4)
+	}
+	if cfg.DefaultBPrc == 0 {
+		cfg.DefaultBPrc = crowd.Dollars(6)
+	}
+	tier, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tier
+}
+
+// TestShardedOneShardTakesUnshardedPath pins the compatibility half of
+// the sharding contract: a sharded tier answering a Shards=1 request is
+// bit-equal — rows, online spend, preprocess cost — to an unsharded tier
+// over the same seed, because effectiveShards=1 routes it down exactly
+// today's single-session path.
+func TestShardedOneShardTakesUnshardedPath(t *testing.T) {
+	const stmt = "SELECT Protein, Calories WHERE Dessert > 0.5"
+	plain := newReplicaTier(t, 1, 10, Config{})
+	sharded := newReplicaTier(t, 1, 10, Config{Shards: 4, Partition: PartitionHash})
+	ctx := context.Background()
+
+	want, err := plain.Execute(ctx, Request{Statement: stmt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sharded.Execute(ctx, Request{Statement: stmt, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shards != 1 {
+		t.Fatalf("Result.Shards = %d, want 1", got.Shards)
+	}
+	if !rowsEqual(want.Rows, got.Rows) {
+		t.Fatalf("rows diverged:\nunsharded: %+v\nsharded-tier S=1: %+v", want.Rows, got.Rows)
+	}
+	if got.OnlineSpent != want.OnlineSpent {
+		t.Fatalf("OnlineSpent: sharded-tier S=1 %v, unsharded %v", got.OnlineSpent, want.OnlineSpent)
+	}
+	if got.PreprocessCost != want.PreprocessCost {
+		t.Fatalf("PreprocessCost: %v vs %v", got.PreprocessCost, want.PreprocessCost)
+	}
+	if cs := sharded.Stats().Classes[DefaultClass]; cs.ShardedSessions != 0 {
+		t.Fatalf("ShardedSessions = %d after a 1-shard request, want 0", cs.ShardedSessions)
+	}
+}
+
+// TestShardedMatchesUnsharded is the determinism pin of scatter-gather:
+// for S∈{2,4}, over both partition policies, on a single backend and on
+// S replica backends, the sharded session returns the same rows in the
+// same order with bit-equal per-object estimates, and the summed online
+// spend equals the unsharded bill — shards partition objects, never
+// answers.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	const stmt = "SELECT Protein, Calories WHERE Dessert > 0.5"
+	const nObj = 12
+	ctx := context.Background()
+
+	baseline := newReplicaTier(t, 1, nObj, Config{})
+	want, err := baseline.Execute(ctx, Request{Statement: stmt})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, policy := range PartitionPolicies() {
+		for _, shards := range []int{2, 4} {
+			for _, backends := range []int{1, shards} {
+				name := fmt.Sprintf("%s/S=%d/backends=%d", policy, shards, backends)
+				t.Run(name, func(t *testing.T) {
+					tier := newReplicaTier(t, backends, nObj, Config{Shards: shards, Partition: policy})
+					got, err := tier.Execute(ctx, Request{Statement: stmt})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got.Shards != shards {
+						t.Fatalf("Result.Shards = %d, want %d", got.Shards, shards)
+					}
+					if !rowsEqual(want.Rows, got.Rows) {
+						t.Fatalf("rows diverged:\nunsharded: %+v\nsharded: %+v", want.Rows, got.Rows)
+					}
+					if got.OnlineSpent != want.OnlineSpent {
+						t.Fatalf("summed shard spend %v, unsharded %v", got.OnlineSpent, want.OnlineSpent)
+					}
+					if got.PreprocessCost != want.PreprocessCost {
+						t.Fatalf("PreprocessCost: %v vs %v", got.PreprocessCost, want.PreprocessCost)
+					}
+					st := tier.Stats()
+					if st.Shards != shards || st.Partition != policy {
+						t.Fatalf("Stats shards/partition = %d/%q, want %d/%q", st.Shards, st.Partition, shards, policy)
+					}
+					if cs := st.Classes[DefaultClass]; cs.ShardedSessions != 1 {
+						t.Fatalf("ShardedSessions = %d, want 1", cs.ShardedSessions)
+					}
+					if backends == shards {
+						// Scatter spreads one shard per replica. Hash may
+						// leave a shard empty, so the pin is: at least two
+						// backends answered, and none answered everything.
+						var total int64
+						answered := 0
+						for _, b := range st.Backends {
+							if b.QuestionsAnswered > 0 {
+								answered++
+							}
+							total += b.QuestionsAnswered
+						}
+						if answered < 2 {
+							t.Fatalf("only %d backend(s) answered questions — scatter did not spread: %+v", answered, st.Backends)
+						}
+						for _, b := range st.Backends {
+							if b.QuestionsAnswered == total {
+								t.Fatalf("backend %s answered every question — scatter did not spread", b.Name)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestShardedRepeatedSessionsSpendEqually extends the billing contract to
+// the scattered path: repeated identical sharded sessions are charged
+// exactly what the first one was (memoized answers, cached plan).
+func TestShardedRepeatedSessionsSpendEqually(t *testing.T) {
+	tier := newReplicaTier(t, 2, 8, Config{Shards: 4})
+	ctx := context.Background()
+	var first crowd.Cost
+	for i := 0; i < 3; i++ {
+		res, err := tier.Execute(ctx, Request{Statement: "SELECT Protein"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = res.OnlineSpent
+			if first <= 0 {
+				t.Fatalf("first sharded session spent %v", first)
+			}
+			continue
+		}
+		if res.OnlineSpent != first {
+			t.Fatalf("sharded session %d spent %v, first spent %v", i, res.OnlineSpent, first)
+		}
+		if !res.CacheHit {
+			t.Fatalf("sharded session %d missed the plan cache", i)
+		}
+	}
+}
+
+// TestShardsClampToEvaluationSet: a request over fewer objects than the
+// configured shard count must not scatter empty work — it clamps, and a
+// single-object query degrades to the unsharded path.
+func TestShardsClampToEvaluationSet(t *testing.T) {
+	tier := newReplicaTier(t, 1, 6, Config{Shards: 4})
+	ctx := context.Background()
+	res, err := tier.Execute(ctx, Request{Statement: "SELECT Protein", MaxObjects: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 2 {
+		t.Fatalf("2-object query ran %d shards, want 2", res.Shards)
+	}
+	res, err = tier.Execute(ctx, Request{Statement: "SELECT Protein", MaxObjects: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 1 {
+		t.Fatalf("1-object query ran %d shards, want 1 (unsharded path)", res.Shards)
+	}
+}
+
+// TestConcurrentShardedSessionsHammer is the race pin for the scatter
+// path: 16 concurrent sessions, each forking shard sub-sessions over two
+// replica backends with mixed statement shapes. Under -race
+// this exercises the shard goroutines against the plan cache, the load
+// counters and the per-class metrics; functionally every session of one
+// statement shape must return identical rows.
+func TestConcurrentShardedSessionsHammer(t *testing.T) {
+	tier := newReplicaTier(t, 2, 8, Config{Shards: 4, CacheSize: 4})
+	statements := []string{
+		"SELECT Protein",
+		"SELECT Calories",
+		"SELECT Protein, Calories WHERE Dessert > 0.5",
+	}
+	const workers = 16
+	const perWorker = 3
+
+	var mu sync.Mutex
+	rowsByStmt := make(map[string][]Row)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				stmt := statements[(w+i)%len(statements)]
+				res, err := tier.Execute(context.Background(), Request{Statement: stmt})
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: %w", w, err)
+					return
+				}
+				if res.Shards != 4 {
+					errs <- fmt.Errorf("worker %d: ran %d shards, want 4", w, res.Shards)
+					return
+				}
+				mu.Lock()
+				if prev, ok := rowsByStmt[stmt]; !ok {
+					rowsByStmt[stmt] = res.Rows
+				} else if !rowsEqual(prev, res.Rows) {
+					errs <- fmt.Errorf("worker %d: rows diverged for %q", w, stmt)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := tier.Stats()
+	if st.Cache.Misses != int64(len(statements)) {
+		t.Fatalf("cache misses = %d, want %d (one preprocess per statement shape)",
+			st.Cache.Misses, len(statements))
+	}
+	if cs := st.Classes[DefaultClass]; cs.ShardedSessions != workers*perWorker {
+		t.Fatalf("ShardedSessions = %d, want %d", cs.ShardedSessions, workers*perWorker)
+	}
+	for i, b := range st.Backends {
+		if b.InflightSessions != 0 || b.InflightQuestions != 0 {
+			t.Fatalf("backend %d leaked in-flight load: %+v", i, b)
+		}
+	}
+}
