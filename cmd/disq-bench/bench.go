@@ -92,6 +92,17 @@ type benchReport struct {
 	// host. The contract is ≥1.5 — below that the scatter has stopped
 	// paying for itself.
 	ShardScalingGain float64 `json:"shard_scaling_gain,omitempty"`
+	// PredicateSkipGain is eager / lazy online crowd spend of the same
+	// selective conjunctive filter over bit-identical answer streams: what
+	// short-circuit evaluation with cheapest-rejection-first ordering and
+	// confidence-based early predicate decisions saves. Deterministic
+	// money, not wall-clock. The contract is ≥2 — the lazy evaluator must
+	// at least halve the online bill on a selective filter.
+	PredicateSkipGain float64 `json:"predicate_skip_gain,omitempty"`
+	// TopKPruneGain is eager / lazy online spend of a pure ORDER BY ...
+	// LIMIT statement under the exact (Z=∞) top-k prune, whose rows are
+	// bit-equal to the eager engine's. The contract is ≥1.1.
+	TopKPruneGain float64 `json:"topk_prune_gain,omitempty"`
 	// ShardQuestionsPerBackend is the sharded arm's mean per-backend
 	// online question volume divided by the unsharded arm's (which lands
 	// on one backend): ~1/S when the partitioner spreads evenly. Lower is
@@ -450,6 +461,12 @@ func runBench(jsonPath string, reps, evalN int, seed int64) error {
 		return err
 	}
 
+	// Lazy predicate-ordered evaluation: eager vs lazy online spend on a
+	// selective filter and on a pure top-k statement.
+	if err := runLazyBench(&report); err != nil {
+		return err
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -466,9 +483,10 @@ func runBench(jsonPath string, reps, evalN int, seed int64) error {
 	if report.SweepSpeedupNCPU > 0 {
 		ncpu = fmt.Sprintf("%.2fx at %d CPUs", report.SweepSpeedupNCPU, report.NumCPU)
 	}
-	fmt.Printf("benchmark report written to %s (sweep speedup %.2fx at 1 proc, %s, shared-snapshot gain %.2fx, collect batch gain %.2fx, serve %.0f qps, plan cache gain %.2fx, adaptive spend gain %.2fx, shard scaling gain %.2fx)\n",
+	fmt.Printf("benchmark report written to %s (sweep speedup %.2fx at 1 proc, %s, shared-snapshot gain %.2fx, collect batch gain %.2fx, serve %.0f qps, plan cache gain %.2fx, adaptive spend gain %.2fx, shard scaling gain %.2fx, predicate skip gain %.2fx, topk prune gain %.2fx)\n",
 		jsonPath, report.SweepSpeedup, ncpu, report.SweepSharedGain, report.CollectBatchGain,
-		report.QPS, report.PlanCacheGain, report.AdaptiveSpendGain, report.ShardScalingGain)
+		report.QPS, report.PlanCacheGain, report.AdaptiveSpendGain, report.ShardScalingGain,
+		report.PredicateSkipGain, report.TopKPruneGain)
 	return nil
 }
 

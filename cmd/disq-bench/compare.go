@@ -194,6 +194,42 @@ func compareReports(w io.Writer, old, new *benchReport, maxRegress float64) bool
 			fmt.Fprintf(w, "shard questions/backend: %.2f%s\n", new.ShardQuestionsPerBackend, mark)
 		}
 	}
+	if new.PredicateSkipGain > 0 {
+		mark := ""
+		// The lazy evaluator must keep at least halving the online bill on
+		// a selective filter: gate on the absolute contract (≥2×) and on a
+		// relative slide beyond the regression threshold. Deterministic
+		// money — a slide is a behavior change, never machine noise. Old
+		// reports that predate the measurement only skip the relative half.
+		if new.PredicateSkipGain < 2 ||
+			(old.PredicateSkipGain > 0 && new.PredicateSkipGain < old.PredicateSkipGain*(1-maxRegress)) {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		if old.PredicateSkipGain > 0 {
+			fmt.Fprintf(w, "predicate skip gain (lazy): %.2fx -> %.2fx%s\n",
+				old.PredicateSkipGain, new.PredicateSkipGain, mark)
+		} else {
+			fmt.Fprintf(w, "predicate skip gain (lazy): %.2fx%s\n", new.PredicateSkipGain, mark)
+		}
+	}
+	if new.TopKPruneGain > 0 {
+		mark := ""
+		// The exact top-k prune returns bit-equal rows, so any spend saved
+		// is pure profit — but it must keep saving: gate on the absolute
+		// contract (≥1.1×) and on a relative slide beyond the threshold.
+		if new.TopKPruneGain < 1.1 ||
+			(old.TopKPruneGain > 0 && new.TopKPruneGain < old.TopKPruneGain*(1-maxRegress)) {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		if old.TopKPruneGain > 0 {
+			fmt.Fprintf(w, "topk prune gain (lazy): %.2fx -> %.2fx%s\n",
+				old.TopKPruneGain, new.TopKPruneGain, mark)
+		} else {
+			fmt.Fprintf(w, "topk prune gain (lazy): %.2fx%s\n", new.TopKPruneGain, mark)
+		}
+	}
 	if new.AdaptiveSpendGain > 0 {
 		mark := ""
 		// The adaptive evaluator must keep delivering its headline: gate on

@@ -224,6 +224,62 @@ func TestCompareShardQuestionsPerBackendGate(t *testing.T) {
 	}
 }
 
+func TestComparePredicateSkipGainGate(t *testing.T) {
+	var buf strings.Builder
+	// Absolute contract: below 2x fails even with no old measurement.
+	if !compareReports(&buf, &benchReport{}, &benchReport{PredicateSkipGain: 1.7}, 0.10) {
+		t.Fatal("predicate skip gain 1.7x passed the >=2x contract")
+	}
+	// Above the absolute bar with no old measurement: passes and reports.
+	buf.Reset()
+	if compareReports(&buf, &benchReport{}, &benchReport{PredicateSkipGain: 2.5}, 0.10) {
+		t.Fatal("predicate skip gain 2.5x failed without an old report")
+	}
+	if !strings.Contains(buf.String(), "predicate skip gain") {
+		t.Fatalf("gain not reported:\n%s", buf.String())
+	}
+	// Relative slide beyond the threshold fails even above the bar.
+	if !compareReports(&buf, &benchReport{PredicateSkipGain: 3.0}, &benchReport{PredicateSkipGain: 2.2}, 0.10) {
+		t.Fatal("27% predicate skip slide passed")
+	}
+	// A slide within the threshold passes.
+	if compareReports(&buf, &benchReport{PredicateSkipGain: 2.6}, &benchReport{PredicateSkipGain: 2.5}, 0.10) {
+		t.Fatal("4% predicate skip slide failed")
+	}
+	// A report without the measurement does not trip the gate.
+	if compareReports(&buf, &benchReport{PredicateSkipGain: 2.6}, &benchReport{}, 0.10) {
+		t.Fatal("missing predicate skip measurement tripped the gate")
+	}
+}
+
+func TestCompareTopKPruneGainGate(t *testing.T) {
+	var buf strings.Builder
+	// Absolute contract: below 1.1x fails even with no old measurement.
+	if !compareReports(&buf, &benchReport{}, &benchReport{TopKPruneGain: 1.05}, 0.10) {
+		t.Fatal("topk prune gain 1.05x passed the >=1.1x contract")
+	}
+	// Above the absolute bar with no old measurement: passes and reports.
+	buf.Reset()
+	if compareReports(&buf, &benchReport{}, &benchReport{TopKPruneGain: 1.3}, 0.10) {
+		t.Fatal("topk prune gain 1.3x failed without an old report")
+	}
+	if !strings.Contains(buf.String(), "topk prune gain") {
+		t.Fatalf("gain not reported:\n%s", buf.String())
+	}
+	// Relative slide beyond the threshold fails even above the bar.
+	if !compareReports(&buf, &benchReport{TopKPruneGain: 1.6}, &benchReport{TopKPruneGain: 1.3}, 0.10) {
+		t.Fatal("19% topk prune slide passed")
+	}
+	// A slide within the threshold passes.
+	if compareReports(&buf, &benchReport{TopKPruneGain: 1.32}, &benchReport{TopKPruneGain: 1.3}, 0.10) {
+		t.Fatal("2% topk prune slide failed")
+	}
+	// A report without the measurement does not trip the gate.
+	if compareReports(&buf, &benchReport{TopKPruneGain: 1.3}, &benchReport{}, 0.10) {
+		t.Fatal("missing topk prune measurement tripped the gate")
+	}
+}
+
 func TestCompareAdaptiveSpendGainGate(t *testing.T) {
 	var buf strings.Builder
 	// Absolute contract: below 1.2x fails even with no old measurement.

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/domain"
+	"repro/internal/query"
+)
+
+// runLazyBench measures the lazy evaluator's two spend headlines. Both
+// arms compare the eager engine against the lazy engine over the same
+// plan and bit-identical simulated answer streams, so the ratios are
+// deterministic money — no ABBA dance, one run each. The environment is
+// pinned (fixed simulator seed and object draw, independent of -seed):
+// the gains are properties of the evaluator on a known workload, and a
+// drifting seed would turn the compare gates into coin flips.
+//
+//   - predicate_skip_gain: a selective conjunctive filter under the
+//     confidence config (MinAnswers 2, DropTol 0.3): predicates decided
+//     on a few answers of the highest-impact terms reject most objects
+//     before the rest of their budget is spent. Contract ≥2.
+//   - topk_prune_gain: a pure ORDER BY ... LIMIT statement under the
+//     same confidence config: candidates whose sort-key interval sits
+//     provably below the kept top-k threshold are dropped before their
+//     SELECT questions. Contract ≥1.1.
+//
+// Both arms run the approximate evaluator — the exact (Z=∞) mode's
+// bit-equality pins live in internal/query's tests, but on this plan's
+// dense least-squares regressions exact evaluation reads the full
+// support and saves nothing; the spend headline is the confidence mode.
+func runLazyBench(report *benchReport) error {
+	const (
+		lazySeed = 99
+		objSeed  = 17
+		nObjects = 48
+	)
+	newSim := func() (*crowd.SimPlatform, []*domain.Object, error) {
+		sim, err := crowd.NewSim(domain.Recipes(), crowd.SimOptions{Seed: lazySeed})
+		if err != nil {
+			return nil, nil, err
+		}
+		return sim, sim.Universe().NewObjects(rand.New(rand.NewSource(objSeed)), nObjects), nil
+	}
+	buildPlan := func(st *query.Statement) (*core.Plan, error) {
+		sim, _, err := newSim()
+		if err != nil {
+			return nil, err
+		}
+		return core.Preprocess(sim, st.Query(), crowd.Cents(4), crowd.Dollars(30), core.Options{})
+	}
+	runArm := func(st *query.Statement, plan *core.Plan, lcfg *query.LazyConfig) (crowd.Cost, error) {
+		sim, objs, err := newSim()
+		if err != nil {
+			return 0, err
+		}
+		eng, err := query.NewEngine(sim, plan, st)
+		if err != nil {
+			return 0, err
+		}
+		if lcfg != nil {
+			eng.SetLazy(lcfg)
+		}
+		if _, err := eng.Execute(st, objs); err != nil {
+			return 0, err
+		}
+		return sim.Ledger().Spent(), nil
+	}
+	measure := func(stmt string, lcfg *query.LazyConfig) (eager, lazy crowd.Cost, err error) {
+		st, err := query.Parse(stmt)
+		if err != nil {
+			return 0, 0, err
+		}
+		plan, err := buildPlan(st)
+		if err != nil {
+			return 0, 0, err
+		}
+		if eager, err = runArm(st, plan, nil); err != nil {
+			return 0, 0, err
+		}
+		if lazy, err = runArm(st, plan, lcfg); err != nil {
+			return 0, 0, err
+		}
+		if lazy <= 0 {
+			return 0, 0, fmt.Errorf("lazy bench: %q spent nothing", stmt)
+		}
+		return eager, lazy, nil
+	}
+
+	// The headline tuning: predicates settle on two agreeing answers
+	// (MinAnswers 2), and the impact truncation (DropTol 0.3) keeps the
+	// dense regressions from reading the full support per predicate —
+	// each lazy predicate pays only for the terms that can change its
+	// outcome.
+	lcfg := &query.LazyConfig{
+		ShortCircuit: true, Reorder: true, Z: 1.96,
+		MinAnswers: 2, Rounds: 4, TopKPrune: true, DropTol: 0.3,
+	}
+
+	// Selective filter: short-circuit rejection plus early decisions.
+	eagerSkip, lazySkip, err := measure("SELECT Protein WHERE Dessert > 0.5 AND Calories < 250", lcfg)
+	if err != nil {
+		return err
+	}
+	report.PredicateSkipGain = float64(eagerSkip) / float64(lazySkip)
+
+	// Pure top-k: confidence pruning of out-of-top-k candidates.
+	eagerTopK, lazyTopK, err := measure("SELECT Calories ORDER BY Protein DESC LIMIT 5", lcfg)
+	if err != nil {
+		return err
+	}
+	report.TopKPruneGain = float64(eagerTopK) / float64(lazyTopK)
+
+	report.Benchmarks = append(report.Benchmarks,
+		benchEntry{Name: "online-spend-eager-filter-mills", NsPerOp: int64(eagerSkip)},
+		benchEntry{Name: "online-spend-lazy-filter-mills", NsPerOp: int64(lazySkip)},
+		benchEntry{Name: "online-spend-eager-topk-mills", NsPerOp: int64(eagerTopK)},
+		benchEntry{Name: "online-spend-lazy-topk-mills", NsPerOp: int64(lazyTopK)},
+	)
+	return nil
+}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+// TestRunLazyBenchContract runs the lazy spend arms for real (pinned
+// environment, deterministic money) and checks both headline ratios
+// clear their compare-gate contracts — so a regression fails in go test,
+// not just in the CI bench diff.
+func TestRunLazyBenchContract(t *testing.T) {
+	var r benchReport
+	if err := runLazyBench(&r); err != nil {
+		t.Fatal(err)
+	}
+	if r.PredicateSkipGain < 2 {
+		t.Fatalf("predicate_skip_gain = %.3f, contract >= 2", r.PredicateSkipGain)
+	}
+	if r.TopKPruneGain < 1.1 {
+		t.Fatalf("topk_prune_gain = %.3f, contract >= 1.1", r.TopKPruneGain)
+	}
+	if len(r.Benchmarks) != 4 {
+		t.Fatalf("lazy arms recorded %d bench entries, want 4", len(r.Benchmarks))
+	}
+}

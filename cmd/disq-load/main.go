@@ -7,7 +7,10 @@
 // -rate switches to open-loop arrivals (fixed interval, independent of
 // completions, arrivals beyond -concurrency outstanding are shed — the
 // shape that exposes queueing collapse). Statements and SLO classes are
-// cycled per arrival, so a mixed workload is one flag away.
+// cycled per arrival, so a mixed workload is one flag away. -topk k
+// appends a top-k ordered statement to the mix, and -lazy opts every
+// session into the server's lazy predicate-ordered evaluator (the
+// report then totals objects_pruned / questions_skipped).
 //
 // -gain additionally measures the plan cache cold/warm split: probes in
 // ABBA order against fresh vs pre-warmed plan keys, medians of each
@@ -21,6 +24,7 @@
 //	disq-serve -serve-queries -backends 2 -addr 127.0.0.1:8080 &
 //	disq-load -addr http://127.0.0.1:8080 -duration 5s
 //	disq-load -addr http://127.0.0.1:8080 -statements 'SELECT Protein; SELECT Calories WHERE Dessert > 0.5'
+//	disq-load -addr http://127.0.0.1:8080 -topk 3 -lazy
 //	disq-load -addr http://127.0.0.1:8080 -gain -min-gain 3
 //	disq-load -addr http://127.0.0.1:8080 -duration 5s -min-qps 10 -max-errors 0 -json report.json
 package main
@@ -63,6 +67,8 @@ func main() {
 		bObjCents   = flag.Float64("bobj-cents", 0, "per-object budget override, cents (0 = server default)")
 		bPrcDollars = flag.Float64("bprc-dollars", 0, "preprocessing budget override, dollars (0 = server default)")
 		adaptiveOn  = flag.Bool("adaptive", false, "opt every session into the server's adaptive online evaluator")
+		lazyOn      = flag.Bool("lazy", false, "opt every session into the server's lazy predicate-ordered evaluator")
+		topK        = flag.Int("topk", 0, "append 'SELECT Protein ORDER BY Protein DESC LIMIT k' to the statement mix (0 = off)")
 		shards      = flag.Int("shards", 0, "per-session shard-count override (0 = server default)")
 
 		gain       = flag.Bool("gain", false, "also measure the plan-cache cold/warm gain (first statement)")
@@ -76,14 +82,14 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(*addr, *statements, *classes, *concurrency, *rate, *duration, *maxObjects,
-		*bObjCents, *bPrcDollars, *adaptiveOn, *shards, *gain, *gainProbes, *jsonPath, *minQPS, *maxErrors, *minGain, *skipLoad); err != nil {
+		*bObjCents, *bPrcDollars, *adaptiveOn, *lazyOn, *topK, *shards, *gain, *gainProbes, *jsonPath, *minQPS, *maxErrors, *minGain, *skipLoad); err != nil {
 		fmt.Fprintln(os.Stderr, "disq-load:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, statements, classes string, concurrency int, rate float64, duration time.Duration,
-	maxObjects int, bObjCents, bPrcDollars float64, adaptiveOn bool, shards int, gain bool, gainProbes int,
+	maxObjects int, bObjCents, bPrcDollars float64, adaptiveOn, lazyOn bool, topK, shards int, gain bool, gainProbes int,
 	jsonPath string, minQPS float64, maxErrors int64, minGain float64, skipLoad bool) error {
 	stmts := splitList(statements, ";")
 	if len(stmts) == 0 {
@@ -97,6 +103,15 @@ func run(addr, statements, classes string, concurrency int, rate float64, durati
 	}
 	if shards < 0 {
 		return fmt.Errorf("-shards must be >= 0, got %d", shards)
+	}
+	if topK < 0 {
+		return fmt.Errorf("-topk must be >= 0, got %d", topK)
+	}
+	if topK > 0 {
+		stmts = append(stmts, fmt.Sprintf("SELECT Protein ORDER BY Protein DESC LIMIT %d", topK))
+	}
+	if adaptiveOn && lazyOn {
+		return fmt.Errorf("-adaptive and -lazy are mutually exclusive")
 	}
 	client := crowdhttp.NewQueryClient(strings.TrimRight(addr, "/"), nil)
 	rep := &report{Target: addr, Statements: stmts, Classes: splitList(classes, ","), Shards: shards}
@@ -114,6 +129,7 @@ func run(addr, statements, classes string, concurrency int, rate float64, durati
 			BObj:        bObj,
 			BPrc:        bPrc,
 			Adaptive:    adaptiveOn,
+			Lazy:        lazyOn,
 			Shards:      shards,
 		})
 		if err != nil {
@@ -124,6 +140,10 @@ func run(addr, statements, classes string, concurrency int, rate float64, durati
 			load.Queries, load.Elapsed.Round(time.Millisecond), load.QPS,
 			load.P50.Round(time.Microsecond), load.P99.Round(time.Microsecond),
 			load.CacheHits, load.Errors, load.Rejected, load.Shed)
+		if lazyOn {
+			fmt.Printf("lazy: objects-pruned %d  questions-skipped %d\n",
+				load.ObjectsPruned, load.QuestionsSkipped)
+		}
 	}
 
 	if gain {

@@ -11,7 +11,9 @@
 //     /v1/serve/stats) over -backends simulated platforms behind a
 //     serve.Tier — plan cache with single-flight preprocessing, pluggable
 //     routing (-route), and per-class token-bucket admission control
-//     (-admission). Clients POST whole statements; see cmd/disq-load.
+//     (-admission). Clients POST whole statements — including ORDER BY
+//     ... LIMIT top-k and per-request "lazy": true sessions through the
+//     lazy predicate-ordered evaluator; see cmd/disq-load.
 //
 // Fault injection (for rehearsing the retrying client against a flaky
 // deployment): -fail-rate rejects a fraction of requests with 503 before

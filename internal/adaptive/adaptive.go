@@ -434,17 +434,28 @@ func (e *Evaluator) basePhase(o *domain.Object, st []attrState, stopping bool) e
 // hold after the given round: MinAnswers first, then even steps that
 // reach cap by the last configured round.
 func (e *Evaluator) roundTarget(round, asked, cap int) int {
-	first := e.cfg.MinAnswers
+	return RoundTarget(round, asked, cap, e.cfg.MinAnswers, e.cfg.Rounds)
+}
+
+// RoundTarget is the shared incremental asking schedule: the cumulative
+// answer count an attribute should hold after the given round, starting
+// at minAnswers and stepping evenly to cap by the last of rounds. Both
+// this package's evaluator and the lazy query engine (internal/query)
+// pace their fetches with it, so the two adaptive paths ask identical
+// answer prefixes round for round — which is what keeps incremental
+// asking charge-identical to one fixed call on a memoizing platform.
+func RoundTarget(round, asked, cap, minAnswers, rounds int) int {
+	first := minAnswers
 	if first > cap {
 		first = cap
 	}
 	if round == 0 {
 		return first
 	}
-	if round >= e.cfg.Rounds-1 {
+	if round >= rounds-1 {
 		return cap
 	}
-	step := (cap - first + e.cfg.Rounds - 2) / (e.cfg.Rounds - 1) // ceil
+	step := (cap - first + rounds - 2) / (rounds - 1) // ceil
 	if step < 1 {
 		step = 1
 	}

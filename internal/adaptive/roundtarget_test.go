@@ -1,0 +1,31 @@
+package adaptive
+
+import "testing"
+
+// TestRoundTargetSchedule pins the shared asking schedule: MinAnswers
+// first, even steps, cap reached exactly by the last round — the pacing
+// contract both the adaptive evaluator and the lazy query engine rely
+// on for charge-identical incremental asking.
+func TestRoundTargetSchedule(t *testing.T) {
+	const minAnswers, rounds, cap = 3, 4, 10
+	asked := 0
+	var got []int
+	for round := 0; round < rounds; round++ {
+		asked = RoundTarget(round, asked, cap, minAnswers, rounds)
+		got = append(got, asked)
+	}
+	want := []int{3, 6, 9, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("schedule = %v, want %v", got, want)
+		}
+	}
+	// A cap below the floor starts (and stays) at the cap.
+	if to := RoundTarget(0, 0, 2, minAnswers, rounds); to != 2 {
+		t.Fatalf("tiny cap first round = %d, want 2", to)
+	}
+	// Past the scheduled rounds the target is always the cap.
+	if to := RoundTarget(rounds+3, 4, cap, minAnswers, rounds); to != cap {
+		t.Fatalf("late round = %d, want %d", to, cap)
+	}
+}

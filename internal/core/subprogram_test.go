@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestTargetProgramMatchesCompiled pins the per-target sub-program
+// against the full compiled evaluation: for identical means every
+// target's Predict must be bit-equal to its PredictFromMeans entry —
+// the determinism contract the lazy query engine's full-evaluation pin
+// rests on.
+func TestTargetProgramMatchesCompiled(t *testing.T) {
+	pl := compiledTestPlan()
+	means := []float64{1.5, -2.25, 0.75} // support is a, b, d (sorted, c has count 0)
+	want, err := pl.PredictFromMeans(means)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range pl.Targets {
+		tp, err := pl.TargetProgram(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tp.Predict(means); got != want[target] {
+			t.Errorf("%s: Predict = %v, PredictFromMeans = %v", target, got, want[target])
+		}
+	}
+}
+
+func TestTargetProgramDeps(t *testing.T) {
+	pl := compiledTestPlan()
+	// T1 reads a (lin), b (lin) and d (square); support order is a=0,
+	// b=1, d=2. The budget-less term z must not appear.
+	tp, err := pl.TargetProgram("T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tp.Deps(); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("T1 deps = %v, want [0 1 2]", got)
+	}
+	// Deps must be a copy: mutating it must not corrupt the program.
+	tp.Deps()[0] = 99
+	if got := tp.Deps(); got[0] != 0 {
+		t.Fatalf("Deps aliases internal state: %v", got)
+	}
+}
+
+func TestTargetProgramUnknownTarget(t *testing.T) {
+	pl := compiledTestPlan()
+	if _, err := pl.TargetProgram("NoSuchTarget"); err == nil {
+		t.Fatal("unknown target should error")
+	}
+}
+
+// TestTargetProgramBound checks the halfwidth propagation: zero
+// halfwidths give a zero bound, and the bound is the sum of the
+// coefficient-scaled per-attribute halfwidths (with the square term's
+// linearization around the current mean).
+func TestTargetProgramBound(t *testing.T) {
+	pl := compiledTestPlan()
+	tp, err := pl.TargetProgram("T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := []float64{1.0, 2.0, -3.0}
+	zero := make([]float64, 3)
+	if b := tp.Bound(means, zero); b != 0 {
+		t.Fatalf("zero halfwidths should bound to 0, got %v", b)
+	}
+	hw := []float64{0.1, 0.2, 0.5}
+	// T1: lin b(idx1) 0.5, lin a(idx0) -1.25, square d(idx2) 0.125.
+	want := 0.5*0.2 + 1.25*0.1 + 0.125*(2*3.0*0.5+0.5*0.5)
+	if b := tp.Bound(means, hw); math.Abs(b-want) > 1e-12 {
+		t.Fatalf("Bound = %v, want %v", b, want)
+	}
+}

@@ -37,6 +37,9 @@ type queryWire struct {
 	BObjMills  int64  `json:"b_obj_mills,omitempty"`
 	BPrcMills  int64  `json:"b_prc_mills,omitempty"`
 	Adaptive   bool   `json:"adaptive,omitempty"`
+	// Lazy runs the session through the lazy short-circuit evaluator
+	// (mutually exclusive with Adaptive, mirroring serve.Request).
+	Lazy bool `json:"lazy,omitempty"`
 	// Shards overrides the server tier's shard count for this session
 	// (0 = server default). The scatter happens tier-side: the client
 	// still sends one request and receives one merged row set.
@@ -88,6 +91,7 @@ func (s *QueryServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 		BObj:       crowd.Cost(wire.BObjMills),
 		BPrc:       crowd.Cost(wire.BPrcMills),
 		Adaptive:   wire.Adaptive,
+		Lazy:       wire.Lazy,
 		Shards:     wire.Shards,
 	})
 	if err != nil {
@@ -138,6 +142,7 @@ func (c *QueryClient) Execute(ctx context.Context, req serve.Request) (*serve.Re
 		BObjMills:  int64(req.BObj),
 		BPrcMills:  int64(req.BPrc),
 		Adaptive:   req.Adaptive,
+		Lazy:       req.Lazy,
 		Shards:     req.Shards,
 	})
 	if err != nil {

@@ -196,6 +196,48 @@ func TestQueryAPIShardsCrossTheWire(t *testing.T) {
 	}
 }
 
+// TestQueryAPILazyTopKCrossesTheWire runs a lazy ordered session through
+// the remote tier: the Lazy flag, the savings counters and each row's
+// sort key must survive the round trip, and the per-class lazy counters
+// must show up in the remote stats.
+func TestQueryAPILazyTopKCrossesTheWire(t *testing.T) {
+	client, _ := newQueryFixture(t, 1, serve.Config{})
+	ctx := context.Background()
+
+	res, err := client.Execute(ctx, serve.Request{
+		Statement: "SELECT Calories ORDER BY Protein DESC LIMIT 3",
+		Lazy:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Lazy {
+		t.Fatal("Result.Lazy lost on the wire")
+	}
+	if res.QuestionsSkipped <= 0 {
+		t.Fatalf("QuestionsSkipped = %d, want > 0 under the default lazy config", res.QuestionsSkipped)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].SortKey > res.Rows[i-1].SortKey {
+			t.Fatalf("SortKey order lost on the wire: %+v", res.Rows)
+		}
+	}
+	st, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := st.Classes[serve.DefaultClass]
+	if cs.LazySessions != 1 {
+		t.Fatalf("remote LazySessions = %d, want 1", cs.LazySessions)
+	}
+	if cs.QuestionsSkipped != res.QuestionsSkipped {
+		t.Fatalf("remote QuestionsSkipped = %d, result reported %d", cs.QuestionsSkipped, res.QuestionsSkipped)
+	}
+}
+
 // TestQueryAPIAdaptiveCrossesTheWire runs a fixed and an adaptive
 // session through the remote tier and checks the flag, the savings and
 // the per-class counters all survive the round trip.

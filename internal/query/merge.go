@@ -1,5 +1,7 @@
 package query
 
+import "sort"
+
 // MergeRows is the gather half of the serving tier's scatter-gather
 // executor: it merges per-shard row lists back into the unsharded
 // evaluation order. rank maps an object ID to its position in the full
@@ -38,6 +40,43 @@ func MergeRows(rank map[int]int, shards ...[]ResultRow) []ResultRow {
 		}
 		out = append(out, shards[best][heads[best]])
 		heads[best]++
+	}
+	return out
+}
+
+// MergeTopK is the ordered gather for ORDER BY statements: each shard
+// returns its local ordering (already sorted by Key and truncated to
+// limit by its engine), and the global result is the total order by
+// (Key, rank) — Key in the requested direction, evaluation rank breaking
+// ties, which is exactly what the unsharded engine's stable sort
+// produces. Because the global top-k is a subset of the union of
+// per-shard top-k lists under that total order, concatenating, sorting
+// and truncating reproduces the unsharded rows bit-for-bit. limit <= 0
+// means no truncation.
+func MergeTopK(rank map[int]int, desc bool, limit int, shards ...[]ResultRow) []ResultRow {
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]ResultRow, 0, total)
+	for _, s := range shards {
+		out = append(out, s...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ki, kj := out[i].Key, out[j].Key
+		if ki != kj {
+			if desc {
+				return ki > kj
+			}
+			return ki < kj
+		}
+		return rank[out[i].Object.ID] < rank[out[j].Object.ID]
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
 	}
 	return out
 }

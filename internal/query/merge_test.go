@@ -67,3 +67,60 @@ func TestMergeRowsSingleShardIsIdentity(t *testing.T) {
 		t.Fatalf("identity merge = %+v", out)
 	}
 }
+
+func keyRow(id int, key float64) ResultRow {
+	r := mergeRow(id)
+	r.Key = key
+	return r
+}
+
+// TestMergeTopKMatchesUnshardedSort pins the ordered gather against its
+// specification: concatenated shard rows sorted by (Key, rank) must
+// equal the unsharded engine's stable sort over the same rows.
+func TestMergeTopKMatchesUnshardedSort(t *testing.T) {
+	// Evaluation order (rank): 40, 10, 30, 20, 50. Keys engineered with a
+	// cross-shard tie (40 and 20 share key 7 — rank must break it).
+	ids := []int{40, 10, 30, 20, 50}
+	keys := map[int]float64{40: 7, 10: 3, 30: 9, 20: 7, 50: 1}
+	rank := make(map[int]int, len(ids))
+	for i, id := range ids {
+		rank[id] = i
+	}
+	shardA := []ResultRow{keyRow(40, 7), keyRow(20, 7)}
+	shardB := []ResultRow{keyRow(10, 3), keyRow(50, 1)}
+	shardC := []ResultRow{keyRow(30, 9)}
+
+	// Unsharded reference: rows in evaluation order, stable-sorted.
+	var ref []ResultRow
+	for _, id := range ids {
+		ref = append(ref, keyRow(id, keys[id]))
+	}
+	sortRows(ref, true)
+
+	out := MergeTopK(rank, true, 0, shardA, shardB, shardC)
+	if len(out) != len(ref) {
+		t.Fatalf("merged %d rows, want %d", len(out), len(ref))
+	}
+	for i := range ref {
+		if out[i].Object.ID != ref[i].Object.ID {
+			t.Fatalf("desc position %d: object %d, want %d", i, out[i].Object.ID, ref[i].Object.ID)
+		}
+	}
+	// The tie at key 7 must resolve by rank: 40 (rank 0) before 20 (rank 3).
+	if out[1].Object.ID != 40 || out[2].Object.ID != 20 {
+		t.Fatalf("tie-break by rank violated: %v %v", out[1].Object.ID, out[2].Object.ID)
+	}
+
+	// Ascending with truncation.
+	out = MergeTopK(rank, false, 2, shardA, shardB, shardC)
+	if len(out) != 2 || out[0].Object.ID != 50 || out[1].Object.ID != 10 {
+		t.Fatalf("asc limit 2 = %+v", out)
+	}
+}
+
+// TestMergeTopKNoRows keeps the nil contract of MergeRows.
+func TestMergeTopKNoRows(t *testing.T) {
+	if out := MergeTopK(map[int]int{1: 0}, true, 3, nil, []ResultRow{}); out != nil {
+		t.Fatalf("merge of no rows = %+v, want nil", out)
+	}
+}

@@ -16,6 +16,7 @@ package query
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -92,15 +93,15 @@ func (c Condition) Holds(v float64) bool {
 	}
 }
 
+// approxEqual holds when a and b differ by at most 5% of the larger
+// magnitude of the two (floored at 1, so near-zero comparisons keep an
+// absolute band). Scaling by the max magnitude keeps the relation
+// symmetric — approxEqual(a, b) == approxEqual(b, a) — where scaling by
+// one side made `a = b` and `b = a` disagree whenever the operands
+// straddled the tolerance.
 func approxEqual(a, b float64) bool {
-	diff := a - b
-	if diff < 0 {
-		diff = -diff
-	}
-	scale := b
-	if scale < 0 {
-		scale = -scale
-	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
 	if scale < 1 {
 		scale = 1
 	}
@@ -112,15 +113,35 @@ func (c Condition) String() string {
 	return fmt.Sprintf("%s %s %g", c.Attr, c.Op, c.Value)
 }
 
-// Statement is a parsed query: the attributes to return and a conjunction
-// of filter conditions.
+// OrderBy is a statement's ORDER BY clause: the sort attribute and
+// direction (ascending unless Desc).
+type OrderBy struct {
+	Attr string
+	Desc bool
+}
+
+// String renders the clause body ("attr ASC"/"attr DESC").
+func (o OrderBy) String() string {
+	if o.Desc {
+		return o.Attr + " DESC"
+	}
+	return o.Attr + " ASC"
+}
+
+// Statement is a parsed query: the attributes to return, a conjunction
+// of filter conditions, and an optional ORDER BY/LIMIT trailer.
 type Statement struct {
 	Select []string
 	Where  []Condition
+	// Order, when non-nil, sorts the result rows by the named attribute's
+	// estimate; Limit (valid only with Order) truncates to the top k.
+	Order *OrderBy
+	Limit int
 }
 
-// Attributes returns every attribute the statement references (selected
-// or filtered), deduplicated and sorted — these are the DisQ targets.
+// Attributes returns every attribute the statement references (selected,
+// filtered or ordered by), deduplicated and sorted — these are the DisQ
+// targets.
 func (s *Statement) Attributes() []string {
 	set := make(map[string]struct{})
 	for _, a := range s.Select {
@@ -128,6 +149,9 @@ func (s *Statement) Attributes() []string {
 	}
 	for _, c := range s.Where {
 		set[c.Attr] = struct{}{}
+	}
+	if s.Order != nil {
+		set[s.Order.Attr] = struct{}{}
 	}
 	out := make([]string, 0, len(set))
 	for a := range set {
@@ -155,27 +179,49 @@ func (s *Statement) String() string {
 		}
 		b.WriteString(strings.Join(parts, " AND "))
 	}
+	if s.Order != nil {
+		b.WriteString(" ORDER BY ")
+		b.WriteString(s.Order.String())
+		if s.Limit > 0 {
+			fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+		}
+	}
 	return b.String()
+}
+
+// isKw reports a case-insensitive keyword match.
+func isKw(tok string, kws ...string) bool {
+	for _, kw := range kws {
+		if strings.EqualFold(tok, kw) {
+			return true
+		}
+	}
+	return false
 }
 
 // Parse reads a statement of the form
 //
-//	SELECT attr[, attr...] [WHERE attr op value [AND attr op value ...]]
+//	SELECT attr[, attr...]
+//	    [WHERE attr op value [AND attr op value ...]]
+//	    [ORDER BY attr [ASC|DESC] [LIMIT k]]
 //
 // Attribute names may contain spaces (e.g. "Has Meat"); they extend until
-// the next comma, operator or keyword. Keywords are case-insensitive.
+// the next comma, operator or keyword. Keywords are case-insensitive;
+// WHERE, AND, ORDER, BY, ASC, DESC and LIMIT are reserved and cannot
+// start an attribute name.
 func Parse(input string) (*Statement, error) {
 	tokens := tokenize(input)
 	if len(tokens) == 0 {
 		return nil, errors.New("query: empty statement")
 	}
-	if !strings.EqualFold(tokens[0], "select") {
+	if !isKw(tokens[0], "select") {
 		return nil, fmt.Errorf("query: expected SELECT, got %q", tokens[0])
 	}
 	pos := 1
 	st := &Statement{}
 
-	// SELECT list: names separated by commas, until WHERE or end.
+	// SELECT list: names separated by commas, until WHERE, the ORDER
+	// BY/LIMIT trailer, or end.
 	var current []string
 	flush := func() error {
 		if len(current) == 0 {
@@ -185,7 +231,7 @@ func Parse(input string) (*Statement, error) {
 		current = nil
 		return nil
 	}
-	for pos < len(tokens) && !strings.EqualFold(tokens[pos], "where") {
+	for pos < len(tokens) && !isKw(tokens[pos], "where", "order", "limit") {
 		tok := tokens[pos]
 		if tok == "," {
 			if err := flush(); err != nil {
@@ -200,30 +246,88 @@ func Parse(input string) (*Statement, error) {
 		return nil, err
 	}
 
-	if pos == len(tokens) {
-		return st, nil
+	if pos < len(tokens) && isKw(tokens[pos], "where") {
+		pos++ // consume WHERE
+		// Conditions separated by AND, until the trailer or end.
+		for {
+			cond, next, err := parseCondition(tokens, pos)
+			if err != nil {
+				return nil, err
+			}
+			st.Where = append(st.Where, cond)
+			pos = next
+			if pos == len(tokens) || isKw(tokens[pos], "order", "limit") {
+				break
+			}
+			if !isKw(tokens[pos], "and") {
+				return nil, fmt.Errorf("query: expected AND, got %q", tokens[pos])
+			}
+			pos++
+			if pos == len(tokens) {
+				return nil, errors.New("query: dangling AND")
+			}
+		}
 	}
-	pos++ // consume WHERE
 
-	// Conditions separated by AND.
-	for {
-		cond, next, err := parseCondition(tokens, pos)
-		if err != nil {
-			return nil, err
-		}
-		st.Where = append(st.Where, cond)
-		pos = next
-		if pos == len(tokens) {
-			return st, nil
-		}
-		if !strings.EqualFold(tokens[pos], "and") {
-			return nil, fmt.Errorf("query: expected AND, got %q", tokens[pos])
-		}
+	pos, err := parseOrderLimit(tokens, pos, st)
+	if err != nil {
+		return nil, err
+	}
+	if pos != len(tokens) {
+		return nil, fmt.Errorf("query: unexpected %q after statement", tokens[pos])
+	}
+	return st, nil
+}
+
+// parseOrderLimit consumes the optional ORDER BY attr [ASC|DESC]
+// [LIMIT k] trailer into st, returning the next position.
+func parseOrderLimit(tokens []string, pos int, st *Statement) (int, error) {
+	if pos < len(tokens) && isKw(tokens[pos], "limit") {
+		return 0, errors.New("query: LIMIT without ORDER BY")
+	}
+	if pos == len(tokens) || !isKw(tokens[pos], "order") {
+		return pos, nil
+	}
+	pos++ // consume ORDER
+	if pos == len(tokens) || !isKw(tokens[pos], "by") {
+		return 0, errors.New("query: expected BY after ORDER")
+	}
+	pos++ // consume BY
+
+	// The sort attribute extends until a direction keyword, LIMIT or end.
+	var name []string
+	for pos < len(tokens) && !isKw(tokens[pos], "asc", "desc", "limit") {
+		name = append(name, tokens[pos])
 		pos++
-		if pos == len(tokens) {
-			return nil, errors.New("query: dangling AND")
+	}
+	if len(name) == 0 {
+		return 0, errors.New("query: dangling ORDER BY (missing attribute)")
+	}
+	st.Order = &OrderBy{Attr: strings.Join(name, " ")}
+	if pos < len(tokens) && isKw(tokens[pos], "asc", "desc") {
+		st.Order.Desc = isKw(tokens[pos], "desc")
+		pos++
+		if pos < len(tokens) && !isKw(tokens[pos], "limit") {
+			return 0, fmt.Errorf("query: unknown direction or trailing %q after ORDER BY %s (want LIMIT or end)",
+				tokens[pos], st.Order)
 		}
 	}
+	if pos == len(tokens) {
+		return pos, nil
+	}
+	pos++ // consume LIMIT
+	if pos == len(tokens) {
+		return 0, errors.New("query: LIMIT missing count")
+	}
+	n, err := strconv.Atoi(tokens[pos])
+	if err != nil {
+		return 0, fmt.Errorf("query: bad LIMIT %q (want a positive integer)", tokens[pos])
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("query: LIMIT must be positive, got %d", n)
+	}
+	st.Limit = n
+	return pos + 1, nil
 }
 
 func parseCondition(tokens []string, pos int) (Condition, int, error) {
@@ -303,6 +407,22 @@ func tokenize(s string) []string {
 type ResultRow struct {
 	Object *domain.Object
 	Values map[string]float64
+	// Key is the ORDER BY attribute's estimate when the statement has an
+	// Order clause (zero otherwise). It is carried on the row so sharded
+	// gathers can re-merge rankings without re-estimating.
+	Key float64
+}
+
+// sortRows stably sorts rows by Key (descending when desc). Stability
+// matters: equal keys keep evaluation order, which is the tie-break the
+// sharded gather reproduces via object rank.
+func sortRows(rows []ResultRow, desc bool) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		if desc {
+			return rows[i].Key > rows[j].Key
+		}
+		return rows[i].Key < rows[j].Key
+	})
 }
 
 // Engine evaluates statements with a preprocessed plan over a platform.
@@ -310,9 +430,13 @@ type Engine struct {
 	platform crowd.Platform
 	plan     *core.Plan
 	adaptive *adaptive.Config
+	lazy     *LazyConfig
 	// stats carries the last adaptive execution's counters (zero value
 	// when the fixed path ran).
 	stats adaptive.Stats
+	// lstats carries the last lazy execution's counters (zero value when
+	// another path ran).
+	lstats LazyStats
 }
 
 // NewEngine validates that the plan covers every attribute the statement
@@ -348,11 +472,29 @@ func (e *Engine) SetAdaptive(cfg *adaptive.Config) { e.adaptive = cfg }
 // zero value when the engine ran fixed-budget).
 func (e *Engine) AdaptiveStats() adaptive.Stats { return e.stats }
 
+// SetLazy switches the engine onto the lazy predicate-ordered evaluator
+// (see lazy.go): WHERE predicates are paid for one at a time in
+// cheapest-rejection-first order, objects short-circuit on the first
+// failed predicate, and ORDER BY/LIMIT statements prune candidates whose
+// confidence bound cannot enter the top k. Call with nil to restore the
+// eager path. Lazy and adaptive modes are mutually exclusive — Execute
+// rejects the combination.
+func (e *Engine) SetLazy(cfg *LazyConfig) { e.lazy = cfg }
+
+// LazyStats returns the counters of the last lazy Execute (the zero
+// value when another path ran).
+func (e *Engine) LazyStats() LazyStats { return e.lstats }
+
 // Execute estimates the statement's attributes for every object (spending
 // the plan's per-object budget each) and returns the rows whose estimates
 // satisfy every WHERE condition, with the SELECTed values.
 func (e *Engine) Execute(st *Statement, objects []*domain.Object) ([]ResultRow, error) {
-	canon := func(name string) string { return e.platform.Canonical(name) }
+	if e.lazy != nil {
+		if e.adaptive != nil {
+			return nil, errors.New("query: adaptive and lazy modes are mutually exclusive")
+		}
+		return e.executeLazy(st, objects)
+	}
 	estimate := func(o *domain.Object) (map[string]float64, error) {
 		return e.plan.EstimateObject(e.platform, o)
 	}
@@ -373,21 +515,45 @@ func (e *Engine) Execute(st *Statement, objects []*domain.Object) ([]ResultRow, 
 		if err != nil {
 			return nil, err
 		}
-		keep := true
-		for _, c := range st.Where {
-			if !c.Holds(est[canon(c.Attr)]) {
-				keep = false
-				break
-			}
+		if row, keep := e.buildRow(st, o, est); keep {
+			rows = append(rows, row)
 		}
-		if !keep {
-			continue
-		}
-		vals := make(map[string]float64, len(st.Select))
-		for _, a := range st.Select {
-			vals[a] = est[canon(a)]
-		}
-		rows = append(rows, ResultRow{Object: o, Values: vals})
 	}
-	return rows, nil
+	return orderRows(st, rows), nil
+}
+
+// buildRow applies the WHERE conjunction to one object's estimates and,
+// when it passes, assembles its result row (selected values plus the
+// ORDER BY key). Shared by the eager path and the lazy engine's pinned
+// full-evaluation mode.
+func (e *Engine) buildRow(st *Statement, o *domain.Object, est map[string]float64) (ResultRow, bool) {
+	canon := e.platform.Canonical
+	for _, c := range st.Where {
+		if !c.Holds(est[canon(c.Attr)]) {
+			return ResultRow{}, false
+		}
+	}
+	vals := make(map[string]float64, len(st.Select))
+	for _, a := range st.Select {
+		vals[a] = est[canon(a)]
+	}
+	row := ResultRow{Object: o, Values: vals}
+	if st.Order != nil {
+		row.Key = est[canon(st.Order.Attr)]
+	}
+	return row, true
+}
+
+// orderRows applies the statement's ORDER BY/LIMIT trailer to rows in
+// place, returning the (possibly truncated) slice. Statements without an
+// Order clause are returned untouched.
+func orderRows(st *Statement, rows []ResultRow) []ResultRow {
+	if st.Order == nil {
+		return rows
+	}
+	sortRows(rows, st.Order.Desc)
+	if st.Limit > 0 && len(rows) > st.Limit {
+		rows = rows[:st.Limit]
+	}
+	return rows
 }

@@ -43,6 +43,9 @@ type LoadConfig struct {
 	// Adaptive opts every generated session into the adaptive online
 	// evaluator (Request.Adaptive).
 	Adaptive bool
+	// Lazy opts every generated session into the lazy predicate-ordered
+	// evaluator (Request.Lazy). Mutually exclusive with Adaptive.
+	Lazy bool
 	// Shards sets every generated session's shard-count override
 	// (Request.Shards; 0 = target default).
 	Shards int
@@ -55,9 +58,13 @@ type LoadReport struct {
 	Rejected int64 `json:"rejected"`
 	// Shed counts open-loop arrivals dropped because Concurrency sessions
 	// were already outstanding (the open-loop analogue of queue overflow).
-	Shed      int64         `json:"shed"`
-	CacheHits int64         `json:"cache_hits"`
-	Elapsed   time.Duration `json:"elapsed_ns"`
+	Shed      int64 `json:"shed"`
+	CacheHits int64 `json:"cache_hits"`
+	// ObjectsPruned and QuestionsSkipped total the lazy evaluator's
+	// savings over every completed session (zero unless Lazy).
+	ObjectsPruned    int64         `json:"objects_pruned,omitempty"`
+	QuestionsSkipped int64         `json:"questions_skipped,omitempty"`
+	Elapsed          time.Duration `json:"elapsed_ns"`
 	QPS       float64       `json:"qps"`
 	P50       time.Duration `json:"p50_ns"`
 	P99       time.Duration `json:"p99_ns"`
@@ -100,6 +107,7 @@ func RunLoad(ex Executor, cfg LoadConfig) (*LoadReport, error) {
 			BObj:       cfg.BObj,
 			BPrc:       cfg.BPrc,
 			Adaptive:   cfg.Adaptive,
+			Lazy:       cfg.Lazy,
 			Shards:     cfg.Shards,
 		}
 		start := time.Now()
@@ -118,6 +126,10 @@ func RunLoad(ex Executor, cfg LoadConfig) (*LoadReport, error) {
 		atomic.AddInt64(&rep.Queries, 1)
 		if res.CacheHit {
 			atomic.AddInt64(&rep.CacheHits, 1)
+		}
+		if res.Lazy {
+			atomic.AddInt64(&rep.ObjectsPruned, res.ObjectsPruned)
+			atomic.AddInt64(&rep.QuestionsSkipped, res.QuestionsSkipped)
 		}
 		lat.add(time.Since(start).Nanoseconds())
 	}

@@ -55,6 +55,31 @@ func TestRunLoadOpenLoop(t *testing.T) {
 	}
 }
 
+// TestRunLoadLazyTopK drives a lazy mixed workload (one of the
+// statements ordered) and checks the harness totals the lazy savings
+// counters across sessions.
+func TestRunLoadLazyTopK(t *testing.T) {
+	tier := newTestTier(t, 1, 8, Config{})
+	rep, err := RunLoad(tier, LoadConfig{
+		Statements: []string{
+			"SELECT Protein WHERE Dessert > 0.5",
+			"SELECT Protein ORDER BY Protein DESC LIMIT 3",
+		},
+		Concurrency: 2,
+		Duration:    400 * time.Millisecond,
+		Lazy:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries == 0 || rep.Errors != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.QuestionsSkipped <= 0 {
+		t.Fatalf("QuestionsSkipped = %d, want > 0 over a lazy run", rep.QuestionsSkipped)
+	}
+}
+
 func TestRunLoadValidation(t *testing.T) {
 	tier := newTestTier(t, 1, 1, Config{})
 	if _, err := RunLoad(tier, LoadConfig{}); err == nil {

@@ -77,6 +77,13 @@ type classMetrics struct {
 	adaptiveSessions atomic.Int64
 	questionsSaved   atomic.Int64
 
+	// lazySessions counts sessions that ran the lazy evaluator;
+	// objectsPruned and questionsSkipped accumulate the work it avoided
+	// (objects dropped by top-k pruning, plan questions never asked).
+	lazySessions     atomic.Int64
+	objectsPruned    atomic.Int64
+	questionsSkipped atomic.Int64
+
 	// shardedSessions counts sessions that took the scatter-gather path
 	// (effective shard count ≥ 2).
 	shardedSessions atomic.Int64
@@ -146,6 +153,12 @@ type ClassStats struct {
 	// skipped in total.
 	AdaptiveSessions int64 `json:"adaptive_sessions"`
 	QuestionsSaved   int64 `json:"questions_saved"`
+	// LazySessions counts sessions that ran the lazy short-circuit
+	// evaluator; ObjectsPruned and QuestionsSkipped total the objects its
+	// top-k bound dropped and the plan questions it never asked.
+	LazySessions     int64 `json:"lazy_sessions"`
+	ObjectsPruned    int64 `json:"objects_pruned"`
+	QuestionsSkipped int64 `json:"questions_skipped"`
 	// ShardedSessions counts sessions that took the scatter-gather path.
 	ShardedSessions int64 `json:"sharded_sessions"`
 }
@@ -190,6 +203,9 @@ func (m *metrics) snapshot() Stats {
 
 			AdaptiveSessions: cm.adaptiveSessions.Load(),
 			QuestionsSaved:   cm.questionsSaved.Load(),
+			LazySessions:     cm.lazySessions.Load(),
+			ObjectsPruned:    cm.objectsPruned.Load(),
+			QuestionsSkipped: cm.questionsSkipped.Load(),
 			ShardedSessions:  cm.shardedSessions.Load(),
 		}
 		if lookups := cs.CacheHits + cs.CacheMisses; lookups > 0 {

@@ -99,6 +99,10 @@ type Config struct {
 	// request it (Request.Adaptive); nil applies adaptive.Defaults().
 	// Fixed-budget sessions are untouched either way.
 	Adaptive *adaptive.Config
+	// Lazy tunes the lazy predicate-ordered evaluator for sessions that
+	// request it (Request.Lazy); nil applies query.LazyDefaults().
+	// Eager sessions are untouched either way.
+	Lazy *query.LazyConfig
 	// Options tunes preprocessing (zero value = paper configuration).
 	Options core.Options
 
@@ -130,12 +134,20 @@ type Request struct {
 	// session (0 = tier default; 1 forces the unsharded path). The count
 	// is clamped to the evaluation set's size.
 	Shards int
+	// Lazy opts the session into the lazy predicate-ordered evaluator:
+	// short-circuit filters, confidence-based early decisions and top-k
+	// pruning (query.LazyConfig), tuned by the tier's Config.Lazy.
+	// Mutually exclusive with Adaptive.
+	Lazy bool
 }
 
 // Row is one object that passed the statement's WHERE filter.
 type Row struct {
 	ObjectID int                `json:"object_id"`
 	Values   map[string]float64 `json:"values"`
+	// SortKey is the ORDER BY attribute's estimate when the statement has
+	// an ordering clause (absent otherwise).
+	SortKey float64 `json:"sort_key,omitempty"`
 }
 
 // Result is one completed session.
@@ -159,6 +171,12 @@ type Result struct {
 	// Shards is how many object partitions the session's evaluation was
 	// scattered over (1 = the unsharded path).
 	Shards int `json:"shards,omitempty"`
+	// Lazy reports whether the session ran the lazy evaluator;
+	// ObjectsPruned and QuestionsSkipped are its savings counters
+	// (top-k-pruned candidates and plan questions never paid for).
+	Lazy             bool  `json:"lazy,omitempty"`
+	ObjectsPruned    int64 `json:"objects_pruned,omitempty"`
+	QuestionsSkipped int64 `json:"questions_skipped,omitempty"`
 	// Latency is the end-to-end session wall time (admission included).
 	Latency time.Duration `json:"latency_ns"`
 }
@@ -232,6 +250,7 @@ type Tier struct {
 	metrics     *metrics
 	opts        core.Options
 	adaptive    *adaptive.Config
+	lazy        *query.LazyConfig
 	shards      int
 	partitioner Partitioner
 
@@ -279,6 +298,7 @@ func New(cfg Config) (*Tier, error) {
 		metrics:     newMetrics(now),
 		opts:        cfg.Options,
 		adaptive:    cfg.Adaptive,
+		lazy:        cfg.Lazy,
 		shards:      cfg.Shards,
 		partitioner: part,
 		defBObj:     cfg.DefaultBObj,
@@ -386,6 +406,10 @@ func (t *Tier) Execute(ctx context.Context, req Request) (*Result, error) {
 		cm.errors.Add(1)
 		return nil, err
 	}
+	if req.Adaptive && req.Lazy {
+		cm.errors.Add(1)
+		return nil, errors.New("serve: adaptive and lazy modes are mutually exclusive")
+	}
 	objs, err := t.resolveObjects(req)
 	if err != nil {
 		cm.errors.Add(1)
@@ -459,6 +483,10 @@ func (t *Tier) Execute(ctx context.Context, req Request) (*Result, error) {
 		engine.SetAdaptive(acfg)
 		cm.adaptiveSessions.Add(1)
 	}
+	if req.Lazy {
+		engine.SetLazy(t.lazyConfig())
+		cm.lazySessions.Add(1)
+	}
 	rows, err := engine.Execute(st, objs)
 	if err != nil {
 		cm.errors.Add(1)
@@ -480,13 +508,39 @@ func (t *Tier) Execute(ctx context.Context, req Request) (*Result, error) {
 		out.QuestionsSaved = saved
 		cm.questionsSaved.Add(saved)
 	}
+	if req.Lazy {
+		ls := engine.LazyStats()
+		out.Lazy = true
+		out.ObjectsPruned = ls.ObjectsPruned
+		out.QuestionsSkipped = ls.QuestionsSkipped
+		cm.objectsPruned.Add(ls.ObjectsPruned)
+		cm.questionsSkipped.Add(ls.QuestionsSkipped)
+	}
 	for i, r := range rows {
-		out.Rows[i] = Row{ObjectID: r.Object.ID, Values: r.Values}
+		out.Rows[i] = resultRow(st, r)
 	}
 	asked := questionsAsked(sess.ledger)
 	b.load.noteAnswered(asked)
 	cm.observe(out.Latency, out.OnlineSpent, asked)
 	return out, nil
+}
+
+// lazyConfig resolves the tier's lazy evaluator tuning.
+func (t *Tier) lazyConfig() *query.LazyConfig {
+	if t.lazy != nil {
+		return t.lazy
+	}
+	return query.LazyDefaults()
+}
+
+// resultRow converts an engine row to the wire shape, carrying the sort
+// key only for ordered statements.
+func resultRow(st *query.Statement, r query.ResultRow) Row {
+	row := Row{ObjectID: r.Object.ID, Values: r.Values}
+	if st.Order != nil {
+		row.SortKey = r.Key
+	}
+	return row
 }
 
 // effectiveShards resolves the session's shard count: the request's

@@ -14,10 +14,12 @@ import (
 
 // shardOutcome is one shard's contribution to a scattered session.
 type shardOutcome struct {
-	rows  []query.ResultRow
-	spent crowd.Cost
-	asked int64
-	saved int64
+	rows    []query.ResultRow
+	spent   crowd.Cost
+	asked   int64
+	saved   int64
+	pruned  int64
+	skipped int64
 }
 
 // executeSharded is the scatter-gather path of Tier.Execute: the
@@ -72,6 +74,10 @@ func (t *Tier) executeSharded(req Request, st *query.Statement, objs []*domain.O
 			acfg = &d
 		}
 	}
+	var lcfg *query.LazyConfig
+	if req.Lazy {
+		lcfg = t.lazyConfig()
+	}
 	planQs := 0
 	if qs, qerr := plan.Questions(); qerr == nil {
 		planQs = len(qs)
@@ -97,7 +103,7 @@ func (t *Tier) executeSharded(req Request, st *query.Statement, objs []*domain.O
 		wg.Add(1)
 		go func(s int, sb *backend, shardObjs []*domain.Object) {
 			defer wg.Done()
-			outs[s], errs[s] = t.runShard(sb, plan, st, shardObjs, planQs, acfg)
+			outs[s], errs[s] = t.runShard(sb, plan, st, shardObjs, planQs, acfg, lcfg)
 		}(s, sb, shardObjs)
 	}
 	wg.Wait()
@@ -106,7 +112,11 @@ func (t *Tier) executeSharded(req Request, st *query.Statement, objs []*domain.O
 		return nil, err
 	}
 
-	// Gather: merge the per-shard rows back into evaluation order.
+	// Gather: plain statements merge back into evaluation order; ordered
+	// statements take the rank-aware top-k gather, which reproduces the
+	// unsharded engine's (key, evaluation-order) total sort — each shard
+	// already returned its local top k, and the global top k is a subset
+	// of their union.
 	rank := make(map[int]int, len(objs))
 	for i, o := range objs {
 		rank[o.ID] = i
@@ -115,7 +125,12 @@ func (t *Tier) executeSharded(req Request, st *query.Statement, objs []*domain.O
 	for s := range outs {
 		shardRows[s] = outs[s].rows
 	}
-	merged := query.MergeRows(rank, shardRows...)
+	var merged []query.ResultRow
+	if st.Order != nil {
+		merged = query.MergeTopK(rank, st.Order.Desc, st.Limit, shardRows...)
+	} else {
+		merged = query.MergeRows(rank, shardRows...)
+	}
 
 	out := &Result{
 		Rows:           make([]Row, len(merged)),
@@ -123,21 +138,29 @@ func (t *Tier) executeSharded(req Request, st *query.Statement, objs []*domain.O
 		Backend:        home.name,
 		PreprocessCost: plan.PreprocessCost,
 		Adaptive:       req.Adaptive,
+		Lazy:           req.Lazy,
 		Shards:         shards,
 	}
 	var asked int64
 	for s := range outs {
 		out.OnlineSpent += outs[s].spent
 		out.QuestionsSaved += outs[s].saved
+		out.ObjectsPruned += outs[s].pruned
+		out.QuestionsSkipped += outs[s].skipped
 		asked += outs[s].asked
 	}
 	for i, r := range merged {
-		out.Rows[i] = Row{ObjectID: r.Object.ID, Values: r.Values}
+		out.Rows[i] = resultRow(st, r)
 	}
 	out.Latency = t.metrics.now().Sub(start)
 	if req.Adaptive {
 		cm.adaptiveSessions.Add(1)
 		cm.questionsSaved.Add(out.QuestionsSaved)
+	}
+	if req.Lazy {
+		cm.lazySessions.Add(1)
+		cm.objectsPruned.Add(out.ObjectsPruned)
+		cm.questionsSkipped.Add(out.QuestionsSkipped)
 	}
 	cm.shardedSessions.Add(1)
 	cm.observe(out.Latency, out.OnlineSpent, asked)
@@ -147,7 +170,7 @@ func (t *Tier) executeSharded(req Request, st *query.Statement, objs []*domain.O
 // runShard evaluates one object partition on a private session of its
 // backend, reporting the rows and what they cost.
 func (t *Tier) runShard(sb *backend, plan *core.Plan, st *query.Statement,
-	shardObjs []*domain.Object, planQs int, acfg *adaptive.Config) (shardOutcome, error) {
+	shardObjs []*domain.Object, planQs int, acfg *adaptive.Config, lcfg *query.LazyConfig) (shardOutcome, error) {
 	sb.load.startSession()
 	defer sb.load.endSession()
 	sess := sb.acquire()
@@ -167,6 +190,12 @@ func (t *Tier) runShard(sb *backend, plan *core.Plan, st *query.Statement,
 		// savings pool for parallelism and is not bit-pinned.
 		engine.SetAdaptive(acfg)
 	}
+	if lcfg != nil {
+		// Lazy evaluation is per-object, so shard-local runs compose
+		// exactly: top-k pruning only tightens within a shard, and the
+		// ordered gather restores the global order from the local top-k's.
+		engine.SetLazy(lcfg)
+	}
 	rows, err := engine.Execute(st, shardObjs)
 	if err != nil {
 		return shardOutcome{}, err
@@ -174,6 +203,11 @@ func (t *Tier) runShard(sb *backend, plan *core.Plan, st *query.Statement,
 	o := shardOutcome{rows: rows, spent: sess.ledger.Spent(), asked: questionsAsked(sess.ledger)}
 	if acfg != nil {
 		o.saved = engine.AdaptiveStats().Saved
+	}
+	if lcfg != nil {
+		ls := engine.LazyStats()
+		o.pruned = ls.ObjectsPruned
+		o.skipped = ls.QuestionsSkipped
 	}
 	sb.load.noteAnswered(o.asked)
 	return o, nil
