@@ -103,6 +103,15 @@ type benchReport struct {
 	// LIMIT statement under the exact (Z=∞) top-k prune, whose rows are
 	// bit-equal to the eager engine's. The contract is ≥1.1.
 	TopKPruneGain float64 `json:"topk_prune_gain,omitempty"`
+	// AnswerReuseGain is reuse-off / reuse-on online crowd spend of the
+	// same overlapping-window session workload on a serving tier with the
+	// shared answer cache: what cross-session answer reuse saves when
+	// sessions' evaluation sets overlap. Rows are bit-equal either way —
+	// the cache serves full-budget means the simulator would reproduce
+	// bit-identically — so the gain is pure money. The workload overlaps
+	// every object twice, making the constructed gain 2.0; the contract
+	// is ≥1.5.
+	AnswerReuseGain float64 `json:"answer_reuse_gain,omitempty"`
 	// ShardQuestionsPerBackend is the sharded arm's mean per-backend
 	// online question volume divided by the unsharded arm's (which lands
 	// on one backend): ~1/S when the partitioner spreads evenly. Lower is
@@ -467,6 +476,12 @@ func runBench(jsonPath string, reps, evalN int, seed int64) error {
 		return err
 	}
 
+	// Answer reuse: the same overlapping-window workload with and without
+	// the shared answer cache.
+	if err := runReuseBench(&report); err != nil {
+		return err
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -483,10 +498,10 @@ func runBench(jsonPath string, reps, evalN int, seed int64) error {
 	if report.SweepSpeedupNCPU > 0 {
 		ncpu = fmt.Sprintf("%.2fx at %d CPUs", report.SweepSpeedupNCPU, report.NumCPU)
 	}
-	fmt.Printf("benchmark report written to %s (sweep speedup %.2fx at 1 proc, %s, shared-snapshot gain %.2fx, collect batch gain %.2fx, serve %.0f qps, plan cache gain %.2fx, adaptive spend gain %.2fx, shard scaling gain %.2fx, predicate skip gain %.2fx, topk prune gain %.2fx)\n",
+	fmt.Printf("benchmark report written to %s (sweep speedup %.2fx at 1 proc, %s, shared-snapshot gain %.2fx, collect batch gain %.2fx, serve %.0f qps, plan cache gain %.2fx, adaptive spend gain %.2fx, shard scaling gain %.2fx, predicate skip gain %.2fx, topk prune gain %.2fx, answer reuse gain %.2fx)\n",
 		jsonPath, report.SweepSpeedup, ncpu, report.SweepSharedGain, report.CollectBatchGain,
 		report.QPS, report.PlanCacheGain, report.AdaptiveSpendGain, report.ShardScalingGain,
-		report.PredicateSkipGain, report.TopKPruneGain)
+		report.PredicateSkipGain, report.TopKPruneGain, report.AnswerReuseGain)
 	return nil
 }
 

@@ -230,6 +230,27 @@ func compareReports(w io.Writer, old, new *benchReport, maxRegress float64) bool
 			fmt.Fprintf(w, "topk prune gain (lazy): %.2fx%s\n", new.TopKPruneGain, mark)
 		}
 	}
+	if new.AnswerReuseGain > 0 {
+		mark := ""
+		// The answer cache returns bit-equal rows at lower spend, so the
+		// gain is pure money and deterministic by construction (the bench
+		// workload overlaps every object twice, making 2.0 the built-in
+		// value): gate on the absolute contract (≥1.5×) and on a relative
+		// slide beyond the threshold. A slide is a behavior change, never
+		// machine noise. Old reports that predate the measurement only skip
+		// the relative half.
+		if new.AnswerReuseGain < 1.5 ||
+			(old.AnswerReuseGain > 0 && new.AnswerReuseGain < old.AnswerReuseGain*(1-maxRegress)) {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		if old.AnswerReuseGain > 0 {
+			fmt.Fprintf(w, "answer reuse gain (serve): %.2fx -> %.2fx%s\n",
+				old.AnswerReuseGain, new.AnswerReuseGain, mark)
+		} else {
+			fmt.Fprintf(w, "answer reuse gain (serve): %.2fx%s\n", new.AnswerReuseGain, mark)
+		}
+	}
 	if new.AdaptiveSpendGain > 0 {
 		mark := ""
 		// The adaptive evaluator must keep delivering its headline: gate on

@@ -303,3 +303,31 @@ func TestCompareAdaptiveSpendGainGate(t *testing.T) {
 		t.Fatal("missing adaptive measurement tripped the gate")
 	}
 }
+
+func TestCompareAnswerReuseGainGate(t *testing.T) {
+	var buf strings.Builder
+	// Absolute contract: below 1.5x fails even with no old measurement.
+	if !compareReports(&buf, &benchReport{}, &benchReport{AnswerReuseGain: 1.4}, 0.10) {
+		t.Fatal("answer reuse gain 1.4x passed the >=1.5x contract")
+	}
+	// Above the absolute bar with no old measurement: passes and reports.
+	buf.Reset()
+	if compareReports(&buf, &benchReport{}, &benchReport{AnswerReuseGain: 2.0}, 0.10) {
+		t.Fatal("answer reuse gain 2.0x failed without an old report")
+	}
+	if !strings.Contains(buf.String(), "answer reuse gain") {
+		t.Fatalf("gain not reported:\n%s", buf.String())
+	}
+	// Relative slide beyond the threshold fails even above the bar.
+	if !compareReports(&buf, &benchReport{AnswerReuseGain: 2.0}, &benchReport{AnswerReuseGain: 1.6}, 0.10) {
+		t.Fatal("20% answer reuse slide passed")
+	}
+	// A slide within the threshold passes.
+	if compareReports(&buf, &benchReport{AnswerReuseGain: 2.0}, &benchReport{AnswerReuseGain: 1.9}, 0.10) {
+		t.Fatal("5% answer reuse slide failed")
+	}
+	// A report without the measurement does not trip the gate.
+	if compareReports(&buf, &benchReport{AnswerReuseGain: 2.0}, &benchReport{}, 0.10) {
+		t.Fatal("missing answer reuse measurement tripped the gate")
+	}
+}

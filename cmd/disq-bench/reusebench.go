@@ -1,0 +1,123 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	disq "repro"
+	"repro/internal/crowd"
+	"repro/internal/serve"
+)
+
+// runReuseBench measures the answer cache's spend headline: the same
+// four-session workload with overlapping evaluation windows, once with
+// every session opted into the tier's shared answer cache and once
+// without. The environment is pinned (fixed simulator seed and object
+// draw, independent of -seed) and the metric is deterministic money —
+// the simulator's answer streams are a pure function of the seed, so a
+// cached mean is bit-identical to a re-purchased one and the only thing
+// reuse changes is the bill.
+//
+// The workload: 32 objects, four eager SELECT sessions over 16-object
+// windows stepped by 8 (wrapping), so every object is evaluated by
+// exactly two sessions. Without reuse that is 64 paid object
+// evaluations; with reuse the second session over each object reads the
+// first one's published means, leaving 32 — the gain is exactly 2.0 by
+// construction, and the compare gate holds it above 1.5. The arms run
+// in ABBA order (off/on/on/off) on fresh tiers and each side's two runs
+// are asserted equal, which pins the determinism the headline rests on.
+func runReuseBench(report *benchReport) error {
+	const (
+		reuseSeed = 103
+		objSeed   = 23
+		nObjects  = 32
+		window    = 16
+		step      = 8
+		nSessions = 4
+		statement = "SELECT Protein"
+	)
+	u := disq.Recipes()
+	// One extra object (never in a measured window) warms the plan cache
+	// so PreprocessCost stays out of both arms' online spend; the warm
+	// session runs without ReuseAnswers, so it publishes nothing.
+	objs := u.NewObjects(rand.New(rand.NewSource(objSeed)), nObjects+1)
+	warmID := objs[nObjects].ID
+
+	runArm := func(reuse bool) (crowd.Cost, int64, error) {
+		sim, err := disq.NewSimPlatform(u, disq.SimOptions{Seed: reuseSeed})
+		if err != nil {
+			return 0, 0, err
+		}
+		tier, err := serve.New(serve.Config{
+			Domain:      "recipes",
+			Objects:     objs,
+			Backends:    []serve.Backend{{Name: "reuse-bench", Platform: sim}},
+			DefaultBObj: crowd.Cents(4),
+			DefaultBPrc: crowd.Dollars(6),
+			AnswerCache: 4096,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		ctx := context.Background()
+		if _, err := tier.Execute(ctx, serve.Request{
+			Statement: statement, ObjectIDs: []int{warmID},
+		}); err != nil {
+			return 0, 0, err
+		}
+		var spent crowd.Cost
+		var reused int64
+		for s := 0; s < nSessions; s++ {
+			ids := make([]int, window)
+			for j := range ids {
+				ids[j] = objs[(s*step+j)%nObjects].ID
+			}
+			res, err := tier.Execute(ctx, serve.Request{
+				Statement: statement, ObjectIDs: ids, ReuseAnswers: reuse,
+			})
+			if err != nil {
+				return 0, 0, err
+			}
+			if !res.CacheHit {
+				return 0, 0, fmt.Errorf("reuse bench: session %d missed the warmed plan", s)
+			}
+			spent += res.OnlineSpent
+			reused += res.AnswersReused
+		}
+		return spent, reused, nil
+	}
+
+	offA, _, err := runArm(false)
+	if err != nil {
+		return err
+	}
+	onA, reusedA, err := runArm(true)
+	if err != nil {
+		return err
+	}
+	onB, reusedB, err := runArm(true)
+	if err != nil {
+		return err
+	}
+	offB, _, err := runArm(false)
+	if err != nil {
+		return err
+	}
+	if offA != offB || onA != onB || reusedA != reusedB {
+		return fmt.Errorf("reuse bench: nondeterministic arms (off %d vs %d, on %d vs %d, reused %d vs %d)",
+			offA, offB, onA, onB, reusedA, reusedB)
+	}
+	if onA <= 0 {
+		return fmt.Errorf("reuse bench: reuse arm spent nothing")
+	}
+	if reusedA <= 0 {
+		return fmt.Errorf("reuse bench: reuse arm reused no answers")
+	}
+	report.AnswerReuseGain = float64(offA) / float64(onA)
+	report.Benchmarks = append(report.Benchmarks,
+		benchEntry{Name: "online-spend-reuse-off-mills", NsPerOp: int64(offA)},
+		benchEntry{Name: "online-spend-reuse-on-mills", NsPerOp: int64(onA)},
+	)
+	return nil
+}

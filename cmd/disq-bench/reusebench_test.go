@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+// TestRunReuseBenchContract runs the answer-reuse spend arms for real
+// (pinned environment, deterministic money) and checks the headline
+// ratio clears its compare-gate contract — so a regression fails in go
+// test, not just in the CI bench diff. The workload overlaps every
+// object's evaluation exactly twice, so the gain is 2.0 by construction
+// and anything else means the cache stopped serving (or overserved).
+func TestRunReuseBenchContract(t *testing.T) {
+	var r benchReport
+	if err := runReuseBench(&r); err != nil {
+		t.Fatal(err)
+	}
+	if r.AnswerReuseGain < 1.5 {
+		t.Fatalf("answer_reuse_gain = %.3f, contract >= 1.5", r.AnswerReuseGain)
+	}
+	if r.AnswerReuseGain < 1.99 || r.AnswerReuseGain > 2.01 {
+		t.Fatalf("answer_reuse_gain = %.3f, constructed value is 2.0", r.AnswerReuseGain)
+	}
+	if len(r.Benchmarks) != 2 {
+		t.Fatalf("reuse arms recorded %d bench entries, want 2", len(r.Benchmarks))
+	}
+}

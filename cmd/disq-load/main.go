@@ -8,9 +8,12 @@
 // completions, arrivals beyond -concurrency outstanding are shed — the
 // shape that exposes queueing collapse). Statements and SLO classes are
 // cycled per arrival, so a mixed workload is one flag away. -topk k
-// appends a top-k ordered statement to the mix, and -lazy opts every
+// appends a top-k ordered statement to the mix, -lazy opts every
 // session into the server's lazy predicate-ordered evaluator (the
-// report then totals objects_pruned / questions_skipped).
+// report then totals objects_pruned / questions_skipped), and -reuse
+// opts every session into the shared answer cache (needs disq-serve
+// -answer-cache > 0; the report totals answers_reused /
+// spend_saved_mills).
 //
 // -gain additionally measures the plan cache cold/warm split: probes in
 // ABBA order against fresh vs pre-warmed plan keys, medians of each
@@ -25,6 +28,7 @@
 //	disq-load -addr http://127.0.0.1:8080 -duration 5s
 //	disq-load -addr http://127.0.0.1:8080 -statements 'SELECT Protein; SELECT Calories WHERE Dessert > 0.5'
 //	disq-load -addr http://127.0.0.1:8080 -topk 3 -lazy
+//	disq-load -addr http://127.0.0.1:8080 -reuse
 //	disq-load -addr http://127.0.0.1:8080 -gain -min-gain 3
 //	disq-load -addr http://127.0.0.1:8080 -duration 5s -min-qps 10 -max-errors 0 -json report.json
 package main
@@ -68,6 +72,7 @@ func main() {
 		bPrcDollars = flag.Float64("bprc-dollars", 0, "preprocessing budget override, dollars (0 = server default)")
 		adaptiveOn  = flag.Bool("adaptive", false, "opt every session into the server's adaptive online evaluator")
 		lazyOn      = flag.Bool("lazy", false, "opt every session into the server's lazy predicate-ordered evaluator")
+		reuseOn     = flag.Bool("reuse", false, "opt every session into the server's shared answer cache (needs disq-serve -answer-cache > 0)")
 		topK        = flag.Int("topk", 0, "append 'SELECT Protein ORDER BY Protein DESC LIMIT k' to the statement mix (0 = off)")
 		shards      = flag.Int("shards", 0, "per-session shard-count override (0 = server default)")
 
@@ -82,14 +87,14 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(*addr, *statements, *classes, *concurrency, *rate, *duration, *maxObjects,
-		*bObjCents, *bPrcDollars, *adaptiveOn, *lazyOn, *topK, *shards, *gain, *gainProbes, *jsonPath, *minQPS, *maxErrors, *minGain, *skipLoad); err != nil {
+		*bObjCents, *bPrcDollars, *adaptiveOn, *lazyOn, *reuseOn, *topK, *shards, *gain, *gainProbes, *jsonPath, *minQPS, *maxErrors, *minGain, *skipLoad); err != nil {
 		fmt.Fprintln(os.Stderr, "disq-load:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, statements, classes string, concurrency int, rate float64, duration time.Duration,
-	maxObjects int, bObjCents, bPrcDollars float64, adaptiveOn, lazyOn bool, topK, shards int, gain bool, gainProbes int,
+	maxObjects int, bObjCents, bPrcDollars float64, adaptiveOn, lazyOn, reuseOn bool, topK, shards int, gain bool, gainProbes int,
 	jsonPath string, minQPS float64, maxErrors int64, minGain float64, skipLoad bool) error {
 	stmts := splitList(statements, ";")
 	if len(stmts) == 0 {
@@ -130,6 +135,7 @@ func run(addr, statements, classes string, concurrency int, rate float64, durati
 			BPrc:        bPrc,
 			Adaptive:    adaptiveOn,
 			Lazy:        lazyOn,
+			Reuse:       reuseOn,
 			Shards:      shards,
 		})
 		if err != nil {
@@ -143,6 +149,10 @@ func run(addr, statements, classes string, concurrency int, rate float64, durati
 		if lazyOn {
 			fmt.Printf("lazy: objects-pruned %d  questions-skipped %d\n",
 				load.ObjectsPruned, load.QuestionsSkipped)
+		}
+		if reuseOn {
+			fmt.Printf("reuse: answers-reused %d  spend-saved %d mills\n",
+				load.AnswersReused, load.SpendSavedMills)
 		}
 	}
 

@@ -78,6 +78,8 @@ type config struct {
 	shards       int
 	partition    string
 	cacheSize    int
+	answerCache  int
+	answerTTL    time.Duration
 	admission    string
 	bObjCents    float64
 	bPrcDollars  float64
@@ -102,6 +104,8 @@ func main() {
 	flag.IntVar(&cfg.shards, "shards", 0, "query mode: object partitions evaluated in parallel per query (0/1 = unsharded; >1 makes the backends replicas)")
 	flag.StringVar(&cfg.partition, "partition", "", "query mode: shard-assignment policy (hash, range)")
 	flag.IntVar(&cfg.cacheSize, "cache-size", 64, "query mode: plan cache capacity (LRU beyond it)")
+	flag.IntVar(&cfg.answerCache, "answer-cache", 4096, "query mode: shared answer-reuse cache capacity in cached answer means (0 = off; sessions opt in per request)")
+	flag.DurationVar(&cfg.answerTTL, "answer-ttl", 0, "query mode: expire cached answer means after this long (0 = never)")
 	flag.StringVar(&cfg.admission, "admission", "", "query mode: per-class token buckets, 'class=rate:burst[:queue[:maxwait]]' comma-separated (e.g. 'batch=5:10:64')")
 	flag.Float64Var(&cfg.bObjCents, "bobj-cents", 4, "query mode: default per-object budget, cents")
 	flag.Float64Var(&cfg.bPrcDollars, "bprc-dollars", 10, "query mode: default preprocessing budget, dollars")
@@ -174,6 +178,12 @@ func (c *config) validate() error {
 		}
 		if c.shards < 0 {
 			return fmt.Errorf("-shards must be >= 0, got %d", c.shards)
+		}
+		if c.answerCache < 0 {
+			return fmt.Errorf("-answer-cache must be >= 0, got %d", c.answerCache)
+		}
+		if c.answerTTL < 0 {
+			return fmt.Errorf("-answer-ttl must be >= 0, got %v", c.answerTTL)
 		}
 		if _, err := serve.NewPartitioner(c.partition); err != nil {
 			return err
@@ -361,6 +371,8 @@ func buildQueryTier(cfg config, u *domain.Universe) (http.Handler, func() interf
 		Shards:      cfg.shards,
 		Partition:   cfg.partition,
 		CacheSize:   cfg.cacheSize,
+		AnswerCache: cfg.answerCache,
+		AnswerTTL:   cfg.answerTTL,
 		DefaultBObj: crowd.Cost(cfg.bObjCents * 10),
 		DefaultBPrc: crowd.Cost(cfg.bPrcDollars * 1000),
 		Admission:   admission,

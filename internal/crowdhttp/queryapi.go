@@ -44,6 +44,10 @@ type queryWire struct {
 	// (0 = server default). The scatter happens tier-side: the client
 	// still sends one request and receives one merged row set.
 	Shards int `json:"shards,omitempty"`
+	// Reuse opts the session into the server tier's shared answer cache
+	// (serve.Request.ReuseAnswers); a no-op when the tier runs without
+	// one.
+	Reuse bool `json:"reuse,omitempty"`
 }
 
 // QueryServer adapts a serve.Tier to the query API.
@@ -84,15 +88,16 @@ func (s *QueryServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.queries.Add(1)
 	res, err := s.tier.Execute(r.Context(), serve.Request{
-		Statement:  wire.Statement,
-		Class:      wire.Class,
-		ObjectIDs:  wire.ObjectIDs,
-		MaxObjects: wire.MaxObjects,
-		BObj:       crowd.Cost(wire.BObjMills),
-		BPrc:       crowd.Cost(wire.BPrcMills),
-		Adaptive:   wire.Adaptive,
-		Lazy:       wire.Lazy,
-		Shards:     wire.Shards,
+		Statement:    wire.Statement,
+		Class:        wire.Class,
+		ObjectIDs:    wire.ObjectIDs,
+		MaxObjects:   wire.MaxObjects,
+		BObj:         crowd.Cost(wire.BObjMills),
+		BPrc:         crowd.Cost(wire.BPrcMills),
+		Adaptive:     wire.Adaptive,
+		Lazy:         wire.Lazy,
+		Shards:       wire.Shards,
+		ReuseAnswers: wire.Reuse,
 	})
 	if err != nil {
 		writeError(w, queryStatusFor(err), err)
@@ -144,6 +149,7 @@ func (c *QueryClient) Execute(ctx context.Context, req serve.Request) (*serve.Re
 		Adaptive:   req.Adaptive,
 		Lazy:       req.Lazy,
 		Shards:     req.Shards,
+		Reuse:      req.ReuseAnswers,
 	})
 	if err != nil {
 		return nil, err

@@ -137,8 +137,9 @@ type lazyRun struct {
 	orderDeps []int
 	selDeps   []int // union of SELECT + ORDER BY dependencies
 
-	kept  []float64 // top-k keys seen so far, best → worst
-	stats LazyStats
+	kept   []float64 // top-k keys seen so far, best → worst
+	stats  LazyStats
+	rstats ReuseStats
 }
 
 // objState is one object's asking state, indexed in plan Support order.
@@ -175,11 +176,18 @@ func (e *Engine) executeLazy(st *Statement, objects []*domain.Object) ([]ResultR
 		r.stats.Objects++
 		for j := range r.attrs {
 			r.stats.QuestionsAsked += int64(s.asked[j])
-			r.stats.QuestionsSkipped += int64(r.counts[j] - s.asked[j])
 		}
 		if err != nil {
+			// The aborted object's questions were genuinely asked, but its
+			// unreached questions were not "skipped" by the optimizer —
+			// counting them would let an erroring shard inflate the summed
+			// questions_skipped the serving tier reports.
 			e.lstats = r.stats
+			e.rstats = r.rstats
 			return nil, err
+		}
+		for j := range r.attrs {
+			r.stats.QuestionsSkipped += int64(r.counts[j] - s.asked[j])
 		}
 		if !keep {
 			continue
@@ -188,6 +196,7 @@ func (e *Engine) executeLazy(st *Statement, objects []*domain.Object) ([]ResultR
 		r.noteKey(row.Key)
 	}
 	e.lstats = r.stats
+	e.rstats = r.rstats
 	return orderRows(st, rows), nil
 }
 
@@ -204,9 +213,19 @@ func (e *Engine) executeLazyFull(st *Statement, objects []*domain.Object) ([]Res
 	for _, n := range counts {
 		perObject += int64(n)
 	}
+	estimate := func(o *domain.Object) (map[string]float64, error) {
+		return e.plan.EstimateObject(e.platform, o)
+	}
+	var rr *reuseRun
+	if e.memo != nil {
+		if rr, err = newReuseRun(e); err != nil {
+			return nil, err
+		}
+		estimate = rr.estimate
+	}
 	var rows []ResultRow
 	for _, o := range objects {
-		est, err := e.plan.EstimateObject(e.platform, o)
+		est, err := estimate(o)
 		if err != nil {
 			return nil, err
 		}
@@ -215,6 +234,13 @@ func (e *Engine) executeLazyFull(st *Statement, objects []*domain.Object) ([]Res
 		if row, keep := e.buildRow(st, o, est); keep {
 			rows = append(rows, row)
 		}
+	}
+	if rr != nil {
+		// Memo hits were never asked: move them from asked to skipped so
+		// the counters keep partitioning objects × budget.
+		e.rstats = rr.stats
+		e.lstats.QuestionsAsked -= rr.stats.AnswersReused
+		e.lstats.QuestionsSkipped += rr.stats.AnswersReused
 	}
 	return orderRows(st, rows), nil
 }
@@ -505,13 +531,35 @@ func (r *lazyRun) canDecide(s *objState, deps []int) bool {
 	return true
 }
 
+// peekMemo probes the engine's answer memo for attribute j's
+// fully-budgeted mean before any purchase is priced. A hit installs the
+// exact full-budget mean (halfwidth 0, attribute fetched) — strictly
+// better information than any partial prefix — and books the answers the
+// object no longer has to buy.
+func (r *lazyRun) peekMemo(s *objState, j int) bool {
+	if r.e.memo == nil || s.asked[j] >= r.counts[j] {
+		return false
+	}
+	v, ok := r.e.memo.Peek(ReuseQuestion{ObjectID: s.o.ID, Attr: r.attrs[j], N: r.counts[j]})
+	if !ok {
+		return false
+	}
+	saved := int64(r.counts[j] - s.asked[j])
+	r.rstats.AnswersReused += saved
+	r.rstats.SpendSavedMills += saved * int64(r.price[j])
+	s.means[j] = v
+	s.fetched[j] = true
+	s.hw[j] = 0
+	return true
+}
+
 // fetchRound advances every unfinished dependency one asking round
 // (adaptive.RoundTarget pacing) and reports whether anything was asked.
 func (r *lazyRun) fetchRound(s *objState, deps []int) (bool, error) {
 	var qs []crowd.ValueQuestion
 	var idxs []int
 	for _, j := range deps {
-		if s.fetched[j] || s.settled[j] {
+		if s.fetched[j] || s.settled[j] || r.peekMemo(s, j) {
 			continue
 		}
 		to := adaptive.RoundTarget(s.round[j], s.asked[j], r.counts[j], r.cfg.MinAnswers, r.cfg.Rounds)
@@ -542,7 +590,7 @@ func (r *lazyRun) fetchFull(s *objState, deps []int) error {
 	var qs []crowd.ValueQuestion
 	var idxs []int
 	for _, j := range deps {
-		if s.fetched[j] || s.settled[j] {
+		if s.fetched[j] || s.settled[j] || r.peekMemo(s, j) {
 			continue
 		}
 		qs = append(qs, crowd.ValueQuestion{Attr: r.attrs[j], N: r.counts[j]})
@@ -600,6 +648,9 @@ func (r *lazyRun) ingest(s *objState, j int, ans []float64) {
 	if s.asked[j] >= r.counts[j] {
 		s.fetched[j] = true
 		s.hw[j] = 0
+		if r.e.memo != nil {
+			r.e.memo.Publish(ReuseQuestion{ObjectID: s.o.ID, Attr: r.attrs[j], N: r.counts[j]}, s.means[j])
+		}
 		return
 	}
 	if !r.cfg.earlyStop() {

@@ -124,3 +124,114 @@ func TestMergeTopKNoRows(t *testing.T) {
 		t.Fatalf("merge of no rows = %+v, want nil", out)
 	}
 }
+
+// TestMergeTopKEdgeCases tables the gather's degenerate shapes: a limit
+// beyond the total row count must return everything (never pad, never
+// truncate), all-empty shard slices must keep the nil contract whatever
+// mix of nil and empty arrives, and a single shard must pass through
+// untouched — the 1-shard half of the bit-equal contract for ordered
+// statements.
+func TestMergeTopKEdgeCases(t *testing.T) {
+	rank := map[int]int{5: 0, 6: 1, 7: 2}
+	cases := []struct {
+		name   string
+		desc   bool
+		limit  int
+		shards [][]ResultRow
+		want   []int
+	}{
+		{
+			name:  "limit beyond total rows",
+			desc:  true,
+			limit: 10,
+			shards: [][]ResultRow{
+				{keyRow(5, 2)},
+				{keyRow(6, 9), keyRow(7, 1)},
+			},
+			want: []int{6, 5, 7},
+		},
+		{
+			name:   "all shards empty",
+			desc:   true,
+			limit:  3,
+			shards: [][]ResultRow{nil, {}, nil, {}},
+			want:   nil,
+		},
+		{
+			name:   "no shards at all",
+			desc:   false,
+			limit:  2,
+			shards: nil,
+			want:   nil,
+		},
+		{
+			name:   "single shard passthrough",
+			desc:   true,
+			limit:  0,
+			shards: [][]ResultRow{{keyRow(6, 9), keyRow(5, 2), keyRow(7, 1)}},
+			want:   []int{6, 5, 7},
+		},
+		{
+			name:   "single shard with limit",
+			desc:   true,
+			limit:  2,
+			shards: [][]ResultRow{{keyRow(6, 9), keyRow(5, 2), keyRow(7, 1)}},
+			want:   []int{6, 5},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := MergeTopK(rank, tc.desc, tc.limit, tc.shards...)
+			if tc.want == nil {
+				if out != nil {
+					t.Fatalf("want nil, got %+v", out)
+				}
+				return
+			}
+			if len(out) != len(tc.want) {
+				t.Fatalf("got %d rows, want %d", len(out), len(tc.want))
+			}
+			for i, id := range tc.want {
+				if out[i].Object.ID != id {
+					t.Fatalf("position %d: object %d, want %d", i, out[i].Object.ID, id)
+				}
+			}
+		})
+	}
+}
+
+// TestMergeRowsEdgeCases mirrors the table for the unordered gather:
+// all-empty inputs stay nil, a single shard passes through, and rows
+// beyond any limit concept simply all come back (MergeRows never
+// truncates).
+func TestMergeRowsEdgeCases(t *testing.T) {
+	rank := map[int]int{5: 0, 6: 1, 7: 2}
+	cases := []struct {
+		name   string
+		shards [][]ResultRow
+		want   []int
+	}{
+		{name: "all shards empty", shards: [][]ResultRow{nil, {}, {}}, want: nil},
+		{name: "no shards at all", shards: nil, want: nil},
+		{name: "single shard passthrough", shards: [][]ResultRow{{mergeRow(5), mergeRow(7)}}, want: []int{5, 7}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := MergeRows(rank, tc.shards...)
+			if tc.want == nil {
+				if out != nil {
+					t.Fatalf("want nil, got %+v", out)
+				}
+				return
+			}
+			if len(out) != len(tc.want) {
+				t.Fatalf("got %d rows, want %d", len(out), len(tc.want))
+			}
+			for i, id := range tc.want {
+				if out[i].Object.ID != id {
+					t.Fatalf("position %d: object %d, want %d", i, out[i].Object.ID, id)
+				}
+			}
+		})
+	}
+}

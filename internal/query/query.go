@@ -437,6 +437,12 @@ type Engine struct {
 	// lstats carries the last lazy execution's counters (zero value when
 	// another path ran).
 	lstats LazyStats
+	// memo, when set, shares fully-budgeted answer means within and
+	// across statements (see reuse.go).
+	memo AnswerMemo
+	// rstats carries the last execution's reuse counters (zero value
+	// when no memo was set).
+	rstats ReuseStats
 }
 
 // NewEngine validates that the plan covers every attribute the statement
@@ -485,10 +491,24 @@ func (e *Engine) SetLazy(cfg *LazyConfig) { e.lazy = cfg }
 // value when another path ran).
 func (e *Engine) LazyStats() LazyStats { return e.lstats }
 
+// SetReuse attaches an answer memo: fully-budgeted answer means are
+// published to it and served from it, so questions shared across
+// predicates, statements and sessions are bought at most once. Call with
+// nil to detach. The adaptive evaluator ignores the memo — its variable
+// answer counts have no full-budget means to share. With a memo attached
+// a warm Execute returns rows bit-equal to a cold one at strictly lower
+// spend (the deterministic-crowd contract reuse.go documents).
+func (e *Engine) SetReuse(m AnswerMemo) { e.memo = m }
+
+// ReuseStats returns the reuse counters of the last Execute (the zero
+// value when no memo was attached).
+func (e *Engine) ReuseStats() ReuseStats { return e.rstats }
+
 // Execute estimates the statement's attributes for every object (spending
 // the plan's per-object budget each) and returns the rows whose estimates
 // satisfy every WHERE condition, with the SELECTed values.
 func (e *Engine) Execute(st *Statement, objects []*domain.Object) ([]ResultRow, error) {
+	e.rstats = ReuseStats{}
 	if e.lazy != nil {
 		if e.adaptive != nil {
 			return nil, errors.New("query: adaptive and lazy modes are mutually exclusive")
@@ -508,6 +528,13 @@ func (e *Engine) Execute(st *Statement, objects []*domain.Object) ([]ResultRow, 
 		}
 		estimate = ev.Estimate
 		defer func() { e.stats = ev.Stats() }()
+	} else if e.memo != nil {
+		rr, err := newReuseRun(e)
+		if err != nil {
+			return nil, err
+		}
+		estimate = rr.estimate
+		defer func() { e.rstats = rr.stats }()
 	}
 	var rows []ResultRow
 	for _, o := range objects {

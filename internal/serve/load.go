@@ -49,6 +49,9 @@ type LoadConfig struct {
 	// Shards sets every generated session's shard-count override
 	// (Request.Shards; 0 = target default).
 	Shards int
+	// Reuse opts every generated session into the target's shared answer
+	// cache (Request.ReuseAnswers).
+	Reuse bool
 }
 
 // LoadReport is the outcome of one load run.
@@ -62,12 +65,16 @@ type LoadReport struct {
 	CacheHits int64 `json:"cache_hits"`
 	// ObjectsPruned and QuestionsSkipped total the lazy evaluator's
 	// savings over every completed session (zero unless Lazy).
-	ObjectsPruned    int64         `json:"objects_pruned,omitempty"`
-	QuestionsSkipped int64         `json:"questions_skipped,omitempty"`
-	Elapsed          time.Duration `json:"elapsed_ns"`
-	QPS       float64       `json:"qps"`
-	P50       time.Duration `json:"p50_ns"`
-	P99       time.Duration `json:"p99_ns"`
+	ObjectsPruned    int64 `json:"objects_pruned,omitempty"`
+	QuestionsSkipped int64 `json:"questions_skipped,omitempty"`
+	// AnswersReused and SpendSavedMills total the answer cache's savings
+	// over every completed session (zero unless Reuse).
+	AnswersReused   int64         `json:"answers_reused,omitempty"`
+	SpendSavedMills int64         `json:"spend_saved_mills,omitempty"`
+	Elapsed         time.Duration `json:"elapsed_ns"`
+	QPS             float64       `json:"qps"`
+	P50             time.Duration `json:"p50_ns"`
+	P99             time.Duration `json:"p99_ns"`
 }
 
 // RunLoad drives query traffic at the executor: closed-loop (Concurrency
@@ -101,14 +108,15 @@ func RunLoad(ex Executor, cfg LoadConfig) (*LoadReport, error) {
 	oneQuery := func() {
 		i := arrival.Add(1) - 1
 		req := Request{
-			Statement:  cfg.Statements[i%int64(len(cfg.Statements))],
-			Class:      classes[i%int64(len(classes))],
-			MaxObjects: cfg.MaxObjects,
-			BObj:       cfg.BObj,
-			BPrc:       cfg.BPrc,
-			Adaptive:   cfg.Adaptive,
-			Lazy:       cfg.Lazy,
-			Shards:     cfg.Shards,
+			Statement:    cfg.Statements[i%int64(len(cfg.Statements))],
+			Class:        classes[i%int64(len(classes))],
+			MaxObjects:   cfg.MaxObjects,
+			BObj:         cfg.BObj,
+			BPrc:         cfg.BPrc,
+			Adaptive:     cfg.Adaptive,
+			Lazy:         cfg.Lazy,
+			Shards:       cfg.Shards,
+			ReuseAnswers: cfg.Reuse,
 		}
 		start := time.Now()
 		res, err := ex.Execute(ctx, req)
@@ -130,6 +138,10 @@ func RunLoad(ex Executor, cfg LoadConfig) (*LoadReport, error) {
 		if res.Lazy {
 			atomic.AddInt64(&rep.ObjectsPruned, res.ObjectsPruned)
 			atomic.AddInt64(&rep.QuestionsSkipped, res.QuestionsSkipped)
+		}
+		if res.Reuse {
+			atomic.AddInt64(&rep.AnswersReused, res.AnswersReused)
+			atomic.AddInt64(&rep.SpendSavedMills, res.SpendSavedMills)
 		}
 		lat.add(time.Since(start).Nanoseconds())
 	}

@@ -84,6 +84,13 @@ type classMetrics struct {
 	objectsPruned    atomic.Int64
 	questionsSkipped atomic.Int64
 
+	// reuseSessions counts sessions that ran against the shared answer
+	// cache; answersReused and spendSavedMills accumulate the crowd
+	// answers they were served from cache and those answers' price.
+	reuseSessions   atomic.Int64
+	answersReused   atomic.Int64
+	spendSavedMills atomic.Int64
+
 	// shardedSessions counts sessions that took the scatter-gather path
 	// (effective shard count ≥ 2).
 	shardedSessions atomic.Int64
@@ -159,6 +166,13 @@ type ClassStats struct {
 	LazySessions     int64 `json:"lazy_sessions"`
 	ObjectsPruned    int64 `json:"objects_pruned"`
 	QuestionsSkipped int64 `json:"questions_skipped"`
+	// ReuseSessions counts sessions that ran against the shared answer
+	// cache; AnswersReused and SpendSavedMills total the crowd answers
+	// they were served from cache and what re-buying them would have
+	// cost.
+	ReuseSessions   int64 `json:"reuse_sessions"`
+	AnswersReused   int64 `json:"answers_reused"`
+	SpendSavedMills int64 `json:"spend_saved_mills"`
 	// ShardedSessions counts sessions that took the scatter-gather path.
 	ShardedSessions int64 `json:"sharded_sessions"`
 }
@@ -176,10 +190,13 @@ type Stats struct {
 	// class is served equally; a single class hogging the tier drives it
 	// toward 1/n. Uptime is common to all classes, so sessions stand in
 	// for QPS. 1.0 when nothing has been served yet.
-	FairnessIndex float64               `json:"fairness_index"`
-	Cache         CacheStats            `json:"plan_cache"`
-	Backends      []BackendStats        `json:"backends"`
-	Classes       map[string]ClassStats `json:"classes"`
+	FairnessIndex float64    `json:"fairness_index"`
+	Cache         CacheStats `json:"plan_cache"`
+	// AnswerCache is the shared answer-reuse cache's snapshot (zero value
+	// when the tier runs without one).
+	AnswerCache AnswerCacheStats      `json:"answer_cache"`
+	Backends    []BackendStats        `json:"backends"`
+	Classes     map[string]ClassStats `json:"classes"`
 }
 
 func (m *metrics) snapshot() Stats {
@@ -206,6 +223,9 @@ func (m *metrics) snapshot() Stats {
 			LazySessions:     cm.lazySessions.Load(),
 			ObjectsPruned:    cm.objectsPruned.Load(),
 			QuestionsSkipped: cm.questionsSkipped.Load(),
+			ReuseSessions:    cm.reuseSessions.Load(),
+			AnswersReused:    cm.answersReused.Load(),
+			SpendSavedMills:  cm.spendSavedMills.Load(),
 			ShardedSessions:  cm.shardedSessions.Load(),
 		}
 		if lookups := cs.CacheHits + cs.CacheMisses; lookups > 0 {

@@ -103,6 +103,13 @@ type Config struct {
 	// request it (Request.Lazy); nil applies query.LazyDefaults().
 	// Eager sessions are untouched either way.
 	Lazy *query.LazyConfig
+	// AnswerCache bounds the shared answer-reuse cache (entries = cached
+	// fully-budgeted answer means). 0 disables the cache — sessions
+	// requesting ReuseAnswers then run exactly like today's tier.
+	AnswerCache int
+	// AnswerTTL expires cached answer means this long after their fill
+	// (0 = never). Only meaningful with AnswerCache > 0.
+	AnswerTTL time.Duration
 	// Options tunes preprocessing (zero value = paper configuration).
 	Options core.Options
 
@@ -139,6 +146,13 @@ type Request struct {
 	// pruning (query.LazyConfig), tuned by the tier's Config.Lazy.
 	// Mutually exclusive with Adaptive.
 	Lazy bool
+	// ReuseAnswers opts the session into the tier's shared answer cache:
+	// fully-budgeted answer means it pays for are published for other
+	// sessions, and cached means are served instead of re-asking the
+	// crowd — rows stay bit-equal at lower OnlineSpent. Ignored when the
+	// tier has no cache (Config.AnswerCache 0) and by adaptive sessions
+	// (their variable answer counts have no full-budget means to share).
+	ReuseAnswers bool
 }
 
 // Row is one object that passed the statement's WHERE filter.
@@ -177,6 +191,13 @@ type Result struct {
 	Lazy             bool  `json:"lazy,omitempty"`
 	ObjectsPruned    int64 `json:"objects_pruned,omitempty"`
 	QuestionsSkipped int64 `json:"questions_skipped,omitempty"`
+	// Reuse reports whether the session consulted the shared answer
+	// cache; AnswersReused is how many individual crowd answers it was
+	// served from cache and SpendSavedMills their price — the amount a
+	// cache-cold run of the same session would have added to OnlineSpent.
+	Reuse           bool  `json:"reuse,omitempty"`
+	AnswersReused   int64 `json:"answers_reused,omitempty"`
+	SpendSavedMills int64 `json:"spend_saved_mills,omitempty"`
 	// Latency is the end-to-end session wall time (admission included).
 	Latency time.Duration `json:"latency_ns"`
 }
@@ -253,6 +274,7 @@ type Tier struct {
 	lazy        *query.LazyConfig
 	shards      int
 	partitioner Partitioner
+	answers     *answerCache // nil when Config.AnswerCache is 0
 
 	defBObj, defBPrc crowd.Cost
 
@@ -276,6 +298,12 @@ func New(cfg Config) (*Tier, error) {
 	}
 	if cfg.Shards < 0 {
 		return nil, fmt.Errorf("serve: negative shard count %d", cfg.Shards)
+	}
+	if cfg.AnswerCache < 0 {
+		return nil, fmt.Errorf("serve: negative answer cache size %d", cfg.AnswerCache)
+	}
+	if cfg.AnswerTTL < 0 {
+		return nil, fmt.Errorf("serve: negative answer TTL %v", cfg.AnswerTTL)
 	}
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = 64
@@ -304,6 +332,9 @@ func New(cfg Config) (*Tier, error) {
 		defBObj:     cfg.DefaultBObj,
 		defBPrc:     cfg.DefaultBPrc,
 		byID:        make(map[int]*domain.Object, len(cfg.Objects)),
+	}
+	if cfg.AnswerCache > 0 {
+		t.answers = newAnswerCache(cfg.AnswerCache, cfg.AnswerTTL, now)
 	}
 	for i, b := range cfg.Backends {
 		name := b.Name
@@ -487,6 +518,11 @@ func (t *Tier) Execute(ctx context.Context, req Request) (*Result, error) {
 		engine.SetLazy(t.lazyConfig())
 		cm.lazySessions.Add(1)
 	}
+	reuse := t.reuseOn(req)
+	if reuse {
+		engine.SetReuse(t.answers.memoFor(t.domain))
+		cm.reuseSessions.Add(1)
+	}
 	rows, err := engine.Execute(st, objs)
 	if err != nil {
 		cm.errors.Add(1)
@@ -516,6 +552,14 @@ func (t *Tier) Execute(ctx context.Context, req Request) (*Result, error) {
 		cm.objectsPruned.Add(ls.ObjectsPruned)
 		cm.questionsSkipped.Add(ls.QuestionsSkipped)
 	}
+	if reuse {
+		rs := engine.ReuseStats()
+		out.Reuse = true
+		out.AnswersReused = rs.AnswersReused
+		out.SpendSavedMills = rs.SpendSavedMills
+		cm.answersReused.Add(rs.AnswersReused)
+		cm.spendSavedMills.Add(rs.SpendSavedMills)
+	}
 	for i, r := range rows {
 		out.Rows[i] = resultRow(st, r)
 	}
@@ -523,6 +567,14 @@ func (t *Tier) Execute(ctx context.Context, req Request) (*Result, error) {
 	b.load.noteAnswered(asked)
 	cm.observe(out.Latency, out.OnlineSpent, asked)
 	return out, nil
+}
+
+// reuseOn reports whether a session runs against the shared answer
+// cache: it must opt in, the tier must have one, and adaptive sessions
+// are excluded (their variable answer counts never produce the
+// full-budget means the cache keys on).
+func (t *Tier) reuseOn(req Request) bool {
+	return req.ReuseAnswers && t.answers != nil && !req.Adaptive
 }
 
 // lazyConfig resolves the tier's lazy evaluator tuning.
@@ -598,6 +650,9 @@ func (t *Tier) Stats() Stats {
 		s.Shards = 1
 	}
 	s.Cache = t.cache.stats()
+	if t.answers != nil {
+		s.AnswerCache = t.answers.stats()
+	}
 	s.Backends = make([]BackendStats, len(t.backends))
 	for i, b := range t.backends {
 		s.Backends[i] = b.load.stats(b.name)

@@ -14,12 +14,14 @@ import (
 
 // shardOutcome is one shard's contribution to a scattered session.
 type shardOutcome struct {
-	rows    []query.ResultRow
-	spent   crowd.Cost
-	asked   int64
-	saved   int64
-	pruned  int64
-	skipped int64
+	rows       []query.ResultRow
+	spent      crowd.Cost
+	asked      int64
+	saved      int64
+	pruned     int64
+	skipped    int64
+	reused     int64
+	savedMills int64
 }
 
 // executeSharded is the scatter-gather path of Tier.Execute: the
@@ -78,6 +80,15 @@ func (t *Tier) executeSharded(req Request, st *query.Statement, objs []*domain.O
 	if req.Lazy {
 		lcfg = t.lazyConfig()
 	}
+	// One shared memo serves every shard: the replicas' deterministic
+	// answer streams make a mean cached by one shard bit-identical to
+	// what any other would have bought, so overlapping evaluation sets
+	// across sessions stop being re-purchased per replica.
+	var memo query.AnswerMemo
+	if t.reuseOn(req) {
+		memo = t.answers.memoFor(t.domain)
+		cm.reuseSessions.Add(1)
+	}
 	planQs := 0
 	if qs, qerr := plan.Questions(); qerr == nil {
 		planQs = len(qs)
@@ -103,7 +114,7 @@ func (t *Tier) executeSharded(req Request, st *query.Statement, objs []*domain.O
 		wg.Add(1)
 		go func(s int, sb *backend, shardObjs []*domain.Object) {
 			defer wg.Done()
-			outs[s], errs[s] = t.runShard(sb, plan, st, shardObjs, planQs, acfg, lcfg)
+			outs[s], errs[s] = t.runShard(sb, plan, st, shardObjs, planQs, acfg, lcfg, memo)
 		}(s, sb, shardObjs)
 	}
 	wg.Wait()
@@ -147,6 +158,8 @@ func (t *Tier) executeSharded(req Request, st *query.Statement, objs []*domain.O
 		out.QuestionsSaved += outs[s].saved
 		out.ObjectsPruned += outs[s].pruned
 		out.QuestionsSkipped += outs[s].skipped
+		out.AnswersReused += outs[s].reused
+		out.SpendSavedMills += outs[s].savedMills
 		asked += outs[s].asked
 	}
 	for i, r := range merged {
@@ -162,6 +175,11 @@ func (t *Tier) executeSharded(req Request, st *query.Statement, objs []*domain.O
 		cm.objectsPruned.Add(out.ObjectsPruned)
 		cm.questionsSkipped.Add(out.QuestionsSkipped)
 	}
+	if memo != nil {
+		out.Reuse = true
+		cm.answersReused.Add(out.AnswersReused)
+		cm.spendSavedMills.Add(out.SpendSavedMills)
+	}
 	cm.shardedSessions.Add(1)
 	cm.observe(out.Latency, out.OnlineSpent, asked)
 	return out, nil
@@ -170,7 +188,8 @@ func (t *Tier) executeSharded(req Request, st *query.Statement, objs []*domain.O
 // runShard evaluates one object partition on a private session of its
 // backend, reporting the rows and what they cost.
 func (t *Tier) runShard(sb *backend, plan *core.Plan, st *query.Statement,
-	shardObjs []*domain.Object, planQs int, acfg *adaptive.Config, lcfg *query.LazyConfig) (shardOutcome, error) {
+	shardObjs []*domain.Object, planQs int, acfg *adaptive.Config, lcfg *query.LazyConfig,
+	memo query.AnswerMemo) (shardOutcome, error) {
 	sb.load.startSession()
 	defer sb.load.endSession()
 	sess := sb.acquire()
@@ -196,6 +215,9 @@ func (t *Tier) runShard(sb *backend, plan *core.Plan, st *query.Statement,
 		// ordered gather restores the global order from the local top-k's.
 		engine.SetLazy(lcfg)
 	}
+	if memo != nil {
+		engine.SetReuse(memo)
+	}
 	rows, err := engine.Execute(st, shardObjs)
 	if err != nil {
 		return shardOutcome{}, err
@@ -208,6 +230,11 @@ func (t *Tier) runShard(sb *backend, plan *core.Plan, st *query.Statement,
 		ls := engine.LazyStats()
 		o.pruned = ls.ObjectsPruned
 		o.skipped = ls.QuestionsSkipped
+	}
+	if memo != nil {
+		rs := engine.ReuseStats()
+		o.reused = rs.AnswersReused
+		o.savedMills = rs.SpendSavedMills
 	}
 	sb.load.noteAnswered(o.asked)
 	return o, nil
